@@ -1,0 +1,107 @@
+// E3 — Fig. 2: mux-scan structure and the faults related to scan behaviour.
+//
+// Per scanned flop, with SE tied to functional mode:
+//   SI s-a-0 / s-a-1        -> on-line untestable (never selected)
+//   SE s-a-<functional>     -> on-line untestable (tied)
+//   SE s-a-<scan value>     -> REMAINS TESTABLE ("the only fault that
+//                              needs to be taken into consideration")
+//   FI / FO (D, Q)          -> remain testable
+//   serial-path buffers     -> on-line untestable
+// The bench prints the classification for one flop (the figure) and the
+// aggregate over every scanned flop of the SoC (the claim).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/analyzer.hpp"
+#include "scan/scan.hpp"
+
+namespace {
+
+using namespace olfui;
+
+const char* cls(const FaultList& fl, FaultId f) {
+  if (fl.untestable_kind(f) == UntestableKind::kNone) return "testable";
+  return "on-line untestable";
+}
+
+void print_fig2() {
+  auto soc = build_soc({});
+  const FaultUniverse u(soc->netlist);
+  FaultList fl(u);
+  const ScanChains chains = trace_scan(soc->netlist);
+  prune_scan_faults(chains, u, fl);
+
+  std::printf("== E3: Fig. 2 mux-scan fault classification =====================\n");
+  const ScanElement& e = chains.chains[0].elements[0];
+  const Netlist& nl = soc->netlist;
+  std::printf("flop %s, scan mux %s (SE functional value = %d):\n",
+              nl.cell(e.flop).name.c_str(), nl.cell(e.mux).name.c_str(),
+              chains.se_functional_value ? 1 : 0);
+  const auto row = [&](Pin pin, const char* label, bool sa1) {
+    const FaultId f = u.id_of(pin, sa1);
+    std::printf("  %-4s s-a-%d : %s\n", label, sa1 ? 1 : 0, cls(fl, f));
+  };
+  row({e.mux, kMuxB + 1}, "SI", false);
+  row({e.mux, kMuxB + 1}, "SI", true);
+  row({e.mux, kMuxS + 1}, "SE", false);
+  row({e.mux, kMuxS + 1}, "SE", true);
+  row({e.mux, kMuxA + 1}, "FI", false);
+  row({e.mux, kMuxA + 1}, "FI", true);
+  row({e.flop, 0}, "FO", false);
+  row({e.flop, 0}, "FO", true);
+
+  // Aggregate over all scanned flops.
+  std::size_t flops = 0, si_pruned = 0, se_func_pruned = 0, se_scan_kept = 0,
+              fi_kept = 0;
+  for (const ScanChain& chain : chains.chains) {
+    for (const ScanElement& el : chain.elements) {
+      ++flops;
+      const Pin si{el.mux, kMuxB + 1}, se{el.mux, kMuxS + 1},
+          fi{el.mux, kMuxA + 1};
+      si_pruned +=
+          (fl.untestable_kind(u.id_of(si, false)) != UntestableKind::kNone) +
+          (fl.untestable_kind(u.id_of(si, true)) != UntestableKind::kNone);
+      se_func_pruned += fl.untestable_kind(u.id_of(
+                            se, chains.se_functional_value)) != UntestableKind::kNone;
+      se_scan_kept += fl.untestable_kind(u.id_of(
+                          se, !chains.se_functional_value)) == UntestableKind::kNone;
+      fi_kept +=
+          (fl.untestable_kind(u.id_of(fi, false)) == UntestableKind::kNone) +
+          (fl.untestable_kind(u.id_of(fi, true)) == UntestableKind::kNone);
+    }
+  }
+  std::printf("aggregate over %zu scanned flops:\n", flops);
+  std::printf("  SI faults pruned:            %zu / %zu\n", si_pruned, 2 * flops);
+  std::printf("  SE s-a-functional pruned:    %zu / %zu\n", se_func_pruned, flops);
+  std::printf("  SE s-a-scan kept testable:   %zu / %zu\n", se_scan_kept, flops);
+  std::printf("  FI faults kept testable:     %zu / %zu\n", fi_kept, 2 * flops);
+  std::printf("  total scan-class faults:     %zu\n\n",
+              fl.count_source(OnlineSource::kScan));
+}
+
+void BM_TraceScanChains(benchmark::State& state) {
+  auto soc = build_soc({});
+  for (auto _ : state) benchmark::DoNotOptimize(trace_scan(soc->netlist));
+}
+BENCHMARK(BM_TraceScanChains)->Unit(benchmark::kMillisecond);
+
+void BM_PruneScanFaults(benchmark::State& state) {
+  auto soc = build_soc({});
+  const FaultUniverse u(soc->netlist);
+  const ScanChains chains = trace_scan(soc->netlist);
+  for (auto _ : state) {
+    FaultList fl(u);
+    benchmark::DoNotOptimize(prune_scan_faults(chains, u, fl));
+  }
+}
+BENCHMARK(BM_PruneScanFaults)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

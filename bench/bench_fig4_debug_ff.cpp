@@ -1,0 +1,105 @@
+// E4 — Fig. 4 / §3.2: debug circuit fault classification.
+//
+// With the external debugger disconnected (DE tied inactive, observation
+// buses floating):
+//   DE s-a-<inactive>  -> on-line untestable     (§3.2.1)
+//   DE s-a-<active>    -> REMAINS TESTABLE (would corrupt mission state)
+//   DI s-a-0 / s-a-1   -> on-line untestable
+//   DO (observation)   -> on-line untestable     (§3.2.2)
+// The bench prints one debug write-mux classification and the control /
+// observation totals of the case study flow ("4,548+2,357" in the paper).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/analyzer.hpp"
+
+namespace {
+
+using namespace olfui;
+
+void print_fig4() {
+  auto soc = build_soc({});
+  const FaultUniverse u(soc->netlist);
+  FaultList fl(u);
+  OnlineUntestabilityAnalyzer analyzer(*soc, u);
+  const AnalysisReport rep = analyzer.run(fl);
+  const Netlist& nl = soc->netlist;
+
+  std::printf("== E4: Fig. 4 debug circuitry fault classification ===============\n");
+  // The first debug write-mux of the GPR file (Fig. 4 structure).
+  const CellId mux = nl.find_cell("dbg/u_wmux_0_0");
+  if (mux != kInvalidId) {
+    const auto cls = [&](Pin p, bool sa1) {
+      const FaultId f = u.id_of(p, sa1);
+      return fl.untestable_kind(f) == UntestableKind::kNone
+                 ? "testable"
+                 : "on-line untestable";
+    };
+    std::printf("debug write mux %s (D = DE ? DI : FI):\n", nl.cell(mux).name.c_str());
+    std::printf("  DE s-a-0 : %s\n", cls({mux, kMuxS + 1}, false));
+    std::printf("  DE s-a-1 : %s\n", cls({mux, kMuxS + 1}, true));
+    std::printf("  DI s-a-0 : %s\n", cls({mux, kMuxB + 1}, false));
+    std::printf("  DI s-a-1 : %s\n", cls({mux, kMuxB + 1}, true));
+    std::printf("  FI s-a-0 : %s\n", cls({mux, kMuxA + 1}, false));
+    std::printf("  FI s-a-1 : %s\n", cls({mux, kMuxA + 1}, true));
+  }
+
+  // Observation bus ports (Fig. 3's debug read path).
+  std::size_t obs_port_faults = 0, obs_port_untestable = 0;
+  for (CellId port : soc->debug.observe_outputs) {
+    std::vector<FaultId> ids;
+    u.faults_of_cell(port, ids);
+    for (FaultId f : ids) {
+      ++obs_port_faults;
+      obs_port_untestable += fl.untestable_kind(f) != UntestableKind::kNone;
+    }
+  }
+  std::printf("observation-bus port faults untestable: %zu / %zu\n",
+              obs_port_untestable, obs_port_faults);
+  std::printf("paper debug row: 4,548 control + 2,357 observation\n");
+  std::printf("ours:            %zu control + %zu observation "
+              "(%.1f%% of %zu faults)\n\n",
+              rep.debug_control, rep.debug_observe,
+              100.0 * static_cast<double>(rep.debug_control + rep.debug_observe) /
+                  static_cast<double>(rep.universe),
+              rep.universe);
+}
+
+void BM_DebugControlPass(benchmark::State& state) {
+  auto soc = build_soc({});
+  const FaultUniverse u(soc->netlist);
+  const StructuralAnalyzer sta(soc->netlist, u);
+  const MissionConfig cfg = debug_control_config(soc->debug);
+  for (auto _ : state) {
+    FaultList fl(u);
+    const StaResult r = sta.analyze(cfg);
+    benchmark::DoNotOptimize(
+        sta.classify_faults(r, fl, OnlineSource::kDebugControl));
+  }
+}
+BENCHMARK(BM_DebugControlPass)->Unit(benchmark::kMillisecond);
+
+void BM_DebugObservePass(benchmark::State& state) {
+  auto soc = build_soc({});
+  const FaultUniverse u(soc->netlist);
+  const StructuralAnalyzer sta(soc->netlist, u);
+  MissionConfig cfg = debug_control_config(soc->debug);
+  cfg.merge(debug_observe_config(soc->debug));
+  for (auto _ : state) {
+    FaultList fl(u);
+    const StaResult r = sta.analyze(cfg);
+    benchmark::DoNotOptimize(
+        sta.classify_faults(r, fl, OnlineSource::kDebugObserve));
+  }
+}
+BENCHMARK(BM_DebugObservePass)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig4();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

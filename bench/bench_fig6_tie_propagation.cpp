@@ -1,0 +1,114 @@
+// E6 — Fig. 6: tying the flip-flop output propagates the constant into the
+// downstream logic cone.
+//
+// The paper ties both the input AND the output of constant-value address
+// flops so that "structural untestable faults are identified by just
+// looking at the structural properties of the connected circuit portion",
+// even when the analysis tool "stops the untestable identification process
+// at flip flops". Our engine propagates constants through flops natively;
+// this bench quantifies the difference: D-net ties only vs D+Q ties vs
+// full flop-transparent propagation, measured inside the SoC's address
+// manipulation cones (branch adder, PC incrementer, AGU, BTB).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/analyzer.hpp"
+#include "memmap/memmap.hpp"
+
+namespace {
+
+using namespace olfui;
+
+std::size_t untestable_in_addr_cones(const FaultUniverse& u,
+                                     const FaultList& fl) {
+  std::size_t n = 0;
+  for (FaultId f = 0; f < u.size(); ++f) {
+    if (fl.untestable_kind(f) == UntestableKind::kNone) continue;
+    const std::string name = u.fault_name(f);
+    if (name.find("core/agu/") != std::string::npos ||
+        name.find("core/if/pc4") != std::string::npos ||
+        name.find("core/btb/") != std::string::npos)
+      ++n;
+  }
+  return n;
+}
+
+void print_fig6() {
+  auto soc = build_soc({});
+  const FaultUniverse u(soc->netlist);
+  const StructuralAnalyzer sta(soc->netlist, u);
+  const AddressBitInfo info = soc->map.analyze(32);
+
+  // Variant A: tie only the D nets of constant address-register bits
+  // (what a naive flow would do).
+  MissionConfig d_only;
+  // Variant B: the paper's recipe — tie D and Q.
+  const MissionConfig d_and_q = memmap_config(soc->netlist, soc->map, 32);
+  for (const AddrRegBit& reg : find_address_registers(soc->netlist)) {
+    if (info.varying[static_cast<std::size_t>(reg.bit)]) continue;
+    const Cell& c = soc->netlist.cell(reg.flop);
+    d_only.tie(c.ins[kDffD], info.value[static_cast<std::size_t>(reg.bit)]);
+  }
+
+  FaultList fl_a(u), fl_b(u);
+  sta.classify_faults(sta.analyze(d_only), fl_a, OnlineSource::kMemoryMap);
+  sta.classify_faults(sta.analyze(d_and_q), fl_b, OnlineSource::kMemoryMap);
+
+  std::printf("== E6: Fig. 6 tie propagation through flip-flops =================\n");
+  std::printf("%-44s %12s %18s\n", "manipulation", "untestable",
+              "in address cones");
+  std::printf("%-44s %12zu %18zu\n", "tie D nets only", fl_a.count_untestable(),
+              untestable_in_addr_cones(u, fl_a));
+  std::printf("%-44s %12zu %18zu\n", "tie D and Q nets (paper Figs. 5/6)",
+              fl_b.count_untestable(), untestable_in_addr_cones(u, fl_b));
+  // Note: because the engine propagates constants through flops (D const
+  // => Q const at the mission fixpoint), both variants converge — that is
+  // exactly the capability the paper emulates by tying Q explicitly for
+  // tools that stop at flip-flop boundaries.
+  std::printf("equal counts mean the engine already propagates through flops,\n"
+              "which is what the paper's Q-tie workaround buys on commercial "
+              "tools.\n\n");
+}
+
+void BM_MemmapPassDOnly(benchmark::State& state) {
+  auto soc = build_soc({});
+  const FaultUniverse u(soc->netlist);
+  const StructuralAnalyzer sta(soc->netlist, u);
+  const AddressBitInfo info = soc->map.analyze(32);
+  MissionConfig d_only;
+  for (const AddrRegBit& reg : find_address_registers(soc->netlist)) {
+    if (info.varying[static_cast<std::size_t>(reg.bit)]) continue;
+    const Cell& c = soc->netlist.cell(reg.flop);
+    d_only.tie(c.ins[kDffD], info.value[static_cast<std::size_t>(reg.bit)]);
+  }
+  for (auto _ : state) {
+    FaultList fl(u);
+    const StaResult r = sta.analyze(d_only);
+    benchmark::DoNotOptimize(sta.classify_faults(r, fl, OnlineSource::kMemoryMap));
+  }
+}
+BENCHMARK(BM_MemmapPassDOnly)->Unit(benchmark::kMillisecond);
+
+void BM_MemmapPassDAndQ(benchmark::State& state) {
+  auto soc = build_soc({});
+  const FaultUniverse u(soc->netlist);
+  const StructuralAnalyzer sta(soc->netlist, u);
+  const MissionConfig cfg = memmap_config(soc->netlist, soc->map, 32);
+  for (auto _ : state) {
+    FaultList fl(u);
+    const StaResult r = sta.analyze(cfg);
+    benchmark::DoNotOptimize(sta.classify_faults(r, fl, OnlineSource::kMemoryMap));
+  }
+}
+BENCHMARK(BM_MemmapPassDAndQ)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig6();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,111 @@
+// E8 — §4: engineering cost of the flow.
+//
+// "From the CPU time point of view, the modified circuit is analyzed by
+// Tetramax in less than 1 second." The manual part (finding the
+// untestability sources) took the paper's engineer about a week; here it
+// is automated (scan tracing + quiet-input screening + tag scan), so the
+// bench reports both the structural-analysis time and the source-search
+// time across netlist sizes.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/analyzer.hpp"
+#include "sbst/sbst.hpp"
+
+namespace {
+
+using namespace olfui;
+
+SocConfig sized_config(int size_class) {
+  SocConfig cfg;
+  switch (size_class) {
+    case 0:  // lean: no multiplier, small BTB
+      cfg.cpu.with_multiplier = false;
+      cfg.cpu.btb_entries = 1;
+      break;
+    case 1:  // mid: no multiplier
+      cfg.cpu.with_multiplier = false;
+      break;
+    case 2:  // full case study
+      break;
+    case 3:  // enlarged: bigger BTB, more chains/buffers
+      cfg.cpu.btb_entries = 8;
+      cfg.scan.num_chains = 8;
+      cfg.scan.buffers_per_link = 2;
+      break;
+    default:
+      break;
+  }
+  return cfg;
+}
+
+void print_runtime_table() {
+  std::printf("== E8: analysis runtime vs netlist size ==========================\n");
+  std::printf("paper: structural analysis < 1 s; source search ~1 engineer week "
+              "(manual)\n");
+  std::printf("%-10s %10s %10s %14s %16s\n", "config", "cells", "faults",
+              "analysis [s]", "source search [s]");
+  for (int size_class = 0; size_class < 4; ++size_class) {
+    const SocConfig cfg = sized_config(size_class);
+    auto soc = build_soc(cfg);
+    const FaultUniverse universe(soc->netlist);
+    FaultList fl(universe);
+    OnlineUntestabilityAnalyzer analyzer(*soc, universe);
+
+    // Source search: trace scan chains + run the quiet-input screening
+    // over a short functional window + collect address-register tags.
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)trace_scan(soc->netlist);
+    auto suite = build_sbst_suite(cfg);
+    suite.erase(suite.begin() + 1, suite.end());
+    ToggleRecorder rec(soc->netlist);
+    run_suite_functional(*soc, suite, 500, &rec);
+    (void)find_quiet_inputs(soc->netlist, rec);
+    (void)find_address_registers(soc->netlist);
+    const double search_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    const AnalysisReport rep = analyzer.run(fl);
+    static const char* kNames[] = {"lean", "mid", "full", "large"};
+    std::printf("%-10s %10zu %10zu %14.3f %16.3f\n", kNames[size_class],
+                soc->netlist.stats().cells, universe.size(),
+                rep.analysis_seconds, search_s);
+  }
+  std::printf("\n");
+}
+
+void BM_AnalysisAtSize(benchmark::State& state) {
+  const SocConfig cfg = sized_config(static_cast<int>(state.range(0)));
+  auto soc = build_soc(cfg);
+  const FaultUniverse universe(soc->netlist);
+  OnlineUntestabilityAnalyzer analyzer(*soc, universe);
+  for (auto _ : state) {
+    FaultList fl(universe);
+    benchmark::DoNotOptimize(analyzer.run(fl));
+  }
+  state.SetLabel("faults=" + std::to_string(universe.size()));
+}
+BENCHMARK(BM_AnalysisAtSize)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+void BM_BuildSoc(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(build_soc({}));
+}
+BENCHMARK(BM_BuildSoc)->Unit(benchmark::kMillisecond);
+
+void BM_FaultUniverseConstruction(benchmark::State& state) {
+  auto soc = build_soc({});
+  for (auto _ : state) benchmark::DoNotOptimize(FaultUniverse(soc->netlist));
+}
+BENCHMARK(BM_FaultUniverseConstruction)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_runtime_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

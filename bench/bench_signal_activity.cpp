@@ -1,0 +1,88 @@
+// E9 — §4: the signal-activity screening that selected the suspects.
+//
+// "We resorted to a preliminary analysis based on high-level code coverage
+// metrics ... any signal still showing no activity was identified as
+// suspect. The result has been the selection of 17 signals, related to the
+// debug functionalities." The bench runs the mature SBST suite with a
+// toggle recorder and lists the quiet input ports, checking that the
+// screening recovers exactly the debug access port (plus the quiet scan
+// pins, which the scan tracer already handles separately).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "debug/debug.hpp"
+#include "sbst/sbst.hpp"
+
+namespace {
+
+using namespace olfui;
+
+void print_activity() {
+  auto soc = build_soc({});
+  auto suite = build_sbst_suite(soc->config);
+  ToggleRecorder rec(soc->netlist);
+  run_suite_functional(*soc, suite, 5000, &rec);
+
+  const auto quiet = find_quiet_inputs(soc->netlist, rec);
+  std::printf("== E9: quiet-signal screening over the SBST suite ===============\n");
+  std::printf("suite cycles recorded: %llu\n",
+              static_cast<unsigned long long>(rec.cycles()));
+  std::printf("input ports: %zu total, %zu quiet\n",
+              soc->netlist.input_cells().size(), quiet.size());
+
+  std::size_t debug_quiet = 0, scan_quiet = 0, other_quiet = 0;
+  for (NetId n : quiet) {
+    const std::string& name = soc->netlist.net(n).name;
+    const bool is_debug =
+        std::find(soc->debug.control_inputs.begin(),
+                  soc->debug.control_inputs.end(),
+                  n) != soc->debug.control_inputs.end();
+    if (is_debug)
+      ++debug_quiet;
+    else if (name.rfind("scan_", 0) == 0)
+      ++scan_quiet;
+    else
+      ++other_quiet;
+    std::printf("  quiet: %-12s (%s)\n", name.c_str(),
+                is_debug ? "debug access port"
+                         : name.rfind("scan_", 0) == 0 ? "scan pin" : "other");
+  }
+  std::printf("debug signals found quiet: %zu / %zu  (paper: 17 suspects, "
+              "including an entire JTAG port)\n",
+              debug_quiet, soc->debug.control_inputs.size());
+  std::printf("scan pins quiet: %zu, non-DfT quiet inputs: %zu\n\n", scan_quiet,
+              other_quiet);
+}
+
+void BM_ToggleRecordingRun(benchmark::State& state) {
+  auto soc = build_soc({});
+  auto suite = build_sbst_suite(soc->config);
+  suite.erase(suite.begin() + 1, suite.end());
+  for (auto _ : state) {
+    ToggleRecorder rec(soc->netlist);
+    benchmark::DoNotOptimize(run_suite_functional(*soc, suite, 5000, &rec));
+  }
+}
+BENCHMARK(BM_ToggleRecordingRun)->Unit(benchmark::kMillisecond);
+
+void BM_QuietInputScan(benchmark::State& state) {
+  auto soc = build_soc({});
+  auto suite = build_sbst_suite(soc->config);
+  suite.erase(suite.begin() + 1, suite.end());
+  ToggleRecorder rec(soc->netlist);
+  run_suite_functional(*soc, suite, 5000, &rec);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(find_quiet_inputs(soc->netlist, rec));
+}
+BENCHMARK(BM_QuietInputScan);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_activity();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

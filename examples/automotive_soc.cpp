@@ -1,0 +1,67 @@
+// automotive_soc — the ISO 26262 scenario that motivates the paper.
+//
+// An airbag-class ECU must demonstrate high stuck-at coverage for its
+// periodic in-field self-test. This example runs the SBST suite through
+// the fault simulator (observing only the system bus, as on the real ECU),
+// then shows how identifying on-line functionally untestable faults
+// changes the reported coverage — the difference between failing and
+// meeting a safety target.
+//
+//   $ ./automotive_soc [--quick]
+#include <cstdio>
+#include <cstring>
+
+#include "core/analyzer.hpp"
+#include "sbst/sbst.hpp"
+
+int main(int argc, char** argv) {
+  using namespace olfui;
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+
+  SocConfig cfg;
+  if (quick) {
+    cfg.cpu.with_multiplier = false;  // smaller netlist, same flow
+    cfg.cpu.btb_entries = 2;
+  }
+  auto soc = build_soc(cfg);
+  std::printf("ECU processor core: %zu cells, %zu flops\n",
+              soc->netlist.stats().cells, soc->netlist.stats().flops);
+
+  const FaultUniverse universe(soc->netlist);
+  FaultList faults(universe);
+
+  // Step 1: grade the self-test library by fault simulation. Detection is
+  // judged on the system bus only — exactly the visibility the ECU's
+  // checker has in the field.
+  auto suite = build_sbst_suite(cfg);
+  if (quick) suite.erase(suite.begin() + 3, suite.end());
+  std::printf("grading %zu self-test programs (system-bus observability)...\n",
+              suite.size());
+  const SbstCampaignResult campaign = run_sbst_campaign(
+      *soc, suite, faults, [](const std::string& name, std::size_t done,
+                              std::size_t total) {
+        if (done == total)
+          std::printf("  %-12s graded (%zu faults targeted)\n", name.c_str(),
+                      total);
+      });
+  std::printf("total detections: %zu\n\n", campaign.total_detected);
+
+  const double before = faults.raw_coverage();
+
+  // Step 2: identify on-line functionally untestable faults and prune them
+  // from the denominator (paper §3/§4).
+  OnlineUntestabilityAnalyzer analyzer(*soc, universe);
+  const AnalysisReport report = analyzer.run(faults);
+  std::printf("%s\n", report.table1().c_str());
+
+  const double after = faults.pruned_coverage();
+  std::printf("ISO 26262 coverage accounting:\n");
+  std::printf("  raw stuck-at coverage:            %6.2f%%\n", 100.0 * before);
+  std::printf("  after untestable-fault pruning:   %6.2f%%\n", 100.0 * after);
+  std::printf("  gain:                             %+6.2f points\n",
+              100.0 * (after - before));
+  std::printf("\nwithout pruning, the suite looks %.1f points worse than it "
+              "is — the difference the paper reports as ~13%%.\n",
+              100.0 * (after - before));
+  return 0;
+}

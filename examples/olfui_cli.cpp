@@ -1,0 +1,160 @@
+// olfui_cli — command-line front end for third-party netlists.
+//
+//   olfui_cli <netlist.v> [options]
+//     --tie NET=0|1        mission-constant net (repeatable)
+//     --unobserve PORT     output port unread in mission mode (repeatable)
+//     --memmap BASE:SIZE   mapped address range (repeatable; enables the
+//                          §3.3 pass over "addr:<class>:<bit>"-tagged flops)
+//     --model sa|tdf       fault model (default sa)
+//     --csv FILE           write the untestable-fault dossier as CSV
+//     --json FILE          write the summary as JSON
+//     --sweep              run the constant-sweep cleanup first
+//
+// Example:
+//   olfui_cli periph.v --tie test_mode=0 --unobserve dbg_tap --csv out.csv
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/report.hpp"
+#include "memmap/memmap.hpp"
+#include "netlist/sweep.hpp"
+#include "sta/sta.hpp"
+#include "util/strings.hpp"
+#include "verilog/verilog.hpp"
+
+namespace {
+
+using namespace olfui;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <netlist.v> [--tie NET=0|1] [--unobserve PORT] "
+               "[--memmap BASE:SIZE] [--model sa|tdf] [--csv FILE] "
+               "[--json FILE] [--sweep]\n",
+               argv0);
+  std::exit(2);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read '%s'\n", path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+  std::printf("wrote %s (%zu bytes)\n", path.c_str(), content.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage(argv[0]);
+  std::string input = argv[1];
+  std::vector<std::pair<std::string, bool>> ties;
+  std::vector<std::string> unobserved;
+  MemoryMap map;
+  bool use_memmap = false, sweep = false, transition = false;
+  std::string csv_path, json_path;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--tie") {
+      const std::string spec = next();
+      const auto eq = spec.find('=');
+      if (eq == std::string::npos || eq + 1 >= spec.size()) usage(argv[0]);
+      ties.emplace_back(spec.substr(0, eq), spec[eq + 1] == '1');
+    } else if (arg == "--unobserve") {
+      unobserved.push_back(next());
+    } else if (arg == "--memmap") {
+      const std::string spec = next();
+      const auto colon = spec.find(':');
+      const auto base = parse_uint(spec.substr(0, colon));
+      const auto size = parse_uint(spec.substr(colon + 1));
+      if (colon == std::string::npos || !base || !size) usage(argv[0]);
+      map.add_range("range" + std::to_string(map.ranges().size()), *base, *size);
+      use_memmap = true;
+    } else if (arg == "--model") {
+      transition = next() == "tdf";
+    } else if (arg == "--csv") {
+      csv_path = next();
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--sweep") {
+      sweep = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  Netlist nl = [&] {
+    try {
+      return parse_verilog(read_file(input));
+    } catch (const VerilogError& e) {
+      std::fprintf(stderr, "%s: %s\n", input.c_str(), e.what());
+      std::exit(1);
+    }
+  }();
+  if (sweep) {
+    SweepStats st;
+    nl = constant_sweep(nl, &st);
+    std::printf("sweep: %zu -> %zu cells\n", st.cells_in, st.cells_out);
+  }
+  std::printf("%s: %zu cells, %zu nets, %zu flops\n", nl.name().c_str(),
+              nl.stats().cells, nl.stats().nets, nl.stats().flops);
+
+  MissionConfig mission;
+  for (const auto& [name, value] : ties) {
+    const NetId n = nl.find_net(name);
+    if (n == kInvalidId) {
+      std::fprintf(stderr, "error: no net '%s'\n", name.c_str());
+      return 1;
+    }
+    mission.tie(n, value);
+  }
+  for (const std::string& name : unobserved) {
+    const CellId c = nl.find_output(name);
+    if (c == kInvalidId) {
+      std::fprintf(stderr, "error: no output port '%s'\n", name.c_str());
+      return 1;
+    }
+    mission.unobserve(c);
+  }
+  if (use_memmap) mission.merge(memmap_config(nl, map, 32));
+
+  const FaultUniverse universe(nl);
+  const StructuralAnalyzer sta(nl, universe);
+  FaultList faults(universe);
+  const StaResult result = sta.analyze(mission);
+  const std::size_t pruned =
+      transition
+          ? sta.classify_transition_faults(result, faults, OnlineSource::kScan)
+          : sta.classify_faults(result, faults, OnlineSource::kScan);
+
+  std::printf("fault model: %s\n", transition ? "transition-delay" : "stuck-at");
+  std::printf("on-line functionally untestable: %zu / %zu (%.1f%%)\n", pruned,
+              universe.size(),
+              universe.size()
+                  ? 100.0 * static_cast<double>(pruned) /
+                        static_cast<double>(universe.size())
+                  : 0.0);
+  std::printf("\n%s", module_breakdown_table(faults).c_str());
+
+  if (!csv_path.empty()) write_file(csv_path, to_csv(faults, true));
+  if (!json_path.empty()) write_file(json_path, to_json_summary(faults));
+  return 0;
+}

@@ -1,0 +1,388 @@
+#include "atpg/podem.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace olfui {
+
+namespace {
+/// True when both halves are known and differ (a D or D-bar literal).
+bool divergent(Logic g, Logic f) {
+  return is_known(g) && is_known(f) && g != f;
+}
+}  // namespace
+
+Podem::Podem(const Netlist& nl, const FaultUniverse& universe, Options opts)
+    : nl_(&nl), universe_(&universe), opts_(opts) {
+  if (!nl.levelize(order_))
+    throw std::runtime_error("Podem: combinational loop");
+
+  is_controllable_.assign(nl.num_nets(), 0);
+  fixed_.assign(nl.num_nets(), 0);
+  fixed_value_.assign(nl.num_nets(), Logic::VX);
+  std::vector<std::uint8_t> unobserved(nl.num_cells(), 0);
+  if (opts_.mission) {
+    for (auto [net, v] : opts_.mission->constants) {
+      fixed_[net] = 1;
+      fixed_value_[net] = from_bool(v);
+    }
+    for (CellId c : opts_.mission->unobserved_outputs) unobserved[c] = 1;
+  }
+  for (CellId id = 0; id < nl.num_cells(); ++id) {
+    const Cell& c = nl.cell(id);
+    if (c.type == CellType::kInput || is_sequential(c.type)) {
+      // Pseudo-PI (full-scan frame). Mission constants stay fixed.
+      if (!fixed_[c.out]) {
+        is_controllable_[c.out] = 1;
+        controllable_.push_back(c.out);
+      }
+      if (is_sequential(c.type)) {
+        observable_pins_.push_back({id, 1});  // D pin is a pseudo-PO
+        if (c.type == CellType::kDffR) observable_pins_.push_back({id, 2});
+      }
+    } else if (c.type == CellType::kOutput && !unobserved[id]) {
+      observable_pins_.push_back({id, 1});
+    } else if (is_tie(c.type)) {
+      fixed_[c.out] = 1;
+      fixed_value_[c.out] = from_bool(c.type == CellType::kTie1);
+    }
+  }
+  value_.assign(nl.num_nets(), {});
+  assigned_.assign(nl.num_nets(), Logic::VX);
+  obs_value_.assign(observable_pins_.size(), {});
+}
+
+void Podem::imply(const Fault& fault) {
+  const Cell& fcell = nl_->cell(fault.pin.cell);
+  const Logic sa = from_bool(fault.sa1);
+
+  // Source values: controllable nets take their decision value, fixed nets
+  // their constant; everything else X until swept.
+  for (NetId n = 0; n < nl_->num_nets(); ++n) {
+    Logic v = Logic::VX;
+    if (fixed_[n])
+      v = fixed_value_[n];
+    else if (is_controllable_[n])
+      v = assigned_[n];
+    value_[n] = {v, v};
+  }
+  // Output-pin fault on a source (PI, flop Q, tie): faulty half forced.
+  if (fault.pin.pin == 0 &&
+      (fcell.type == CellType::kInput || is_sequential(fcell.type) ||
+       is_tie(fcell.type))) {
+    value_[fcell.out].f = sa;
+  }
+
+  Logic gin[4], fin[4];
+  for (CellId id : order_) {
+    const Cell& c = nl_->cell(id);
+    if (c.type == CellType::kOutput) continue;
+    const int n = static_cast<int>(c.ins.size());
+    for (int i = 0; i < n; ++i) {
+      gin[i] = value_[c.ins[i]].g;
+      fin[i] = value_[c.ins[i]].f;
+    }
+    if (id == fault.pin.cell && fault.pin.pin >= 1)
+      fin[fault.pin.pin - 1] = sa;  // branch fault: this cell's view only
+    V5 out;
+    out.g = eval_ternary(c.type, gin, n);
+    out.f = eval_ternary(c.type, fin, n);
+    if (id == fault.pin.cell && fault.pin.pin == 0) out.f = sa;
+    value_[c.out] = out;
+  }
+
+  // Observable pin values, applying branch faults sitting on pseudo-POs.
+  for (std::size_t i = 0; i < observable_pins_.size(); ++i) {
+    const Pin p = observable_pins_[i];
+    const NetId n = nl_->pin_net(p);
+    V5 v = value_[n];
+    if (p == Pin{fault.pin.cell, fault.pin.pin}) v.f = sa;
+    obs_value_[i] = v;
+  }
+}
+
+bool Podem::detected() const {
+  for (const V5& v : obs_value_)
+    if (divergent(v.g, v.f)) return true;
+  return false;
+}
+
+Podem::V5 Podem::pin_view(const Fault& fault, CellId cell, std::size_t i) const {
+  V5 v = value_[nl_->cell(cell).ins[i]];
+  // A branch fault diverges only within its own cell's view of the net.
+  if (cell == fault.pin.cell && static_cast<int>(i) + 1 == fault.pin.pin)
+    v.f = from_bool(fault.sa1);
+  return v;
+}
+
+bool Podem::pin_divergent(const Fault& fault, CellId cell, std::size_t i) const {
+  const V5 v = pin_view(fault, cell, i);
+  return divergent(v.g, v.f);
+}
+
+bool Podem::dead_end(const Fault& fault) const {
+  const NetId site = nl_->pin_net(fault.pin);
+  const Logic g = value_[site].g;
+  const Logic sa = from_bool(fault.sa1);
+  if (is_known(g) && g == sa) return true;  // definitely unexcitable
+  if (!is_known(g)) return false;           // excitation still open
+  if (detected()) return false;
+  // Excited: dead end iff the D-frontier is empty.
+  for (CellId id : order_) {
+    const Cell& c = nl_->cell(id);
+    if (c.type == CellType::kOutput) continue;
+    const V5 out = value_[c.out];
+    if (is_known(out.g) && is_known(out.f)) continue;
+    for (std::size_t i = 0; i < c.ins.size(); ++i) {
+      if (pin_divergent(fault, id, i)) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<std::pair<NetId, bool>> Podem::objective(const Fault& fault) const {
+  const NetId site = nl_->pin_net(fault.pin);
+  if (!is_known(value_[site].g))
+    return std::make_pair(site, !fault.sa1);  // excite the fault
+  // Propagate: pick a D-frontier cell and set an unknown side input to the
+  // cell's non-controlling value.
+  for (CellId id : order_) {
+    const Cell& c = nl_->cell(id);
+    if (c.type == CellType::kOutput) continue;
+    const V5 out = value_[c.out];
+    if (is_known(out.g) && is_known(out.f)) continue;
+    int div_pin = -1;
+    for (std::size_t i = 0; i < c.ins.size(); ++i) {
+      if (pin_divergent(fault, id, i)) {
+        div_pin = static_cast<int>(i);
+        break;
+      }
+    }
+    if (div_pin < 0) continue;
+    switch (c.type) {
+      case CellType::kAnd2:
+      case CellType::kAnd3:
+      case CellType::kAnd4:
+      case CellType::kNand2:
+      case CellType::kNand3:
+      case CellType::kNand4:
+        for (std::size_t i = 0; i < c.ins.size(); ++i)
+          if (!is_known(value_[c.ins[i]].g))
+            return std::make_pair(c.ins[i], true);
+        break;
+      case CellType::kOr2:
+      case CellType::kOr3:
+      case CellType::kOr4:
+      case CellType::kNor2:
+      case CellType::kNor3:
+      case CellType::kNor4:
+        for (std::size_t i = 0; i < c.ins.size(); ++i)
+          if (!is_known(value_[c.ins[i]].g))
+            return std::make_pair(c.ins[i], false);
+        break;
+      case CellType::kXor2:
+      case CellType::kXnor2:
+        for (std::size_t i = 0; i < c.ins.size(); ++i)
+          if (!is_known(value_[c.ins[i]].g))
+            return std::make_pair(c.ins[i], false);
+        break;
+      case CellType::kMux2: {
+        const V5 a = pin_view(fault, id, kMuxA);
+        const V5 b = pin_view(fault, id, kMuxB);
+        const V5 s = pin_view(fault, id, kMuxS);
+        if (divergent(s.g, s.f)) {
+          // out.g reads the s.g-selected input, out.f the s.f-selected one;
+          // propagation needs those two values to differ.
+          const int gsel = s.g == Logic::V1 ? kMuxB : kMuxA;
+          const int fsel = s.f == Logic::V1 ? kMuxB : kMuxA;
+          const Logic gv = (gsel == kMuxA ? a : b).g;
+          const Logic fv = (fsel == kMuxA ? a : b).f;
+          if (!is_known(gv) && is_known(fv))
+            return std::make_pair(c.ins[gsel], fv == Logic::V0);
+          if (is_known(gv) && !is_known(fv))
+            return std::make_pair(c.ins[fsel], gv == Logic::V0);
+          if (!is_known(gv) && !is_known(fv))
+            return std::make_pair(c.ins[gsel], true);
+          // Both known: either already propagating or blocked here.
+        } else if (!is_known(s.g)) {
+          if (divergent(a.g, a.f)) return std::make_pair(c.ins[kMuxS], false);
+          if (divergent(b.g, b.f)) return std::make_pair(c.ins[kMuxS], true);
+        }
+        // Select known and equal: a divergent unselected input is blocked.
+        break;
+      }
+      default:
+        break;  // BUF/NOT propagate unconditionally: no objective needed
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::pair<NetId, bool>> Podem::backtrace(NetId net, bool value) const {
+  bool v = value;
+  NetId n = net;
+  for (std::size_t guard = 0; guard < nl_->num_nets() + 1; ++guard) {
+    if (is_controllable_[n]) {
+      if (is_known(assigned_[n])) return std::nullopt;  // already decided
+      return std::make_pair(n, v);
+    }
+    const CellId drv = nl_->net(n).driver;
+    if (drv == kInvalidId) return std::nullopt;
+    const Cell& c = nl_->cell(drv);
+    // Pick an input with unknown good value and the target it must take.
+    int pick = -1;
+    bool target = v;
+    switch (c.type) {
+      case CellType::kBuf:
+        pick = 0;
+        target = v;
+        break;
+      case CellType::kNot:
+        pick = 0;
+        target = !v;
+        break;
+      case CellType::kAnd2:
+      case CellType::kAnd3:
+      case CellType::kAnd4:
+      case CellType::kNand2:
+      case CellType::kNand3:
+      case CellType::kNand4: {
+        const bool and_target =
+            (c.type == CellType::kAnd2 || c.type == CellType::kAnd3 ||
+             c.type == CellType::kAnd4)
+                ? v
+                : !v;
+        for (std::size_t i = 0; i < c.ins.size(); ++i)
+          if (!is_known(value_[c.ins[i]].g)) {
+            pick = static_cast<int>(i);
+            target = and_target;
+            break;
+          }
+        break;
+      }
+      case CellType::kOr2:
+      case CellType::kOr3:
+      case CellType::kOr4:
+      case CellType::kNor2:
+      case CellType::kNor3:
+      case CellType::kNor4: {
+        const bool or_target =
+            (c.type == CellType::kOr2 || c.type == CellType::kOr3 ||
+             c.type == CellType::kOr4)
+                ? v
+                : !v;
+        for (std::size_t i = 0; i < c.ins.size(); ++i)
+          if (!is_known(value_[c.ins[i]].g)) {
+            pick = static_cast<int>(i);
+            target = or_target;
+            break;
+          }
+        break;
+      }
+      case CellType::kXor2:
+      case CellType::kXnor2: {
+        const bool invert = c.type == CellType::kXnor2;
+        const V5 a = value_[c.ins[0]];
+        const V5 b = value_[c.ins[1]];
+        if (!is_known(a.g)) {
+          pick = 0;
+          target = is_known(b.g) ? (v != (b.g == Logic::V1)) != invert
+                                 : v != invert;
+        } else if (!is_known(b.g)) {
+          pick = 1;
+          target = (v != (a.g == Logic::V1)) != invert;
+        }
+        break;
+      }
+      case CellType::kMux2: {
+        const V5 s = value_[c.ins[kMuxS]];
+        if (is_known(s.g)) {
+          pick = s.g == Logic::V1 ? kMuxB : kMuxA;
+          target = v;
+        } else {
+          const V5 a = value_[c.ins[kMuxA]];
+          const V5 b = value_[c.ins[kMuxB]];
+          if (is_known(a.g) && a.g == from_bool(v)) {
+            pick = kMuxS;
+            target = false;
+          } else if (is_known(b.g) && b.g == from_bool(v)) {
+            pick = kMuxS;
+            target = true;
+          } else if (!is_known(a.g)) {
+            pick = kMuxA;
+            target = v;
+          } else {
+            pick = kMuxB;
+            target = v;
+          }
+        }
+        break;
+      }
+      default:
+        return std::nullopt;  // flop/tie/port reached: nothing to decide
+    }
+    if (pick < 0) return std::nullopt;
+    n = c.ins[static_cast<std::size_t>(pick)];
+    v = target;
+  }
+  return std::nullopt;
+}
+
+AtpgResult Podem::run(const Fault& fault) {
+  AtpgResult result;
+  for (NetId n : controllable_) assigned_[n] = Logic::VX;
+
+  struct Decision {
+    NetId pi;
+    bool flipped;
+  };
+  std::vector<Decision> stack;
+
+  while (true) {
+    imply(fault);
+    if (detected()) {
+      result.outcome = AtpgOutcome::kTestFound;
+      AtpgPattern pat;
+      for (NetId n : controllable_)
+        if (is_known(assigned_[n]))
+          pat.assignment[n] = assigned_[n] == Logic::V1;
+      result.pattern = std::move(pat);
+      return result;
+    }
+    bool need_backtrack = dead_end(fault);
+    if (!need_backtrack) {
+      const auto obj = objective(fault);
+      if (!obj) {
+        need_backtrack = true;
+      } else {
+        const auto decision = backtrace(obj->first, obj->second);
+        if (!decision) {
+          need_backtrack = true;
+        } else {
+          assigned_[decision->first] = from_bool(decision->second);
+          stack.push_back({decision->first, false});
+          continue;
+        }
+      }
+    }
+    // Backtrack: flip the deepest unflipped decision.
+    ++result.backtracks;
+    if (result.backtracks > opts_.backtrack_limit) {
+      result.outcome = AtpgOutcome::kAborted;
+      return result;
+    }
+    while (!stack.empty() && stack.back().flipped) {
+      assigned_[stack.back().pi] = Logic::VX;
+      stack.pop_back();
+    }
+    if (stack.empty()) {
+      result.outcome = AtpgOutcome::kUntestable;  // search space exhausted
+      return result;
+    }
+    Decision& d = stack.back();
+    assigned_[d.pi] = logic_not(assigned_[d.pi]);
+    d.flipped = true;
+  }
+}
+
+}  // namespace olfui

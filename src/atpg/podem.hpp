@@ -1,0 +1,102 @@
+// olfui/atpg: PODEM test generation with untestability proof.
+//
+// The structural engine (olfui_sta) proves faults untestable from tied
+// values and lost observability; PODEM completes the picture for faults
+// that are redundant for deeper logical reasons ("UR" class), and doubles
+// as the validation oracle used by the test suite: a fault PODEM proves
+// untestable must never be detected by any pattern, and a generated test
+// must actually detect its target fault.
+//
+// The search runs on the full-scan combinational frame: primary inputs and
+// flop Q nets are controllable (pseudo-PIs); primary outputs and flop
+// data-side input pins are observable (pseudo-POs). An optional
+// MissionConfig fixes assumed-constant nets (they become non-decidable),
+// restricting the frame to the mission configuration of the paper.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "fault/universe.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/logic.hpp"
+#include "sta/sta.hpp"
+
+namespace olfui {
+
+enum class AtpgOutcome : std::uint8_t {
+  kTestFound,
+  kUntestable,  ///< search space exhausted: proven redundant
+  kAborted,     ///< backtrack limit hit: unresolved
+};
+
+/// A combinational test pattern: values for every controllable point
+/// (primary inputs and flop outputs), keyed by net id. Unassigned points
+/// are don't-care and default to 0.
+struct AtpgPattern {
+  std::unordered_map<NetId, bool> assignment;
+};
+
+struct AtpgResult {
+  AtpgOutcome outcome = AtpgOutcome::kAborted;
+  std::optional<AtpgPattern> pattern;  ///< set when outcome == kTestFound
+  std::size_t backtracks = 0;
+};
+
+struct PodemOptions {
+  std::size_t backtrack_limit = 20000;
+  /// Mission overlay: assumed-constant nets are fixed and undecidable,
+  /// unobserved outputs are removed from the pseudo-PO set.
+  const MissionConfig* mission = nullptr;
+};
+
+class Podem {
+ public:
+  using Options = PodemOptions;
+
+  Podem(const Netlist& nl, const FaultUniverse& universe,
+        Options opts = Options{});
+
+  /// Attempts to generate a test for `fault` on the full-scan frame.
+  AtpgResult run(const Fault& fault);
+  AtpgResult run(FaultId f) { return run(universe_->fault(f)); }
+
+  /// The controllable points of the frame (PI and flop-Q nets).
+  const std::vector<NetId>& controllable() const { return controllable_; }
+
+ private:
+  struct V5 {
+    Logic g = Logic::VX;  // good value
+    Logic f = Logic::VX;  // faulty value
+  };
+
+  void imply(const Fault& fault);
+  bool detected() const;
+  /// Value of cell input pin i, honouring a branch fault on that pin.
+  V5 pin_view(const Fault& fault, CellId cell, std::size_t i) const;
+  /// Divergence of that pin view (a D or D-bar literal).
+  bool pin_divergent(const Fault& fault, CellId cell, std::size_t i) const;
+  /// Fault definitely unexcitable or unpropagatable under current assignment.
+  bool dead_end(const Fault& fault) const;
+  /// Next objective (net, value) or nullopt when none exists.
+  std::optional<std::pair<NetId, bool>> objective(const Fault& fault) const;
+  /// Maps an objective to an unassigned controllable point + value.
+  std::optional<std::pair<NetId, bool>> backtrace(NetId net, bool value) const;
+
+  const Netlist* nl_;
+  const FaultUniverse* universe_;
+  Options opts_;
+  std::vector<CellId> order_;
+  std::vector<NetId> controllable_;
+  std::vector<std::uint8_t> is_controllable_;    // per net
+  std::vector<std::uint8_t> fixed_;              // per net: mission constant
+  std::vector<Logic> fixed_value_;               // per net
+  std::vector<Pin> observable_pins_;
+  std::vector<V5> value_;                        // per net
+  std::vector<Logic> assigned_;                  // per net: decision/X
+  std::vector<V5> obs_value_;                    // per observable pin index
+};
+
+}  // namespace olfui

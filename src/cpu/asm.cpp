@@ -1,0 +1,257 @@
+#include "cpu/asm.hpp"
+
+#include <cctype>
+#include <optional>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace olfui {
+namespace {
+
+std::string_view strip_comment(std::string_view line) {
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == ';' || line[i] == '#' ||
+        (line[i] == '/' && i + 1 < line.size() && line[i + 1] == '/'))
+      return line.substr(0, i);
+  }
+  return line;
+}
+
+struct Operand {
+  enum Kind { kReg, kImm, kMem, kLabel } kind;
+  int reg = 0;        // kReg / kMem base register
+  std::int64_t imm = 0;  // kImm / kMem offset
+  std::string label;  // kLabel
+};
+
+class LineParser {
+ public:
+  LineParser(std::string_view text, int line) : text_(text), line_(line) {}
+
+  bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  std::string take_word() {
+    skip_ws();
+    std::size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+            text_[end] == '_' || text_[end] == '.'))
+      ++end;
+    if (end == pos_) fail("expected identifier");
+    std::string w(text_.substr(pos_, end - pos_));
+    pos_ = end;
+    return w;
+  }
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c)
+      fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool try_take(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::int64_t take_int() {
+    skip_ws();
+    bool neg = try_take('-');
+    skip_ws();
+    std::size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+            text_[end] == '_'))
+      ++end;
+    const auto v = parse_uint(text_.substr(pos_, end - pos_));
+    if (!v) fail("expected integer");
+    pos_ = end;
+    return neg ? -static_cast<std::int64_t>(*v) : static_cast<std::int64_t>(*v);
+  }
+
+  Operand take_operand() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("expected operand");
+    const char c = text_[pos_];
+    if ((c == 'r' || c == 'R') && pos_ + 1 < text_.size() &&
+        std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+      pos_ += 1;
+      const std::int64_t r = take_int();
+      if (r < 0 || r > 7) fail("register out of range (r0..r7)");
+      return {Operand::kReg, static_cast<int>(r), 0, {}};
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+      const std::int64_t v = take_int();
+      if (try_take('(')) {  // mem operand: imm(rN)
+        Operand base = take_operand();
+        if (base.kind != Operand::kReg) fail("expected base register");
+        expect(')');
+        return {Operand::kMem, base.reg, v, {}};
+      }
+      return {Operand::kImm, 0, v, {}};
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      Operand op{Operand::kLabel, 0, 0, take_word()};
+      return op;
+    }
+    fail("unrecognized operand");
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw AsmError(msg, line_);
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_;
+};
+
+}  // namespace
+
+Program assemble(const std::string& source, std::uint32_t default_base) {
+  // Two passes would be needed for a .org after code; we simply require
+  // .org first, which lets us assemble in one pass on top of Program's
+  // own label fixups.
+  std::optional<Program> prog;
+  bool emitted_any = false;
+  const auto program = [&]() -> Program& {
+    if (!prog) prog.emplace(default_base);
+    return *prog;
+  };
+
+  int line_no = 0;
+  for (std::string_view raw : split(source, "\n")) {
+    ++line_no;
+    std::string_view line = trim(strip_comment(raw));
+    if (line.empty()) continue;
+    LineParser p(line, line_no);
+
+    std::string word = p.take_word();
+    // Labels (possibly several per line).
+    while (p.try_take(':')) {
+      program().label(word);
+      if (p.at_end()) {
+        word.clear();
+        break;
+      }
+      word = p.take_word();
+    }
+    if (word.empty()) continue;
+
+    if (word == ".org") {
+      if (emitted_any) p.fail(".org must precede all instructions");
+      const std::int64_t base = p.take_int();
+      if (prog && prog->size() > 0) p.fail(".org must precede all instructions");
+      prog.emplace(static_cast<std::uint32_t>(base));
+      continue;
+    }
+    if (word == ".word") {
+      program().raw(static_cast<std::uint32_t>(p.take_int()));
+      emitted_any = true;
+      continue;
+    }
+
+    const auto reg = [&](const Operand& o) {
+      if (o.kind != Operand::kReg) p.fail("expected register operand");
+      return o.reg;
+    };
+    const auto imm = [&](const Operand& o) {
+      if (o.kind != Operand::kImm) p.fail("expected immediate operand");
+      if (o.imm < -32768 || o.imm > 65535) p.fail("immediate out of range");
+      return static_cast<std::int32_t>(o.imm);
+    };
+    const auto label = [&](const Operand& o) {
+      if (o.kind != Operand::kLabel) p.fail("expected label operand");
+      return o.label;
+    };
+    const auto next = [&] {
+      const Operand o = p.take_operand();
+      p.try_take(',');
+      return o;
+    };
+
+    Program& pr = program();
+    emitted_any = true;
+    if (word == "nop") {
+      pr.nop();
+    } else if (word == "halt") {
+      pr.halt();
+    } else if (word == "add" || word == "sub" || word == "and" ||
+               word == "or" || word == "xor" || word == "sltu" ||
+               word == "sll" || word == "srl" || word == "mul") {
+      const int rd = reg(next()), rs1 = reg(next()), rs2 = reg(next());
+      if (word == "add") pr.add(rd, rs1, rs2);
+      else if (word == "sub") pr.sub(rd, rs1, rs2);
+      else if (word == "and") pr.and_(rd, rs1, rs2);
+      else if (word == "or") pr.or_(rd, rs1, rs2);
+      else if (word == "xor") pr.xor_(rd, rs1, rs2);
+      else if (word == "sltu") pr.sltu(rd, rs1, rs2);
+      else if (word == "sll") pr.sll(rd, rs1, rs2);
+      else if (word == "srl") pr.srl(rd, rs1, rs2);
+      else pr.mul(rd, rs1, rs2);
+    } else if (word == "addi" || word == "andi" || word == "ori" ||
+               word == "xori") {
+      const int rd = reg(next()), rs1 = reg(next());
+      const std::int32_t v = imm(next());
+      if (word == "addi") pr.addi(rd, rs1, v);
+      else if (word == "andi") pr.andi(rd, rs1, v);
+      else if (word == "ori") pr.ori(rd, rs1, v);
+      else pr.xori(rd, rs1, v);
+    } else if (word == "lui") {
+      const int rd = reg(next());
+      pr.lui(rd, imm(next()));
+    } else if (word == "li") {
+      const int rd = reg(next());
+      const Operand o = next();
+      if (o.kind != Operand::kImm) p.fail("expected immediate operand");
+      pr.li(rd, static_cast<std::uint32_t>(o.imm));
+    } else if (word == "lw" || word == "sw") {
+      const Operand r1 = next();
+      const Operand mem = next();
+      if (mem.kind != Operand::kMem) p.fail("expected imm(reg) operand");
+      if (mem.imm < -32768 || mem.imm > 32767) p.fail("offset out of range");
+      if (word == "lw")
+        pr.lw(reg(r1), mem.reg, static_cast<std::int32_t>(mem.imm));
+      else
+        pr.sw(reg(r1), mem.reg, static_cast<std::int32_t>(mem.imm));
+    } else if (word == "beq" || word == "bne") {
+      const int rs1 = reg(next()), rs2 = reg(next());
+      const std::string target = label(next());
+      if (word == "beq") pr.beq(rs1, rs2, target);
+      else pr.bne(rs1, rs2, target);
+    } else if (word == "jal") {
+      const int rd = reg(next());
+      pr.jal(rd, label(next()));
+    } else if (word == "jr") {
+      pr.jr(reg(next()));
+    } else {
+      p.fail("unknown mnemonic '" + word + "'");
+    }
+    if (!p.at_end()) p.fail("trailing characters");
+  }
+
+  Program& pr = program();
+  try {
+    pr.words();  // resolve fixups now so errors surface here
+  } catch (const std::runtime_error& e) {
+    throw AsmError(e.what(), line_no);
+  }
+  return pr;
+}
+
+}  // namespace olfui

@@ -1,0 +1,45 @@
+// olfui/cpu: textual assembler for MiniRISC32.
+//
+// The Program builder is convenient from C++; SBST engineers write .s
+// files. This assembler accepts the obvious syntax:
+//
+//     .org 0x78000          ; base address (before any instruction)
+//   start:
+//     li   r7, 0x40000000   ; pseudo-instruction (expands to lui/ori)
+//     addi r1, r0, 5
+//   loop:
+//     addi r1, r1, -1
+//     bne  r1, r0, loop
+//     sw   r1, 0(r7)
+//     lw   r2, 4(r7)
+//     halt
+//     .word 0xDEADBEEF      ; literal data word
+//
+// Comments start with ';', '#' or '//'. Registers are r0..r7. Immediates
+// are decimal or 0x hex, optionally negative. Branch/jal targets are
+// labels. Errors carry 1-based line numbers.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "cpu/isa.hpp"
+
+namespace olfui {
+
+class AsmError : public std::runtime_error {
+ public:
+  AsmError(const std::string& msg, int line)
+      : std::runtime_error("asm:" + std::to_string(line) + ": " + msg),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Assembles `source` into a Program with all labels resolved.
+/// `default_base` applies when the source has no .org directive.
+Program assemble(const std::string& source, std::uint32_t default_base = 0);
+
+}  // namespace olfui

@@ -1,0 +1,284 @@
+#include "cpu/cpu.hpp"
+
+#include <cassert>
+
+#include "cpu/isa.hpp"
+#include "util/strings.hpp"
+
+namespace olfui {
+
+namespace {
+constexpr int kWidth = 32;
+constexpr int kNumGprs = 8;
+}  // namespace
+
+CpuHandles generate_cpu(Netlist& nl, const CpuConfig& cfg) {
+  assert(cfg.btb_entries >= 1 && (cfg.btb_entries & (cfg.btb_entries - 1)) == 0);
+  WordOps w(nl, "core");
+  CpuHandles h;
+
+  // ---- ports -------------------------------------------------------------
+  h.rstn = nl.add_input("rstn");
+  h.instr_in.resize(kWidth);
+  h.rdata_in.resize(kWidth);
+  for (int i = 0; i < kWidth; ++i) {
+    h.instr_in[i] = nl.add_input(format("instr_i%d", i));
+    h.rdata_in[i] = nl.add_input(format("rdata_i%d", i));
+  }
+  const NetId rst = w.not_(h.rstn, "rst");
+
+  // ---- architected state ---------------------------------------------------
+  h.pc = w.reg_declare(kWidth, "pc");
+  w.tag_reg(h.pc, "addr:code");
+  h.ir = w.reg_declare(kWidth, "ir");
+  h.ir_pc = w.reg_declare(kWidth, "ir_pc");
+  w.tag_reg(h.ir_pc, "addr:code");
+  RegWord ir_valid = w.reg_declare(1, "ir_valid", h.rstn);
+  RegWord halt = w.reg_declare(1, "halt", h.rstn);
+  RegWord mem_wait = w.reg_declare(1, "mem_wait", h.rstn);
+  for (int r = 0; r < kNumGprs; ++r)
+    h.gprs.push_back(w.reg_declare(kWidth, format("rf/r%d", r)));
+  h.bus_addr_reg = w.reg_declare(kWidth, "bus/baddr");
+  w.tag_reg(h.bus_addr_reg, "addr:data");
+  RegWord bwdata = w.reg_declare(kWidth, "bus/bwdata");
+  RegWord bwr = w.reg_declare(1, "bus/bwr", h.rstn);
+  RegWord brd = w.reg_declare(1, "bus/brd", h.rstn);
+  const int ptr_bits = cfg.btb_entries > 1 ? [&] {
+    int b = 0;
+    while ((1 << b) < cfg.btb_entries) ++b;
+    return b;
+  }() : 1;
+  RegWord btb_ptr = w.reg_declare(ptr_bits, "btb/ptr", h.rstn);
+  for (int e = 0; e < cfg.btb_entries; ++e) {
+    BtbEntryHandles ent;
+    ent.valid = w.reg_declare(1, format("btb/v%d", e), h.rstn);
+    ent.tag = w.reg_declare(kWidth, format("btb/tag%d", e));
+    w.tag_reg(ent.tag, "addr:code");
+    ent.target = w.reg_declare(kWidth, format("btb/tgt%d", e));
+    w.tag_reg(ent.target, "addr:code");
+    h.btb.push_back(std::move(ent));
+  }
+
+  // ---- IF stage ---------------------------------------------------------
+  // PC+4 incrementer (address manipulation module #1).
+  const Bus pc4 = w.add_word(h.pc.q, w.constant(4, kWidth), w.lit(false),
+                             "if/pc4").sum;
+  // BTB lookup: hit when a valid entry's tag matches the fetch PC.
+  std::vector<NetId> hits;
+  Bus btb_tgt = w.constant(0, kWidth);
+  for (int e = 0; e < cfg.btb_entries; ++e) {
+    const NetId teq = w.eq_word(h.btb[e].tag.q, h.pc.q, format("btb/eq%d", e));
+    hits.push_back(w.and2(teq, h.btb[e].valid.q[0], format("btb/hit%d", e)));
+  }
+  const NetId btb_hit = w.reduce_or(hits, "btb/hit_any");
+  {
+    std::vector<Bus> tgts;
+    for (int e = 0; e < cfg.btb_entries; ++e) tgts.push_back(h.btb[e].target.q);
+    Bus hit_bus = hits;
+    btb_tgt = w.onehot_mux(hit_bus, tgts, "btb/tgt_mux");
+  }
+  const Bus pnpc = w.mux_word(btb_hit, pc4, btb_tgt, "if/pnpc");
+
+  // ---- EX stage: decode ---------------------------------------------------
+  const Bus& irq = h.ir.q;
+  const Bus op_bus(irq.begin() + 27, irq.end());
+  const Bus rd_bus(irq.begin() + 24, irq.begin() + 27);
+  const Bus rs1_bus(irq.begin() + 21, irq.begin() + 24);
+  const Bus rs2_bus(irq.begin() + 18, irq.begin() + 21);
+  const Bus imm16(irq.begin(), irq.begin() + 16);
+
+  const auto is_op = [&](Opcode o) {
+    return w.eq_const(op_bus, static_cast<std::uint64_t>(o),
+                      format("dec/is_%s", std::string(opcode_name(o)).c_str()));
+  };
+  const NetId is_add = is_op(Opcode::kAdd), is_sub = is_op(Opcode::kSub);
+  const NetId is_and = is_op(Opcode::kAnd), is_or = is_op(Opcode::kOr);
+  const NetId is_xor = is_op(Opcode::kXor), is_sltu = is_op(Opcode::kSltu);
+  const NetId is_sll = is_op(Opcode::kSll), is_srl = is_op(Opcode::kSrl);
+  const NetId is_addi = is_op(Opcode::kAddi), is_andi = is_op(Opcode::kAndi);
+  const NetId is_ori = is_op(Opcode::kOri), is_xori = is_op(Opcode::kXori);
+  const NetId is_lui = is_op(Opcode::kLui), is_lw = is_op(Opcode::kLw);
+  const NetId is_sw = is_op(Opcode::kSw), is_beq = is_op(Opcode::kBeq);
+  const NetId is_bne = is_op(Opcode::kBne), is_jal = is_op(Opcode::kJal);
+  const NetId is_jr = is_op(Opcode::kJr), is_halt_op = is_op(Opcode::kHalt);
+  const NetId is_mul = cfg.with_multiplier ? is_op(Opcode::kMul) : kInvalidId;
+
+  // Gating: an instruction has side effects only when IR is valid, the
+  // core is not halted, and no load is completing this cycle.
+  const NetId not_halt = w.not_(halt.q[0], "ctl/not_halt");
+  const NetId not_wait = w.not_(mem_wait.q[0], "ctl/not_wait");
+  const NetId exec1 =
+      w.reduce_and({ir_valid.q[0], not_halt, not_wait}, "ctl/exec1");
+
+  // ---- register file read ---------------------------------------------------
+  std::vector<Bus> gpr_q;
+  for (int r = 0; r < kNumGprs; ++r) gpr_q.push_back(h.gprs[r].q);
+  const Bus rs1_onehot = w.decode(rs1_bus, "rf/rs1_dec");
+  const Bus rs2_onehot = w.decode(rs2_bus, "rf/rs2_dec");
+  const Bus rs1_val = w.onehot_mux(rs1_onehot, gpr_q, "rf/rs1_val");
+  const Bus rs2_val = w.onehot_mux(rs2_onehot, gpr_q, "rf/rs2_val");
+
+  // ---- immediates ------------------------------------------------------------
+  Bus imm_sx(kWidth), imm_zx(kWidth), lui_val(kWidth);
+  for (int i = 0; i < kWidth; ++i) {
+    imm_sx[i] = i < 16 ? imm16[i] : imm16[15];
+    imm_zx[i] = i < 16 ? imm16[i] : w.lit(false);
+    lui_val[i] = i < 16 ? w.lit(false) : imm16[i - 16];
+  }
+  const NetId use_zx = w.reduce_or({is_andi, is_ori, is_xori}, "dec/use_zx");
+  const Bus imm_ext = w.mux_word(use_zx, imm_sx, imm_zx, "dec/imm_ext");
+
+  // ---- ALU -------------------------------------------------------------------
+  const NetId is_imm_alu =
+      w.reduce_or({is_addi, is_andi, is_ori, is_xori}, "dec/is_imm_alu");
+  const Bus alu_b = w.mux_word(is_imm_alu, rs2_val, imm_ext, "alu/b");
+  const NetId sub_sel = w.or2(is_sub, is_sltu, "alu/sub_sel");
+  Bus b2(kWidth);
+  for (int i = 0; i < kWidth; ++i)
+    b2[i] = w.xor2(alu_b[i], sub_sel, format("alu/b2_%d", i));
+  const WordOps::AddResult addr_res = w.add_word(rs1_val, b2, sub_sel, "alu/adder");
+  const Bus& sum = addr_res.sum;
+  const Bus and_val = w.and_word(rs1_val, alu_b, "alu/and");
+  const Bus or_val = w.or_word(rs1_val, alu_b, "alu/or");
+  const Bus xor_val = w.xor_word(rs1_val, alu_b, "alu/xor");
+  Bus sltu_val = w.constant(0, kWidth);
+  sltu_val[0] = w.not_(addr_res.carry_out, "alu/sltu0");
+  const Bus amount(rs2_val.begin(), rs2_val.begin() + 5);
+  const Bus sll_val = w.shift_word(rs1_val, amount, /*left=*/true, "alu/sll");
+  const Bus srl_val = w.shift_word(rs1_val, amount, /*left=*/false, "alu/srl");
+
+  // ---- address generation (the §3.3 manipulation targets) -----------------
+  // Link address = IR_PC + 4 (address manipulation module #2).
+  const Bus link = w.add_word(h.ir_pc.q, w.constant(4, kWidth), w.lit(false),
+                              "agu/link").sum;
+  // Branch target = link + (sx(imm) << 2)  (module #3: "the adder used in
+  // a branch address calculation").
+  Bus br_off(kWidth);
+  for (int i = 0; i < kWidth; ++i)
+    br_off[i] = i < 2 ? w.lit(false) : imm_sx[i - 2];
+  const Bus br_tgt = w.add_word(link, br_off, w.lit(false), "agu/brtgt").sum;
+  // Load/store address (module #4).
+  const Bus agu = w.add_word(rs1_val, imm_sx, w.lit(false), "agu/mem").sum;
+
+  // ---- result selection -----------------------------------------------------
+  const NetId sel_and = w.or2(is_and, is_andi, "res/sel_and");
+  const NetId sel_or = w.or2(is_or, is_ori, "res/sel_or");
+  const NetId sel_xor = w.or2(is_xor, is_xori, "res/sel_xor");
+  Bus result = sum;
+  result = w.mux_word(sel_and, result, and_val, "res/m_and");
+  result = w.mux_word(sel_or, result, or_val, "res/m_or");
+  result = w.mux_word(sel_xor, result, xor_val, "res/m_xor");
+  result = w.mux_word(is_sltu, result, sltu_val, "res/m_sltu");
+  result = w.mux_word(is_sll, result, sll_val, "res/m_sll");
+  result = w.mux_word(is_srl, result, srl_val, "res/m_srl");
+  result = w.mux_word(is_lui, result, lui_val, "res/m_lui");
+  result = w.mux_word(is_jal, result, link, "res/m_jal");
+  if (cfg.with_multiplier) {
+    const Bus mul_val = w.mul_word(rs1_val, rs2_val, "mul/p");
+    result = w.mux_word(is_mul, result, mul_val, "res/m_mul");
+  }
+
+  // ---- control flow ----------------------------------------------------------
+  const NetId rs_eq = w.eq_word(rs1_val, rs2_val, "ctl/rs_eq");
+  const NetId rs_ne = w.not_(rs_eq, "ctl/rs_ne");
+  const NetId t_beq = w.and2(is_beq, rs_eq, "ctl/t_beq");
+  const NetId t_bne = w.and2(is_bne, rs_ne, "ctl/t_bne");
+  const NetId taken = w.reduce_or({t_beq, t_bne, is_jal, is_jr}, "ctl/taken");
+  const NetId taken_eff = w.and2(taken, exec1, "ctl/taken_eff");
+  const Bus actual_target = w.mux_word(is_jr, br_tgt, rs1_val, "ctl/atgt");
+  const Bus correct_next =
+      w.mux_word(taken_eff, link, actual_target, "ctl/cnext");
+  const NetId next_ok = w.eq_word(h.pc.q, correct_next, "ctl/next_ok");
+  const NetId next_bad = w.not_(next_ok, "ctl/next_bad");
+  const NetId redirect = w.and2(exec1, next_bad, "ctl/redirect");
+
+  const NetId lw_issue = w.and2(exec1, is_lw, "ctl/lw_issue");
+  const NetId stall = lw_issue;
+
+  // ---- next-state: PC / IR / flags -------------------------------------------
+  const Bus pc_hold_or_pred = w.mux_word(stall, pnpc, h.pc.q, "ctl/pc_hp");
+  const Bus pc_next = w.mux_word(redirect, pc_hold_or_pred, correct_next,
+                                 "ctl/pc_next");
+  const Bus pc_run = w.mux_word(halt.q[0], pc_next, h.pc.q, "ctl/pc_run");
+  const Bus pc_d = w.mux_word(
+      rst, pc_run, w.constant(cfg.reset_vector, kWidth), "ctl/pc_d");
+  w.reg_connect(h.pc, pc_d);
+
+  const NetId hold_ir = w.or2(stall, halt.q[0], "ctl/hold_ir");
+  w.reg_connect(h.ir, w.mux_word(hold_ir, h.instr_in, h.ir.q, "ctl/ir_d"));
+  w.reg_connect(h.ir_pc, w.mux_word(hold_ir, h.pc.q, h.ir_pc.q, "ctl/irpc_d"));
+  const NetId not_redirect = w.not_(redirect, "ctl/not_redirect");
+  Bus ir_valid_d{w.mux(hold_ir, not_redirect, ir_valid.q[0], "ctl/irv_d")};
+  w.reg_connect(ir_valid, ir_valid_d);
+
+  const NetId do_halt = w.and2(exec1, is_halt_op, "ctl/do_halt");
+  Bus halt_d{w.or2(halt.q[0], do_halt, "ctl/halt_d")};
+  w.reg_connect(halt, halt_d);
+  Bus mem_wait_d{w.buf(lw_issue, "ctl/mem_wait_d")};
+  w.reg_connect(mem_wait, mem_wait_d);
+
+  // ---- bus unit ---------------------------------------------------------------
+  const NetId sw_issue = w.and2(exec1, is_sw, "bus/sw_issue");
+  const NetId mem_op = w.or2(lw_issue, sw_issue, "bus/mem_op");
+  w.reg_connect(h.bus_addr_reg,
+                w.mux_word(mem_op, h.bus_addr_reg.q, agu, "bus/baddr_d"));
+  w.reg_connect(bwdata, w.mux_word(sw_issue, bwdata.q, rs2_val, "bus/bwdata_d"));
+  Bus bwr_d{w.buf(sw_issue, "bus/bwr_d")};
+  w.reg_connect(bwr, bwr_d);
+  Bus brd_d{w.buf(lw_issue, "bus/brd_d")};
+  w.reg_connect(brd, brd_d);
+
+  // ---- register file write -----------------------------------------------------
+  std::vector<NetId> wr_ops = {is_add, is_sub,  is_and, is_or,  is_xor,
+                               is_sltu, is_sll, is_srl, is_addi, is_andi,
+                               is_ori, is_xori, is_lui, is_jal};
+  if (cfg.with_multiplier) wr_ops.push_back(is_mul);
+  const NetId writes_rd = w.reduce_or(std::move(wr_ops), "rf/writes_rd");
+  const NetId wen_ex = w.and2(exec1, writes_rd, "rf/wen_ex");
+  const NetId wen = w.or2(wen_ex, mem_wait.q[0], "rf/wen");
+  const Bus wdata = w.mux_word(mem_wait.q[0], result, h.rdata_in, "rf/wdata");
+  const Bus wdec = w.decode(rd_bus, "rf/wdec");
+  for (int r = 0; r < kNumGprs; ++r) {
+    const NetId we = w.and2(wen, wdec[r], format("rf/we%d", r));
+    w.reg_connect(h.gprs[r],
+                  w.mux_word(we, h.gprs[r].q, wdata, format("rf/wd%d", r)));
+  }
+
+  // ---- BTB update ---------------------------------------------------------------
+  const NetId btb_we = w.and2(redirect, taken_eff, "btb/we");
+  const Bus wsel = w.decode(btb_ptr.q, "btb/wsel");
+  for (int e = 0; e < cfg.btb_entries; ++e) {
+    const NetId we = w.and2(btb_we, wsel[e], format("btb/we%d", e));
+    Bus valid_d{w.or2(h.btb[e].valid.q[0], we, format("btb/vd%d", e))};
+    w.reg_connect(h.btb[e].valid, valid_d);
+    w.reg_connect(h.btb[e].tag,
+                  w.mux_word(we, h.btb[e].tag.q, h.ir_pc.q, format("btb/tagd%d", e)));
+    w.reg_connect(h.btb[e].target,
+                  w.mux_word(we, h.btb[e].target.q, actual_target,
+                             format("btb/tgtd%d", e)));
+  }
+  const Bus ptr_inc =
+      w.add_word(btb_ptr.q, w.constant(1, ptr_bits), w.lit(false), "btb/ptr_inc").sum;
+  w.reg_connect(btb_ptr, w.mux_word(btb_we, btb_ptr.q, ptr_inc, "btb/ptr_d"));
+
+  // ---- system-bus output ports ---------------------------------------------------
+  h.iaddr = h.pc.q;
+  h.baddr = h.bus_addr_reg.q;
+  h.bwdata = bwdata.q;
+  h.bwr = bwr.q[0];
+  h.brd = brd.q[0];
+  h.halted = halt.q[0];
+  for (int i = 0; i < kWidth; ++i)
+    h.bus_output_cells.push_back(nl.add_output(format("iaddr_o%d", i), h.iaddr[i]));
+  for (int i = 0; i < kWidth; ++i)
+    h.bus_output_cells.push_back(nl.add_output(format("baddr_o%d", i), h.baddr[i]));
+  for (int i = 0; i < kWidth; ++i)
+    h.bus_output_cells.push_back(nl.add_output(format("bwdata_o%d", i), h.bwdata[i]));
+  h.bus_output_cells.push_back(nl.add_output("bwr_o", h.bwr));
+  h.bus_output_cells.push_back(nl.add_output("brd_o", h.brd));
+  h.bus_output_cells.push_back(nl.add_output("halted_o", h.halted));
+
+  return h;
+}
+
+}  // namespace olfui

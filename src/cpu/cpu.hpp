@@ -1,0 +1,71 @@
+// olfui/cpu: gate-level generator for the MiniRISC32 core.
+//
+// The generator expands a two-stage (fetch | execute) pipelined 32-bit
+// RISC core into library gates using WordOps. Everything the DATE'13
+// analysis needs is present as real logic:
+//  * address generation: PC+4 incrementer, branch-target adder, link
+//    adder and the load/store AGU (the paper's "adder used in a branch
+//    address calculation");
+//  * a branch target buffer whose valid/tag/target registers are tagged
+//    "addr:code:<bit>" (the paper's §3.3 explicitly includes the BTB);
+//  * a registered bus unit (address / write-data / strobes) tagged
+//    "addr:data:<bit>" — the mission memory map constrains what these
+//    registers can ever hold;
+//  * register file, ALU, barrel shifter, pipeline control.
+//
+// Scan chains and the debug unit are NOT generated here; the scan and
+// debug insertion passes are applied on top (see soc.hpp), mirroring a
+// real implementation flow.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "netlist/wordops.hpp"
+
+namespace olfui {
+
+struct CpuConfig {
+  int btb_entries = 4;  ///< power of two, >= 1
+  std::uint32_t reset_vector = 0x0007'8000;
+  /// Include the 32x32 array multiplier (MUL instruction). Disable for
+  /// lean unit-test netlists.
+  bool with_multiplier = true;
+};
+
+struct BtbEntryHandles {
+  RegWord valid;   // 1 bit
+  RegWord tag;     // 32 bits, tagged addr:code
+  RegWord target;  // 32 bits, tagged addr:code
+};
+
+/// Handles into the generated core: ports for the simulation environment,
+/// register words for the debug-insertion pass.
+struct CpuHandles {
+  // ---- input ports ----
+  NetId rstn = kInvalidId;
+  Bus instr_in;  ///< instruction fetched from code memory (combinational)
+  Bus rdata_in;  ///< load data, valid the cycle after brd asserts
+
+  // ---- output ports: the system bus (mission-observable) ----
+  Bus iaddr;    ///< instruction fetch address (= PC)
+  Bus baddr;    ///< registered data address
+  Bus bwdata;   ///< registered store data
+  NetId bwr = kInvalidId;    ///< store strobe
+  NetId brd = kInvalidId;    ///< load strobe
+  NetId halted = kInvalidId; ///< HALT executed
+  std::vector<CellId> bus_output_cells;  ///< all of the above as port cells
+
+  // ---- architected registers (debug-insertion targets) ----
+  std::vector<RegWord> gprs;  ///< r0..r7
+  RegWord pc;                 ///< tagged addr:code
+  RegWord ir;
+  RegWord ir_pc;              ///< tagged addr:code
+  RegWord bus_addr_reg;       ///< tagged addr:data
+  std::vector<BtbEntryHandles> btb;
+};
+
+CpuHandles generate_cpu(Netlist& nl, const CpuConfig& cfg);
+
+}  // namespace olfui

@@ -1,0 +1,126 @@
+#include "cpu/isa.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace olfui {
+
+std::string_view opcode_name(Opcode op) {
+  constexpr std::string_view kNames[kNumOpcodes] = {
+      "nop", "add",  "sub",  "and", "or",  "xor", "sltu", "sll", "srl", "addi",
+      "andi", "ori", "xori", "lui", "lw",  "sw",  "beq",  "bne", "jal", "jr",
+      "halt", "mul"};
+  const int i = static_cast<int>(op);
+  return i < kNumOpcodes ? kNames[i] : "???";
+}
+
+std::uint32_t encode(const Instr& i) {
+  assert(i.rd >= 0 && i.rd < 8 && i.rs1 >= 0 && i.rs1 < 8 && i.rs2 >= 0 &&
+         i.rs2 < 8);
+  return (static_cast<std::uint32_t>(i.op) << 27) |
+         (static_cast<std::uint32_t>(i.rd) << 24) |
+         (static_cast<std::uint32_t>(i.rs1) << 21) |
+         (static_cast<std::uint32_t>(i.rs2) << 18) |
+         (static_cast<std::uint32_t>(i.imm) & 0xFFFFu);
+}
+
+Instr decode(std::uint32_t word) {
+  Instr i;
+  i.op = static_cast<Opcode>((word >> 27) & 0x1F);
+  i.rd = static_cast<int>((word >> 24) & 7);
+  i.rs1 = static_cast<int>((word >> 21) & 7);
+  i.rs2 = static_cast<int>((word >> 18) & 7);
+  i.imm = static_cast<std::int32_t>(word & 0xFFFFu);
+  return i;
+}
+
+std::string disassemble(std::uint32_t word) {
+  const Instr i = decode(word);
+  switch (i.op) {
+    case Opcode::kNop:
+    case Opcode::kHalt:
+      return std::string(opcode_name(i.op));
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kSltu:
+    case Opcode::kSll:
+    case Opcode::kSrl:
+    case Opcode::kMul:
+      return format("%s r%d, r%d, r%d", std::string(opcode_name(i.op)).c_str(),
+                    i.rd, i.rs1, i.rs2);
+    case Opcode::kAddi:
+    case Opcode::kAndi:
+    case Opcode::kOri:
+    case Opcode::kXori:
+      return format("%s r%d, r%d, %d", std::string(opcode_name(i.op)).c_str(),
+                    i.rd, i.rs1, i.imm);
+    case Opcode::kLui:
+      return format("lui r%d, 0x%x", i.rd, i.imm);
+    case Opcode::kLw:
+      return format("lw r%d, %d(r%d)", i.rd, i.imm, i.rs1);
+    case Opcode::kSw:
+      return format("sw r%d, %d(r%d)", i.rs2, i.imm, i.rs1);
+    case Opcode::kBeq:
+    case Opcode::kBne:
+      return format("%s r%d, r%d, %d", std::string(opcode_name(i.op)).c_str(),
+                    i.rs1, i.rs2, static_cast<std::int16_t>(i.imm));
+    case Opcode::kJal:
+      return format("jal r%d, %d", i.rd, static_cast<std::int16_t>(i.imm));
+    case Opcode::kJr:
+      return format("jr r%d", i.rs1);
+  }
+  return "???";
+}
+
+void Program::li(int rd, std::uint32_t value) {
+  // LUI first in all cases: it overwrites rd without reading it, so the
+  // sequence also initializes registers whose power-on state is unknown.
+  lui(rd, static_cast<std::int32_t>(value >> 16));
+  if ((value & 0xFFFFu) != 0)
+    ori(rd, rd, static_cast<std::int32_t>(value & 0xFFFFu));
+}
+
+void Program::label(const std::string& name) {
+  if (!labels_.emplace(name, pc()).second)
+    throw std::runtime_error("duplicate label: " + name);
+}
+
+void Program::branch_to(Opcode op, int rd, int rs1, int rs2,
+                        const std::string& label) {
+  fixups_.push_back({words_.size(), label});
+  emit({op, rd, rs1, rs2, 0});
+}
+
+void Program::beq(int rs1, int rs2, const std::string& label) {
+  branch_to(Opcode::kBeq, 0, rs1, rs2, label);
+}
+void Program::bne(int rs1, int rs2, const std::string& label) {
+  branch_to(Opcode::kBne, 0, rs1, rs2, label);
+}
+void Program::jal(int rd, const std::string& label) {
+  branch_to(Opcode::kJal, rd, 0, 0, label);
+}
+
+const std::vector<std::uint32_t>& Program::words() {
+  for (const Fixup& fx : fixups_) {
+    const auto it = labels_.find(fx.label);
+    if (it == labels_.end())
+      throw std::runtime_error("undefined label: " + fx.label);
+    const std::uint32_t insn_pc = base_ + static_cast<std::uint32_t>(fx.index) * 4;
+    const std::int64_t delta =
+        (static_cast<std::int64_t>(it->second) - (insn_pc + 4)) / 4;
+    if (delta < -32768 || delta > 32767)
+      throw std::runtime_error("branch offset out of range to " + fx.label);
+    words_[fx.index] =
+        (words_[fx.index] & ~0xFFFFu) | (static_cast<std::uint32_t>(delta) & 0xFFFFu);
+  }
+  fixups_.clear();
+  return words_;
+}
+
+}  // namespace olfui

@@ -1,0 +1,130 @@
+// olfui/cpu: the MiniRISC32 instruction set.
+//
+// MiniRISC32 is the 32-bit embedded core used as the reproduction's
+// equivalent of the case study's e200z0-class processor: 32-bit address /
+// data parallelism, eight general-purpose registers, a two-stage pipeline
+// with a branch target buffer, a load/store bus unit, plus scan and debug
+// circuitry added by the corresponding insertion passes.
+//
+// Encoding (32 bits):
+//   [31:27] opcode   [26:24] rd   [23:21] rs1   [20:18] rs2   [15:0] imm16
+//
+// Branch/JAL offsets are in words, relative to the *following* instruction
+// (target = pc + 4 + imm*4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace olfui {
+
+enum class Opcode : std::uint8_t {
+  kNop = 0,
+  kAdd = 1,    // rd = rs1 + rs2
+  kSub = 2,    // rd = rs1 - rs2
+  kAnd = 3,
+  kOr = 4,
+  kXor = 5,
+  kSltu = 6,   // rd = (rs1 < rs2) unsigned
+  kSll = 7,    // rd = rs1 << rs2[4:0]
+  kSrl = 8,    // rd = rs1 >> rs2[4:0]
+  kAddi = 9,   // rd = rs1 + sx(imm)
+  kAndi = 10,  // rd = rs1 & zx(imm)
+  kOri = 11,
+  kXori = 12,
+  kLui = 13,   // rd = imm << 16
+  kLw = 14,    // rd = mem[rs1 + sx(imm)]
+  kSw = 15,    // mem[rs1 + sx(imm)] = rs2
+  kBeq = 16,   // if rs1 == rs2: pc += 4 + sx(imm)*4
+  kBne = 17,
+  kJal = 18,   // rd = pc + 4; pc += 4 + sx(imm)*4
+  kJr = 19,    // pc = rs1
+  kHalt = 20,
+  kMul = 21,   // rd = (rs1 * rs2) low 32 bits
+};
+inline constexpr int kNumOpcodes = 22;
+
+std::string_view opcode_name(Opcode op);
+
+struct Instr {
+  Opcode op = Opcode::kNop;
+  int rd = 0;
+  int rs1 = 0;
+  int rs2 = 0;
+  std::int32_t imm = 0;  // 16-bit field, sign interpretation per opcode
+};
+
+std::uint32_t encode(const Instr& i);
+Instr decode(std::uint32_t word);
+std::string disassemble(std::uint32_t word);
+
+/// Convenience program builder with labels and branch fixups.
+///
+///   Program p(0x78000);
+///   p.addi(1, 0, 5);
+///   p.label("loop");
+///   p.addi(1, 1, -1);
+///   p.bne(1, 0, "loop");
+///   p.halt();
+class Program {
+ public:
+  explicit Program(std::uint32_t base) : base_(base) {}
+
+  std::uint32_t base() const { return base_; }
+  std::uint32_t pc() const {
+    return base_ + static_cast<std::uint32_t>(words_.size()) * 4;
+  }
+  std::size_t size() const { return words_.size(); }
+
+  void emit(const Instr& i) { words_.push_back(encode(i)); }
+  void raw(std::uint32_t w) { words_.push_back(w); }
+
+  void nop() { emit({Opcode::kNop}); }
+  void add(int rd, int rs1, int rs2) { emit({Opcode::kAdd, rd, rs1, rs2}); }
+  void sub(int rd, int rs1, int rs2) { emit({Opcode::kSub, rd, rs1, rs2}); }
+  void and_(int rd, int rs1, int rs2) { emit({Opcode::kAnd, rd, rs1, rs2}); }
+  void or_(int rd, int rs1, int rs2) { emit({Opcode::kOr, rd, rs1, rs2}); }
+  void xor_(int rd, int rs1, int rs2) { emit({Opcode::kXor, rd, rs1, rs2}); }
+  void sltu(int rd, int rs1, int rs2) { emit({Opcode::kSltu, rd, rs1, rs2}); }
+  void sll(int rd, int rs1, int rs2) { emit({Opcode::kSll, rd, rs1, rs2}); }
+  void srl(int rd, int rs1, int rs2) { emit({Opcode::kSrl, rd, rs1, rs2}); }
+  void mul(int rd, int rs1, int rs2) { emit({Opcode::kMul, rd, rs1, rs2}); }
+  void addi(int rd, int rs1, std::int32_t imm) { emit({Opcode::kAddi, rd, rs1, 0, imm}); }
+  void andi(int rd, int rs1, std::int32_t imm) { emit({Opcode::kAndi, rd, rs1, 0, imm}); }
+  void ori(int rd, int rs1, std::int32_t imm) { emit({Opcode::kOri, rd, rs1, 0, imm}); }
+  void xori(int rd, int rs1, std::int32_t imm) { emit({Opcode::kXori, rd, rs1, 0, imm}); }
+  void lui(int rd, std::int32_t imm) { emit({Opcode::kLui, rd, 0, 0, imm}); }
+  void lw(int rd, int rs1, std::int32_t imm) { emit({Opcode::kLw, rd, rs1, 0, imm}); }
+  void sw(int rs2, int rs1, std::int32_t imm) { emit({Opcode::kSw, 0, rs1, rs2, imm}); }
+  void jr(int rs1) { emit({Opcode::kJr, 0, rs1, 0, 0}); }
+  void halt() { emit({Opcode::kHalt}); }
+
+  /// Loads a full 32-bit constant via LUI/ORI (2 instructions, or 1 when
+  /// the value fits 16 bits).
+  void li(int rd, std::uint32_t value);
+
+  void label(const std::string& name);
+  void beq(int rs1, int rs2, const std::string& label);
+  void bne(int rs1, int rs2, const std::string& label);
+  void jal(int rd, const std::string& label);
+
+  /// Resolves pending label references; throws on unknown labels.
+  /// Must be called before words().
+  const std::vector<std::uint32_t>& words();
+
+ private:
+  void branch_to(Opcode op, int rd, int rs1, int rs2, const std::string& label);
+
+  struct Fixup {
+    std::size_t index;
+    std::string label;
+  };
+  std::uint32_t base_;
+  std::vector<std::uint32_t> words_;
+  std::unordered_map<std::string, std::uint32_t> labels_;  // label -> address
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace olfui

@@ -1,0 +1,212 @@
+#include "cpu/soc.hpp"
+
+#include <cassert>
+
+#include "util/strings.hpp"
+
+namespace olfui {
+
+std::unique_ptr<Soc> build_soc(const SocConfig& cfg) {
+  auto soc = std::make_unique<Soc>();
+  soc->config = cfg;
+  soc->cpu = generate_cpu(soc->netlist, cfg.cpu);
+
+  if (cfg.with_debug) {
+    // The Nexus-style unit exposes half the register file for write access
+    // and both observation buses (GPR window + PC/IR), comparable in area
+    // ratio to production debug IP on a core of this size.
+    DebugSpec spec;
+    for (int r = 0; r < 4; ++r)
+      spec.writable_regs.push_back(&soc->cpu.gprs[static_cast<std::size_t>(r)]);
+    for (int r = 0; r < 4; ++r)
+      spec.bus_a_words.push_back(soc->cpu.gprs[static_cast<std::size_t>(r)].q);
+    spec.bus_b_words.push_back(soc->cpu.pc.q);
+    spec.bus_b_words.push_back(soc->cpu.ir.q);
+    spec.hold_reg = &soc->cpu.pc;
+    soc->debug = insert_debug(soc->netlist, spec);
+  }
+  if (cfg.with_scan) {
+    soc->scan = insert_scan(soc->netlist, cfg.scan);
+  }
+  soc->map.add_range("flash", cfg.flash_base, cfg.flash_size);
+  soc->map.add_range("ram", cfg.ram_base, cfg.ram_size);
+  return soc;
+}
+
+void FlashImage::load(std::uint32_t addr, const std::vector<std::uint32_t>& words) {
+  for (std::size_t i = 0; i < words.size(); ++i)
+    words_[addr + 4 * i] = words[i];
+}
+
+std::uint32_t FlashImage::read(std::uint64_t addr) const {
+  const auto it = words_.find(addr & ~3ULL);
+  return it == words_.end() ? 0u : it->second;
+}
+
+SocSimulator::SocSimulator(const Soc& soc)
+    : soc_(&soc),
+      sim_(soc.netlist),
+      flash_(soc.config.flash_base, soc.config.flash_size) {}
+
+void SocSimulator::load_program(Program& p) {
+  flash_.load(p.base(), p.words());
+}
+
+void SocSimulator::drive_mission_inputs(bool rstn_value) {
+  sim_.set_input(soc_->cpu.rstn, rstn_value);
+  if (soc_->config.with_scan) {
+    sim_.set_input(soc_->scan.se_net, soc_->scan.se_functional_value);
+    for (const ScanChain& c : soc_->scan.chains)
+      sim_.set_input(c.scan_in_net, false);
+  }
+  if (soc_->config.with_debug) {
+    for (std::size_t i = 0; i < soc_->debug.control_inputs.size(); ++i)
+      sim_.set_input(soc_->debug.control_inputs[i],
+                     soc_->debug.control_values[i]);
+  }
+}
+
+int SocSimulator::run(int max_cycles, ToggleRecorder* recorder) {
+  sim_.power_on();
+  // Reset sequence: two cycles with rstn low; data inputs quiet.
+  drive_mission_inputs(false);
+  sim_.set_input_word(soc_->cpu.instr_in, 0);
+  sim_.set_input_word(soc_->cpu.rdata_in, 0);
+  sim_.eval();
+  sim_.clock();
+  sim_.clock();
+
+  int cycle = 0;
+  for (; cycle < max_cycles; ++cycle) {
+    drive_mission_inputs(true);
+    sim_.eval();
+    // Serve the instruction fetch (combinational flash read).
+    const std::uint64_t iaddr = sim_.read_word(soc_->cpu.iaddr);
+    sim_.set_input_word(soc_->cpu.instr_in, flash_.read(iaddr));
+    sim_.eval();
+    // Bus transactions (registered address/strobes, data this cycle).
+    const std::uint64_t baddr = sim_.read_word(soc_->cpu.baddr);
+    if (sim_.value(soc_->cpu.bwr) == Logic::V1) {
+      if (soc_->map.contains(baddr))
+        ram_[baddr & ~3ULL] =
+            static_cast<std::uint32_t>(sim_.read_word(soc_->cpu.bwdata));
+    }
+    std::uint64_t rdata = 0;
+    if (sim_.value(soc_->cpu.brd) == Logic::V1) {
+      const auto it = ram_.find(baddr & ~3ULL);
+      rdata = it != ram_.end() ? it->second : flash_.read(baddr);
+    }
+    sim_.set_input_word(soc_->cpu.rdata_in, rdata);
+    sim_.eval();
+    if (recorder) recorder->sample(sim_);
+    if (sim_.value(soc_->cpu.halted) == Logic::V1) break;
+    sim_.clock();
+  }
+  return cycle;
+}
+
+bool SocSimulator::halted() const {
+  return sim_.value(soc_->cpu.halted) == Logic::V1;
+}
+
+std::uint32_t SocSimulator::gpr(int r) const {
+  return static_cast<std::uint32_t>(sim_.read_word(soc_->cpu.gprs[r].q));
+}
+
+std::uint32_t SocSimulator::pc() const {
+  return static_cast<std::uint32_t>(sim_.read_word(soc_->cpu.pc.q));
+}
+
+std::uint32_t SocSimulator::ram_word(std::uint64_t addr) const {
+  const auto it = ram_.find(addr & ~3ULL);
+  return it == ram_.end() ? 0u : it->second;
+}
+
+std::array<std::uint64_t, 64> read_observed_bus_lanes(
+    const PackedSim& sim, const std::vector<CellId>& cells) {
+  std::array<std::uint64_t, 64> lanes{};
+  for (std::size_t b = 0; b < cells.size(); ++b) {
+    const std::uint64_t w = sim.observed(cells[b]);
+    for (int l = 0; l < 64; ++l) lanes[l] |= ((w >> l) & 1ULL) << b;
+  }
+  return lanes;
+}
+
+SocFsimEnvironment::SocFsimEnvironment(const Soc& soc, const FlashImage& flash,
+                                       int run_cycles)
+    : soc_(&soc), flash_(&flash), run_cycles_(run_cycles) {
+  const Netlist& nl = soc.netlist;
+  for (int i = 0; i < 32; ++i) {
+    iaddr_cells_.push_back(nl.find_output(format("iaddr_o%d", i)));
+    baddr_cells_.push_back(nl.find_output(format("baddr_o%d", i)));
+    bwdata_cells_.push_back(nl.find_output(format("bwdata_o%d", i)));
+  }
+  bwr_cell_ = nl.find_output("bwr_o");
+  brd_cell_ = nl.find_output("brd_o");
+  halted_cell_ = nl.find_output("halted_o");
+}
+
+void SocFsimEnvironment::drive_mission_inputs(PackedSim& sim, bool rstn_value) {
+  sim.set_input_all(soc_->cpu.rstn, rstn_value);
+  if (soc_->config.with_scan) {
+    sim.set_input_all(soc_->scan.se_net, soc_->scan.se_functional_value);
+    for (const ScanChain& c : soc_->scan.chains)
+      sim.set_input_all(c.scan_in_net, false);
+  }
+  if (soc_->config.with_debug) {
+    for (std::size_t i = 0; i < soc_->debug.control_inputs.size(); ++i)
+      sim.set_input_all(soc_->debug.control_inputs[i],
+                        soc_->debug.control_values[i]);
+  }
+}
+
+std::uint64_t SocFsimEnvironment::mem_read(int lane, std::uint64_t addr) const {
+  const auto it = ram_[static_cast<std::size_t>(lane)].find(addr & ~3ULL);
+  if (it != ram_[static_cast<std::size_t>(lane)].end()) return it->second;
+  return flash_->read(addr);
+}
+
+void SocFsimEnvironment::reset(PackedSim& sim) {
+  for (auto& r : ram_) r.clear();
+  halt_seen_ = false;
+  drive_mission_inputs(sim, false);
+  sim.set_input_word(soc_->cpu.instr_in, 0);
+  sim.set_input_word(soc_->cpu.rdata_in, 0);
+  sim.eval();
+  sim.clock();
+  sim.clock();
+}
+
+bool SocFsimEnvironment::step(PackedSim& sim, int cycle) {
+  if (cycle >= run_cycles_ || halt_seen_) return false;
+  drive_mission_inputs(sim, true);
+  sim.eval();
+  // Per-lane instruction fetch: a faulty machine that wanders to a wrong
+  // address fetches whatever the flash holds there (NOP outside).
+  const auto iaddr = read_observed_bus_lanes(sim, iaddr_cells_);
+  std::array<std::uint64_t, 64> instr{};
+  for (int l = 0; l < 64; ++l) instr[l] = flash_->read(iaddr[l]);
+  drive_bus_lanes(sim, soc_->cpu.instr_in, instr);
+  sim.eval();
+  // Bus transactions, per lane.
+  const auto baddr = read_observed_bus_lanes(sim, baddr_cells_);
+  const auto bwdata = read_observed_bus_lanes(sim, bwdata_cells_);
+  const std::uint64_t wr = sim.observed(bwr_cell_);
+  const std::uint64_t rd = sim.observed(brd_cell_);
+  std::array<std::uint64_t, 64> rdata{};
+  for (int l = 0; l < 64; ++l) {
+    if ((wr >> l) & 1ULL) {
+      if (soc_->map.contains(baddr[l]))
+        ram_[static_cast<std::size_t>(l)][baddr[l] & ~3ULL] =
+            static_cast<std::uint32_t>(bwdata[l]);
+    }
+    if ((rd >> l) & 1ULL) rdata[l] = mem_read(l, baddr[l]);
+  }
+  drive_bus_lanes(sim, soc_->cpu.rdata_in, rdata);
+  sim.eval();
+  // Let the comparison see the halting cycle, then stop on the next one.
+  if (sim.observed(halted_cell_) & 1ULL) halt_seen_ = true;
+  return true;
+}
+
+}  // namespace olfui

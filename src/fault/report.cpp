@@ -1,0 +1,108 @@
+#include "fault/report.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/strings.hpp"
+
+namespace olfui {
+
+std::string to_csv(const FaultList& fl, bool untestable_only) {
+  const FaultUniverse& u = fl.universe();
+  const Netlist& nl = u.netlist();
+  std::string out = "fault_id,cell,pin,stuck_at,detected,untestable_kind,online_source\n";
+  for (FaultId f = 0; f < u.size(); ++f) {
+    const UntestableKind kind = fl.untestable_kind(f);
+    if (untestable_only && kind == UntestableKind::kNone) continue;
+    const Fault& fault = u.fault(f);
+    const Cell& c = nl.cell(fault.pin.cell);
+    out += format(
+        "%u,%s,%s,%d,%d,%s,%s\n", f, c.name.c_str(),
+        std::string(pin_name(c.type, fault.pin.pin)).c_str(), fault.sa1 ? 1 : 0,
+        fl.detect_state(f) == DetectState::kDetected ? 1 : 0,
+        std::string(to_string(kind)).c_str(),
+        std::string(to_string(fl.online_source(f))).c_str());
+  }
+  return out;
+}
+
+std::string to_json_summary(const FaultList& fl) {
+  std::string out = "{\n";
+  out += format("  \"universe\": %zu,\n", fl.size());
+  out += format("  \"detected\": %zu,\n", fl.count_detected());
+  out += format("  \"untestable\": %zu,\n", fl.count_untestable());
+  out += "  \"by_source\": {\n";
+  bool first = true;
+  for (OnlineSource s :
+       {OnlineSource::kStructural, OnlineSource::kScan, OnlineSource::kDebugControl,
+        OnlineSource::kDebugObserve, OnlineSource::kMemoryMap}) {
+    out += format("%s    \"%s\": %zu", first ? "" : ",\n",
+                  std::string(to_string(s)).c_str(), fl.count_source(s));
+    first = false;
+  }
+  out += "\n  },\n";
+  std::size_t tied = 0, unobs = 0, redundant = 0;
+  for (FaultId f = 0; f < fl.size(); ++f) {
+    switch (fl.untestable_kind(f)) {
+      case UntestableKind::kTied: ++tied; break;
+      case UntestableKind::kUnobservable: ++unobs; break;
+      case UntestableKind::kRedundant: ++redundant; break;
+      case UntestableKind::kNone: break;
+    }
+  }
+  out += "  \"by_kind\": {\n";
+  out += format("    \"tied\": %zu,\n", tied);
+  out += format("    \"unobservable\": %zu,\n", unobs);
+  out += format("    \"redundant\": %zu\n", redundant);
+  out += "  },\n";
+  out += format("  \"raw_coverage\": %.6f,\n", fl.raw_coverage());
+  out += format("  \"pruned_coverage\": %.6f\n", fl.pruned_coverage());
+  out += "}\n";
+  return out;
+}
+
+std::vector<ModuleBreakdownRow> module_breakdown(const FaultList& fl) {
+  const FaultUniverse& u = fl.universe();
+  const Netlist& nl = u.netlist();
+  std::map<std::string, ModuleBreakdownRow> rows;
+  for (FaultId f = 0; f < u.size(); ++f) {
+    const Cell& c = nl.cell(u.fault(f).pin.cell);
+    const auto slash = c.name.find('/');
+    std::string key =
+        slash == std::string::npos ? std::string("<top>") : c.name.substr(0, slash);
+    // Use two levels for the core ("core/rf", "core/btb", ...).
+    if (slash != std::string::npos) {
+      const auto slash2 = c.name.find('/', slash + 1);
+      if (slash2 != std::string::npos) key = c.name.substr(0, slash2);
+    }
+    ModuleBreakdownRow& row = rows[key];
+    row.module = key;
+    ++row.faults;
+    if (fl.untestable_kind(f) != UntestableKind::kNone) ++row.untestable;
+    if (fl.detect_state(f) == DetectState::kDetected) ++row.detected;
+  }
+  std::vector<ModuleBreakdownRow> out;
+  out.reserve(rows.size());
+  for (auto& [key, row] : rows) out.push_back(std::move(row));
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.untestable != b.untestable ? a.untestable > b.untestable
+                                        : a.module < b.module;
+  });
+  return out;
+}
+
+std::string module_breakdown_table(const FaultList& fl) {
+  std::string out =
+      format("%-28s %10s %12s %10s %8s\n", "module", "faults", "untestable",
+             "detected", "unt%");
+  for (const ModuleBreakdownRow& row : module_breakdown(fl)) {
+    out += format("%-28s %10zu %12zu %10zu %7.1f%%\n", row.module.c_str(),
+                  row.faults, row.untestable, row.detected,
+                  row.faults ? 100.0 * static_cast<double>(row.untestable) /
+                                   static_cast<double>(row.faults)
+                             : 0.0);
+  }
+  return out;
+}
+
+}  // namespace olfui

@@ -1,0 +1,40 @@
+// olfui/fault: fault-list reporting and export.
+//
+// The outputs a test team actually consumes from this flow:
+//  * a CSV fault dossier (one row per fault: location, polarity, status,
+//    untestability class, Table-I source) for diffing against other tools;
+//  * a JSON summary for dashboards / CI trend tracking;
+//  * a per-module breakdown showing WHERE the untestable faults live
+//    (scan wrapper, debug unit, BTB, ...), the practical view the paper's
+//    engineer used when hunting untestability sources.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fault/fault_list.hpp"
+
+namespace olfui {
+
+/// CSV: "fault_id,cell,pin,stuck_at,detected,untestable_kind,online_source".
+/// `untestable_only` drops testable faults to keep dossiers small.
+std::string to_csv(const FaultList& fl, bool untestable_only = false);
+
+/// JSON object with universe size, per-source counts, per-kind counts and
+/// both coverage figures.
+std::string to_json_summary(const FaultList& fl);
+
+struct ModuleBreakdownRow {
+  std::string module;        ///< top-level hierarchy prefix
+  std::size_t faults = 0;    ///< fault sites in the module
+  std::size_t untestable = 0;
+  std::size_t detected = 0;
+};
+
+/// Per-module statistics, sorted by untestable count (descending).
+std::vector<ModuleBreakdownRow> module_breakdown(const FaultList& fl);
+
+/// Formats module_breakdown() as an aligned text table.
+std::string module_breakdown_table(const FaultList& fl);
+
+}  // namespace olfui

@@ -1,0 +1,129 @@
+#include "fsim/fsim.hpp"
+
+#include <cassert>
+
+namespace olfui {
+
+void drive_bus_lanes(PackedSim& sim, const Bus& bus,
+                     const std::array<std::uint64_t, 64>& lane_values) {
+  for (std::size_t b = 0; b < bus.size(); ++b) {
+    std::uint64_t w = 0;
+    for (int l = 0; l < 64; ++l) w |= ((lane_values[l] >> b) & 1ULL) << l;
+    sim.set_input_lanes(bus[b], w);
+  }
+}
+
+std::array<std::uint64_t, 64> read_bus_lanes(const PackedSim& sim, const Bus& bus) {
+  std::array<std::uint64_t, 64> lanes{};
+  for (std::size_t b = 0; b < bus.size(); ++b) {
+    const std::uint64_t w = sim.value(bus[b]);
+    for (int l = 0; l < 64; ++l) lanes[l] |= ((w >> l) & 1ULL) << b;
+  }
+  return lanes;
+}
+
+SequentialFaultSimulator::SequentialFaultSimulator(const Netlist& nl,
+                                                   const FaultUniverse& universe,
+                                                   SeqFsimOptions opts)
+    : nl_(&nl), universe_(&universe), opts_(opts), sim_(nl) {
+  // Default: observe every top-level output.
+  observed_ = nl.output_cells();
+}
+
+void SequentialFaultSimulator::set_observed(std::vector<CellId> output_cells) {
+  observed_ = std::move(output_cells);
+}
+
+std::uint64_t SequentialFaultSimulator::run_batch(std::span<const FaultId> faults,
+                                                  FsimEnvironment& env) {
+  assert(faults.size() <= 63);
+  sim_.clear_injections();
+  std::uint64_t fault_lanes = 0;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const Fault& f = universe_->fault(faults[i]);
+    const std::uint64_t lane = 1ULL << (i + 1);
+    fault_lanes |= lane;
+    sim_.add_injection({f.pin.cell, f.pin.pin, f.sa1, lane});
+  }
+
+  sim_.power_on();
+  env.reset(sim_);
+
+  std::uint64_t diverged = 0;
+  for (int cycle = 0; cycle < opts_.max_cycles; ++cycle) {
+    if (!env.step(sim_, cycle)) break;
+    for (CellId oc : observed_) {
+      const std::uint64_t w = sim_.observed(oc);
+      // Broadcast the good machine's (lane 0) bit across all lanes.
+      const std::uint64_t good = (w & 1ULL) ? ~0ULL : 0ULL;
+      diverged |= (w ^ good);
+    }
+    diverged &= fault_lanes;
+    if (opts_.early_exit && diverged == fault_lanes) break;
+    sim_.clock();
+  }
+
+  std::uint64_t detected = 0;
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    if (diverged & (1ULL << (i + 1))) detected |= 1ULL << i;
+  return detected;
+}
+
+std::size_t SequentialFaultSimulator::run_campaign(
+    FaultList& fl, FsimEnvironment& env,
+    std::function<void(std::size_t, std::size_t)> progress) {
+  std::vector<FaultId> targets;
+  for (FaultId f = 0; f < fl.size(); ++f) {
+    if (fl.detect_state(f) == DetectState::kUndetected &&
+        fl.untestable_kind(f) == UntestableKind::kNone)
+      targets.push_back(f);
+  }
+  std::size_t new_detections = 0;
+  for (std::size_t i = 0; i < targets.size(); i += 63) {
+    const std::size_t n = std::min<std::size_t>(63, targets.size() - i);
+    const std::uint64_t det =
+        run_batch(std::span(targets).subspan(i, n), env);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (det & (1ULL << j)) {
+        fl.set_detected(targets[i + j]);
+        ++new_detections;
+      }
+    }
+    if (progress) progress(i + n, targets.size());
+  }
+  return new_detections;
+}
+
+bool comb_detects(const Netlist& nl, const FaultUniverse& universe, FaultId fault,
+                  std::span<const std::vector<std::pair<NetId, bool>>> patterns,
+                  const std::vector<CellId>& observed) {
+  assert(patterns.size() <= 64);
+  PackedSim good(nl), bad(nl);
+  const Fault& f = universe.fault(fault);
+  bad.add_injection({f.pin.cell, f.pin.pin, f.sa1, ~0ULL});
+
+  // Build per-net lane words; inputs not mentioned by any pattern stay 0.
+  std::unordered_map<NetId, std::uint64_t> words;
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    for (auto [net, v] : patterns[p]) {
+      auto [it, _] = words.try_emplace(net, 0);
+      if (v) it->second |= 1ULL << p;
+    }
+  }
+
+  for (auto [net, w] : words) {
+    good.set_input_lanes(net, w);
+    bad.set_input_lanes(net, w);
+  }
+  good.eval();
+  bad.eval();
+
+  const std::uint64_t used =
+      patterns.size() == 64 ? ~0ULL : ((1ULL << patterns.size()) - 1);
+  for (CellId oc : observed) {
+    if ((good.observed(oc) ^ bad.observed(oc)) & used) return true;
+  }
+  return false;
+}
+
+}  // namespace olfui

@@ -1,0 +1,94 @@
+// olfui/fsim: stuck-at fault simulation.
+//
+// Two engines share the 64-lane packed kernel:
+//
+//  * SequentialFaultSimulator — parallel-fault: lane 0 runs the good
+//    machine, lanes 1..63 run faulty machines, the whole test program is
+//    simulated cycle by cycle, and a fault counts as DETECTED only when a
+//    faulty lane diverges from the good lane on one of the *observed*
+//    outputs. Matching the paper's rule, the SBST flow observes only the
+//    system-bus ports ("the evaluation of the fault coverage ... is
+//    obtained by only observing the system bus").
+//    The environment callback makes stimuli reactive: the memory model
+//    answers per-lane, so a faulty machine that issues a wrong address
+//    reads wrong data, exactly as on silicon.
+//
+//  * parallel-pattern combinational simulation (PPSF) — 64 patterns per
+//    pass for one fault; used for ATPG validation and property tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "fault/fault_list.hpp"
+#include "fault/universe.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/packed.hpp"
+#include "util/bitvec.hpp"
+
+namespace olfui {
+
+/// Drives the design-under-test's inputs each cycle. Implementations may
+/// call sim.eval() internally (e.g. to serve combinational memory reads
+/// that depend on freshly computed addresses).
+class FsimEnvironment {
+ public:
+  virtual ~FsimEnvironment() = default;
+  /// Called once per batch after power_on(); applies the reset sequence.
+  virtual void reset(PackedSim& sim) = 0;
+  /// Drives inputs for one cycle and settles the logic. Returns false to
+  /// end the run early (e.g. the good machine executed HALT).
+  virtual bool step(PackedSim& sim, int cycle) = 0;
+};
+
+/// Transposes 64 per-lane values onto the per-bit lane words of a bus.
+void drive_bus_lanes(PackedSim& sim, const Bus& bus,
+                     const std::array<std::uint64_t, 64>& lane_values);
+/// Reads a bus back into per-lane values.
+std::array<std::uint64_t, 64> read_bus_lanes(const PackedSim& sim, const Bus& bus);
+
+struct SeqFsimOptions {
+  int max_cycles = 100000;
+  /// Stop a batch as soon as every faulty lane has diverged.
+  bool early_exit = true;
+};
+
+class SequentialFaultSimulator {
+ public:
+  SequentialFaultSimulator(const Netlist& nl, const FaultUniverse& universe,
+                           SeqFsimOptions opts = {});
+
+  /// Observed output ports (system bus). Detection compares these only.
+  void set_observed(std::vector<CellId> output_cells);
+
+  /// Simulates one batch of up to 63 faults against the good machine.
+  /// Returns a bit per batch entry: detected or not.
+  std::uint64_t run_batch(std::span<const FaultId> faults, FsimEnvironment& env);
+
+  /// Runs all faults of `fl` that are neither detected nor untestable,
+  /// marking newly detected faults. Returns the number of new detections.
+  /// `progress`, if set, is called after each batch with (done, total).
+  std::size_t run_campaign(FaultList& fl, FsimEnvironment& env,
+                           std::function<void(std::size_t, std::size_t)> progress = {});
+
+  const SeqFsimOptions& options() const { return opts_; }
+
+ private:
+  const Netlist* nl_;
+  const FaultUniverse* universe_;
+  SeqFsimOptions opts_;
+  PackedSim sim_;
+  std::vector<CellId> observed_;
+};
+
+/// Parallel-pattern single-fault combinational simulation: returns true if
+/// any of the patterns (one per lane, values keyed by controllable net)
+/// detects `fault` on the observed outputs. For pure combinational netlists.
+bool comb_detects(const Netlist& nl, const FaultUniverse& universe, FaultId fault,
+                  std::span<const std::vector<std::pair<NetId, bool>>> patterns,
+                  const std::vector<CellId>& observed);
+
+}  // namespace olfui

@@ -1,0 +1,102 @@
+#include "memmap/memmap.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/strings.hpp"
+
+namespace olfui {
+
+std::size_t AddressBitInfo::num_constant() const {
+  std::size_t n = 0;
+  for (bool v : varying)
+    if (!v) ++n;
+  return n;
+}
+
+std::string AddressBitInfo::to_string() const {
+  std::string out = "varying:";
+  for (std::size_t b = 0; b < varying.size(); ++b)
+    if (varying[b]) out += format(" %zu", b);
+  out += "  constant:";
+  for (std::size_t b = 0; b < varying.size(); ++b)
+    if (!varying[b]) out += format(" %zu=%d", b, value[b] ? 1 : 0);
+  return out;
+}
+
+bool MemoryMap::bit_can_be(int bit, bool v) const {
+  for (const MemRange& r : ranges_) {
+    if (r.size == 0) continue;
+    // Within [base, last]: bit can be 0/1 iff either the prefix above `bit`
+    // changes across the range (then all low patterns occur) or the fixed
+    // bit value matches.
+    const std::uint64_t lo = r.base, hi = r.last();
+    if ((lo >> (bit + 1)) != (hi >> (bit + 1))) return true;  // bit wraps
+    const bool fixed = (lo >> bit) & 1;
+    if ((lo >> bit) == (hi >> bit)) {
+      if (fixed == v) return true;
+    } else {
+      return true;  // bit itself transitions within the range
+    }
+  }
+  return false;
+}
+
+AddressBitInfo MemoryMap::analyze(int width) const {
+  AddressBitInfo info;
+  info.varying.resize(static_cast<std::size_t>(width));
+  info.value.resize(static_cast<std::size_t>(width));
+  for (int b = 0; b < width; ++b) {
+    const bool can0 = bit_can_be(b, false);
+    const bool can1 = bit_can_be(b, true);
+    info.varying[static_cast<std::size_t>(b)] = can0 && can1;
+    // For constant bits record the single achievable value; an unmapped
+    // bus (no ranges) defaults to 0 — the reset value of address registers.
+    info.value[static_cast<std::size_t>(b)] = can1 && !can0;
+  }
+  return info;
+}
+
+bool MemoryMap::contains(std::uint64_t addr) const {
+  for (const MemRange& r : ranges_)
+    if (r.size != 0 && addr >= r.base && addr <= r.last()) return true;
+  return false;
+}
+
+std::vector<AddrRegBit> find_address_registers(const Netlist& nl) {
+  std::vector<AddrRegBit> out;
+  for (CellId id = 0; id < nl.num_cells(); ++id) {
+    const Cell& c = nl.cell(id);
+    if (!is_sequential(c.type) || !starts_with(c.tag, "addr:")) continue;
+    const auto parts = split(c.tag, ":");
+    if (parts.size() != 3) continue;
+    const auto bit = parse_uint(parts[2]);
+    if (!bit) continue;
+    out.push_back({id, std::string(parts[1]), static_cast<int>(*bit)});
+  }
+  return out;
+}
+
+MissionConfig memmap_config(const Netlist& nl, const MemoryMap& map, int width,
+                            const std::vector<std::string>& classes) {
+  const AddressBitInfo info = map.analyze(width);
+  MissionConfig cfg;
+  for (const AddrRegBit& reg : find_address_registers(nl)) {
+    if (reg.bit >= width || info.varying[static_cast<std::size_t>(reg.bit)])
+      continue;
+    if (!classes.empty() &&
+        std::find(classes.begin(), classes.end(), reg.cls) == classes.end())
+      continue;
+    const bool v = info.value[static_cast<std::size_t>(reg.bit)];
+    const Cell& c = nl.cell(reg.flop);
+    // Paper §3.3 step 4a: tie "input and output of those flip flops
+    // showing a constant value in any register involved in address
+    // manipulation". Tying Q propagates the constant into the address
+    // manipulation cones (adders, comparators) per Fig. 6.
+    cfg.tie(c.ins[kDffD], v);
+    cfg.tie(c.out, v);
+  }
+  return cfg;
+}
+
+}  // namespace olfui

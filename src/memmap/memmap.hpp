@@ -1,0 +1,79 @@
+// olfui/memmap: the §3.3 addressing-resources analysis.
+//
+// A System-on-Chip maps far less memory than its address bus could reach:
+// the case study connects a Flash at 0x0007_8000-0x0007_FFFF and a RAM at
+// 0x4000_0000-0x4001_FFFF to a 32-bit bus. An address bit that never
+// assumes both logic values over the union of mapped ranges makes every
+// register bit that stores addresses — PC, branch-target-buffer entries,
+// bus address registers — a constant in mission operation, and partially
+// starves the address-manipulation adders. The pass:
+//   1. computes the varying/constant address bits from the memory map;
+//   2. finds address registers by generator tag ("addr:<class>:<bit>");
+//   3. ties both the D and Q nets of the constant bits (the paper ties
+//      "input and output of those flip flops", Figs. 5/6) so the
+//      structural engine can propagate constants into the downstream
+//      address-manipulation cones.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sta/sta.hpp"
+
+namespace olfui {
+
+struct MemRange {
+  std::string name;
+  std::uint64_t base = 0;
+  std::uint64_t size = 0;  ///< bytes; range is [base, base+size)
+
+  std::uint64_t last() const { return base + size - 1; }
+};
+
+struct AddressBitInfo {
+  /// varying[b]: bit b legally assumes both values over the map.
+  std::vector<bool> varying;
+  /// For constant bits, the value they always carry.
+  std::vector<bool> value;
+
+  std::size_t num_constant() const;
+  std::string to_string() const;  ///< e.g. "varying: [18:0],30  constant0: ..."
+};
+
+class MemoryMap {
+ public:
+  void add_range(std::string name, std::uint64_t base, std::uint64_t size) {
+    ranges_.push_back({std::move(name), base, size});
+  }
+  const std::vector<MemRange>& ranges() const { return ranges_; }
+
+  /// True if some legal address has bit b = v.
+  bool bit_can_be(int bit, bool v) const;
+  /// Per-bit variability over the union of all ranges.
+  AddressBitInfo analyze(int width) const;
+  /// True if addr falls inside a mapped range.
+  bool contains(std::uint64_t addr) const;
+
+ private:
+  std::vector<MemRange> ranges_;
+};
+
+/// Address registers discovered by tag. Tag format: "addr:<class>:<bit>".
+struct AddrRegBit {
+  CellId flop = kInvalidId;
+  std::string cls;
+  int bit = 0;
+};
+
+std::vector<AddrRegBit> find_address_registers(const Netlist& nl);
+
+/// Builds the §3.3 mission configuration: for every tagged address-register
+/// bit whose address bit is constant under `map`, ties the flop's D and Q
+/// nets to the constant value. `classes` restricts which tag classes are
+/// tied (empty = all).
+MissionConfig memmap_config(const Netlist& nl, const MemoryMap& map, int width,
+                            const std::vector<std::string>& classes = {});
+
+}  // namespace olfui

@@ -1,0 +1,119 @@
+#include "netlist/cell.hpp"
+
+#include <array>
+#include <cassert>
+
+namespace olfui {
+namespace {
+
+struct TypeInfo {
+  std::string_view name;
+  int num_inputs;
+};
+
+constexpr std::array<TypeInfo, kNumCellTypes> kInfo = {{
+    {"INPUT", 0},  {"OUTPUT", 1}, {"TIE0", 0},  {"TIE1", 0},  {"BUF", 1},
+    {"NOT", 1},    {"AND2", 2},   {"AND3", 3},  {"AND4", 4},  {"OR2", 2},
+    {"OR3", 3},    {"OR4", 4},    {"NAND2", 2}, {"NAND3", 3}, {"NAND4", 4},
+    {"NOR2", 2},   {"NOR3", 3},   {"NOR4", 4},  {"XOR2", 2},  {"XNOR2", 2},
+    {"MUX2", 3},   {"DFF", 1},    {"DFFR", 2},
+}};
+
+}  // namespace
+
+int num_inputs(CellType t) { return kInfo[static_cast<int>(t)].num_inputs; }
+
+bool is_sequential(CellType t) { return t == CellType::kDff || t == CellType::kDffR; }
+
+bool is_port(CellType t) { return t == CellType::kInput || t == CellType::kOutput; }
+
+bool is_tie(CellType t) { return t == CellType::kTie0 || t == CellType::kTie1; }
+
+bool has_output(CellType t) { return t != CellType::kOutput; }
+
+std::string_view type_name(CellType t) { return kInfo[static_cast<int>(t)].name; }
+
+bool type_from_name(std::string_view name, CellType& out) {
+  for (int i = 0; i < kNumCellTypes; ++i) {
+    if (kInfo[i].name == name) {
+      out = static_cast<CellType>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string_view pin_name(CellType t, int pin) {
+  assert(pin >= 0 && pin <= num_inputs(t));
+  if (pin == 0) return t == CellType::kDff || t == CellType::kDffR ? "Q" : "Y";
+  switch (t) {
+    case CellType::kOutput:
+      return "A";
+    case CellType::kMux2: {
+      constexpr std::array<std::string_view, 3> names = {"A", "B", "S"};
+      return names[pin - 1];
+    }
+    case CellType::kDff:
+      return "D";
+    case CellType::kDffR: {
+      constexpr std::array<std::string_view, 2> names = {"D", "RSTN"};
+      return names[pin - 1];
+    }
+    default: {
+      constexpr std::array<std::string_view, 4> names = {"A", "B", "C", "D"};
+      return names[pin - 1];
+    }
+  }
+}
+
+std::uint64_t eval_packed(CellType t, const std::uint64_t* in, int n) {
+  switch (t) {
+    case CellType::kTie0:
+      return 0;
+    case CellType::kTie1:
+      return ~0ULL;
+    case CellType::kBuf:
+      return in[0];
+    case CellType::kNot:
+      return ~in[0];
+    case CellType::kAnd2:
+    case CellType::kAnd3:
+    case CellType::kAnd4: {
+      std::uint64_t v = in[0];
+      for (int i = 1; i < n; ++i) v &= in[i];
+      return v;
+    }
+    case CellType::kOr2:
+    case CellType::kOr3:
+    case CellType::kOr4: {
+      std::uint64_t v = in[0];
+      for (int i = 1; i < n; ++i) v |= in[i];
+      return v;
+    }
+    case CellType::kNand2:
+    case CellType::kNand3:
+    case CellType::kNand4: {
+      std::uint64_t v = in[0];
+      for (int i = 1; i < n; ++i) v &= in[i];
+      return ~v;
+    }
+    case CellType::kNor2:
+    case CellType::kNor3:
+    case CellType::kNor4: {
+      std::uint64_t v = in[0];
+      for (int i = 1; i < n; ++i) v |= in[i];
+      return ~v;
+    }
+    case CellType::kXor2:
+      return in[0] ^ in[1];
+    case CellType::kXnor2:
+      return ~(in[0] ^ in[1]);
+    case CellType::kMux2:
+      return (in[kMuxS] & in[kMuxB]) | (~in[kMuxS] & in[kMuxA]);
+    default:
+      assert(false && "eval_packed called on non-combinational cell");
+      return 0;
+  }
+}
+
+}  // namespace olfui

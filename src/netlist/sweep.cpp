@@ -1,0 +1,212 @@
+#include "netlist/sweep.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/logic.hpp"
+
+namespace olfui {
+namespace {
+
+/// Tie-derived constant value of every net, combinational cells only
+/// (flop outputs stay X so the pass remains cycle-accurate).
+std::vector<Logic> comb_constants(const Netlist& nl,
+                                  const std::vector<CellId>& order) {
+  std::vector<Logic> value(nl.num_nets(), Logic::VX);
+  for (CellId id = 0; id < nl.num_cells(); ++id) {
+    const Cell& c = nl.cell(id);
+    if (c.type == CellType::kTie0) value[c.out] = Logic::V0;
+    if (c.type == CellType::kTie1) value[c.out] = Logic::V1;
+  }
+  Logic in[4];
+  for (CellId id : order) {
+    const Cell& c = nl.cell(id);
+    if (c.type == CellType::kOutput || is_tie(c.type)) continue;
+    const int n = static_cast<int>(c.ins.size());
+    for (int i = 0; i < n; ++i) in[i] = value[c.ins[i]];
+    value[c.out] = eval_ternary(c.type, in, n);
+  }
+  return value;
+}
+
+/// Nets that (transitively) feed an output port, not descending into the
+/// drivers of constant nets (those get replaced by ties).
+std::vector<std::uint8_t> live_nets(const Netlist& nl,
+                                    const std::vector<Logic>& value) {
+  std::vector<std::uint8_t> live(nl.num_nets(), 0);
+  std::vector<NetId> worklist;
+  const auto need = [&](NetId n) {
+    if (!live[n]) {
+      live[n] = 1;
+      worklist.push_back(n);
+    }
+  };
+  for (CellId oc : nl.output_cells()) need(nl.cell(oc).ins[0]);
+  while (!worklist.empty()) {
+    const NetId n = worklist.back();
+    worklist.pop_back();
+    if (is_known(value[n])) continue;  // replaced by a tie, cone is dead
+    const CellId drv = nl.net(n).driver;
+    if (drv == kInvalidId) continue;
+    for (NetId in : nl.cell(drv).ins) need(in);
+  }
+  return live;
+}
+
+bool is_and_family(CellType t) {
+  return t == CellType::kAnd2 || t == CellType::kAnd3 || t == CellType::kAnd4 ||
+         t == CellType::kNand2 || t == CellType::kNand3 || t == CellType::kNand4;
+}
+bool is_or_family(CellType t) {
+  return t == CellType::kOr2 || t == CellType::kOr3 || t == CellType::kOr4 ||
+         t == CellType::kNor2 || t == CellType::kNor3 || t == CellType::kNor4;
+}
+bool is_inverting(CellType t) {
+  return t == CellType::kNand2 || t == CellType::kNand3 ||
+         t == CellType::kNand4 || t == CellType::kNor2 ||
+         t == CellType::kNor3 || t == CellType::kNor4;
+}
+CellType nary(bool and_family, bool inverting, std::size_t n) {
+  if (and_family)
+    return n == 2 ? (inverting ? CellType::kNand2 : CellType::kAnd2)
+           : n == 3 ? (inverting ? CellType::kNand3 : CellType::kAnd3)
+                    : (inverting ? CellType::kNand4 : CellType::kAnd4);
+  return n == 2 ? (inverting ? CellType::kNor2 : CellType::kOr2)
+         : n == 3 ? (inverting ? CellType::kNor3 : CellType::kOr3)
+                  : (inverting ? CellType::kNor4 : CellType::kOr4);
+}
+
+}  // namespace
+
+Netlist constant_sweep(const Netlist& nl, SweepStats* stats) {
+  std::vector<CellId> order;
+  if (!nl.levelize(order)) throw std::runtime_error("constant_sweep: loop");
+  const std::vector<Logic> value = comb_constants(nl, order);
+  const std::vector<std::uint8_t> live = live_nets(nl, value);
+
+  SweepStats st;
+  st.cells_in = nl.num_cells();
+
+  Netlist out(nl.name());
+  std::vector<NetId> net_map(nl.num_nets(), kInvalidId);
+  NetId tie0_net = kInvalidId, tie1_net = kInvalidId;
+  const auto tie_net = [&](bool v) {
+    NetId& cache = v ? tie1_net : tie0_net;
+    if (cache == kInvalidId) {
+      cache = out.add_net(v ? "sweep_tie1" : "sweep_tie0");
+      out.add_cell(v ? CellType::kTie1 : CellType::kTie0,
+                   v ? "u_sweep_tie1" : "u_sweep_tie0", cache, {});
+    }
+    return cache;
+  };
+  // Maps an original net to its replacement (tie net for constants).
+  const auto mapped = [&](NetId n) -> NetId {
+    if (is_known(value[n])) return tie_net(value[n] == Logic::V1);
+    assert(net_map[n] != kInvalidId);
+    return net_map[n];
+  };
+
+  // Input ports (interface is preserved even if unused).
+  for (CellId ic : nl.input_cells()) {
+    const Cell& c = nl.cell(ic);
+    const NetId n = out.add_input(c.name);
+    if (!is_known(value[c.out])) net_map[c.out] = n;
+  }
+  // Flop shells first (their Q nets are combinational sources).
+  std::vector<std::pair<CellId, CellId>> flop_fixups;  // (old, new)
+  for (CellId id = 0; id < nl.num_cells(); ++id) {
+    const Cell& c = nl.cell(id);
+    if (!is_sequential(c.type)) continue;
+    if (!live[c.out]) {
+      ++st.dead_removed;
+      continue;
+    }
+    const NetId q = out.add_net(nl.net(c.out).name);
+    net_map[c.out] = q;
+    const CellId nc = out.add_cell(
+        c.type, c.name, q,
+        std::vector<NetId>(static_cast<std::size_t>(num_inputs(c.type)),
+                           kInvalidId));
+    out.set_tag(nc, c.tag);
+    flop_fixups.emplace_back(id, nc);
+  }
+
+  // Combinational cells in topological order.
+  for (CellId id : order) {
+    const Cell& c = nl.cell(id);
+    if (c.type == CellType::kOutput) continue;
+    if (is_tie(c.type)) continue;  // re-created on demand
+    if (!live[c.out]) {
+      ++st.dead_removed;
+      continue;
+    }
+    if (is_known(value[c.out])) {
+      ++st.folded_constant;
+      continue;  // readers are redirected to the shared tie
+    }
+    // Substitute constant inputs and simplify the gate.
+    CellType type = c.type;
+    std::vector<NetId> ins;
+    if (is_and_family(type) || is_or_family(type)) {
+      const bool and_fam = is_and_family(type);
+      const Logic absorbed = and_fam ? Logic::V1 : Logic::V0;
+      for (NetId in : c.ins)
+        if (value[in] != absorbed) ins.push_back(mapped(in));
+      // No controlling constant can remain (output would be constant).
+      if (ins.size() != c.ins.size()) ++st.simplified;
+      if (ins.size() == 1) {
+        type = is_inverting(c.type) ? CellType::kNot : CellType::kBuf;
+      } else if (ins.size() != c.ins.size()) {
+        type = nary(and_fam, is_inverting(c.type), ins.size());
+      }
+    } else if (type == CellType::kXor2 || type == CellType::kXnor2) {
+      const Logic a = value[c.ins[0]], b = value[c.ins[1]];
+      if (is_known(a) || is_known(b)) {
+        ++st.simplified;
+        const bool cval = (is_known(a) ? a : b) == Logic::V1;
+        const NetId var = mapped(is_known(a) ? c.ins[1] : c.ins[0]);
+        const bool invert = (type == CellType::kXnor2) != cval;
+        type = invert ? CellType::kNot : CellType::kBuf;
+        ins = {var};
+      } else {
+        ins = {mapped(c.ins[0]), mapped(c.ins[1])};
+      }
+    } else if (type == CellType::kMux2) {
+      const Logic s = value[c.ins[kMuxS]];
+      if (is_known(s)) {
+        ++st.simplified;
+        type = CellType::kBuf;
+        ins = {mapped(s == Logic::V1 ? c.ins[kMuxB] : c.ins[kMuxA])};
+      } else if (c.ins[kMuxA] == c.ins[kMuxB]) {
+        ++st.simplified;
+        type = CellType::kBuf;
+        ins = {mapped(c.ins[kMuxA])};
+      } else {
+        ins = {mapped(c.ins[kMuxA]), mapped(c.ins[kMuxB]), mapped(c.ins[kMuxS])};
+      }
+    } else {  // BUF / NOT
+      ins = {mapped(c.ins[0])};
+    }
+    const NetId y = out.add_net(nl.net(c.out).name);
+    net_map[c.out] = y;
+    const CellId nc = out.add_cell(type, c.name, y, std::move(ins));
+    out.set_tag(nc, c.tag);
+  }
+
+  // Connect flop inputs.
+  for (auto [old_id, new_id] : flop_fixups) {
+    const Cell& c = nl.cell(old_id);
+    for (std::size_t i = 0; i < c.ins.size(); ++i)
+      out.connect_input(new_id, static_cast<int>(i), mapped(c.ins[i]));
+  }
+  // Output ports.
+  for (CellId oc : nl.output_cells())
+    out.add_output(nl.cell(oc).name, mapped(nl.cell(oc).ins[0]));
+
+  st.cells_out = out.num_cells();
+  if (stats) *stats = st;
+  return out;
+}
+
+}  // namespace olfui

@@ -1,0 +1,341 @@
+#include "sbst/sbst.hpp"
+
+#include <cassert>
+
+namespace olfui {
+
+namespace {
+
+/// ALU arithmetic: adder carry chains, subtract borrow, unsigned compare.
+Program prog_alu_arith(const SocConfig& cfg) {
+  Program p(cfg.cpu.reset_vector);
+  const std::uint32_t ram = static_cast<std::uint32_t>(cfg.ram_base);
+  p.li(0, 0);
+  p.li(7, ram);
+  p.li(1, 0x0000'00FF);
+  p.li(2, 0xAAAA'5555);
+  p.add(3, 1, 2);
+  p.sw(3, 7, 0);
+  p.sub(4, 2, 1);
+  p.sw(4, 7, 4);
+  p.li(5, 0xFFFF'FFFF);
+  p.add(6, 5, 5);  // carry out of every bit
+  p.sw(6, 7, 8);
+  p.sub(3, 1, 2);  // negative result
+  p.sw(3, 7, 12);
+  p.sltu(4, 1, 2);
+  p.sw(4, 7, 16);
+  p.sltu(4, 2, 1);
+  p.sw(4, 7, 20);
+  p.sltu(4, 2, 2);  // equal operands
+  p.sw(4, 7, 24);
+  // Walking-one accumulation: doubles r1 until it wraps to zero.
+  p.li(1, 1);
+  p.li(2, 0);
+  p.label("loop");
+  p.add(2, 2, 1);
+  p.add(1, 1, 1);
+  p.bne(1, 0, "loop");
+  p.sw(2, 7, 28);
+  // Alternating-carry patterns.
+  p.li(1, 0x5555'5555);
+  p.li(2, 0x3333'3333);
+  p.add(3, 1, 2);
+  p.sw(3, 7, 32);
+  p.addi(3, 3, -1);
+  p.sw(3, 7, 36);
+  p.halt();
+  return p;
+}
+
+/// Bitwise unit: AND/OR/XOR plus their immediate forms.
+Program prog_alu_logic(const SocConfig& cfg) {
+  Program p(cfg.cpu.reset_vector);
+  const std::uint32_t ram = static_cast<std::uint32_t>(cfg.ram_base) + 0x100;
+  p.li(0, 0);
+  p.li(7, ram);
+  p.li(1, 0xFF00'FF00);
+  p.li(2, 0x0F0F'0F0F);
+  p.and_(3, 1, 2);
+  p.sw(3, 7, 0);
+  p.or_(3, 1, 2);
+  p.sw(3, 7, 4);
+  p.xor_(3, 1, 2);
+  p.sw(3, 7, 8);
+  p.li(4, 0xFFFF'FFFF);
+  p.xor_(5, 1, 4);  // complement
+  p.sw(5, 7, 12);
+  p.and_(5, 1, 4);  // identity
+  p.sw(5, 7, 16);
+  p.or_(5, 2, 0);   // identity with zero
+  p.sw(5, 7, 20);
+  p.andi(3, 1, 0x5A5A);
+  p.sw(3, 7, 24);
+  p.ori(3, 2, 0x1248);
+  p.sw(3, 7, 28);
+  p.xori(3, 1, 0xFFFF);
+  p.sw(3, 7, 32);
+  p.lui(3, 0x8421);
+  p.sw(3, 7, 36);
+  p.halt();
+  return p;
+}
+
+/// Barrel shifter: all 32 amounts in both directions.
+Program prog_shift(const SocConfig& cfg) {
+  Program p(cfg.cpu.reset_vector);
+  const std::uint32_t ram = static_cast<std::uint32_t>(cfg.ram_base) + 0x200;
+  p.li(0, 0);
+  p.li(7, ram);
+  p.li(1, 0x8000'0003);  // ones at both ends survive shifting
+  p.li(2, 0);            // amount
+  p.li(3, 32);           // bound
+  p.label("sh");
+  p.sll(4, 1, 2);
+  p.srl(5, 1, 2);
+  p.xor_(6, 4, 5);
+  p.sw(6, 7, 0);
+  p.addi(7, 7, 4);
+  p.addi(2, 2, 1);
+  p.bne(2, 3, "sh");
+  p.halt();
+  return p;
+}
+
+/// Register-file march: unique patterns per register, then complements;
+/// every value leaves through the store port.
+Program prog_regfile(const SocConfig& cfg) {
+  Program p(cfg.cpu.reset_vector);
+  const std::uint32_t ram = static_cast<std::uint32_t>(cfg.ram_base) + 0x400;
+  p.li(7, ram);
+  const std::uint32_t patterns[6] = {0x0101'0101, 0x0202'0404, 0x1010'2020,
+                                     0x4040'8080, 0xFFFF'0000, 0x5A5A'A5A5};
+  for (int r = 1; r <= 6; ++r) p.li(r, patterns[r - 1]);
+  for (int r = 1; r <= 6; ++r) p.sw(r, 7, 4 * (r - 1));
+  p.li(0, 0xFFFF'FFFF);
+  for (int r = 1; r <= 6; ++r) p.xor_(r, r, 0);
+  for (int r = 1; r <= 6; ++r) p.sw(r, 7, 4 * (5 + r));
+  // r0 and r7 themselves: swap roles so both get a non-address pattern.
+  p.li(1, static_cast<std::uint32_t>(cfg.ram_base) + 0x400 + 64);
+  p.li(0, 0x1357'9BDF);
+  p.sw(0, 1, 0);
+  p.li(0, 0);
+  p.li(7, ram);
+  p.halt();
+  return p;
+}
+
+/// Control flow: trains the BTB with calls/returns and loop branches,
+/// includes not-taken paths and re-dispatch through JR.
+Program prog_branch_btb(const SocConfig& cfg) {
+  Program p(cfg.cpu.reset_vector);
+  const std::uint32_t ram = static_cast<std::uint32_t>(cfg.ram_base) + 0x600;
+  p.li(0, 0);
+  p.li(7, ram);
+  p.li(1, 8);  // outer trip count
+  p.li(2, 0);  // accumulator
+  p.label("outer");
+  p.jal(5, "sub1");
+  p.addi(2, 2, 1);
+  p.addi(1, 1, -1);
+  p.bne(1, 0, "outer");
+  p.sw(2, 7, 0);
+  // Not-taken conditional branches.
+  p.beq(1, 2, "skip1");  // r1 == 0, r2 == 16 -> not taken
+  p.addi(2, 2, 7);
+  p.label("skip1");
+  p.bne(1, 0, "skip2");  // r1 == 0 -> not taken
+  p.addi(2, 2, 100);
+  p.label("skip2");
+  p.sw(2, 7, 4);
+  // Calling the same subroutine from distinct sites makes JR return to
+  // different targets (and re-trains the BTB entry for the JR).
+  p.jal(5, "sub1");
+  p.jal(5, "sub1");
+  p.sw(2, 7, 8);
+  // Backward-taken BEQ loop (BNE loops above are the taken-BNE case).
+  p.li(3, 2);
+  p.li(6, 0);
+  p.label("bl");
+  p.addi(6, 6, 1);
+  p.beq(6, 3, "bldone");
+  p.beq(0, 0, "bl");  // unconditional backward branch
+  p.label("bldone");
+  p.sw(6, 7, 12);
+  p.halt();
+  p.label("sub1");
+  p.addi(2, 2, 1);
+  p.jr(5);
+  return p;
+}
+
+/// Load/store walks: address bit walking inside the RAM range, read-back
+/// accumulation, and a flash (code memory) data read.
+Program prog_loadstore(const SocConfig& cfg) {
+  Program p(cfg.cpu.reset_vector);
+  const std::uint32_t ram = static_cast<std::uint32_t>(cfg.ram_base);
+  p.li(0, 0);
+  p.li(7, ram);
+  p.li(1, 0xDEAD'BEEF);
+  p.li(4, static_cast<std::uint32_t>(cfg.ram_size));
+  p.li(2, 4);
+  p.label("wr");
+  p.add(3, 7, 2);
+  p.sw(1, 3, 0);
+  p.add(1, 1, 2);  // vary the stored data with the address
+  p.add(2, 2, 2);
+  p.bne(2, 4, "wr");
+  p.li(2, 4);
+  p.li(5, 0);
+  p.label("rd");
+  p.add(3, 7, 2);
+  p.lw(6, 3, 0);
+  p.add(5, 5, 6);
+  p.add(2, 2, 2);
+  p.bne(2, 4, "rd");
+  p.sw(5, 7, 0);
+  // Offset-form addressing (positive and negative immediates).
+  p.li(3, ram + 0x80);
+  p.sw(5, 3, 0x40);
+  p.sw(5, 3, -0x40);
+  p.lw(6, 3, 0x40);
+  p.sw(6, 3, 4);
+  // Read a code word from flash as data.
+  p.li(3, static_cast<std::uint32_t>(cfg.flash_base));
+  p.lw(6, 3, 0);
+  p.sw(6, 7, 8);
+  p.halt();
+  return p;
+}
+
+/// Multiplier: partial-product rows and carry chains of the 32x32 array.
+Program prog_mul(const SocConfig& cfg) {
+  Program p(cfg.cpu.reset_vector);
+  const std::uint32_t ram = static_cast<std::uint32_t>(cfg.ram_base) + 0x700;
+  p.li(0, 0);
+  p.li(7, ram);
+  p.li(1, 3);
+  p.li(2, 5);
+  p.mul(3, 1, 2);
+  p.sw(3, 7, 0);
+  p.li(1, 0xFFFF'FFFF);
+  p.mul(3, 1, 1);  // (-1)^2 wraps to 1
+  p.sw(3, 7, 4);
+  p.li(1, 0x0001'0001);
+  p.li(2, 0x0000'FFFF);
+  p.mul(3, 1, 2);
+  p.sw(3, 7, 8);
+  // Walking-one times walking-one sweeps every partial-product row.
+  p.li(1, 1);
+  p.li(4, 0);
+  p.label("mloop");
+  p.mul(3, 1, 1);
+  p.add(4, 4, 3);
+  p.add(1, 1, 1);
+  p.bne(1, 0, "mloop");
+  p.sw(4, 7, 12);
+  // Alternating patterns stress the adder rows.
+  p.li(1, 0xAAAA'AAAA);
+  p.li(2, 0x5555'5555);
+  p.mul(3, 1, 2);
+  p.sw(3, 7, 16);
+  p.mul(3, 2, 2);
+  p.sw(3, 7, 20);
+  p.halt();
+  return p;
+}
+
+/// Decode sweep: every opcode executes at least once with fresh operands.
+Program prog_decode(const SocConfig& cfg) {
+  Program p(cfg.cpu.reset_vector);
+  const std::uint32_t ram = static_cast<std::uint32_t>(cfg.ram_base) + 0x800;
+  p.li(0, 0);
+  p.li(7, ram);
+  p.nop();
+  p.li(1, 0x0000'1234);
+  p.li(2, 0x4321'0000);
+  p.add(3, 1, 2);
+  p.sub(3, 3, 1);
+  p.and_(4, 3, 2);
+  p.or_(4, 4, 1);
+  p.xor_(4, 4, 3);
+  p.sltu(5, 1, 2);
+  p.li(6, 5);
+  p.sll(5, 1, 6);
+  p.srl(5, 5, 6);
+  p.addi(5, 5, 0x7FF);
+  p.andi(5, 5, 0x0FF0);
+  p.ori(5, 5, 0x8001);
+  p.xori(5, 5, 0x00FF);
+  p.lui(6, 0x00C0);
+  p.sw(4, 7, 0);
+  p.sw(5, 7, 4);
+  p.sw(6, 7, 8);
+  p.lw(3, 7, 0);
+  p.add(3, 3, 5);
+  p.sw(3, 7, 12);
+  p.jal(5, "fwd");
+  p.addi(3, 3, 1);  // executed after return-to-link+? (skipped by jal)
+  p.label("fwd");
+  p.sw(3, 7, 16);
+  p.halt();
+  return p;
+}
+
+}  // namespace
+
+std::vector<SbstProgram> build_sbst_suite(const SocConfig& cfg) {
+  std::vector<SbstProgram> suite;
+  suite.push_back({"alu_arith", prog_alu_arith(cfg)});
+  suite.push_back({"alu_logic", prog_alu_logic(cfg)});
+  suite.push_back({"shift", prog_shift(cfg)});
+  suite.push_back({"regfile", prog_regfile(cfg)});
+  suite.push_back({"branch_btb", prog_branch_btb(cfg)});
+  suite.push_back({"loadstore", prog_loadstore(cfg)});
+  if (cfg.cpu.with_multiplier) suite.push_back({"mul", prog_mul(cfg)});
+  suite.push_back({"decode", prog_decode(cfg)});
+  return suite;
+}
+
+std::vector<int> run_suite_functional(const Soc& soc,
+                                      std::vector<SbstProgram>& suite,
+                                      int max_cycles_per_program,
+                                      ToggleRecorder* recorder) {
+  std::vector<int> cycles;
+  for (SbstProgram& sp : suite) {
+    SocSimulator runner(soc);
+    runner.load_program(sp.program);
+    cycles.push_back(runner.run(max_cycles_per_program, recorder));
+  }
+  return cycles;
+}
+
+SbstCampaignResult run_sbst_campaign(
+    const Soc& soc, std::vector<SbstProgram>& suite, FaultList& fl,
+    std::function<void(const std::string&, std::size_t, std::size_t)> progress) {
+  SbstCampaignResult result;
+  const std::vector<int> cycles = run_suite_functional(soc, suite);
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    SbstCampaignResult::PerProgram pp;
+    pp.name = suite[i].name;
+    pp.cycles = cycles[i];
+    FlashImage flash(soc.config.flash_base, soc.config.flash_size);
+    flash.load(suite[i].program.base(), suite[i].program.words());
+    // A small margin past the good machine's HALT lets slow faulty lanes
+    // diverge on the halted pin.
+    SocFsimEnvironment env(soc, flash, cycles[i] + 8);
+    SequentialFaultSimulator fsim(soc.netlist, fl.universe(),
+                                  {.max_cycles = cycles[i] + 8});
+    fsim.set_observed(soc.cpu.bus_output_cells);
+    const std::string& name = pp.name;
+    pp.new_detections = fsim.run_campaign(
+        fl, env, progress ? [&](std::size_t d, std::size_t t) {
+          progress(name, d, t);
+        } : std::function<void(std::size_t, std::size_t)>{});
+    result.programs.push_back(pp);
+    result.total_detected += pp.new_detections;
+  }
+  return result;
+}
+
+}  // namespace olfui

@@ -1,0 +1,58 @@
+// olfui/sbst: the software-based self-test suite.
+//
+// The paper's case study measures coverage of "a software-based self-test
+// library with high fault coverage capabilities" whose results are
+// observed on the system bus. This module provides the equivalent for
+// MiniRISC32: a suite of self-test programs (ALU arithmetic/logic,
+// shifter, register-file march, branch/BTB exercisers, load/store walks),
+// a functional runner that measures each program's cycle count and toggle
+// activity, and the fault-simulation campaign that grades the suite
+// against the stuck-at universe.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cpu/isa.hpp"
+#include "cpu/soc.hpp"
+#include "fault/fault_list.hpp"
+#include "fsim/fsim.hpp"
+#include "sim/sim.hpp"
+
+namespace olfui {
+
+struct SbstProgram {
+  std::string name;
+  Program program;
+};
+
+/// Builds the full suite, each program based at the SoC reset vector.
+std::vector<SbstProgram> build_sbst_suite(const SocConfig& cfg);
+
+/// Functionally runs every program (good machine), returning per-program
+/// cycle counts. If `recorder` is given it accumulates toggle activity
+/// across the whole suite (the §4 signal-activity screening input).
+std::vector<int> run_suite_functional(const Soc& soc,
+                                      std::vector<SbstProgram>& suite,
+                                      int max_cycles_per_program = 5000,
+                                      ToggleRecorder* recorder = nullptr);
+
+struct SbstCampaignResult {
+  struct PerProgram {
+    std::string name;
+    int cycles = 0;
+    std::size_t new_detections = 0;
+  };
+  std::vector<PerProgram> programs;
+  std::size_t total_detected = 0;
+};
+
+/// Fault-simulates the suite with system-bus observability, updating `fl`
+/// (already-detected and untestable faults are skipped — fault dropping).
+SbstCampaignResult run_sbst_campaign(
+    const Soc& soc, std::vector<SbstProgram>& suite, FaultList& fl,
+    std::function<void(const std::string&, std::size_t, std::size_t)> progress = {});
+
+}  // namespace olfui

@@ -1,0 +1,80 @@
+#include "scan/pattern_io.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace olfui {
+
+std::string write_patterns(const Netlist& nl,
+                           const std::vector<ScanPattern>& patterns) {
+  std::string out = "# olfui scan patterns v1\n";
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    out += format("pattern %zu\n", p);
+    // Deterministic order: sort PI assignments by net name.
+    std::vector<std::pair<std::string, bool>> pis;
+    for (const auto& [net, value] : patterns[p].pi)
+      pis.emplace_back(nl.net(net).name, value);
+    std::sort(pis.begin(), pis.end());
+    for (const auto& [name, value] : pis)
+      out += format("  pi %s %d\n", name.c_str(), value ? 1 : 0);
+    for (std::size_t c = 0; c < patterns[p].chain_state.size(); ++c) {
+      out += format("  chain %zu ", c);
+      for (bool b : patterns[p].chain_state[c]) out += b ? '1' : '0';
+      out += '\n';
+    }
+    out += "end\n";
+  }
+  return out;
+}
+
+std::vector<ScanPattern> read_patterns(const Netlist& nl,
+                                       const std::string& text) {
+  std::vector<ScanPattern> out;
+  ScanPattern current;
+  bool in_pattern = false;
+  int line_no = 0;
+  for (std::string_view raw : split(text, "\n")) {
+    ++line_no;
+    const std::string_view line = trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    const auto words = split(line, " \t");
+    if (words[0] == "pattern") {
+      if (in_pattern) throw PatternIoError("nested pattern", line_no);
+      in_pattern = true;
+      current = ScanPattern{};
+    } else if (words[0] == "end") {
+      if (!in_pattern) throw PatternIoError("stray end", line_no);
+      out.push_back(std::move(current));
+      in_pattern = false;
+    } else if (words[0] == "pi") {
+      if (!in_pattern || words.size() != 3)
+        throw PatternIoError("malformed pi line", line_no);
+      const NetId net = nl.find_input(words[1]);
+      if (net == kInvalidId)
+        throw PatternIoError("unknown input '" + std::string(words[1]) + "'",
+                             line_no);
+      current.pi[net] = words[2] == "1";
+    } else if (words[0] == "chain") {
+      if (!in_pattern || words.size() != 3)
+        throw PatternIoError("malformed chain line", line_no);
+      const auto idx = parse_uint(words[1]);
+      if (!idx) throw PatternIoError("bad chain index", line_no);
+      if (current.chain_state.size() <= *idx) current.chain_state.resize(*idx + 1);
+      std::vector<bool> bits;
+      for (char c : words[2]) {
+        if (c != '0' && c != '1')
+          throw PatternIoError("chain data must be 0/1", line_no);
+        bits.push_back(c == '1');
+      }
+      current.chain_state[*idx] = std::move(bits);
+    } else {
+      throw PatternIoError("unknown keyword '" + std::string(words[0]) + "'",
+                           line_no);
+    }
+  }
+  if (in_pattern) throw PatternIoError("missing end", line_no);
+  return out;
+}
+
+}  // namespace olfui

@@ -1,0 +1,46 @@
+// olfui/scan: scan-pattern file I/O.
+//
+// A minimal STIL-flavoured text format so generated manufacturing tests
+// can be stored, diffed and replayed:
+//
+//     # olfui scan patterns v1
+//     pattern 0
+//       pi rstn 1
+//       pi instr_i3 0
+//       chain 0 01101001
+//       chain 1 11100
+//     end
+//
+// Chain strings are listed scan-in-first (element 0 first). Unlisted PIs
+// default to 0 on replay.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "scan/scan_test.hpp"
+
+namespace olfui {
+
+class PatternIoError : public std::runtime_error {
+ public:
+  PatternIoError(const std::string& msg, int line)
+      : std::runtime_error("patterns:" + std::to_string(line) + ": " + msg),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Serializes patterns; PI nets are written by name (resolved via `nl`).
+std::string write_patterns(const Netlist& nl,
+                           const std::vector<ScanPattern>& patterns);
+
+/// Parses the format back; PI names are resolved against `nl` (unknown
+/// names raise PatternIoError).
+std::vector<ScanPattern> read_patterns(const Netlist& nl,
+                                       const std::string& text);
+
+}  // namespace olfui

@@ -1,0 +1,211 @@
+#include "scan/scan.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace olfui {
+
+std::size_t ScanChains::num_flops() const {
+  std::size_t n = 0;
+  for (const ScanChain& c : chains) n += c.elements.size();
+  return n;
+}
+
+ScanChains insert_scan(Netlist& nl, const ScanConfig& config) {
+  ScanChains out;
+  out.se_functional_value = config.se_functional_value;
+  out.se_net = nl.add_input("scan_en");
+
+  const std::vector<CellId> flops = nl.flops();
+  if (flops.empty()) return out;
+  const int nchains = std::max(1, config.num_chains);
+  const std::size_t per_chain = (flops.size() + nchains - 1) / nchains;
+
+  std::size_t idx = 0;
+  for (int ch = 0; ch < nchains && idx < flops.size(); ++ch) {
+    ScanChain chain;
+    chain.scan_in_net = nl.add_input(format("scan_in%d", ch));
+    NetId serial = chain.scan_in_net;
+    const std::size_t end = std::min(flops.size(), idx + per_chain);
+    for (std::size_t k = idx; k < end; ++k) {
+      const CellId flop = flops[k];
+      ScanElement elem;
+      elem.flop = flop;
+      // Optional buffers on the serial link feeding this element.
+      for (int b = 0; b < config.buffers_per_link; ++b) {
+        const NetId bnet =
+            nl.add_net(format("scan/link%d_%zu_b%d", ch, k - idx, b));
+        elem.link_buffers.push_back(nl.add_cell(
+            CellType::kBuf, format("scan/u_link%d_%zu_b%d", ch, k - idx, b),
+            bnet, {serial}));
+        serial = bnet;
+      }
+      // Fig. 2 mux-scan structure: A = functional input, B = SI, S = SE.
+      const NetId fi = nl.cell(flop).ins[kDffD];
+      const NetId md = nl.add_net(format("scan/md%d_%zu", ch, k - idx));
+      elem.mux = nl.add_cell(CellType::kMux2,
+                             format("scan/u_smux%d_%zu", ch, k - idx), md,
+                             {fi, serial, out.se_net});
+      nl.rewire_input(flop, kDffD, md);
+      serial = nl.cell(flop).out;  // Q continues the chain (SO)
+      chain.elements.push_back(std::move(elem));
+    }
+    // Trailing buffers + scan-out port.
+    for (int b = 0; b < config.buffers_per_link; ++b) {
+      const NetId bnet = nl.add_net(format("scan/tail%d_b%d", ch, b));
+      chain.tail_buffers.push_back(
+          nl.add_cell(CellType::kBuf, format("scan/u_tail%d_b%d", ch, b), bnet,
+                      {serial}));
+      serial = bnet;
+    }
+    chain.scan_out_port = nl.add_output(format("scan_out%d", ch), serial);
+    out.chains.push_back(std::move(chain));
+    idx = end;
+  }
+  return out;
+}
+
+namespace {
+
+/// Follows a serial net through BUF/NOT cells until it reaches the B pin of
+/// a scan mux (a MUX2 whose S input is `se_net`) or an OUTPUT port.
+/// Returns the buffers traversed; sets exactly one of `mux` / `port`.
+void follow_serial(const Netlist& nl, NetId serial, NetId se_net,
+                   std::vector<CellId>& buffers, CellId& mux, CellId& port) {
+  mux = kInvalidId;
+  port = kInvalidId;
+  std::size_t guard = nl.num_cells() + 1;
+  while (guard-- > 0) {
+    // Prefer a direct scan-mux / port consumer on this net.
+    CellId next_buf = kInvalidId;
+    for (const Pin& p : nl.net(serial).fanout) {
+      const Cell& c = nl.cell(p.cell);
+      if (c.type == CellType::kMux2 && p.pin == kMuxB + 1 &&
+          c.ins[kMuxS] == se_net) {
+        mux = p.cell;
+        return;
+      }
+      if (c.type == CellType::kOutput && starts_with(c.name, "scan_out")) {
+        port = p.cell;
+        return;
+      }
+      if ((c.type == CellType::kBuf || c.type == CellType::kNot) &&
+          starts_with(c.name, "scan/"))
+        next_buf = p.cell;
+    }
+    if (next_buf == kInvalidId)
+      throw std::runtime_error("trace_scan: serial path broken at net '" +
+                               nl.net(serial).name + "'");
+    buffers.push_back(next_buf);
+    serial = nl.cell(next_buf).out;
+  }
+  throw std::runtime_error("trace_scan: serial path loop");
+}
+
+}  // namespace
+
+ScanChains trace_scan(const Netlist& nl, const std::string& se_port,
+                      const std::string& scan_in_prefix,
+                      const std::string& scan_out_prefix) {
+  ScanChains out;
+  out.se_net = nl.find_input(se_port);
+  if (out.se_net == kInvalidId)
+    throw std::runtime_error("trace_scan: no scan-enable port '" + se_port + "'");
+  for (int ch = 0;; ++ch) {
+    const NetId si = nl.find_input(scan_in_prefix + std::to_string(ch));
+    if (si == kInvalidId) break;
+    ScanChain chain;
+    chain.scan_in_net = si;
+    NetId serial = si;
+    while (true) {
+      std::vector<CellId> buffers;
+      CellId mux = kInvalidId, port = kInvalidId;
+      follow_serial(nl, serial, out.se_net, buffers, mux, port);
+      if (port != kInvalidId) {
+        chain.tail_buffers = std::move(buffers);
+        chain.scan_out_port = port;
+        break;
+      }
+      ScanElement elem;
+      elem.link_buffers = std::move(buffers);
+      elem.mux = mux;
+      // The scanned flop is the (unique) flop fed by the mux output.
+      const NetId md = nl.cell(mux).out;
+      for (const Pin& p : nl.net(md).fanout) {
+        if (is_sequential(nl.cell(p.cell).type) && p.pin == kDffD + 1) {
+          elem.flop = p.cell;
+          break;
+        }
+      }
+      if (elem.flop == kInvalidId)
+        throw std::runtime_error("trace_scan: scan mux '" + nl.cell(mux).name +
+                                 "' does not feed a flop");
+      serial = nl.cell(elem.flop).out;
+      chain.elements.push_back(std::move(elem));
+    }
+    out.chains.push_back(std::move(chain));
+  }
+  (void)scan_out_prefix;  // ports are recognized by name inside follow_serial
+  return out;
+}
+
+std::size_t prune_scan_faults(const ScanChains& chains,
+                              const FaultUniverse& universe, FaultList& fl) {
+  std::size_t newly = 0;
+  const auto mark = [&](FaultId f, UntestableKind k) {
+    if (fl.untestable_kind(f) == UntestableKind::kNone) {
+      fl.mark_untestable(f, k, OnlineSource::kScan);
+      ++newly;
+    }
+  };
+  const auto mark_cell = [&](CellId cell, UntestableKind k) {
+    std::vector<FaultId> ids;
+    universe.faults_of_cell(cell, ids);
+    for (FaultId f : ids) mark(f, k);
+  };
+  const Netlist& nl = universe.netlist();
+  const bool func = chains.se_functional_value;
+
+  // SE stem: the stuck-at-<functional value> on the scan-enable port pin.
+  if (chains.se_net != kInvalidId) {
+    const CellId se_drv = nl.net(chains.se_net).driver;
+    mark(universe.id_of({se_drv, 0}, func), UntestableKind::kTied);
+  }
+  for (const ScanChain& chain : chains.chains) {
+    // Scan-in stem feeds only the serial path: unread in mission mode.
+    const CellId si_drv = nl.net(chain.scan_in_net).driver;
+    mark_cell(si_drv, UntestableKind::kUnobservable);
+    for (const ScanElement& e : chain.elements) {
+      for (CellId buf : e.link_buffers)
+        mark_cell(buf, UntestableKind::kUnobservable);
+      // SI branch (mux B pin): never selected -> both faults untestable.
+      const Pin si_pin{e.mux, static_cast<std::uint8_t>(kMuxB + 1)};
+      mark(universe.id_of(si_pin, false), UntestableKind::kUnobservable);
+      mark(universe.id_of(si_pin, true), UntestableKind::kUnobservable);
+      // SE branch (mux S pin): stuck-at-<functional value> only; the
+      // opposite fault corrupts mission behaviour and stays testable.
+      const Pin se_pin{e.mux, static_cast<std::uint8_t>(kMuxS + 1)};
+      mark(universe.id_of(se_pin, func), UntestableKind::kTied);
+    }
+    for (CellId buf : chain.tail_buffers)
+      mark_cell(buf, UntestableKind::kUnobservable);
+    if (chain.scan_out_port != kInvalidId)
+      mark_cell(chain.scan_out_port, UntestableKind::kUnobservable);
+  }
+  return newly;
+}
+
+MissionConfig scan_mission_config(const Netlist& nl, const ScanChains& chains) {
+  MissionConfig cfg;
+  if (chains.se_net != kInvalidId)
+    cfg.tie(chains.se_net, chains.se_functional_value);
+  for (const ScanChain& chain : chains.chains) {
+    if (chain.scan_out_port != kInvalidId) cfg.unobserve(chain.scan_out_port);
+  }
+  (void)nl;
+  return cfg;
+}
+
+}  // namespace olfui

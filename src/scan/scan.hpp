@@ -1,0 +1,87 @@
+// olfui/scan: scan insertion, scan-chain tracing, and the §3.1 pruner.
+//
+// Insertion replaces every flop's D connection with the mux-scan structure
+// of the paper's Fig. 2 (an explicit MUX2 in front of the flop: A = the
+// functional input FI, B = the serial input SI, S = the shared scan
+// enable SE), stitches the muxed flops into chains, and optionally places
+// buffers on the serial path between flops — the paper notes such buffers
+// must be pruned "analogously to the faults affecting SO".
+//
+// The tracer re-discovers chains structurally (it does not trust insertion
+// metadata): starting from each scan-in port it follows the serial path
+// through buffers/inverters into the B-input of scan muxes, mirroring the
+// paper's "ad-hoc tool able to trace the chain and directly select the
+// on-line functionally untestable faults".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault_list.hpp"
+#include "fault/universe.hpp"
+#include "netlist/netlist.hpp"
+#include "sta/sta.hpp"
+
+namespace olfui {
+
+struct ScanConfig {
+  int num_chains = 1;
+  /// Buffers inserted on each serial link (flop Q -> next SI).
+  int buffers_per_link = 1;
+  /// Logic value of SE selecting functional mode (mission value).
+  bool se_functional_value = false;
+};
+
+/// One scanned flop: its mux, flop, and the buffers on the serial link
+/// *feeding* this element (or feeding scan-out for the trailing buffers).
+struct ScanElement {
+  CellId mux = kInvalidId;
+  CellId flop = kInvalidId;
+  std::vector<CellId> link_buffers;
+};
+
+struct ScanChain {
+  NetId scan_in_net = kInvalidId;
+  CellId scan_out_port = kInvalidId;
+  std::vector<ScanElement> elements;
+  /// Buffers between the last flop and the scan-out port.
+  std::vector<CellId> tail_buffers;
+};
+
+struct ScanChains {
+  NetId se_net = kInvalidId;
+  bool se_functional_value = false;
+  std::vector<ScanChain> chains;
+
+  std::size_t num_flops() const;
+};
+
+/// Inserts mux-scan structures and stitches chains over all flops of `nl`
+/// (in flop id order, split contiguously across chains). Adds ports
+/// "scan_en", "scan_in<k>", "scan_out<k>".
+ScanChains insert_scan(Netlist& nl, const ScanConfig& config);
+
+/// Structurally traces all scan chains of a netlist given its SE / scan
+/// port names. Throws std::runtime_error if a chain cannot be followed.
+ScanChains trace_scan(const Netlist& nl, const std::string& se_port = "scan_en",
+                      const std::string& scan_in_prefix = "scan_in",
+                      const std::string& scan_out_prefix = "scan_out");
+
+/// §3.1 direct pruning (Fig. 2): marks as on-line functionally untestable
+///  * both stuck-at faults on each SI branch (mux B pin),
+///  * the stuck-at-<functional value> fault on each SE branch (mux S pin)
+///    and on the SE stem,
+///  * every fault of serial-path buffers, of the scan-in stems and of the
+///    scan-out ports.
+/// SE stuck-at-<scan value> is deliberately left testable ("the only fault
+/// that needs to be taken into consideration"). Returns #newly marked.
+std::size_t prune_scan_faults(const ScanChains& chains, const FaultUniverse& universe,
+                              FaultList& fl);
+
+/// Mission configuration equivalent of the scan restrictions (SE tied to
+/// its functional value, scan-out ports unread) for cross-checking the
+/// direct pruner against the structural engine.
+MissionConfig scan_mission_config(const Netlist& nl, const ScanChains& chains);
+
+}  // namespace olfui

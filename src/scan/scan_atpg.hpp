@@ -1,0 +1,55 @@
+// olfui/scan: full-scan manufacturing test generation.
+//
+// A compact production-style ATPG flow over the scan infrastructure:
+//   1. chain integrity test (flush);
+//   2. random-pattern phase: random full-scan patterns graded by parallel
+//      fault simulation through the scan-test runner (fault dropping);
+//   3. deterministic phase: PODEM targets the survivors, each generated
+//      pattern is applied through the chains and re-graded.
+//
+// Its purpose in this reproduction: measure the *manufacturing* stuck-at
+// coverage of the very same netlist whose *mission* coverage the SBST
+// campaign measures — the two coverages whose gap is the paper's subject.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_list.hpp"
+#include "scan/scan_test.hpp"
+
+namespace olfui {
+
+struct ScanAtpgOptions {
+  int random_patterns = 64;
+  std::uint64_t seed = 1;
+  /// Cap on PODEM targets in the deterministic phase (collapsed
+  /// representatives are targeted first).
+  std::size_t max_deterministic_targets = 4000;
+  std::size_t backtrack_limit = 2000;
+  /// Primary inputs to hold at fixed values during test (e.g. rstn).
+  std::vector<std::pair<NetId, bool>> pin_constraints;
+};
+
+struct ScanAtpgResult {
+  std::vector<ScanPattern> patterns;  ///< kept patterns (detected something)
+  std::size_t detected_by_chain_test = 0;
+  std::size_t detected_by_random = 0;
+  std::size_t detected_by_deterministic = 0;
+  std::size_t proven_untestable = 0;  ///< PODEM redundancy proofs
+  std::size_t aborted = 0;
+
+  std::size_t total_detected() const {
+    return detected_by_chain_test + detected_by_random +
+           detected_by_deterministic;
+  }
+};
+
+/// Runs the flow, marking detections (and PODEM-proven redundancies) in
+/// `fl`. Faults already detected or untestable in `fl` are skipped, so the
+/// flow composes with prior campaigns.
+ScanAtpgResult generate_scan_tests(const Netlist& nl, const ScanChains& chains,
+                                   const FaultUniverse& universe, FaultList& fl,
+                                   const ScanAtpgOptions& opts = {});
+
+}  // namespace olfui

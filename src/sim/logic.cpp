@@ -1,0 +1,106 @@
+#include "sim/logic.hpp"
+
+#include <cassert>
+
+namespace olfui {
+
+namespace {
+inline Logic as_xz(Logic v) { return v == Logic::VZ ? Logic::VX : v; }
+}  // namespace
+
+Logic logic_not(Logic a) {
+  a = as_xz(a);
+  if (a == Logic::VX) return Logic::VX;
+  return a == Logic::V0 ? Logic::V1 : Logic::V0;
+}
+
+Logic logic_and(Logic a, Logic b) {
+  a = as_xz(a);
+  b = as_xz(b);
+  if (a == Logic::V0 || b == Logic::V0) return Logic::V0;
+  if (a == Logic::V1 && b == Logic::V1) return Logic::V1;
+  return Logic::VX;
+}
+
+Logic logic_or(Logic a, Logic b) {
+  a = as_xz(a);
+  b = as_xz(b);
+  if (a == Logic::V1 || b == Logic::V1) return Logic::V1;
+  if (a == Logic::V0 && b == Logic::V0) return Logic::V0;
+  return Logic::VX;
+}
+
+Logic logic_xor(Logic a, Logic b) {
+  a = as_xz(a);
+  b = as_xz(b);
+  if (!is_known(a) || !is_known(b)) return Logic::VX;
+  return from_bool(a != b);
+}
+
+Logic eval_ternary(CellType t, const Logic* in, int n) {
+  switch (t) {
+    case CellType::kTie0:
+      return Logic::V0;
+    case CellType::kTie1:
+      return Logic::V1;
+    case CellType::kBuf:
+      return as_xz(in[0]);
+    case CellType::kNot:
+      return logic_not(in[0]);
+    case CellType::kAnd2:
+    case CellType::kAnd3:
+    case CellType::kAnd4: {
+      Logic v = in[0];
+      for (int i = 1; i < n; ++i) v = logic_and(v, in[i]);
+      return as_xz(v);
+    }
+    case CellType::kOr2:
+    case CellType::kOr3:
+    case CellType::kOr4: {
+      Logic v = in[0];
+      for (int i = 1; i < n; ++i) v = logic_or(v, in[i]);
+      return as_xz(v);
+    }
+    case CellType::kNand2:
+    case CellType::kNand3:
+    case CellType::kNand4: {
+      Logic v = in[0];
+      for (int i = 1; i < n; ++i) v = logic_and(v, in[i]);
+      return logic_not(v);
+    }
+    case CellType::kNor2:
+    case CellType::kNor3:
+    case CellType::kNor4: {
+      Logic v = in[0];
+      for (int i = 1; i < n; ++i) v = logic_or(v, in[i]);
+      return logic_not(v);
+    }
+    case CellType::kXor2:
+      return logic_xor(in[0], in[1]);
+    case CellType::kXnor2:
+      return logic_not(logic_xor(in[0], in[1]));
+    case CellType::kMux2: {
+      const Logic s = as_xz(in[kMuxS]);
+      const Logic a = as_xz(in[kMuxA]);
+      const Logic b = as_xz(in[kMuxB]);
+      if (s == Logic::V0) return a;
+      if (s == Logic::V1) return b;
+      return (is_known(a) && a == b) ? a : Logic::VX;
+    }
+    default:
+      assert(false && "eval_ternary on non-combinational cell");
+      return Logic::VX;
+  }
+}
+
+Logic flop_next(CellType t, Logic d, Logic rstn) {
+  d = as_xz(d);
+  if (t == CellType::kDff) return d;
+  assert(t == CellType::kDffR);
+  rstn = as_xz(rstn);
+  if (rstn == Logic::V0) return Logic::V0;
+  if (rstn == Logic::V1) return d;
+  return d == Logic::V0 ? Logic::V0 : Logic::VX;
+}
+
+}  // namespace olfui

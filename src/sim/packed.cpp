@@ -1,0 +1,173 @@
+#include "sim/packed.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace olfui {
+
+PackedSim::PackedSim(const Netlist& nl) : nl_(&nl) {
+  std::vector<CellId> order;
+  if (!nl.levelize(order))
+    throw std::runtime_error("PackedSim: combinational loop in netlist");
+  for (CellId id : order) {
+    const Cell& c = nl.cell(id);
+    if (c.type == CellType::kOutput) continue;
+    FlatCell fc;
+    fc.type = c.type;
+    fc.n = static_cast<std::uint8_t>(c.ins.size());
+    fc.out = c.out;
+    fc.id = id;
+    for (std::size_t i = 0; i < c.ins.size(); ++i) fc.in[i] = c.ins[i];
+    order_.push_back(fc);
+  }
+  values_.assign(nl.num_nets(), 0);
+  flop_state_.assign(nl.num_cells(), 0);
+  input_hold_.assign(nl.num_cells(), 0);
+  has_inj_.assign(nl.num_cells(), 0);
+  for (CellId id = 0; id < nl.num_cells(); ++id) {
+    const CellType t = nl.cell(id).type;
+    if (is_sequential(t))
+      flop_cells_.push_back(id);
+    else if (t == CellType::kInput || is_tie(t))
+      source_cells_.push_back(id);
+  }
+}
+
+void PackedSim::clear_injections() {
+  inj_.clear();
+  std::fill(has_inj_.begin(), has_inj_.end(), 0);
+}
+
+void PackedSim::add_injection(const PackedInjection& inj) {
+  inj_[inj.cell].push_back(inj);
+  has_inj_[inj.cell] = 1;
+}
+
+void PackedSim::power_on() {
+  std::fill(values_.begin(), values_.end(), 0);
+  std::fill(flop_state_.begin(), flop_state_.end(), 0);
+  std::fill(input_hold_.begin(), input_hold_.end(), 0);
+}
+
+void PackedSim::set_input_all(NetId net, bool v) {
+  const CellId drv = nl_->net(net).driver;
+  assert(drv != kInvalidId && nl_->cell(drv).type == CellType::kInput);
+  input_hold_[drv] = v ? ~0ULL : 0;
+}
+
+void PackedSim::set_input_lanes(NetId net, std::uint64_t lanes) {
+  const CellId drv = nl_->net(net).driver;
+  assert(drv != kInvalidId && nl_->cell(drv).type == CellType::kInput);
+  input_hold_[drv] = lanes;
+}
+
+void PackedSim::set_input_word(const Bus& bus, std::uint64_t value) {
+  for (std::size_t i = 0; i < bus.size(); ++i)
+    set_input_all(bus[i], (value >> i) & 1);
+}
+
+std::uint64_t PackedSim::apply_inj(CellId id, std::uint64_t* tmp,
+                                   std::uint64_t out_val,
+                                   bool apply_output) const {
+  for (const PackedInjection& j : inj_.at(id)) {
+    if (j.pin == 0) {
+      if (apply_output)
+        out_val = j.sa1 ? (out_val | j.lanes) : (out_val & ~j.lanes);
+    } else if (tmp != nullptr) {
+      std::uint64_t& w = tmp[j.pin - 1];
+      w = j.sa1 ? (w | j.lanes) : (w & ~j.lanes);
+    }
+  }
+  return out_val;
+}
+
+void PackedSim::eval() {
+  // Sources: primary inputs hold their driven value; ties their constant.
+  for (CellId id : source_cells_) {
+    const Cell& c = nl_->cell(id);
+    std::uint64_t v = c.type == CellType::kTie1   ? ~0ULL
+                      : c.type == CellType::kTie0 ? 0
+                                                  : input_hold_[id];
+    if (has_inj_[id]) v = apply_inj(id, nullptr, v, true);
+    values_[c.out] = v;
+  }
+  // Expose flop state (with Q-pin faults).
+  for (CellId id : flop_cells_) {
+    std::uint64_t v = flop_state_[id];
+    if (has_inj_[id]) v = apply_inj(id, nullptr, v, true);
+    values_[nl_->cell(id).out] = v;
+  }
+  // Levelized sweep over the flattened combinational cells.
+  const std::uint64_t* vals = values_.data();
+  for (const FlatCell& fc : order_) {
+    std::uint64_t out;
+    if (__builtin_expect(has_inj_[fc.id], 0)) {
+      std::uint64_t tmp[4];
+      for (int i = 0; i < fc.n; ++i) tmp[i] = vals[fc.in[i]];
+      std::uint64_t raw = apply_inj(fc.id, tmp, 0, false);
+      (void)raw;
+      out = eval_packed(fc.type, tmp, fc.n);
+      out = apply_inj(fc.id, nullptr, out, true);
+    } else {
+      // Hot path: inline the common gates, fall back for the rest.
+      switch (fc.type) {
+        case CellType::kAnd2:
+          out = vals[fc.in[0]] & vals[fc.in[1]];
+          break;
+        case CellType::kOr2:
+          out = vals[fc.in[0]] | vals[fc.in[1]];
+          break;
+        case CellType::kXor2:
+          out = vals[fc.in[0]] ^ vals[fc.in[1]];
+          break;
+        case CellType::kMux2: {
+          const std::uint64_t s = vals[fc.in[kMuxS]];
+          out = (s & vals[fc.in[kMuxB]]) | (~s & vals[fc.in[kMuxA]]);
+          break;
+        }
+        case CellType::kNot:
+          out = ~vals[fc.in[0]];
+          break;
+        case CellType::kBuf:
+          out = vals[fc.in[0]];
+          break;
+        default: {
+          std::uint64_t tmp[4];
+          for (int i = 0; i < fc.n; ++i) tmp[i] = vals[fc.in[i]];
+          out = eval_packed(fc.type, tmp, fc.n);
+          break;
+        }
+      }
+    }
+    values_[fc.out] = out;
+  }
+}
+
+void PackedSim::clock() {
+  std::uint64_t tmp[4];
+  for (CellId id : flop_cells_) {
+    const Cell& c = nl_->cell(id);
+    const int n = static_cast<int>(c.ins.size());
+    for (int i = 0; i < n; ++i) tmp[i] = values_[c.ins[i]];
+    if (has_inj_[id]) apply_inj(id, tmp, 0, false);
+    // DFF: q' = d. DFFR (active-low reset to 0): q' = d & rstn.
+    flop_state_[id] =
+        c.type == CellType::kDff ? tmp[kDffD] : (tmp[kDffD] & tmp[kDffRstn]);
+  }
+  eval();
+}
+
+std::uint64_t PackedSim::observed(CellId output_cell) const {
+  const Cell& c = nl_->cell(output_cell);
+  assert(c.type == CellType::kOutput);
+  std::uint64_t v = values_[c.ins[0]];
+  if (has_inj_[output_cell]) {
+    for (const PackedInjection& j : inj_.at(output_cell)) {
+      if (j.pin != 1) continue;
+      v = j.sa1 ? (v | j.lanes) : (v & ~j.lanes);
+    }
+  }
+  return v;
+}
+
+}  // namespace olfui

@@ -1,0 +1,81 @@
+// olfui/sim: 64-lane bit-parallel 2-valued simulation kernel.
+//
+// Each net carries one 64-bit word = 64 independent machines. The fault
+// simulator (olfui_fsim) packs a good machine plus up to 63 faulty machines
+// per pass and injects stuck-at values at (cell, pin) sites per lane — the
+// classic parallel-fault scheme. Simulation is 2-valued: callers must
+// apply an explicit reset sequence so that no X state matters.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "netlist/wordops.hpp"
+
+namespace olfui {
+
+/// A stuck-at value injected at a pin for a subset of lanes.
+struct PackedInjection {
+  CellId cell = kInvalidId;
+  std::uint8_t pin = 0;  ///< 0 = output pin, 1.. = input pins
+  bool sa1 = false;
+  std::uint64_t lanes = 0;  ///< lane mask where the fault is active
+};
+
+class PackedSim {
+ public:
+  explicit PackedSim(const Netlist& nl);
+
+  void clear_injections();
+  void add_injection(const PackedInjection& inj);
+
+  /// Zeroes all state (flops and nets). 2-valued power-on; drive a reset
+  /// sequence afterwards for circuits that need one.
+  void power_on();
+
+  /// Drives the same value on all 64 lanes of a primary input.
+  void set_input_all(NetId net, bool v);
+  /// Drives an explicit per-lane word on a primary input.
+  void set_input_lanes(NetId net, std::uint64_t lanes);
+  /// Drives bit i of `value` on all lanes of bus[i].
+  void set_input_word(const Bus& bus, std::uint64_t value);
+
+  /// Settles combinational logic (applies injections).
+  void eval();
+  /// Clock edge then eval.
+  void clock();
+
+  std::uint64_t value(NetId net) const { return values_[net]; }
+  /// Value seen by a top-level output port, including any injection on the
+  /// port cell's input pin (PO stuck-at faults).
+  std::uint64_t observed(CellId output_cell) const;
+
+  const Netlist& netlist() const { return *nl_; }
+
+ private:
+  /// Flattened cell record for the hot evaluation loop.
+  struct FlatCell {
+    CellType type;
+    std::uint8_t n;
+    NetId out;
+    CellId id;
+    NetId in[4];
+  };
+
+  std::uint64_t apply_inj(CellId id, std::uint64_t* tmp, std::uint64_t out_val,
+                          bool apply_output) const;
+
+  const Netlist* nl_;
+  std::vector<FlatCell> order_;
+  std::vector<CellId> flop_cells_;
+  std::vector<CellId> source_cells_;  // kInput + ties
+  std::vector<std::uint64_t> values_;       // per net
+  std::vector<std::uint64_t> flop_state_;   // per cell (flop entries only)
+  std::vector<std::uint64_t> input_hold_;   // per cell: driven PI value
+  std::vector<std::uint8_t> has_inj_;       // per cell
+  std::unordered_map<CellId, std::vector<PackedInjection>> inj_;
+};
+
+}  // namespace olfui

@@ -1,0 +1,355 @@
+#include "sta/sta.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace olfui {
+
+void MissionConfig::merge(const MissionConfig& other) {
+  constants.insert(constants.end(), other.constants.begin(), other.constants.end());
+  unobserved_outputs.insert(unobserved_outputs.end(),
+                            other.unobserved_outputs.begin(),
+                            other.unobserved_outputs.end());
+}
+
+StructuralAnalyzer::StructuralAnalyzer(const Netlist& nl,
+                                       const FaultUniverse& universe)
+    : nl_(&nl), universe_(&universe) {
+  if (!nl.levelize(order_))
+    throw std::runtime_error("StructuralAnalyzer: combinational loop");
+}
+
+std::uint32_t StructuralAnalyzer::pin_ordinal(Pin p) const {
+  return universe_->id_of(p, false) / 2;
+}
+
+StaResult StructuralAnalyzer::analyze(const MissionConfig& config) const {
+  StaResult r;
+  r.net_value.assign(nl_->num_nets(), Logic::VX);
+  r.pin_observable.assign(num_pins(), 0);
+
+  // Assumption overlay: these nets keep their fixed fault-free value.
+  std::vector<std::uint8_t> assumed(nl_->num_nets(), 0);
+  for (auto [net, v] : config.constants) {
+    assumed[net] = 1;
+    r.net_value[net] = from_bool(v);
+  }
+  for (CellId id = 0; id < nl_->num_cells(); ++id) {
+    const Cell& c = nl_->cell(id);
+    if (is_tie(c.type) && !assumed[c.out])
+      r.net_value[c.out] = from_bool(c.type == CellType::kTie1);
+  }
+  propagate_constants(r);
+
+  // Observed-port flags.
+  r.port_observed.assign(nl_->num_cells(), 0);
+  for (CellId oc : nl_->output_cells()) r.port_observed[oc] = 1;
+  for (CellId c : config.unobserved_outputs) r.port_observed[c] = 0;
+
+  // Observability.
+  propagate_observability(config, r);
+  return r;
+}
+
+void StructuralAnalyzer::propagate_constants(StaResult& r) const {
+  std::vector<std::uint8_t> assumed(nl_->num_nets(), 0);
+  // Re-derive the assumption set from values fixed before first sweep:
+  // only nets whose value is already known and that have no evaluable
+  // driver sweep (ties and config constants) must be preserved. Simpler:
+  // remember them now.
+  for (NetId n = 0; n < nl_->num_nets(); ++n)
+    if (r.net_value[n] != Logic::VX) assumed[n] = 1;
+
+  // Monotone ternary fixpoint: combinational sweep + flop steady-state
+  // update, repeated until stable. Ternary evaluation is monotone in the
+  // information order, so values only ever refine X -> {0,1}.
+  Logic in[4];
+  bool changed = true;
+  std::size_t guard = nl_->num_cells() + 2;
+  while (changed && guard-- > 0) {
+    changed = false;
+    for (CellId id : order_) {
+      const Cell& c = nl_->cell(id);
+      if (c.type == CellType::kOutput || assumed[c.out]) continue;
+      const int n = static_cast<int>(c.ins.size());
+      for (int i = 0; i < n; ++i) in[i] = r.net_value[c.ins[i]];
+      const Logic v = eval_ternary(c.type, in, n);
+      if (v != r.net_value[c.out]) {
+        r.net_value[c.out] = v;
+        changed = true;
+      }
+    }
+    for (CellId id = 0; id < nl_->num_cells(); ++id) {
+      const Cell& c = nl_->cell(id);
+      if (!is_sequential(c.type) || assumed[c.out]) continue;
+      const Logic d = r.net_value[c.ins[kDffD]];
+      const Logic rstn = c.type == CellType::kDffR
+                             ? r.net_value[c.ins[kDffRstn]]
+                             : Logic::V1;
+      // Steady-state: if the data input settles to a constant, the flop
+      // output is that constant in mission operation (paper Figs. 5/6).
+      const Logic v = flop_next(c.type, d, rstn);
+      if (v != r.net_value[c.out]) {
+        r.net_value[c.out] = v;
+        changed = true;
+      }
+    }
+  }
+}
+
+bool StructuralAnalyzer::pin_blocked(const Cell& c, int pin,
+                                     const StaResult& r) const {
+  const auto is_const = [&](NetId n, bool v) { return r.net_const(n, v); };
+  switch (c.type) {
+    case CellType::kAnd2:
+    case CellType::kAnd3:
+    case CellType::kAnd4:
+    case CellType::kNand2:
+    case CellType::kNand3:
+    case CellType::kNand4:
+      for (std::size_t i = 0; i < c.ins.size(); ++i)
+        if (static_cast<int>(i) != pin - 1 && is_const(c.ins[i], false))
+          return true;
+      return false;
+    case CellType::kOr2:
+    case CellType::kOr3:
+    case CellType::kOr4:
+    case CellType::kNor2:
+    case CellType::kNor3:
+    case CellType::kNor4:
+      for (std::size_t i = 0; i < c.ins.size(); ++i)
+        if (static_cast<int>(i) != pin - 1 && is_const(c.ins[i], true))
+          return true;
+      return false;
+    case CellType::kMux2: {
+      const int data_pin = pin - 1;
+      if (data_pin == kMuxA) return is_const(c.ins[kMuxS], true);
+      if (data_pin == kMuxB) return is_const(c.ins[kMuxS], false);
+      // Select pin: blocked only when both data inputs carry the same
+      // known constant (toggling the select cannot change the output).
+      const Logic a = r.net_value[c.ins[kMuxA]];
+      const Logic b = r.net_value[c.ins[kMuxB]];
+      return is_known(a) && a == b;
+    }
+    case CellType::kDffR:
+      if (pin - 1 == kDffD) return is_const(c.ins[kDffRstn], false);
+      // RSTN pin: releasing/asserting reset is invisible if D is already 0.
+      return is_const(c.ins[kDffD], false);
+    default:
+      return false;  // BUF/NOT/XOR/XNOR/DFF/OUTPUT never block
+  }
+}
+
+void StructuralAnalyzer::propagate_observability(const MissionConfig& config,
+                                                 StaResult& r) const {
+  std::vector<std::uint8_t> unobserved(nl_->num_cells(), 0);
+  for (CellId c : config.unobserved_outputs) unobserved[c] = 1;
+
+  std::vector<std::uint8_t> net_obs(nl_->num_nets(), 0);
+  std::vector<NetId> worklist;
+
+  for (CellId oc : nl_->output_cells()) {
+    if (unobserved[oc]) continue;
+    const Cell& c = nl_->cell(oc);
+    r.pin_observable[pin_ordinal({oc, 1})] = 1;
+    if (!net_obs[c.ins[0]]) {
+      net_obs[c.ins[0]] = 1;
+      worklist.push_back(c.ins[0]);
+    }
+  }
+
+  while (!worklist.empty()) {
+    const NetId n = worklist.back();
+    worklist.pop_back();
+    const CellId drv = nl_->net(n).driver;
+    if (drv == kInvalidId) continue;
+    const Cell& c = nl_->cell(drv);
+    r.pin_observable[pin_ordinal({drv, 0})] = 1;
+    for (std::size_t i = 0; i < c.ins.size(); ++i) {
+      const int pin = static_cast<int>(i) + 1;
+      if (pin_blocked(c, pin, r)) continue;
+      r.pin_observable[pin_ordinal({drv, static_cast<std::uint8_t>(pin)})] = 1;
+      const NetId in = c.ins[i];
+      if (!net_obs[in]) {
+        net_obs[in] = 1;
+        worklist.push_back(in);
+      }
+    }
+  }
+}
+
+std::size_t StructuralAnalyzer::classify_faults(const StaResult& r, FaultList& fl,
+                                                OnlineSource s) const {
+  std::size_t newly = 0;
+  // Per-pin verification results are shared between the two stuck-at
+  // polarities of a pin (observability does not depend on polarity).
+  std::vector<std::int8_t> verified(num_pins(), -1);
+  for (FaultId f = 0; f < universe_->size(); ++f) {
+    if (fl.untestable_kind(f) != UntestableKind::kNone) continue;
+    const Fault& fault = universe_->fault(f);
+    const NetId n = nl_->pin_net(fault.pin);
+    const Logic v = r.net_value[n];
+    if (is_known(v) && (v == Logic::V1) == fault.sa1) {
+      // Unexcitable: the faulty value equals the mission value, so good
+      // and faulty machines are identical. Sound unconditionally.
+      fl.mark_untestable(f, UntestableKind::kTied, s);
+      ++newly;
+      continue;
+    }
+    const std::uint32_t ord = pin_ordinal(fault.pin);
+    if (r.pin_observable[ord]) continue;  // fast filter: maybe testable
+    if (verified[ord] < 0)
+      verified[ord] = fault_possibly_observable(r, fault.pin) ? 1 : 0;
+    if (verified[ord] == 0) {
+      fl.mark_untestable(f, UntestableKind::kUnobservable, s);
+      ++newly;
+    }
+  }
+  return newly;
+}
+
+std::size_t StructuralAnalyzer::classify_transition_faults(
+    const StaResult& r, FaultList& fl, OnlineSource s) const {
+  std::size_t newly = 0;
+  std::vector<std::int8_t> verified(num_pins(), -1);
+  for (FaultId f = 0; f < universe_->size(); ++f) {
+    if (fl.untestable_kind(f) != UntestableKind::kNone) continue;
+    const Fault& fault = universe_->fault(f);
+    const NetId n = nl_->pin_net(fault.pin);
+    // Launching a transition requires both values at the site; a mission
+    // constant of EITHER polarity kills both transition faults.
+    if (is_known(r.net_value[n])) {
+      fl.mark_untestable(f, UntestableKind::kTied, s);
+      ++newly;
+      continue;
+    }
+    const std::uint32_t ord = pin_ordinal(fault.pin);
+    if (r.pin_observable[ord]) continue;
+    if (verified[ord] < 0)
+      verified[ord] = fault_possibly_observable(r, fault.pin) ? 1 : 0;
+    if (verified[ord] == 0) {
+      fl.mark_untestable(f, UntestableKind::kUnobservable, s);
+      ++newly;
+    }
+  }
+  return newly;
+}
+
+bool StructuralAnalyzer::fault_possibly_observable(const StaResult& r,
+                                                   Pin pin) const {
+  const Netlist& nl = *nl_;
+  // div[n] == 1: net n may differ between the good and the faulty machine.
+  std::vector<std::uint8_t> div(nl.num_nets(), 0);
+
+  // A side input blocks only with a controlling constant that is itself
+  // provably fault-independent (non-divergent).
+  const auto is_blocking = [&](NetId side, bool controlling) {
+    return !div[side] && r.net_const(side, controlling);
+  };
+  // Divergence transfer of cell `c` given per-input divergence flags.
+  const auto cell_div = [&](const Cell& c, const auto& in_div) -> bool {
+    switch (c.type) {
+      case CellType::kAnd2:
+      case CellType::kAnd3:
+      case CellType::kAnd4:
+      case CellType::kNand2:
+      case CellType::kNand3:
+      case CellType::kNand4:
+      case CellType::kOr2:
+      case CellType::kOr3:
+      case CellType::kOr4:
+      case CellType::kNor2:
+      case CellType::kNor3:
+      case CellType::kNor4: {
+        const bool and_like =
+            c.type == CellType::kAnd2 || c.type == CellType::kAnd3 ||
+            c.type == CellType::kAnd4 || c.type == CellType::kNand2 ||
+            c.type == CellType::kNand3 || c.type == CellType::kNand4;
+        const bool ctrl = !and_like;  // OR-family controlled by 1
+        for (std::size_t i = 0; i < c.ins.size(); ++i) {
+          if (!in_div(i)) continue;
+          bool blocked = false;
+          for (std::size_t j = 0; j < c.ins.size(); ++j)
+            if (j != i && is_blocking(c.ins[j], ctrl)) blocked = true;
+          if (!blocked) return true;
+        }
+        return false;
+      }
+      case CellType::kMux2: {
+        if (in_div(kMuxA) && !is_blocking(c.ins[kMuxS], true)) return true;
+        if (in_div(kMuxB) && !is_blocking(c.ins[kMuxS], false)) return true;
+        if (in_div(kMuxS)) {
+          // Blocked only if both data inputs carry the same fault-free
+          // constant and neither can diverge.
+          const Logic a = r.net_value[c.ins[kMuxA]];
+          const Logic b = r.net_value[c.ins[kMuxB]];
+          const bool same_const = is_known(a) && a == b &&
+                                  !div[c.ins[kMuxA]] && !div[c.ins[kMuxB]];
+          if (!same_const) return true;
+        }
+        return false;
+      }
+      case CellType::kDff:
+        return in_div(kDffD);
+      case CellType::kDffR: {
+        if (in_div(kDffRstn)) {
+          // A diverging reset is masked only by a constant-0 non-diverging D.
+          if (!is_blocking(c.ins[kDffD], false)) return true;
+        }
+        if (in_div(kDffD) && !is_blocking(c.ins[kDffRstn], false)) return true;
+        return false;
+      }
+      default: {  // BUF/NOT/XOR/XNOR: any diverging input passes
+        for (std::size_t i = 0; i < c.ins.size(); ++i)
+          if (in_div(i)) return true;
+        return false;
+      }
+    }
+  };
+
+  // Seed. A branch fault diverges only inside its own cell's view; handle
+  // the first cell specially, then net-level propagation takes over.
+  const Cell& fcell = nl.cell(pin.cell);
+  if (pin.pin == 0) {
+    div[fcell.out] = 1;
+  } else {
+    if (fcell.type == CellType::kOutput)
+      return r.port_observed[pin.cell] != 0;  // PO pin fault: directly read?
+    const std::size_t fpin = static_cast<std::size_t>(pin.pin - 1);
+    const auto seed_in = [&](std::size_t i) { return i == fpin; };
+    if (fcell.out != kInvalidId && cell_div(fcell, seed_in)) div[fcell.out] = 1;
+    if (!div[fcell.out]) return false;
+  }
+
+  // Monotone fixpoint: levelized combinational sweeps interleaved with
+  // flop-edge transfers until stable (flop edges make the graph cyclic).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (CellId id : order_) {
+      const Cell& c = nl.cell(id);
+      if (c.type == CellType::kOutput || div[c.out]) continue;
+      const auto in_div = [&](std::size_t i) { return div[c.ins[i]] != 0; };
+      if (cell_div(c, in_div)) {
+        div[c.out] = 1;
+        changed = true;
+      }
+    }
+    for (CellId id = 0; id < nl.num_cells(); ++id) {
+      const Cell& c = nl.cell(id);
+      if (!is_sequential(c.type) || div[c.out]) continue;
+      const auto in_div = [&](std::size_t i) { return div[c.ins[i]] != 0; };
+      if (cell_div(c, in_div)) {
+        div[c.out] = 1;
+        changed = true;
+      }
+    }
+  }
+
+  for (CellId oc : nl.output_cells()) {
+    if (r.port_observed[oc] && div[nl.cell(oc).ins[0]]) return true;
+  }
+  return false;
+}
+
+}  // namespace olfui

@@ -1,0 +1,116 @@
+// olfui/sta: structural testability analysis — the engine the paper
+// delegates to a commercial tool ("run any EDA tool able to identify
+// structural untestable faults").
+//
+// The paper's circuit manipulations — "connect to ground or Vdd" selected
+// nets, "unconnect (leave floating)" debug outputs — are expressed here as
+// a MissionConfig overlay instead of a destructive netlist edit, keeping
+// fault ids stable across passes:
+//
+//  * constants: nets that carry a fixed logic value in fault-free mission
+//    operation (tied debug inputs, scan-enable, constant address-register
+//    bits). The *fault-free* value is fixed; faults on the net itself can
+//    still flip it, which is why s-a-1 on a grounded scan-enable remains
+//    testable (Fig. 2) while s-a-0 on it is pruned.
+//  * unobserved_outputs: top-level outputs nobody reads in mission mode
+//    (floating debug/observation buses, scan-out).
+//
+// analyze() runs a ternary constant fixpoint (propagating through flops —
+// the native equivalent of the paper's tie-both-FF-input-and-output
+// workaround of Figs. 5/6) and a backward observability pass with
+// controlling-side-input blocking. classify_faults() then labels each
+// fault UT (tied/unexcitable) or UO (unobservable), the two structural
+// untestability classes the flow prunes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_list.hpp"
+#include "fault/universe.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/logic.hpp"
+
+namespace olfui {
+
+/// Mission-mode circuit configuration (the paper's §3 manipulations).
+struct MissionConfig {
+  /// Fault-free constant-value assumptions per net.
+  std::vector<std::pair<NetId, bool>> constants;
+  /// kOutput port cells whose value is never read in mission mode.
+  std::vector<CellId> unobserved_outputs;
+
+  void tie(NetId net, bool value) { constants.emplace_back(net, value); }
+  void unobserve(CellId output_cell) { unobserved_outputs.push_back(output_cell); }
+  /// Merges another configuration (used when stacking passes).
+  void merge(const MissionConfig& other);
+};
+
+/// Result of one structural analysis run.
+struct StaResult {
+  /// Fault-free value of each net at the mission fixpoint (V0/V1/VX).
+  std::vector<Logic> net_value;
+  /// Per-pin observability, indexed by pin ordinal (see pin_ordinal()).
+  /// This is the fast structural approximation; classification verifies
+  /// every unobservable candidate with the sound per-fault check below.
+  std::vector<std::uint8_t> pin_observable;
+  /// Per top-level-output-cell flag: 1 if read in mission mode.
+  std::vector<std::uint8_t> port_observed;
+
+  bool net_const(NetId n, bool v) const {
+    return net_value[n] == (v ? Logic::V1 : Logic::V0);
+  }
+};
+
+class StructuralAnalyzer {
+ public:
+  /// Both references must outlive the analyzer.
+  StructuralAnalyzer(const Netlist& nl, const FaultUniverse& universe);
+
+  /// Dense index of a pin: FaultUniverse stores the two stuck-at faults of
+  /// a pin adjacently, so ordinal == id_of(pin, false) / 2.
+  std::uint32_t pin_ordinal(Pin p) const;
+  std::size_t num_pins() const { return universe_->size() / 2; }
+
+  StaResult analyze(const MissionConfig& config) const;
+
+  /// Marks faults proven untestable by `r` into `fl` with source label `s`:
+  /// fault s-a-v at a pin whose fault-free value is v  -> kTied;
+  /// fault at a pin with no sensitizable path to an observed output -> kUnobservable.
+  /// Returns the number of *newly* marked faults.
+  std::size_t classify_faults(const StaResult& r, FaultList& fl,
+                              OnlineSource s) const;
+
+  /// Extension (the paper's conclusion: "extend the proposed technique to
+  /// other fault models"): transition-delay fault classification. The
+  /// universe sites are shared with stuck-at faults: id 2k is the
+  /// slow-to-rise fault of pin k, id 2k+1 the slow-to-fall fault.
+  /// A transition fault needs BOTH logic values at its site (launch and
+  /// capture), so any site with a constant mission value loses both
+  /// transition faults — strictly more pruning than stuck-at, matching
+  /// the literature on functionally untestable delay faults.
+  std::size_t classify_transition_faults(const StaResult& r, FaultList& fl,
+                                         OnlineSource s) const;
+
+  /// Sound per-fault observability proof. Propagates a "possibly differs
+  /// between good and faulty machine" marker forward from the fault pin;
+  /// a side input blocks propagation only when it carries a controlling
+  /// fault-free constant AND is itself provably unaffected by the fault
+  /// (otherwise reconvergent fault effects could unblock the path — the
+  /// classic multi-path sensitization trap of static blocking rules).
+  /// Returns false only when no observed output can ever differ.
+  bool fault_possibly_observable(const StaResult& r, Pin pin) const;
+
+ private:
+  void propagate_constants(StaResult& r) const;
+  void propagate_observability(const MissionConfig& config, StaResult& r) const;
+  /// True if input pin `pin` (1-based) of cell `c` is blocked by the
+  /// fault-free constants on the cell's other inputs.
+  bool pin_blocked(const Cell& c, int pin, const StaResult& r) const;
+
+  const Netlist* nl_;
+  const FaultUniverse* universe_;
+  std::vector<CellId> order_;  // levelized combinational order
+};
+
+}  // namespace olfui

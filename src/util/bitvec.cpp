@@ -1,0 +1,104 @@
+#include "util/bitvec.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace olfui {
+
+BitVec::BitVec(std::size_t nbits, bool value) { resize(nbits, value); }
+
+void BitVec::resize(std::size_t nbits, bool value) {
+  nbits_ = nbits;
+  words_.assign((nbits + 63) / 64, value ? ~0ULL : 0ULL);
+  mask_tail();
+}
+
+bool BitVec::get(std::size_t i) const {
+  assert(i < nbits_);
+  return (words_[i >> 6] >> (i & 63)) & 1ULL;
+}
+
+void BitVec::set(std::size_t i, bool v) {
+  assert(i < nbits_);
+  const std::uint64_t m = 1ULL << (i & 63);
+  if (v)
+    words_[i >> 6] |= m;
+  else
+    words_[i >> 6] &= ~m;
+}
+
+void BitVec::set_all(bool v) {
+  for (auto& w : words_) w = v ? ~0ULL : 0ULL;
+  mask_tail();
+}
+
+std::size_t BitVec::count() const {
+  std::size_t n = 0;
+  for (auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+std::size_t BitVec::find_first() const { return find_next(0); }
+
+std::size_t BitVec::find_next(std::size_t from) const {
+  if (from >= nbits_) return nbits_;
+  std::size_t w = from >> 6;
+  std::uint64_t cur = words_[w] & (~0ULL << (from & 63));
+  while (true) {
+    if (cur != 0) {
+      const std::size_t bit = (w << 6) + static_cast<std::size_t>(std::countr_zero(cur));
+      return bit < nbits_ ? bit : nbits_;
+    }
+    if (++w >= words_.size()) return nbits_;
+    cur = words_[w];
+  }
+}
+
+BitVec& BitVec::operator|=(const BitVec& o) {
+  assert(nbits_ == o.nbits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+  return *this;
+}
+
+BitVec& BitVec::operator&=(const BitVec& o) {
+  assert(nbits_ == o.nbits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+  return *this;
+}
+
+BitVec& BitVec::operator^=(const BitVec& o) {
+  assert(nbits_ == o.nbits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= o.words_[i];
+  return *this;
+}
+
+BitVec& BitVec::subtract(const BitVec& o) {
+  assert(nbits_ == o.nbits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+  return *this;
+}
+
+void BitVec::flip() {
+  for (auto& w : words_) w = ~w;
+  mask_tail();
+}
+
+bool BitVec::any() const {
+  for (auto w : words_)
+    if (w != 0) return true;
+  return false;
+}
+
+std::string BitVec::to_string() const {
+  std::string s;
+  s.reserve(nbits_);
+  for (std::size_t i = 0; i < nbits_; ++i) s.push_back(get(i) ? '1' : '0');
+  return s;
+}
+
+void BitVec::mask_tail() {
+  if (nbits_ % 64 != 0 && !words_.empty())
+    words_.back() &= (1ULL << (nbits_ % 64)) - 1;
+}
+
+}  // namespace olfui

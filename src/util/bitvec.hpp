@@ -1,0 +1,63 @@
+// olfui/util: dynamically sized bit vector used for pattern storage,
+// fault masks and packed-simulation bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace olfui {
+
+/// A fixed-length sequence of bits with word-level access.
+///
+/// Bits are stored little-endian within 64-bit words: bit i lives in
+/// word i/64 at position i%64. Unused tail bits of the last word are
+/// kept at zero (class invariant, restored by every mutator).
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::size_t nbits, bool value = false);
+
+  std::size_t size() const { return nbits_; }
+  bool empty() const { return nbits_ == 0; }
+
+  bool get(std::size_t i) const;
+  void set(std::size_t i, bool v);
+  void set_all(bool v);
+  void resize(std::size_t nbits, bool value = false);
+
+  /// Number of set bits.
+  std::size_t count() const;
+  /// Index of the first set bit, or size() if none.
+  std::size_t find_first() const;
+  /// Index of the first set bit at or after `from`, or size() if none.
+  std::size_t find_next(std::size_t from) const;
+
+  BitVec& operator|=(const BitVec& o);
+  BitVec& operator&=(const BitVec& o);
+  BitVec& operator^=(const BitVec& o);
+  /// Clears every bit that is set in `o` (set difference).
+  BitVec& subtract(const BitVec& o);
+  void flip();
+
+  bool any() const;
+  bool none() const { return !any(); }
+
+  bool operator==(const BitVec& o) const = default;
+
+  /// Raw word access for packed kernels. Words beyond size() bits are zero.
+  std::uint64_t word(std::size_t w) const { return words_[w]; }
+  std::size_t word_count() const { return words_.size(); }
+
+  /// "101001..." MSB-last rendering (bit 0 first), for diagnostics.
+  std::string to_string() const;
+
+ private:
+  void mask_tail();
+
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace olfui

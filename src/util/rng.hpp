@@ -1,0 +1,25 @@
+// olfui/util: deterministic PRNG (xoshiro256**) for pattern generation.
+// A fixed, documented generator keeps ATPG / fault-simulation results
+// reproducible across platforms, unlike std::default_random_engine.
+#pragma once
+
+#include <cstdint>
+
+namespace olfui {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  std::uint64_t next_u64();
+  /// Uniform in [0, bound). bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound);
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+  bool next_bool() { return (next_u64() >> 63) != 0; }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace olfui

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "cpu/asm.hpp"
+#include "cpu/soc.hpp"
+
+namespace olfui {
+namespace {
+
+TEST(Assembler, BasicInstructions) {
+  Program p = assemble(R"(
+    .org 0x1000
+    nop
+    add r1, r2, r3
+    sub r4, r5, r6
+    addi r1, r0, 42
+    lui r2, 0x4000
+    halt
+  )");
+  EXPECT_EQ(p.base(), 0x1000u);
+  const auto& w = p.words();
+  ASSERT_EQ(w.size(), 6u);
+  EXPECT_EQ(disassemble(w[0]), "nop");
+  EXPECT_EQ(disassemble(w[1]), "add r1, r2, r3");
+  EXPECT_EQ(disassemble(w[2]), "sub r4, r5, r6");
+  EXPECT_EQ(disassemble(w[3]), "addi r1, r0, 42");
+  EXPECT_EQ(disassemble(w[5]), "halt");
+}
+
+TEST(Assembler, MemoryOperandsAndNegativeOffsets) {
+  Program p = assemble(R"(
+    lw r1, 8(r7)
+    sw r2, -4(r3)
+  )");
+  const auto& w = p.words();
+  EXPECT_EQ(disassemble(w[0]), "lw r1, 8(r7)");
+  const Instr i = decode(w[1]);
+  EXPECT_EQ(i.op, Opcode::kSw);
+  EXPECT_EQ(i.rs2, 2);
+  EXPECT_EQ(i.rs1, 3);
+  EXPECT_EQ(static_cast<std::int16_t>(i.imm), -4);
+}
+
+TEST(Assembler, LabelsAndBranches) {
+  Program p = assemble(R"(
+    .org 0x100
+    li r1, 3
+  loop:
+    addi r1, r1, -1
+    bne r1, r0, loop
+    beq r0, r0, done
+    nop
+  done:
+    halt
+  )");
+  const auto& w = p.words();
+  // li expands to lui+ori.
+  const Instr bne_i = decode(w[3]);
+  EXPECT_EQ(bne_i.op, Opcode::kBne);
+  EXPECT_EQ(static_cast<std::int16_t>(bne_i.imm), -2);
+  const Instr beq_i = decode(w[4]);
+  EXPECT_EQ(static_cast<std::int16_t>(beq_i.imm), 1);  // skip the nop
+}
+
+TEST(Assembler, LiPseudoInstructionExpands) {
+  Program p = assemble("li r3, 0x12345678\nhalt\n");
+  const auto& w = p.words();
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_EQ(decode(w[0]).op, Opcode::kLui);
+  EXPECT_EQ(decode(w[1]).op, Opcode::kOri);
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  Program p = assemble(R"(
+    ; full-line comment
+    # another style
+    nop        // trailing comment
+    nop        ; trailing
+  )");
+  EXPECT_EQ(p.words().size(), 2u);
+}
+
+TEST(Assembler, WordDirectiveEmitsRawData) {
+  Program p = assemble(".word 0xDEADBEEF\n.word 7\n");
+  const auto& w = p.words();
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_EQ(w[0], 0xDEADBEEFu);
+  EXPECT_EQ(w[1], 7u);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  try {
+    assemble("nop\nfrobnicate r1, r2\n");
+    FAIL() << "expected AsmError";
+  } catch (const AsmError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_NE(std::string(e.what()).find("unknown mnemonic"), std::string::npos);
+  }
+}
+
+TEST(Assembler, RejectsBadRegister) {
+  EXPECT_THROW(assemble("add r1, r9, r2\n"), AsmError);
+}
+
+TEST(Assembler, RejectsImmediateOutOfRange) {
+  EXPECT_THROW(assemble("addi r1, r0, 100000\n"), AsmError);
+}
+
+TEST(Assembler, RejectsLateOrg) {
+  EXPECT_THROW(assemble("nop\n.org 0x100\n"), AsmError);
+}
+
+TEST(Assembler, RejectsUndefinedLabel) {
+  EXPECT_THROW(assemble("beq r0, r0, nowhere\n"), AsmError);
+}
+
+TEST(Assembler, RejectsTrailingGarbage) {
+  EXPECT_THROW(assemble("nop nop\n"), AsmError);
+}
+
+TEST(Assembler, AssembledProgramRunsOnTheSoc) {
+  SocConfig cfg;
+  cfg.with_debug = false;
+  cfg.with_scan = false;
+  cfg.cpu.with_multiplier = false;
+  cfg.cpu.btb_entries = 1;
+  auto soc = build_soc(cfg);
+  Program p = assemble(R"(
+    .org 0x78000
+    li r7, 0x40000000
+    li r1, 5
+    li r2, 0
+  loop:
+    add r2, r2, r1
+    addi r1, r1, -1
+    bne r1, r0, loop
+    sw r2, 0(r7)
+    halt
+  )");
+  // r0 is general-purpose: zero it explicitly like the suite does.
+  Program full = assemble(R"(
+    .org 0x78000
+    li r0, 0
+    li r7, 0x40000000
+    li r1, 5
+    li r2, 0
+  loop:
+    add r2, r2, r1
+    addi r1, r1, -1
+    bne r1, r0, loop
+    sw r2, 0(r7)
+    halt
+  )");
+  SocSimulator sim(*soc);
+  sim.load_program(full);
+  sim.run(1000);
+  ASSERT_TRUE(sim.halted());
+  EXPECT_EQ(sim.ram_word(0x40000000), 15u);  // 5+4+3+2+1
+  (void)p;
+}
+
+TEST(Assembler, MulMnemonic) {
+  Program p = assemble("mul r3, r1, r2\nhalt\n");
+  EXPECT_EQ(decode(p.words()[0]).op, Opcode::kMul);
+}
+
+TEST(Assembler, MultipleLabelsSameAddress) {
+  Program p = assemble(R"(
+  a:
+  b:
+    nop
+    beq r0, r0, a
+    bne r0, r1, b
+  )");
+  const auto& w = p.words();
+  // w[2] sits one instruction later, so its backward offset is one larger.
+  EXPECT_EQ(static_cast<std::int16_t>(decode(w[1]).imm),
+            static_cast<std::int16_t>(decode(w[2]).imm) + 1);
+}
+
+}  // namespace
+}  // namespace olfui

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "atpg/podem.hpp"
+#include "fault/universe.hpp"
+#include "fsim/fsim.hpp"
+#include "netlist/wordops.hpp"
+#include "util/rng.hpp"
+
+namespace olfui {
+namespace {
+
+/// Converts a PODEM pattern into the pattern form comb_detects expects.
+std::vector<std::pair<NetId, bool>> to_assignment(const AtpgPattern& pat,
+                                                  const std::vector<NetId>& pis) {
+  std::vector<std::pair<NetId, bool>> out;
+  for (NetId n : pis) {
+    const auto it = pat.assignment.find(n);
+    out.emplace_back(n, it != pat.assignment.end() && it->second);
+  }
+  return out;
+}
+
+TEST(Podem, GeneratesTestForAndGate) {
+  Netlist nl("t");
+  WordOps w(nl, "m");
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId y = w.and2(a, b, "y");
+  nl.add_output("o", y);
+  const FaultUniverse u(nl);
+  Podem podem(nl, u);
+  const CellId g = nl.net(y).driver;
+  // Output s-a-0 requires a=b=1.
+  const AtpgResult r = podem.run(Fault{{g, 0}, false});
+  ASSERT_EQ(r.outcome, AtpgOutcome::kTestFound);
+  EXPECT_TRUE(r.pattern->assignment.at(a));
+  EXPECT_TRUE(r.pattern->assignment.at(b));
+}
+
+TEST(Podem, ProvesRedundantFaultUntestable) {
+  // y = a | (a & b): the AND cone is redundant for y==1 when a==1;
+  // classic redundancy: s-a-0 on the AND output is untestable.
+  Netlist nl("t");
+  WordOps w(nl, "m");
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId ab = w.and2(a, b, "ab");
+  const NetId y = w.or2(a, ab, "y");
+  nl.add_output("o", y);
+  const FaultUniverse u(nl);
+  Podem podem(nl, u);
+  const CellId g = nl.net(ab).driver;
+  const AtpgResult r = podem.run(Fault{{g, 0}, false});
+  EXPECT_EQ(r.outcome, AtpgOutcome::kUntestable);
+}
+
+TEST(Podem, DetectsInputBranchFaultDistinctFromStem) {
+  // Stem a fans out to two XOR consumers; a branch fault is testable even
+  // though the two branch faults differ.
+  Netlist nl("t");
+  WordOps w(nl, "m");
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId y1 = w.xor2(a, b, "y1");
+  const NetId y2 = w.xor2(a, y1, "y2");
+  nl.add_output("o1", y1);
+  nl.add_output("o2", y2);
+  const FaultUniverse u(nl);
+  Podem podem(nl, u);
+  const CellId g2 = nl.net(y2).driver;
+  const AtpgResult r = podem.run(Fault{{g2, 1}, true});  // branch of a into y2
+  ASSERT_EQ(r.outcome, AtpgOutcome::kTestFound);
+}
+
+TEST(Podem, FullScanFrameTreatsFlopsAsBoundary) {
+  // q -> inverter -> d of the same flop: combinationally the inverter is
+  // controllable from the pseudo-PI (q) and observable at the pseudo-PO (d).
+  Netlist nl("t");
+  WordOps w(nl, "m");
+  RegWord reg = w.reg_declare(1, "ff");
+  const NetId d = w.not_(reg.q[0], "inv");
+  w.reg_connect(reg, {d});
+  nl.add_output("o", reg.q[0]);
+  const FaultUniverse u(nl);
+  Podem podem(nl, u);
+  const CellId inv = nl.net(d).driver;
+  for (bool sa1 : {false, true}) {
+    const AtpgResult r = podem.run(Fault{{inv, 0}, sa1});
+    EXPECT_EQ(r.outcome, AtpgOutcome::kTestFound) << sa1;
+  }
+}
+
+TEST(Podem, MissionConstantsRestrictTheFrame) {
+  Netlist nl("t");
+  WordOps w(nl, "m");
+  const NetId a = nl.add_input("a");
+  const NetId en = nl.add_input("en");
+  const NetId y = w.and2(a, en, "y");
+  nl.add_output("o", y);
+  const FaultUniverse u(nl);
+  const CellId g = nl.net(y).driver;
+  // Unrestricted: testable.
+  {
+    Podem podem(nl, u);
+    EXPECT_EQ(podem.run(Fault{{g, 1}, true}).outcome, AtpgOutcome::kTestFound);
+  }
+  // en tied 0 in mission mode: the a-branch becomes untestable.
+  MissionConfig cfg;
+  cfg.tie(en, false);
+  Podem podem(nl, u, {.mission = &cfg});
+  EXPECT_EQ(podem.run(Fault{{g, 1}, true}).outcome, AtpgOutcome::kUntestable);
+}
+
+TEST(Podem, UnobservedOutputMakesPrivateConeUntestable) {
+  Netlist nl("t");
+  WordOps w(nl, "m");
+  const NetId a = nl.add_input("a");
+  const NetId y = w.buf(a, "y");
+  const CellId port = nl.add_output("dbg", y);
+  const FaultUniverse u(nl);
+  MissionConfig cfg;
+  cfg.unobserve(port);
+  Podem podem(nl, u, {.mission = &cfg});
+  const CellId b = nl.net(y).driver;
+  EXPECT_EQ(podem.run(Fault{{b, 0}, true}).outcome, AtpgOutcome::kUntestable);
+}
+
+// Cross-validation: every PODEM-generated test must actually detect its
+// fault under fault simulation, and PODEM-untestable faults must escape
+// full random pattern sets.
+TEST(Podem, AgreesWithFaultSimulationOnRandomCones) {
+  Rng rng(123);
+  for (int trial = 0; trial < 10; ++trial) {
+    Netlist nl("t");
+    WordOps w(nl, "m");
+    std::vector<NetId> pis, pool;
+    for (int i = 0; i < 6; ++i) {
+      pis.push_back(nl.add_input("i" + std::to_string(i)));
+      pool.push_back(pis.back());
+    }
+    for (int g = 0; g < 25; ++g) {
+      const CellType types[] = {CellType::kAnd2, CellType::kOr2,
+                                CellType::kXor2, CellType::kNand2,
+                                CellType::kNor2, CellType::kMux2,
+                                CellType::kNot,  CellType::kBuf};
+      const CellType t = types[rng.next_below(8)];
+      std::vector<NetId> ins;
+      for (int k = 0; k < num_inputs(t); ++k)
+        ins.push_back(pool[rng.next_below(pool.size())]);
+      pool.push_back(w.gate(t, "g" + std::to_string(g), ins));
+    }
+    std::vector<CellId> observed;
+    observed.push_back(nl.add_output("o", pool.back()));
+    const FaultUniverse u(nl);
+    Podem podem(nl, u);
+
+    // Exhaustive pattern set over 6 inputs (64 patterns = one packed pass).
+    std::vector<std::vector<std::pair<NetId, bool>>> all_patterns;
+    for (int v = 0; v < 64; ++v) {
+      std::vector<std::pair<NetId, bool>> pat;
+      for (int i = 0; i < 6; ++i) pat.emplace_back(pis[i], (v >> i) & 1);
+      all_patterns.push_back(std::move(pat));
+    }
+
+    for (FaultId f = 0; f < u.size(); f += 7) {  // sample the universe
+      const AtpgResult r = podem.run(f);
+      const bool sim_detects = comb_detects(nl, u, f, all_patterns, observed);
+      if (r.outcome == AtpgOutcome::kTestFound) {
+        EXPECT_TRUE(sim_detects) << u.fault_name(f) << " trial " << trial;
+        // And the concrete generated pattern works:
+        const auto pat = to_assignment(*r.pattern, pis);
+        EXPECT_TRUE(comb_detects(nl, u, f, std::span(&pat, 1), observed))
+            << u.fault_name(f);
+      } else if (r.outcome == AtpgOutcome::kUntestable) {
+        EXPECT_FALSE(sim_detects) << u.fault_name(f) << " trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(Podem, ReportsBacktrackLimitAsAborted) {
+  // A wide XOR tree with a tiny backtrack budget aborts rather than lies.
+  Netlist nl("t");
+  WordOps w(nl, "m");
+  std::vector<NetId> xs;
+  for (int i = 0; i < 12; ++i) xs.push_back(nl.add_input("x" + std::to_string(i)));
+  NetId acc = xs[0];
+  for (int i = 1; i < 12; ++i) acc = w.xor2(acc, xs[i], "t" + std::to_string(i));
+  // A redundant cone that needs exhaustive search to prove untestable:
+  const NetId anda = w.and2(xs[0], xs[1], "aa");
+  const NetId y = w.or2(xs[0], anda, "y");
+  const NetId both = w.xor2(acc, y, "both");
+  nl.add_output("o", both);
+  const FaultUniverse u(nl);
+  Podem podem(nl, u, {.backtrack_limit = 1});
+  const CellId g = nl.net(anda).driver;
+  const AtpgResult r = podem.run(Fault{{g, 0}, false});
+  EXPECT_EQ(r.outcome, AtpgOutcome::kAborted);
+  EXPECT_GE(r.backtracks, 1u);
+}
+
+}  // namespace
+}  // namespace olfui

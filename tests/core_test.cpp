@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "core/analyzer.hpp"
+
+namespace olfui {
+namespace {
+
+struct Case {
+  std::unique_ptr<Soc> soc;
+  std::unique_ptr<FaultUniverse> universe;
+
+  explicit Case(SocConfig cfg = {}) {
+    soc = build_soc(cfg);
+    universe = std::make_unique<FaultUniverse>(soc->netlist);
+  }
+};
+
+TEST(Analyzer, FullFlowFindsAllFourSources) {
+  Case c;
+  FaultList fl(*c.universe);
+  OnlineUntestabilityAnalyzer az(*c.soc, *c.universe);
+  const AnalysisReport rep = az.run(fl);
+
+  EXPECT_EQ(rep.universe, c.universe->size());
+  EXPECT_GT(rep.scan, 0u);
+  EXPECT_GT(rep.debug_control, 0u);
+  EXPECT_GT(rep.debug_observe, 0u);
+  EXPECT_GT(rep.memmap, 0u);
+  EXPECT_GT(rep.structural_baseline, 0u);
+  // Counts agree with the fault-list labels.
+  EXPECT_EQ(rep.scan, fl.count_source(OnlineSource::kScan));
+  EXPECT_EQ(rep.debug_control, fl.count_source(OnlineSource::kDebugControl));
+  EXPECT_EQ(rep.debug_observe, fl.count_source(OnlineSource::kDebugObserve));
+  EXPECT_EQ(rep.memmap, fl.count_source(OnlineSource::kMemoryMap));
+  EXPECT_EQ(rep.total_online() + rep.structural_baseline, fl.count_untestable());
+}
+
+TEST(Analyzer, PaperShapeScanDominatesDebugThenMemory) {
+  // Table I shape: scan is by far the largest class, debug next, memory
+  // smallest; the total lands in the paper's low-to-mid teens percent.
+  Case c;
+  FaultList fl(*c.universe);
+  OnlineUntestabilityAnalyzer az(*c.soc, *c.universe);
+  const AnalysisReport rep = az.run(fl);
+  EXPECT_GT(rep.scan, rep.debug_control + rep.debug_observe);
+  EXPECT_GT(rep.debug_control + rep.debug_observe, rep.memmap);
+  EXPECT_GT(rep.online_pct(), 8.0);
+  EXPECT_LT(rep.online_pct(), 25.0);
+}
+
+TEST(Analyzer, AnalysisCompletesWellUnderOneSecond) {
+  // §4: "the modified circuit is analyzed by Tetramax in less than 1
+  // second" — the structural engine must match that on the full SoC.
+  Case c;
+  FaultList fl(*c.universe);
+  OnlineUntestabilityAnalyzer az(*c.soc, *c.universe);
+  const AnalysisReport rep = az.run(fl);
+  EXPECT_LT(rep.analysis_seconds, 1.0);
+}
+
+TEST(Analyzer, SourcesAreDisjoint) {
+  Case c;
+  FaultList fl(*c.universe);
+  OnlineUntestabilityAnalyzer az(*c.soc, *c.universe);
+  az.run(fl);
+  std::size_t sum = 0;
+  for (OnlineSource s : {OnlineSource::kStructural, OnlineSource::kScan,
+                         OnlineSource::kDebugControl, OnlineSource::kDebugObserve,
+                         OnlineSource::kMemoryMap})
+    sum += fl.count_source(s);
+  EXPECT_EQ(sum, fl.count_untestable());
+}
+
+TEST(Analyzer, OptionsDisableIndividualPasses) {
+  Case c;
+  OnlineUntestabilityAnalyzer az(*c.soc, *c.universe);
+  {
+    FaultList fl(*c.universe);
+    AnalyzerOptions opts;
+    opts.run_scan = false;
+    const AnalysisReport rep = az.run(fl, opts);
+    EXPECT_EQ(rep.scan, 0u);
+    EXPECT_GT(rep.debug_control, 0u);
+  }
+  {
+    FaultList fl(*c.universe);
+    AnalyzerOptions opts;
+    opts.run_debug_control = false;
+    opts.run_debug_observe = false;
+    opts.run_memmap = false;
+    const AnalysisReport rep = az.run(fl, opts);
+    EXPECT_GT(rep.scan, 0u);
+    EXPECT_EQ(rep.debug_control, 0u);
+    EXPECT_EQ(rep.debug_observe, 0u);
+    EXPECT_EQ(rep.memmap, 0u);
+  }
+}
+
+TEST(Analyzer, SocWithoutDftHasNoOnlineUntestables) {
+  SocConfig cfg;
+  cfg.with_debug = false;
+  cfg.with_scan = false;
+  cfg.cpu.with_multiplier = false;
+  Case c(cfg);
+  FaultList fl(*c.universe);
+  OnlineUntestabilityAnalyzer az(*c.soc, *c.universe);
+  const AnalysisReport rep = az.run(fl);
+  EXPECT_EQ(rep.scan, 0u);
+  EXPECT_EQ(rep.debug_control, 0u);
+  EXPECT_EQ(rep.debug_observe, 0u);
+  EXPECT_GT(rep.memmap, 0u);  // the memory map restriction always applies
+}
+
+TEST(Analyzer, Table1FormatMatchesPaperLayout) {
+  Case c;
+  FaultList fl(*c.universe);
+  OnlineUntestabilityAnalyzer az(*c.soc, *c.universe);
+  const AnalysisReport rep = az.run(fl);
+  const std::string t = rep.table1();
+  for (const char* key :
+       {"On-line functionally untestable faults", "Original", "Scan", "Debug",
+        "Memory", "TOTAL", "[#]", "[%]"})
+    EXPECT_NE(t.find(key), std::string::npos) << key;
+  // Debug row uses the paper's "control+observe" split format.
+  EXPECT_NE(t.find("+"), std::string::npos);
+}
+
+TEST(Analyzer, MissionConfigAccumulatesAllPasses) {
+  Case c;
+  FaultList fl(*c.universe);
+  OnlineUntestabilityAnalyzer az(*c.soc, *c.universe);
+  az.run(fl);
+  const MissionConfig& cfg = az.mission_config();
+  // scan-enable + 17 debug controls + memmap ties.
+  EXPECT_GT(cfg.constants.size(), 18u);
+  // scan-outs + debug observation ports.
+  EXPECT_GT(cfg.unobserved_outputs.size(), 4u);
+}
+
+TEST(Analyzer, RunIsDeterministic) {
+  Case c;
+  OnlineUntestabilityAnalyzer az(*c.soc, *c.universe);
+  FaultList fl1(*c.universe), fl2(*c.universe);
+  const AnalysisReport r1 = az.run(fl1);
+  const AnalysisReport r2 = az.run(fl2);
+  EXPECT_EQ(r1.scan, r2.scan);
+  EXPECT_EQ(r1.debug_control, r2.debug_control);
+  EXPECT_EQ(r1.debug_observe, r2.debug_observe);
+  EXPECT_EQ(r1.memmap, r2.memmap);
+  for (FaultId f = 0; f < fl1.size(); ++f)
+    ASSERT_EQ(fl1.online_source(f), fl2.online_source(f)) << f;
+}
+
+TEST(Analyzer, TransitionModelRunsTheFullFlow) {
+  Case c;
+  FaultList fl(*c.universe);
+  OnlineUntestabilityAnalyzer az(*c.soc, *c.universe);
+  AnalyzerOptions opts;
+  opts.fault_model = FaultModel::kTransition;
+  const AnalysisReport rep = az.run(fl, opts);
+  EXPECT_GT(rep.scan, 0u);
+  EXPECT_GT(rep.debug_control, 0u);
+  EXPECT_GT(rep.memmap, 0u);
+  // A transition fault on a constant site dies in both polarities, so the
+  // tied class must contain even-odd sibling pairs.
+  std::size_t paired = 0;
+  for (FaultId f = 0; f + 1 < fl.size(); f += 2) {
+    if (fl.untestable_kind(f) == UntestableKind::kTied &&
+        fl.untestable_kind(f + 1) == UntestableKind::kTied)
+      ++paired;
+  }
+  EXPECT_GT(paired, 0u);
+}
+
+TEST(Analyzer, CoverageAccountingUsesPrunedDenominator) {
+  Case c;
+  FaultList fl(*c.universe);
+  OnlineUntestabilityAnalyzer az(*c.soc, *c.universe);
+  const AnalysisReport rep = az.run(fl);
+  // Mark an arbitrary detected set and check the arithmetic identity
+  // pruned = detected_testable / (universe - untestable).
+  std::size_t detected_testable = 0;
+  for (FaultId f = 0; f < fl.size(); f += 3) {
+    if (fl.untestable_kind(f) == UntestableKind::kNone) {
+      fl.set_detected(f);
+      ++detected_testable;
+    }
+  }
+  const double expect =
+      static_cast<double>(detected_testable) /
+      static_cast<double>(c.universe->size() - fl.count_untestable());
+  EXPECT_DOUBLE_EQ(fl.pruned_coverage(), expect);
+  EXPECT_GT(fl.pruned_coverage(), fl.raw_coverage());
+  (void)rep;
+}
+
+TEST(Analyzer, Fig1ContainmentHolds) {
+  // On-line functionally untestable ⊇ functionally untestable ⊇
+  // structurally untestable (Fig. 1). The baseline structural set must be
+  // untestable in every mission configuration too: re-running the flow
+  // can only add labels, never remove the structural ones.
+  Case c;
+  FaultList fl(*c.universe);
+  OnlineUntestabilityAnalyzer az(*c.soc, *c.universe);
+  az.run(fl);
+  FaultList base(*c.universe);
+  AnalyzerOptions only_base;
+  only_base.run_scan = only_base.run_debug_control = false;
+  only_base.run_debug_observe = only_base.run_memmap = false;
+  az.run(base, only_base);
+  for (FaultId f = 0; f < fl.size(); ++f) {
+    if (base.untestable_kind(f) != UntestableKind::kNone) {
+      EXPECT_NE(fl.untestable_kind(f), UntestableKind::kNone)
+          << c.universe->fault_name(f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace olfui

@@ -1,0 +1,479 @@
+#include <gtest/gtest.h>
+
+#include "cpu/cpu.hpp"
+#include "cpu/isa.hpp"
+#include "cpu/soc.hpp"
+
+namespace olfui {
+namespace {
+
+TEST(Isa, EncodeDecodeRoundTrip) {
+  for (int op = 0; op < kNumOpcodes; ++op) {
+    Instr i{static_cast<Opcode>(op), 3, 5, 7, 0x1234};
+    const Instr back = decode(encode(i));
+    EXPECT_EQ(back.op, i.op);
+    EXPECT_EQ(back.rd, i.rd);
+    EXPECT_EQ(back.rs1, i.rs1);
+    EXPECT_EQ(back.rs2, i.rs2);
+    EXPECT_EQ(back.imm, i.imm);
+  }
+}
+
+TEST(Isa, NegativeImmediatesEncodeAs16Bit) {
+  Instr i{Opcode::kAddi, 1, 2, 0, -1};
+  const Instr back = decode(encode(i));
+  EXPECT_EQ(back.imm, 0xFFFF);  // raw field; consumer sign-extends
+}
+
+TEST(Isa, DisassembleSmoke) {
+  EXPECT_EQ(disassemble(encode({Opcode::kAdd, 1, 2, 3})), "add r1, r2, r3");
+  EXPECT_EQ(disassemble(encode({Opcode::kHalt})), "halt");
+  EXPECT_EQ(disassemble(encode({Opcode::kLw, 4, 5, 0, 8})), "lw r4, 8(r5)");
+}
+
+TEST(Program, LabelsResolveBackwardAndForward) {
+  Program p(0x1000);
+  p.label("start");
+  p.nop();                    // 0x1000
+  p.beq(1, 2, "fwd");         // 0x1004 -> target 0x100C: (0x100C-0x1008)/4 = 1
+  p.nop();                    // 0x1008
+  p.label("fwd");
+  p.bne(1, 2, "start");       // 0x100C -> 0x1000
+  const auto& words = p.words();
+  EXPECT_EQ(decode(words[1]).imm & 0xFFFF, 0x0001);
+  EXPECT_EQ(decode(words[3]).imm & 0xFFFF, 0xFFFC);  // -4 words
+}
+
+TEST(Program, UndefinedLabelThrows) {
+  Program p(0);
+  p.beq(0, 0, "nowhere");
+  EXPECT_THROW(p.words(), std::runtime_error);
+}
+
+TEST(Program, DuplicateLabelThrows) {
+  Program p(0);
+  p.label("x");
+  EXPECT_THROW(p.label("x"), std::runtime_error);
+}
+
+class CpuFixture : public ::testing::Test {
+ protected:
+  // Small BTB keeps the netlist lean; debug/scan exercised elsewhere.
+  static SocConfig config() {
+    SocConfig cfg;
+    cfg.with_debug = false;
+    cfg.with_scan = false;
+    cfg.cpu.btb_entries = 2;
+    return cfg;
+  }
+
+  /// Runs `p` to HALT and returns the simulator for state inspection.
+  static std::unique_ptr<SocSimulator> run(const Soc& soc, Program& p,
+                                           int max_cycles = 2000) {
+    auto sim = std::make_unique<SocSimulator>(soc);
+    sim->load_program(p);
+    sim->run(max_cycles);
+    return sim;
+  }
+};
+
+TEST_F(CpuFixture, NetlistIsValid) {
+  auto soc = build_soc(config());
+  EXPECT_TRUE(soc->netlist.validate().empty());
+  const NetlistStats s = soc->netlist.stats();
+  EXPECT_GT(s.flops, 400u);   // regfile + pipeline + BTB + bus unit
+  EXPECT_GT(s.gates, 3000u);
+}
+
+TEST_F(CpuFixture, HaltsOnHaltInstruction) {
+  auto soc = build_soc(config());
+  Program p(soc->config.cpu.reset_vector);
+  p.nop();
+  p.halt();
+  auto sim = run(*soc, p);
+  EXPECT_TRUE(sim->halted());
+}
+
+TEST_F(CpuFixture, AluImmediateAndRegisterOps) {
+  auto soc = build_soc(config());
+  Program p(soc->config.cpu.reset_vector);
+  p.li(0, 0);
+  p.li(1, 100);
+  p.addi(2, 1, 23);      // r2 = 123
+  p.add(3, 2, 1);        // r3 = 223
+  p.sub(4, 3, 1);        // r4 = 123
+  p.li(5, 0xF0F0);
+  p.andi(6, 5, 0xFF00);  // r6 = 0xF000
+  p.ori(6, 6, 0x000F);   // r6 = 0xF00F
+  p.xori(6, 6, 0x0FF0);  // r6 = 0xFFFF
+  p.halt();
+  auto sim = run(*soc, p);
+  ASSERT_TRUE(sim->halted());
+  EXPECT_EQ(sim->gpr(2), 123u);
+  EXPECT_EQ(sim->gpr(3), 223u);
+  EXPECT_EQ(sim->gpr(4), 123u);
+  EXPECT_EQ(sim->gpr(6), 0xFFFFu);
+}
+
+TEST_F(CpuFixture, LuiBuildsUpper16) {
+  auto soc = build_soc(config());
+  Program p(soc->config.cpu.reset_vector);
+  p.lui(1, 0x4000);
+  p.ori(1, 1, 0x1234);
+  p.halt();
+  auto sim = run(*soc, p);
+  EXPECT_EQ(sim->gpr(1), 0x40001234u);
+}
+
+TEST_F(CpuFixture, SignExtensionOfAddiImmediate) {
+  auto soc = build_soc(config());
+  Program p(soc->config.cpu.reset_vector);
+  p.li(1, 10);
+  p.addi(1, 1, -3);
+  p.li(2, 0);
+  p.addi(2, 2, -1);  // r2 = 0xFFFFFFFF
+  p.halt();
+  auto sim = run(*soc, p);
+  EXPECT_EQ(sim->gpr(1), 7u);
+  EXPECT_EQ(sim->gpr(2), 0xFFFFFFFFu);
+}
+
+TEST_F(CpuFixture, SltuComparesUnsigned) {
+  auto soc = build_soc(config());
+  Program p(soc->config.cpu.reset_vector);
+  p.li(1, 5);
+  p.li(2, 0xFFFFFFFF);
+  p.sltu(3, 1, 2);  // 5 < huge -> 1
+  p.sltu(4, 2, 1);  // huge < 5 -> 0
+  p.sltu(5, 1, 1);  // equal -> 0
+  p.halt();
+  auto sim = run(*soc, p);
+  EXPECT_EQ(sim->gpr(3), 1u);
+  EXPECT_EQ(sim->gpr(4), 0u);
+  EXPECT_EQ(sim->gpr(5), 0u);
+}
+
+TEST_F(CpuFixture, ShiftsByRegisterAmount) {
+  auto soc = build_soc(config());
+  Program p(soc->config.cpu.reset_vector);
+  p.li(1, 0x00000081);
+  p.li(2, 4);
+  p.sll(3, 1, 2);  // 0x810
+  p.srl(4, 1, 2);  // 0x8
+  p.li(2, 31);
+  p.sll(5, 1, 2);  // bit0 -> bit31
+  p.halt();
+  auto sim = run(*soc, p);
+  EXPECT_EQ(sim->gpr(3), 0x810u);
+  EXPECT_EQ(sim->gpr(4), 0x8u);
+  EXPECT_EQ(sim->gpr(5), 0x80000000u);
+}
+
+TEST_F(CpuFixture, StoreThenLoadRoundTrip) {
+  auto soc = build_soc(config());
+  Program p(soc->config.cpu.reset_vector);
+  const std::uint32_t ram = static_cast<std::uint32_t>(soc->config.ram_base);
+  p.li(7, ram);
+  p.li(1, 0xCAFEBABE);
+  p.sw(1, 7, 0x10);
+  p.lw(2, 7, 0x10);
+  p.halt();
+  auto sim = run(*soc, p);
+  EXPECT_EQ(sim->ram_word(ram + 0x10), 0xCAFEBABEu);
+  EXPECT_EQ(sim->gpr(2), 0xCAFEBABEu);
+}
+
+TEST_F(CpuFixture, LoadFromFlashReadsCode) {
+  auto soc = build_soc(config());
+  Program p(soc->config.cpu.reset_vector);
+  p.li(1, static_cast<std::uint32_t>(soc->config.flash_base));
+  p.lw(2, 1, 0);  // first instruction word of this very program
+  p.halt();
+  auto sim = run(*soc, p);
+  EXPECT_EQ(sim->gpr(2), p.words()[0]);
+}
+
+TEST_F(CpuFixture, TakenAndNotTakenBranches) {
+  auto soc = build_soc(config());
+  Program p(soc->config.cpu.reset_vector);
+  p.li(0, 0);
+  p.li(1, 1);
+  p.li(2, 0);
+  p.beq(1, 0, "bad");   // not taken
+  p.addi(2, 2, 5);
+  p.bne(1, 0, "good");  // taken
+  p.label("bad");
+  p.addi(2, 2, 100);
+  p.label("good");
+  p.halt();
+  auto sim = run(*soc, p);
+  EXPECT_EQ(sim->gpr(2), 5u);
+}
+
+TEST_F(CpuFixture, LoopExecutesExactTripCount) {
+  auto soc = build_soc(config());
+  Program p(soc->config.cpu.reset_vector);
+  p.li(0, 0);
+  p.li(1, 10);
+  p.li(2, 0);
+  p.label("loop");
+  p.addi(2, 2, 3);
+  p.addi(1, 1, -1);
+  p.bne(1, 0, "loop");
+  p.halt();
+  auto sim = run(*soc, p);
+  EXPECT_EQ(sim->gpr(2), 30u);
+  EXPECT_EQ(sim->gpr(1), 0u);
+}
+
+TEST_F(CpuFixture, JalLinksAndJrReturns) {
+  auto soc = build_soc(config());
+  Program p(soc->config.cpu.reset_vector);
+  p.li(0, 0);
+  p.li(2, 0);
+  p.jal(5, "sub");
+  p.addi(2, 2, 1);  // after return
+  p.halt();
+  p.label("sub");
+  p.addi(2, 2, 10);
+  p.jr(5);
+  auto sim = run(*soc, p);
+  ASSERT_TRUE(sim->halted());
+  EXPECT_EQ(sim->gpr(2), 11u);
+}
+
+TEST_F(CpuFixture, BtbSpeedsUpHotLoop) {
+  auto soc = build_soc(config());
+  Program p1(soc->config.cpu.reset_vector);
+  p1.li(0, 0);
+  p1.li(1, 50);
+  p1.li(2, 0);
+  p1.label("loop");
+  p1.addi(2, 2, 1);
+  p1.addi(1, 1, -1);
+  p1.bne(1, 0, "loop");
+  p1.halt();
+  auto sim = std::make_unique<SocSimulator>(*soc);
+  sim->load_program(p1);
+  const int cycles = sim->run(5000);
+  ASSERT_TRUE(sim->halted());
+  EXPECT_EQ(sim->gpr(2), 50u);
+  // With a trained BTB the loop back-edge stops costing a redirect bubble,
+  // so the run must beat the 4-cycles-per-iteration no-BTB bound.
+  EXPECT_LT(cycles, 50 * 4);
+}
+
+TEST_F(CpuFixture, RegisterFileHoldsAllEight) {
+  auto soc = build_soc(config());
+  Program p(soc->config.cpu.reset_vector);
+  for (int r = 0; r < 8; ++r) p.li(r, 0x1000u + static_cast<std::uint32_t>(r));
+  p.halt();
+  auto sim = run(*soc, p);
+  for (int r = 0; r < 8; ++r)
+    EXPECT_EQ(sim->gpr(r), 0x1000u + static_cast<std::uint32_t>(r)) << r;
+}
+
+TEST_F(CpuFixture, ResetVectorRespected) {
+  SocConfig cfg = config();
+  cfg.cpu.reset_vector = 0x0007'8100;
+  auto soc = build_soc(cfg);
+  Program p(0x78100);
+  p.li(1, 77);
+  p.halt();
+  auto sim = run(*soc, p);
+  ASSERT_TRUE(sim->halted());
+  EXPECT_EQ(sim->gpr(1), 77u);
+}
+
+TEST_F(CpuFixture, SocWithDebugAndScanStillExecutes) {
+  SocConfig cfg = config();
+  cfg.with_debug = true;
+  cfg.with_scan = true;
+  auto soc = build_soc(cfg);
+  EXPECT_TRUE(soc->netlist.validate().empty());
+  Program p(soc->config.cpu.reset_vector);
+  p.li(0, 0);
+  p.li(1, 6);
+  p.li(2, 1);
+  p.label("l");
+  p.add(2, 2, 2);
+  p.addi(1, 1, -1);
+  p.bne(1, 0, "l");
+  p.halt();
+  auto sim = run(*soc, p);
+  ASSERT_TRUE(sim->halted());
+  EXPECT_EQ(sim->gpr(2), 64u);
+}
+
+TEST_F(CpuFixture, LoadUseBackToBack) {
+  // The LW stalls one cycle; the instruction immediately after it must see
+  // the loaded value through the register file.
+  auto soc = build_soc(config());
+  Program p(soc->config.cpu.reset_vector);
+  const std::uint32_t ram = static_cast<std::uint32_t>(soc->config.ram_base);
+  p.li(7, ram);
+  p.li(1, 41);
+  p.sw(1, 7, 0);
+  p.lw(2, 7, 0);
+  p.addi(3, 2, 1);   // immediate consumer of the load
+  p.add(4, 2, 2);    // and a second one
+  p.halt();
+  auto sim = run(*soc, p);
+  ASSERT_TRUE(sim->halted());
+  EXPECT_EQ(sim->gpr(2), 41u);
+  EXPECT_EQ(sim->gpr(3), 42u);
+  EXPECT_EQ(sim->gpr(4), 82u);
+}
+
+TEST_F(CpuFixture, BackToBackLoads) {
+  auto soc = build_soc(config());
+  Program p(soc->config.cpu.reset_vector);
+  const std::uint32_t ram = static_cast<std::uint32_t>(soc->config.ram_base);
+  p.li(7, ram);
+  p.li(1, 11);
+  p.li(2, 22);
+  p.sw(1, 7, 0);
+  p.sw(2, 7, 4);
+  p.lw(3, 7, 0);
+  p.lw(4, 7, 4);
+  p.add(5, 3, 4);
+  p.halt();
+  auto sim = run(*soc, p);
+  EXPECT_EQ(sim->gpr(5), 33u);
+}
+
+TEST_F(CpuFixture, HaltQuietsTheBus) {
+  // After HALT the bus strobes must stay deasserted (the checker in the
+  // field relies on a quiet bus from a halted core).
+  auto soc = build_soc(config());
+  Program p(soc->config.cpu.reset_vector);
+  const std::uint32_t ram = static_cast<std::uint32_t>(soc->config.ram_base);
+  p.li(7, ram);
+  p.li(1, 1);
+  p.sw(1, 7, 0);
+  p.halt();
+  SocSimulator sim(*soc);
+  sim.load_program(p);
+  sim.run(2000);
+  ASSERT_TRUE(sim.halted());
+  // Keep clocking past the halt: no further bus activity.
+  for (int i = 0; i < 5; ++i) {
+    sim.sim().clock();
+    EXPECT_NE(sim.sim().value(soc->cpu.bwr), Logic::V1);
+    EXPECT_NE(sim.sim().value(soc->cpu.brd), Logic::V1);
+  }
+}
+
+TEST_F(CpuFixture, JrWithChangingTargetOverridesStaleBtb) {
+  // Train the BTB with one JR target, then change the register: the stale
+  // prediction must be corrected and the architectural result stay right.
+  auto soc = build_soc(config());
+  Program p(soc->config.cpu.reset_vector);
+  p.li(0, 0);
+  p.li(2, 0);
+  p.li(1, 2);       // two passes
+  p.label("again");
+  p.jal(5, "hop");  // first pass returns here; trains BTB for the JR
+  p.addi(2, 2, 1);
+  p.addi(1, 1, -1);
+  p.bne(1, 0, "again");
+  p.halt();
+  p.label("hop");
+  p.addi(2, 2, 10);
+  p.jr(5);          // same JR, different link on each call? same site/target
+  auto sim = run(*soc, p);
+  ASSERT_TRUE(sim->halted());
+  EXPECT_EQ(sim->gpr(2), 22u);
+}
+
+TEST_F(CpuFixture, MulInstructionEndToEnd) {
+  SocConfig cfg = config();
+  cfg.cpu.with_multiplier = true;
+  auto soc = build_soc(cfg);
+  Program p(cfg.cpu.reset_vector);
+  p.li(1, 1234);
+  p.li(2, 5678);
+  p.mul(3, 1, 2);
+  p.li(4, 0x10001);
+  p.mul(5, 4, 4);  // 0x10001^2 = 0x2_0002_0001 -> low 32: 0x00020001
+  p.halt();
+  auto sim = run(*soc, p);
+  EXPECT_EQ(sim->gpr(3), 1234u * 5678u);
+  EXPECT_EQ(sim->gpr(5), 0x00020001u);
+}
+
+TEST_F(CpuFixture, StoreOutsideMapIsIgnored) {
+  auto soc = build_soc(config());
+  Program p(soc->config.cpu.reset_vector);
+  p.li(7, 0x70000000);  // unmapped
+  p.li(1, 99);
+  p.sw(1, 7, 0);
+  p.li(7, static_cast<std::uint32_t>(soc->config.ram_base));
+  p.sw(1, 7, 0);
+  p.halt();
+  auto sim = run(*soc, p);
+  ASSERT_TRUE(sim->halted());
+  EXPECT_EQ(sim->ram_word(0x70000000), 0u);
+  EXPECT_EQ(sim->ram_word(soc->config.ram_base), 99u);
+}
+
+TEST_F(CpuFixture, RunawayProgramHitsCycleLimit) {
+  // No HALT anywhere: the core slides through NOPs (empty flash) forever
+  // and the runner must stop at the cycle limit without halting.
+  auto soc = build_soc(config());
+  Program p(soc->config.cpu.reset_vector);
+  p.li(1, 7);  // a couple of instructions, then NOP slide
+  SocSimulator sim(*soc);
+  sim.load_program(p);
+  const int cycles = sim.run(100);
+  EXPECT_EQ(cycles, 100);
+  EXPECT_FALSE(sim.halted());
+  EXPECT_EQ(sim.gpr(1), 7u);
+}
+
+TEST_F(CpuFixture, PcStaysWordAlignedAndInFlashWindow) {
+  auto soc = build_soc(config());
+  Program p(soc->config.cpu.reset_vector);
+  p.li(0, 0);
+  p.li(1, 3);
+  p.label("l");
+  p.addi(1, 1, -1);
+  p.bne(1, 0, "l");
+  p.halt();
+  SocSimulator sim(*soc);
+  sim.load_program(p);
+  // Step manually and check every fetch address.
+  auto& s = sim.sim();
+  s.power_on();
+  s.set_input(soc->cpu.rstn, false);
+  s.set_input_word(soc->cpu.instr_in, 0);
+  s.set_input_word(soc->cpu.rdata_in, 0);
+  s.eval();
+  s.clock();
+  s.clock();
+  for (int c = 0; c < 30; ++c) {
+    s.set_input(soc->cpu.rstn, true);
+    s.eval();
+    const std::uint64_t pc = s.read_word(soc->cpu.iaddr);
+    EXPECT_EQ(pc & 3, 0u) << c;
+    EXPECT_GE(pc, soc->config.flash_base) << c;
+    EXPECT_LT(pc, soc->config.flash_base + soc->config.flash_size) << c;
+    s.set_input_word(soc->cpu.instr_in, sim.flash().read(pc));
+    s.eval();
+    s.set_input_word(soc->cpu.rdata_in, 0);
+    s.eval();
+    if (s.value(soc->cpu.halted) == Logic::V1) break;
+    s.clock();
+  }
+}
+
+TEST_F(CpuFixture, FlashImageOutOfRangeReadsNop) {
+  FlashImage img(0x1000, 0x100);
+  img.load(0x1000, {0xAABBCCDD});
+  EXPECT_EQ(img.read(0x1000), 0xAABBCCDDu);
+  EXPECT_EQ(img.read(0x1002), 0xAABBCCDDu);  // word-aligned lookup
+  EXPECT_EQ(img.read(0x2000), 0u);
+}
+
+}  // namespace
+}  // namespace olfui

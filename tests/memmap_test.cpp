@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "fault/fault_list.hpp"
+#include "fault/universe.hpp"
+#include "memmap/memmap.hpp"
+#include "netlist/wordops.hpp"
+#include "sta/sta.hpp"
+
+namespace olfui {
+namespace {
+
+MemoryMap case_study_map() {
+  // The paper's §4 configuration.
+  MemoryMap map;
+  map.add_range("flash", 0x0007'8000, 0x8000);
+  map.add_range("ram", 0x4000'0000, 0x2'0000);
+  return map;
+}
+
+TEST(MemoryMap, BitCanBeWithinSingleRange) {
+  MemoryMap map;
+  map.add_range("r", 0x100, 0x10);  // 0x100..0x10F
+  // Bits 0..3 vary, bit 8 is constant 1, bit 4 constant 0.
+  EXPECT_TRUE(map.bit_can_be(0, false));
+  EXPECT_TRUE(map.bit_can_be(0, true));
+  EXPECT_TRUE(map.bit_can_be(3, true));
+  EXPECT_FALSE(map.bit_can_be(4, true));
+  EXPECT_TRUE(map.bit_can_be(8, true));
+  EXPECT_FALSE(map.bit_can_be(8, false));
+  EXPECT_FALSE(map.bit_can_be(31, true));
+}
+
+TEST(MemoryMap, BitWrapsAcrossPrefixBoundary) {
+  MemoryMap map;
+  map.add_range("r", 0x0FE, 0x4);  // 0xFE,0xFF,0x100,0x101: bit 8 varies
+  EXPECT_TRUE(map.bit_can_be(8, false));
+  EXPECT_TRUE(map.bit_can_be(8, true));
+  EXPECT_TRUE(map.bit_can_be(1, true));
+}
+
+TEST(MemoryMap, CaseStudyVaryingBits) {
+  // With Flash 0x78000-0x7FFFF and RAM 0x40000000-0x4001FFFF the varying
+  // bits over the union are 0..18 and 30; bits 19..29 and 31 are constant 0.
+  const AddressBitInfo info = case_study_map().analyze(32);
+  for (int b = 0; b <= 18; ++b) EXPECT_TRUE(info.varying[b]) << b;
+  EXPECT_TRUE(info.varying[30]);
+  for (int b = 19; b <= 29; ++b) {
+    EXPECT_FALSE(info.varying[b]) << b;
+    EXPECT_FALSE(info.value[b]) << b;  // constant 0
+  }
+  EXPECT_FALSE(info.varying[31]);
+  EXPECT_EQ(info.num_constant(), 12u);
+}
+
+TEST(MemoryMap, FlashOnlyMapHasConstantOneBits) {
+  MemoryMap map;
+  map.add_range("flash", 0x0007'8000, 0x8000);
+  const AddressBitInfo info = map.analyze(32);
+  // Inside the flash range bits 15..18 are always 1.
+  for (int b = 15; b <= 18; ++b) {
+    EXPECT_FALSE(info.varying[b]) << b;
+    EXPECT_TRUE(info.value[b]) << b;
+  }
+  for (int b = 0; b <= 14; ++b) EXPECT_TRUE(info.varying[b]) << b;
+}
+
+TEST(MemoryMap, ContainsChecksAllRanges) {
+  const MemoryMap map = case_study_map();
+  EXPECT_TRUE(map.contains(0x78000));
+  EXPECT_TRUE(map.contains(0x7FFFF));
+  EXPECT_FALSE(map.contains(0x80000));
+  EXPECT_TRUE(map.contains(0x4001FFFF));
+  EXPECT_FALSE(map.contains(0x40020000));
+  EXPECT_FALSE(map.contains(0x0));
+}
+
+TEST(MemoryMap, ToStringListsConstants) {
+  const AddressBitInfo info = case_study_map().analyze(32);
+  const std::string s = info.to_string();
+  EXPECT_NE(s.find("19=0"), std::string::npos);
+  EXPECT_NE(s.find("31=0"), std::string::npos);
+}
+
+struct AddrRig {
+  Netlist nl{"t"};
+  RegWord mar;   // tagged addr:data
+  RegWord misc;  // untagged register
+
+  AddrRig() {
+    WordOps w(nl, "core");
+    const NetId a = nl.add_input("a");
+    Bus d(4);
+    for (int i = 0; i < 4; ++i) d[i] = w.buf(a, "d" + std::to_string(i));
+    mar = w.reg_word(d, "mar");
+    w.tag_reg(mar, "addr:data");
+    misc = w.reg_word(d, "misc");
+    for (int i = 0; i < 4; ++i) {
+      nl.add_output("m" + std::to_string(i), mar.q[i]);
+      nl.add_output("x" + std::to_string(i), misc.q[i]);
+    }
+  }
+};
+
+TEST(AddrRegisters, FoundByTag) {
+  AddrRig rig;
+  const auto regs = find_address_registers(rig.nl);
+  ASSERT_EQ(regs.size(), 4u);
+  for (const AddrRegBit& r : regs) {
+    EXPECT_EQ(r.cls, "data");
+    EXPECT_GE(r.bit, 0);
+    EXPECT_LT(r.bit, 4);
+  }
+}
+
+TEST(AddrRegisters, ConfigTiesConstantBitsOnly) {
+  AddrRig rig;
+  MemoryMap map;
+  map.add_range("r", 0x0, 0x4);  // bits 0..1 vary, bits 2..3 constant 0
+  const MissionConfig cfg = memmap_config(rig.nl, map, 4);
+  // Two constant bits x (D net + Q net) = 4 ties.
+  EXPECT_EQ(cfg.constants.size(), 4u);
+  for (auto [net, v] : cfg.constants) EXPECT_FALSE(v);
+  // The tied nets belong to the tagged register, not the untagged one.
+  for (auto [net, v] : cfg.constants) {
+    const std::string& name = rig.nl.net(net).name;
+    EXPECT_EQ(name.find("misc"), std::string::npos) << name;
+  }
+}
+
+TEST(AddrRegisters, ClassFilterSelectsSubset) {
+  AddrRig rig;
+  MemoryMap map;
+  map.add_range("r", 0x0, 0x4);
+  EXPECT_TRUE(memmap_config(rig.nl, map, 4, {"code"}).constants.empty());
+  EXPECT_EQ(memmap_config(rig.nl, map, 4, {"data"}).constants.size(), 4u);
+}
+
+TEST(AddrRegisters, TiesMakeDownstreamAdderPartiallyUntestable) {
+  // Paper Fig. 6 / §3.3: constants tied at an address register propagate
+  // into the branch-calculation adder and expose untestable faults there.
+  Netlist nl("t");
+  WordOps w(nl, "core");
+  const NetId a = nl.add_input("a");
+  Bus d(4);
+  for (int i = 0; i < 4; ++i) d[i] = w.buf(a, "d" + std::to_string(i));
+  RegWord pc = w.reg_word(d, "pc");
+  w.tag_reg(pc, "addr:code");
+  Bus off(4);
+  for (int i = 0; i < 4; ++i) off[i] = nl.add_input("off" + std::to_string(i));
+  const auto sum = w.add_word(pc.q, off, w.lit(false), "bradd");
+  for (int i = 0; i < 4; ++i) nl.add_output("t" + std::to_string(i), sum.sum[i]);
+
+  MemoryMap map;
+  map.add_range("rom", 0x0, 0x4);  // bits 2..3 of the PC constant 0
+  const FaultUniverse u(nl);
+  const StructuralAnalyzer sta(nl, u);
+  FaultList fl(u);
+  const MissionConfig cfg = memmap_config(nl, map, 4);
+  const std::size_t n =
+      sta.classify_faults(sta.analyze(cfg), fl, OnlineSource::kMemoryMap);
+  EXPECT_GT(n, 0u);
+  // Specifically, the s-a-0 on the PC's high Q bit is tied-untestable.
+  EXPECT_EQ(fl.untestable_kind(u.id_of({pc.flops[3], 0}, false)),
+            UntestableKind::kTied);
+  // And some fault inside the adder cone got proven untestable too.
+  std::size_t adder_untestable = 0;
+  for (FaultId f = 0; f < u.size(); ++f) {
+    if (fl.untestable_kind(f) == UntestableKind::kNone) continue;
+    const std::string name = u.fault_name(f);
+    if (name.find("bradd") != std::string::npos) ++adder_untestable;
+  }
+  EXPECT_GT(adder_untestable, 0u);
+}
+
+TEST(AddrRegisters, EmptyMapTiesEveryBit) {
+  // Degenerate guard: with no reachable addresses every bit is "constant";
+  // the value defaults to the reset state 0.
+  AddrRig rig;
+  MemoryMap map;
+  const MissionConfig cfg = memmap_config(rig.nl, map, 4);
+  EXPECT_EQ(cfg.constants.size(), 8u);  // 4 bits x (D + Q)
+}
+
+}  // namespace
+}  // namespace olfui

@@ -1,0 +1,383 @@
+// Property-based sweeps (TEST_P) over randomized netlists.
+//
+// The central invariant of the whole methodology: whatever the structural
+// engine classifies as untestable must be genuinely undetectable. On
+// random combinational netlists this is checked against *exhaustive*
+// pattern sets — a complete ground truth, not another heuristic.
+#include <gtest/gtest.h>
+
+#include "atpg/podem.hpp"
+#include "fault/fault_list.hpp"
+#include "fault/universe.hpp"
+#include "fsim/fsim.hpp"
+#include "netlist/wordops.hpp"
+#include "sta/sta.hpp"
+#include "scan/scan.hpp"
+#include "util/rng.hpp"
+#include "verilog/verilog.hpp"
+
+namespace olfui {
+namespace {
+
+constexpr int kNumInputs = 8;
+
+struct RandomDesign {
+  Netlist nl{"t"};
+  std::vector<NetId> inputs;
+  std::vector<CellId> outputs;
+};
+
+RandomDesign make_random_comb(std::uint64_t seed, int gates) {
+  RandomDesign d;
+  WordOps w(d.nl, "m");
+  Rng rng(seed);
+  std::vector<NetId> pool;
+  for (int i = 0; i < kNumInputs; ++i) {
+    d.inputs.push_back(d.nl.add_input("i" + std::to_string(i)));
+    pool.push_back(d.inputs.back());
+  }
+  // A couple of tie cells make structural UT faults reachable.
+  pool.push_back(w.lit(false));
+  pool.push_back(w.lit(true));
+  for (int g = 0; g < gates; ++g) {
+    const CellType types[] = {CellType::kAnd2,  CellType::kOr2,
+                              CellType::kXor2,  CellType::kNand2,
+                              CellType::kNor2,  CellType::kXnor2,
+                              CellType::kMux2,  CellType::kAnd3,
+                              CellType::kOr3,   CellType::kNot,
+                              CellType::kBuf};
+    const CellType t = types[rng.next_below(11)];
+    std::vector<NetId> ins;
+    for (int k = 0; k < num_inputs(t); ++k)
+      ins.push_back(pool[rng.next_below(pool.size())]);
+    pool.push_back(w.gate(t, "g" + std::to_string(g), ins));
+  }
+  // Observe the last few cones.
+  for (int o = 0; o < 3; ++o) {
+    d.outputs.push_back(
+        d.nl.add_output("o" + std::to_string(o), pool[pool.size() - 1 - o]));
+  }
+  return d;
+}
+
+/// Exhaustive detection over all 2^kNumInputs assignments, honouring tied
+/// inputs (they keep their mission value in every pattern).
+bool exhaustively_detected(const RandomDesign& d, const FaultUniverse& u,
+                           FaultId f, const MissionConfig& cfg) {
+  std::vector<std::pair<NetId, bool>> tied;
+  for (auto [net, v] : cfg.constants) tied.emplace_back(net, v);
+  std::vector<std::vector<std::pair<NetId, bool>>> block;
+  std::vector<CellId> observed;
+  std::vector<std::uint8_t> unobs(d.nl.num_cells(), 0);
+  for (CellId c : cfg.unobserved_outputs) unobs[c] = 1;
+  for (CellId c : d.outputs)
+    if (!unobs[c]) observed.push_back(c);
+  if (observed.empty()) return false;
+
+  for (int v = 0; v < (1 << kNumInputs); ++v) {
+    std::vector<std::pair<NetId, bool>> pat = tied;
+    for (int i = 0; i < kNumInputs; ++i) {
+      bool is_tied = false;
+      for (auto [net, tv] : tied)
+        if (net == d.inputs[static_cast<std::size_t>(i)]) is_tied = true;
+      if (!is_tied)
+        pat.emplace_back(d.inputs[static_cast<std::size_t>(i)], (v >> i) & 1);
+    }
+    block.push_back(std::move(pat));
+    if (block.size() == 64) {
+      if (comb_detects(d.nl, u, f, block, observed)) return true;
+      block.clear();
+    }
+  }
+  return !block.empty() && comb_detects(d.nl, u, f, block, observed);
+}
+
+MissionConfig random_mission(const RandomDesign& d, std::uint64_t seed) {
+  Rng rng(seed * 977 + 13);
+  MissionConfig cfg;
+  for (NetId in : d.inputs)
+    if (rng.next_below(3) == 0) cfg.tie(in, rng.next_bool());
+  for (CellId out : d.outputs)
+    if (rng.next_below(4) == 0) cfg.unobserve(out);
+  return cfg;
+}
+
+class StaSoundness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StaSoundness, UntestableFaultsAreUndetectableExhaustively) {
+  const std::uint64_t seed = GetParam();
+  const RandomDesign d = make_random_comb(seed, 40);
+  const FaultUniverse u(d.nl);
+  const StructuralAnalyzer sta(d.nl, u);
+  const MissionConfig cfg = random_mission(d, seed);
+  FaultList fl(u);
+  sta.classify_faults(sta.analyze(cfg), fl, OnlineSource::kScan);
+  std::size_t checked = 0;
+  for (FaultId f = 0; f < u.size(); ++f) {
+    if (fl.untestable_kind(f) == UntestableKind::kNone) continue;
+    ++checked;
+    EXPECT_FALSE(exhaustively_detected(d, u, f, cfg))
+        << "seed " << seed << ": " << u.fault_name(f) << " classified "
+        << to_string(fl.untestable_kind(f)) << " but detectable";
+  }
+  EXPECT_GT(checked, 0u) << "seed " << seed;
+}
+
+TEST_P(StaSoundness, BaselineClassificationSoundWithFullAccess) {
+  const std::uint64_t seed = GetParam();
+  const RandomDesign d = make_random_comb(seed, 60);
+  const FaultUniverse u(d.nl);
+  const StructuralAnalyzer sta(d.nl, u);
+  FaultList fl(u);
+  sta.classify_faults(sta.analyze({}), fl, OnlineSource::kStructural);
+  for (FaultId f = 0; f < u.size(); ++f) {
+    if (fl.untestable_kind(f) == UntestableKind::kNone) continue;
+    EXPECT_FALSE(exhaustively_detected(d, u, f, {}))
+        << "seed " << seed << ": " << u.fault_name(f);
+  }
+}
+
+TEST_P(StaSoundness, MoreRestrictionsNeverShrinkTheUntestableSet) {
+  // Fig. 1 containment as a property: on-line untestable ⊇ untestable.
+  const std::uint64_t seed = GetParam();
+  const RandomDesign d = make_random_comb(seed, 50);
+  const FaultUniverse u(d.nl);
+  const StructuralAnalyzer sta(d.nl, u);
+  FaultList base(u), mission(u);
+  sta.classify_faults(sta.analyze({}), base, OnlineSource::kStructural);
+  sta.classify_faults(sta.analyze(random_mission(d, seed)), mission,
+                      OnlineSource::kScan);
+  for (FaultId f = 0; f < u.size(); ++f) {
+    if (base.untestable_kind(f) != UntestableKind::kNone) {
+      EXPECT_NE(mission.untestable_kind(f), UntestableKind::kNone)
+          << "seed " << seed << ": " << u.fault_name(f);
+    }
+  }
+}
+
+TEST_P(StaSoundness, PodemNeverFindsTestsForStaUntestables) {
+  const std::uint64_t seed = GetParam();
+  const RandomDesign d = make_random_comb(seed, 40);
+  const FaultUniverse u(d.nl);
+  const StructuralAnalyzer sta(d.nl, u);
+  const MissionConfig cfg = random_mission(d, seed);
+  FaultList fl(u);
+  sta.classify_faults(sta.analyze(cfg), fl, OnlineSource::kScan);
+  Podem podem(d.nl, u, {.backtrack_limit = 3000, .mission = &cfg});
+  for (FaultId f = 0; f < u.size(); ++f) {
+    if (fl.untestable_kind(f) == UntestableKind::kNone) continue;
+    EXPECT_NE(podem.run(f).outcome, AtpgOutcome::kTestFound)
+        << "seed " << seed << ": " << u.fault_name(f);
+  }
+}
+
+TEST_P(StaSoundness, CollapsedClassesShareDetectability) {
+  const std::uint64_t seed = GetParam();
+  const RandomDesign d = make_random_comb(seed, 30);
+  const FaultUniverse u(d.nl);
+  const auto map = u.collapse_map();
+  Rng rng(seed + 1);
+  // For a sample of equivalence pairs, exhaustive detectability agrees.
+  std::size_t pairs = 0;
+  for (FaultId f = 0; f < u.size() && pairs < 12; ++f) {
+    if (map[f] == f || rng.next_below(4) != 0) continue;
+    ++pairs;
+    EXPECT_EQ(exhaustively_detected(d, u, f, {}),
+              exhaustively_detected(d, u, map[f], {}))
+        << "seed " << seed << ": " << u.fault_name(f) << " vs "
+        << u.fault_name(map[f]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StaSoundness,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12, 13, 14, 15, 16));
+
+class PodemCompleteness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PodemCompleteness, VerdictMatchesExhaustiveSimulation) {
+  // PODEM's testable/untestable verdicts agree with exhaustive ground
+  // truth on every sampled fault (no false proofs in either direction).
+  const std::uint64_t seed = GetParam();
+  const RandomDesign d = make_random_comb(seed + 1000, 35);
+  const FaultUniverse u(d.nl);
+  Podem podem(d.nl, u, {.backtrack_limit = 50000});
+  for (FaultId f = 0; f < u.size(); f += 5) {
+    const AtpgResult r = podem.run(f);
+    if (r.outcome == AtpgOutcome::kAborted) continue;  // honest, just slow
+    EXPECT_EQ(r.outcome == AtpgOutcome::kTestFound,
+              exhaustively_detected(d, u, f, {}))
+        << "seed " << seed << ": " << u.fault_name(f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PodemCompleteness,
+                         ::testing::Values(21, 22, 23, 24, 25, 26, 27, 28));
+
+// ---- sequential properties --------------------------------------------------
+
+struct RandomSeqDesign {
+  Netlist nl{"t"};
+  std::vector<NetId> inputs;
+  std::vector<CellId> outputs;
+  NetId rstn = kInvalidId;
+};
+
+RandomSeqDesign make_random_seq(std::uint64_t seed, int gates, int flops) {
+  RandomSeqDesign d;
+  WordOps w(d.nl, "m");
+  Rng rng(seed);
+  d.rstn = d.nl.add_input("rstn");
+  std::vector<NetId> pool;
+  for (int i = 0; i < 5; ++i) {
+    d.inputs.push_back(d.nl.add_input("i" + std::to_string(i)));
+    pool.push_back(d.inputs.back());
+  }
+  // Declare flops up front so combinational logic can read them.
+  std::vector<RegWord> regs;
+  for (int f = 0; f < flops; ++f) {
+    regs.push_back(w.reg_declare(1, "r" + std::to_string(f),
+                                 rng.next_below(2) ? d.rstn : kInvalidId));
+    pool.push_back(regs.back().q[0]);
+  }
+  for (int g = 0; g < gates; ++g) {
+    const CellType types[] = {CellType::kAnd2, CellType::kOr2, CellType::kXor2,
+                              CellType::kNand2, CellType::kNor2, CellType::kMux2,
+                              CellType::kNot};
+    const CellType t = types[rng.next_below(7)];
+    std::vector<NetId> ins;
+    for (int k = 0; k < num_inputs(t); ++k)
+      ins.push_back(pool[rng.next_below(pool.size())]);
+    pool.push_back(w.gate(t, "g" + std::to_string(g), ins));
+  }
+  for (auto& reg : regs) {
+    Bus dnet{pool[rng.next_below(pool.size())]};
+    w.reg_connect(reg, dnet);
+  }
+  for (int o = 0; o < 2; ++o)
+    d.outputs.push_back(
+        d.nl.add_output("o" + std::to_string(o), pool[pool.size() - 1 - o]));
+  return d;
+}
+
+class SeqProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeqProperties, UntestableSetGrowsWithMissionRestrictions) {
+  const std::uint64_t seed = GetParam();
+  RandomSeqDesign d = make_random_seq(seed, 40, 6);
+  ASSERT_TRUE(d.nl.validate().empty());
+  const FaultUniverse u(d.nl);
+  const StructuralAnalyzer sta(d.nl, u);
+  Rng rng(seed + 5);
+  MissionConfig small, big;
+  for (NetId in : d.inputs) {
+    if (rng.next_below(3) == 0) {
+      const bool v = rng.next_bool();
+      small.tie(in, v);
+      big.tie(in, v);
+    } else if (rng.next_below(2) == 0) {
+      big.tie(in, rng.next_bool());
+    }
+  }
+  big.unobserve(d.outputs[0]);
+  FaultList fs(u), fb(u);
+  sta.classify_faults(sta.analyze(small), fs, OnlineSource::kScan);
+  sta.classify_faults(sta.analyze(big), fb, OnlineSource::kScan);
+  for (FaultId f = 0; f < u.size(); ++f) {
+    if (fs.untestable_kind(f) != UntestableKind::kNone) {
+      EXPECT_NE(fb.untestable_kind(f), UntestableKind::kNone)
+          << "seed " << seed << ": " << u.fault_name(f);
+    }
+  }
+}
+
+TEST_P(SeqProperties, ScanInsertionPreservesMissionBehaviour) {
+  const std::uint64_t seed = GetParam();
+  RandomSeqDesign ref = make_random_seq(seed, 35, 5);
+  RandomSeqDesign dut = make_random_seq(seed, 35, 5);
+  ScanConfig scfg;
+  scfg.num_chains = 1 + static_cast<int>(seed % 3);
+  scfg.buffers_per_link = static_cast<int>(seed % 2);
+  const ScanChains chains = insert_scan(dut.nl, scfg);
+  PackedSim a(ref.nl), b(dut.nl);
+  a.power_on();
+  b.power_on();
+  b.set_input_all(chains.se_net, chains.se_functional_value);
+  for (const ScanChain& c : chains.chains) b.set_input_all(c.scan_in_net, false);
+  Rng rng(seed * 3 + 1);
+  for (int cyc = 0; cyc < 25; ++cyc) {
+    const bool rv = cyc > 1;
+    for (std::size_t i = 0; i < ref.inputs.size(); ++i) {
+      const bool v = rng.next_bool();
+      a.set_input_all(ref.inputs[i], v);
+      b.set_input_all(dut.inputs[i], v);
+    }
+    a.set_input_all(ref.rstn, rv);
+    b.set_input_all(dut.rstn, rv);
+    a.eval();
+    b.eval();
+    for (std::size_t o = 0; o < ref.outputs.size(); ++o) {
+      ASSERT_EQ(a.observed(ref.outputs[o]) & 1, b.observed(dut.outputs[o]) & 1)
+          << "seed " << seed << " cycle " << cyc << " output " << o;
+    }
+    a.clock();
+    b.clock();
+  }
+}
+
+TEST_P(SeqProperties, VerilogRoundTripPreservesSimulation) {
+  const std::uint64_t seed = GetParam();
+  RandomSeqDesign d = make_random_seq(seed, 30, 4);
+  const Netlist back = parse_verilog(write_verilog(d.nl));
+  ASSERT_TRUE(back.validate().empty());
+  EXPECT_EQ(d.nl.stats().pins, back.stats().pins);
+  PackedSim a(d.nl), b(back);
+  a.power_on();
+  b.power_on();
+  Rng rng(seed + 77);
+  for (int cyc = 0; cyc < 20; ++cyc) {
+    for (CellId c : d.nl.input_cells()) {
+      const bool v = rng.next_bool();
+      a.set_input_all(d.nl.cell(c).out, v);
+      b.set_input_all(back.find_input(d.nl.cell(c).name), v);
+    }
+    a.eval();
+    b.eval();
+    for (CellId oc : d.nl.output_cells()) {
+      ASSERT_EQ(a.observed(oc) & 1,
+                b.observed(back.find_output(d.nl.cell(oc).name)) & 1)
+          << "seed " << seed << " cycle " << cyc;
+    }
+    a.clock();
+    b.clock();
+  }
+}
+
+TEST_P(SeqProperties, TransitionUntestablesIncludeStuckAtTied) {
+  const std::uint64_t seed = GetParam();
+  RandomSeqDesign d = make_random_seq(seed, 40, 6);
+  const FaultUniverse u(d.nl);
+  const StructuralAnalyzer sta(d.nl, u);
+  Rng rng(seed ^ 0xBEEF);
+  MissionConfig cfg;
+  for (NetId in : d.inputs)
+    if (rng.next_below(2) == 0) cfg.tie(in, rng.next_bool());
+  const StaResult r = sta.analyze(cfg);
+  FaultList sa(u), tdf(u);
+  sta.classify_faults(r, sa, OnlineSource::kScan);
+  sta.classify_transition_faults(r, tdf, OnlineSource::kScan);
+  for (FaultId f = 0; f < u.size(); ++f) {
+    if (sa.untestable_kind(f) == UntestableKind::kTied) {
+      EXPECT_NE(tdf.untestable_kind(f), UntestableKind::kNone)
+          << "seed " << seed << ": " << u.fault_name(f);
+    }
+  }
+  EXPECT_GE(tdf.count_untestable(), sa.count_untestable()) << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeqProperties,
+                         ::testing::Values(31, 32, 33, 34, 35, 36, 37, 38, 39,
+                                           40, 41, 42));
+
+}  // namespace
+}  // namespace olfui

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "sbst/sbst.hpp"
+
+namespace olfui {
+namespace {
+
+SocConfig lean_config() {
+  SocConfig cfg;
+  cfg.cpu.btb_entries = 2;
+  cfg.cpu.with_multiplier = false;
+  cfg.scan.num_chains = 2;
+  return cfg;
+}
+
+TEST(SbstSuite, EveryProgramHaltsOnTheFullSoc) {
+  SocConfig cfg;  // full case-study configuration, multiplier included
+  auto soc = build_soc(cfg);
+  auto suite = build_sbst_suite(cfg);
+  ASSERT_GE(suite.size(), 8u);
+  for (SbstProgram& sp : suite) {
+    SocSimulator sim(*soc);
+    sim.load_program(sp.program);
+    const int cycles = sim.run(5000);
+    EXPECT_TRUE(sim.halted()) << sp.name;
+    EXPECT_GT(cycles, 5) << sp.name;
+    EXPECT_LT(cycles, 5000) << sp.name;
+  }
+}
+
+TEST(SbstSuite, MulProgramOnlyWithMultiplier) {
+  SocConfig with = {};
+  SocConfig without = lean_config();
+  const auto names = [](const std::vector<SbstProgram>& s) {
+    std::vector<std::string> n;
+    for (const auto& p : s) n.push_back(p.name);
+    return n;
+  };
+  const auto w = names(build_sbst_suite(with));
+  const auto wo = names(build_sbst_suite(without));
+  EXPECT_NE(std::find(w.begin(), w.end(), "mul"), w.end());
+  EXPECT_EQ(std::find(wo.begin(), wo.end(), "mul"), wo.end());
+}
+
+TEST(SbstSuite, AluArithSignaturesMatchReference) {
+  SocConfig cfg = lean_config();
+  auto soc = build_soc(cfg);
+  auto suite = build_sbst_suite(cfg);
+  SocSimulator sim(*soc);
+  sim.load_program(suite[0].program);  // alu_arith
+  sim.run(3000);
+  ASSERT_TRUE(sim.halted());
+  const std::uint64_t ram = cfg.ram_base;
+  EXPECT_EQ(sim.ram_word(ram + 0), 0xAAAA5555u + 0xFFu);
+  EXPECT_EQ(sim.ram_word(ram + 4), 0xAAAA5555u - 0xFFu);
+  EXPECT_EQ(sim.ram_word(ram + 8), 0xFFFFFFFEu);  // -1 + -1
+  EXPECT_EQ(sim.ram_word(ram + 12), 0xFFu - 0xAAAA5555u);
+  EXPECT_EQ(sim.ram_word(ram + 16), 1u);  // 0xFF < 0xAAAA5555
+  EXPECT_EQ(sim.ram_word(ram + 20), 0u);
+  EXPECT_EQ(sim.ram_word(ram + 24), 0u);  // equal operands
+  EXPECT_EQ(sim.ram_word(ram + 28), 0xFFFFFFFFu);  // sum of walking ones
+  EXPECT_EQ(sim.ram_word(ram + 32), 0x55555555u + 0x33333333u);
+}
+
+TEST(SbstSuite, ShiftSignatures) {
+  SocConfig cfg = lean_config();
+  auto soc = build_soc(cfg);
+  auto suite = build_sbst_suite(cfg);
+  SocSimulator sim(*soc);
+  sim.load_program(suite[2].program);  // shift
+  sim.run(3000);
+  ASSERT_TRUE(sim.halted());
+  const std::uint64_t base = cfg.ram_base + 0x200;
+  const std::uint32_t v = 0x80000003u;
+  for (int n = 0; n < 32; ++n) {
+    const std::uint32_t expect = (v << n) ^ (v >> n);
+    EXPECT_EQ(sim.ram_word(base + 4u * static_cast<std::uint32_t>(n)), expect)
+        << "amount " << n;
+  }
+}
+
+TEST(SbstSuite, MulSignatures) {
+  SocConfig cfg;  // multiplier on
+  auto soc = build_soc(cfg);
+  auto suite = build_sbst_suite(cfg);
+  std::size_t mul_idx = 0;
+  for (std::size_t i = 0; i < suite.size(); ++i)
+    if (suite[i].name == "mul") mul_idx = i;
+  SocSimulator sim(*soc);
+  sim.load_program(suite[mul_idx].program);
+  sim.run(5000);
+  ASSERT_TRUE(sim.halted());
+  const std::uint64_t base = cfg.ram_base + 0x700;
+  EXPECT_EQ(sim.ram_word(base + 0), 15u);
+  EXPECT_EQ(sim.ram_word(base + 4), 1u);  // (-1)^2 mod 2^32
+  EXPECT_EQ(sim.ram_word(base + 8), 0x0001'0001u * 0xFFFFu);
+  std::uint32_t acc = 0;
+  for (int b = 0; b < 32; ++b)
+    acc += static_cast<std::uint32_t>((1ULL << b) * (1ULL << b));
+  EXPECT_EQ(sim.ram_word(base + 12), acc);
+  EXPECT_EQ(sim.ram_word(base + 16), 0xAAAAAAAAu * 0x55555555u);
+  EXPECT_EQ(sim.ram_word(base + 20), 0x55555555u * 0x55555555u);
+}
+
+TEST(SbstSuite, LoadStoreWalksTheRamRange) {
+  SocConfig cfg = lean_config();
+  auto soc = build_soc(cfg);
+  auto suite = build_sbst_suite(cfg);
+  std::size_t ls_idx = 0;
+  for (std::size_t i = 0; i < suite.size(); ++i)
+    if (suite[i].name == "loadstore") ls_idx = i;
+  SocSimulator sim(*soc);
+  sim.load_program(suite[ls_idx].program);
+  sim.run(4000);
+  ASSERT_TRUE(sim.halted());
+  // The walk stored at every power-of-two offset inside RAM.
+  std::uint32_t data = 0xDEADBEEFu;
+  std::uint64_t sum = 0;
+  for (std::uint64_t off = 4; off < cfg.ram_size; off *= 2) {
+    // Offsets 8 and 64 are overwritten by the program's later stores
+    // (flash read-back and offset-form addressing checks).
+    if (off != 8 && off != 64) {
+      EXPECT_EQ(sim.ram_word(cfg.ram_base + off), data) << off;
+    }
+    sum += data;
+    data += static_cast<std::uint32_t>(off);
+  }
+  EXPECT_EQ(sim.ram_word(cfg.ram_base),
+            static_cast<std::uint32_t>(sum));
+  // Flash read-back stored the program's first word.
+  EXPECT_EQ(sim.ram_word(cfg.ram_base + 8), suite[ls_idx].program.words()[0]);
+}
+
+TEST(SbstSuite, FunctionalRunnerReportsCyclesAndActivity) {
+  SocConfig cfg = lean_config();
+  auto soc = build_soc(cfg);
+  auto suite = build_sbst_suite(cfg);
+  ToggleRecorder rec(soc->netlist);
+  const auto cycles = run_suite_functional(*soc, suite, 5000, &rec);
+  ASSERT_EQ(cycles.size(), suite.size());
+  for (std::size_t i = 0; i < cycles.size(); ++i)
+    EXPECT_GT(cycles[i], 5) << suite[i].name;
+  EXPECT_GT(rec.cycles(), 100u);
+  // The PC low bits toggle during any run; debug inputs never do.
+  EXPECT_GT(rec.toggles(soc->cpu.pc.q[2]), 0u);
+  for (NetId n : soc->debug.control_inputs) EXPECT_EQ(rec.toggles(n), 0u);
+}
+
+TEST(SbstCampaign, DetectsASubstantialFractionAndDropsFaults) {
+  // Lean SoC + two programs keeps this in unit-test time while still
+  // exercising the whole campaign machinery.
+  SocConfig cfg = lean_config();
+  cfg.scan.num_chains = 1;
+  auto soc = build_soc(cfg);
+  auto suite = build_sbst_suite(cfg);
+  suite.erase(suite.begin() + 2, suite.end());  // alu_arith + alu_logic
+  const FaultUniverse u(soc->netlist);
+  FaultList fl(u);
+  const auto result = run_sbst_campaign(*soc, suite, fl);
+  ASSERT_EQ(result.programs.size(), 2u);
+  EXPECT_EQ(result.total_detected, fl.count_detected());
+  EXPECT_GT(fl.raw_coverage(), 0.15);
+  // Fault dropping: the second program targets fewer faults, so its new
+  // detections are fewer than the first's.
+  EXPECT_GT(result.programs[0].new_detections,
+            result.programs[1].new_detections);
+}
+
+}  // namespace
+}  // namespace olfui
