@@ -1,0 +1,100 @@
+// Campaign orchestrator scaling: the full-universe SBST campaign at
+// 1/2/4/8 worker threads.
+//
+// The campaign is embarrassingly parallel — 63-fault shards are
+// independent parallel-fault simulator passes — so throughput should
+// scale with cores until the shard queue runs dry. This bench grades the
+// whole suite against the whole stuck-at universe per thread count and
+// reports wall time, faults/sec, and speedup over the 1-thread run. It
+// also cross-checks the orchestrator's determinism guarantee: every
+// thread count must produce the bit-identical detection set.
+//
+// NOTE: speedup is bounded by the machine — on a 1-core container every
+// row degenerates to ~1.0x; on an N-core host expect near-linear scaling
+// to min(N, 8).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <thread>
+
+#include "campaign/campaign.hpp"
+#include "sbst/sbst.hpp"
+
+namespace {
+
+using namespace olfui;
+
+SocConfig lean_config() {
+  SocConfig cfg;
+  cfg.cpu.with_multiplier = false;
+  cfg.cpu.btb_entries = 2;
+  cfg.scan.num_chains = 4;
+  return cfg;
+}
+
+void print_scaling_table() {
+  const SocConfig cfg = lean_config();
+  auto soc = build_soc(cfg);
+  const FaultUniverse universe(soc->netlist);
+  auto suite = build_sbst_suite(cfg);
+
+  std::printf("== campaign scaling: full-universe SBST campaign =================\n");
+  std::printf("universe: %zu faults, %zu programs, host concurrency: %u\n\n",
+              universe.size(), suite.size(),
+              std::thread::hardware_concurrency());
+  std::printf("%8s %10s %12s %10s %10s\n", "threads", "wall [s]", "faults/sec",
+              "speedup", "detected");
+
+  double base_seconds = 0;
+  BitVec reference;
+  for (const int threads : {1, 2, 4, 8}) {
+    FaultList fl(universe);
+    const SbstCampaignResult result = run_sbst_campaign(
+        *soc, suite, fl, {}, CampaignOptions{.threads = threads});
+    const auto& stats = result.campaign.stats;
+    if (threads == 1) {
+      base_seconds = stats.wall_seconds;
+      reference = result.campaign.detected;
+    } else if (!(result.campaign.detected == reference)) {
+      std::printf("DETERMINISM VIOLATION at %d threads!\n", threads);
+    }
+    std::printf("%8d %10.2f %12.0f %9.2fx %10zu\n", threads,
+                stats.wall_seconds, stats.faults_per_second,
+                stats.wall_seconds > 0 ? base_seconds / stats.wall_seconds : 0.0,
+                result.campaign.detected.count());
+  }
+  std::printf("\ndetection sets bit-identical across all thread counts: the\n"
+              "orchestrator's deterministic-merge guarantee.\n\n");
+}
+
+/// Microbenchmark: one program's grade() fan-out at a fixed thread count,
+/// so scheduler-level regressions show up without the full campaign.
+void BM_CampaignGrade(benchmark::State& state) {
+  const SocConfig cfg = lean_config();
+  auto soc = build_soc(cfg);
+  const FaultUniverse universe(soc->netlist);
+  auto suite = build_sbst_suite(cfg);
+  suite.erase(suite.begin() + 1, suite.end());
+  const std::vector<CampaignTest> tests =
+      build_sbst_campaign_tests(*soc, suite, universe);
+  const CampaignEngine engine(
+      universe, {.threads = static_cast<int>(state.range(0))});
+  // A fixed 1024-fault slice keeps iterations comparable across runs.
+  std::vector<FaultId> targets;
+  for (FaultId f = 0; f < universe.size() && targets.size() < 1024; f += 7)
+    targets.push_back(f);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine.grade(targets, tests[0]));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(targets.size()));
+}
+BENCHMARK(BM_CampaignGrade)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_scaling_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -42,6 +42,11 @@ void print_coverage_gain() {
   for (const auto& pp : result.programs)
     std::printf("%-12s %8d %14zu\n", pp.name.c_str(), pp.cycles,
                 pp.new_detections);
+  std::printf("orchestrator: %d threads, %zu batches, %.1f s, "
+              "%.0f faults/sec\n",
+              result.campaign.stats.threads, result.campaign.stats.batches,
+              result.campaign.stats.wall_seconds,
+              result.campaign.stats.faults_per_second);
 
   const double raw = fl.raw_coverage();
   const double pruned = fl.pruned_coverage();

@@ -9,9 +9,15 @@
 //     --csv FILE           write the untestable-fault dossier as CSV
 //     --json FILE          write the summary as JSON
 //     --sweep              run the constant-sweep cleanup first
+//     --campaign           grade a manufacturing scan-test campaign (chain
+//                          test + random + PODEM patterns) through the
+//                          parallel campaign orchestrator; needs scan
+//                          chains ("scan_en"/"scan_in*"/"scan_out*" ports)
+//     --threads N          orchestrator worker threads (0 = all cores)
 //
 // Example:
 //   olfui_cli periph.v --tie test_mode=0 --unobserve dbg_tap --csv out.csv
+//   olfui_cli core_scan.v --campaign --threads 8 --json coverage.json
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -19,9 +25,11 @@
 #include <string>
 #include <vector>
 
+#include "campaign/json.hpp"
 #include "fault/report.hpp"
 #include "memmap/memmap.hpp"
 #include "netlist/sweep.hpp"
+#include "scan/scan_atpg.hpp"
 #include "sta/sta.hpp"
 #include "util/strings.hpp"
 #include "verilog/verilog.hpp"
@@ -34,7 +42,7 @@ using namespace olfui;
   std::fprintf(stderr,
                "usage: %s <netlist.v> [--tie NET=0|1] [--unobserve PORT] "
                "[--memmap BASE:SIZE] [--model sa|tdf] [--csv FILE] "
-               "[--json FILE] [--sweep]\n",
+               "[--json FILE] [--sweep] [--campaign] [--threads N]\n",
                argv0);
   std::exit(2);
 }
@@ -64,7 +72,8 @@ int main(int argc, char** argv) {
   std::vector<std::pair<std::string, bool>> ties;
   std::vector<std::string> unobserved;
   MemoryMap map;
-  bool use_memmap = false, sweep = false, transition = false;
+  bool use_memmap = false, sweep = false, transition = false, campaign = false;
+  int threads = 0;
   std::string csv_path, json_path;
 
   for (int i = 2; i < argc; ++i) {
@@ -96,6 +105,12 @@ int main(int argc, char** argv) {
       json_path = next();
     } else if (arg == "--sweep") {
       sweep = true;
+    } else if (arg == "--campaign") {
+      campaign = true;
+    } else if (arg == "--threads") {
+      const auto n = parse_uint(next());
+      if (!n) usage(argv[0]);
+      threads = static_cast<int>(*n);
     } else {
       usage(argv[0]);
     }
@@ -154,7 +169,83 @@ int main(int argc, char** argv) {
                   : 0.0);
   std::printf("\n%s", module_breakdown_table(faults).c_str());
 
+  Json manuf_json;  // filled by --campaign, merged into --json output
+  if (campaign) {
+    if (transition) {
+      std::fprintf(stderr,
+                   "error: --campaign applies stuck-at scan patterns; it "
+                   "cannot grade the transition-delay model (--model tdf)\n");
+      return 1;
+    }
+    ScanChains chains;
+    try {
+      chains = trace_scan(nl);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "error: --campaign needs traceable scan chains: %s\n",
+                   e.what());
+      return 1;
+    }
+    ScanAtpgOptions atpg_opts;
+    atpg_opts.campaign.threads = threads;
+    // Mission-constant nets keep their values during test application.
+    for (const auto& [name, value] : ties)
+      atpg_opts.pin_constraints.emplace_back(nl.find_net(name), value);
+    const int resolved =
+        CampaignEngine(universe, atpg_opts.campaign).resolved_threads();
+    std::printf("\nmanufacturing campaign: %zu chains, %zu scan flops, "
+                "%d threads\n",
+                chains.chains.size(), chains.num_flops(), resolved);
+    // Manufacturing runs with full tester access: grade a fresh fault
+    // list so the mission-mode untestability marks above don't shrink
+    // the target queue (they are exactly the faults whose scan coverage
+    // the gap argument needs).
+    FaultList manuf(universe);
+    const ScanAtpgResult atpg =
+        generate_scan_tests(nl, chains, universe, manuf, atpg_opts);
+    std::printf("  chain test:    %zu detected\n", atpg.detected_by_chain_test);
+    std::printf("  random:        %zu detected (%zu kept patterns)\n",
+                atpg.detected_by_random, atpg.patterns.size());
+    std::printf("  deterministic: %zu detected, %zu proven redundant, "
+                "%zu aborted\n",
+                atpg.detected_by_deterministic, atpg.proven_untestable,
+                atpg.aborted);
+    std::printf("  manufacturing coverage:  %6.2f%%\n",
+                100.0 * manuf.raw_coverage());
+    // The paper's gap: faults the tester detects but the mission-mode
+    // analysis above proved on-line untestable.
+    std::size_t gap = 0;
+    for (FaultId f = 0; f < universe.size(); ++f)
+      if (manuf.detect_state(f) == DetectState::kDetected &&
+          faults.untestable_kind(f) != UntestableKind::kNone)
+        ++gap;
+    std::printf("  detected on the tester but on-line untestable: %zu "
+                "(%.2f%% of the universe)\n",
+                gap, 100.0 * static_cast<double>(gap) /
+                         static_cast<double>(universe.size()));
+
+    manuf_json = Json::object();
+    manuf_json.set("threads", resolved);
+    manuf_json.set("detected_by_chain_test", atpg.detected_by_chain_test);
+    manuf_json.set("detected_by_random", atpg.detected_by_random);
+    manuf_json.set("detected_by_deterministic",
+                   atpg.detected_by_deterministic);
+    manuf_json.set("proven_untestable", atpg.proven_untestable);
+    manuf_json.set("aborted", atpg.aborted);
+    manuf_json.set("kept_patterns", atpg.patterns.size());
+    manuf_json.set("coverage", manuf.raw_coverage());
+    manuf_json.set("detected_but_online_untestable", gap);
+  }
+
   if (!csv_path.empty()) write_file(csv_path, to_csv(faults, true));
-  if (!json_path.empty()) write_file(json_path, to_json_summary(faults));
+  if (!json_path.empty()) {
+    std::string summary = to_json_summary(faults);
+    if (manuf_json.is_object()) {
+      Json doc = Json::parse(summary);
+      doc.set("manufacturing_campaign", std::move(manuf_json));
+      summary = doc.dump(2);
+    }
+    write_file(json_path, summary);
+  }
   return 0;
 }

@@ -1,0 +1,217 @@
+#include "campaign/campaign.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "campaign/shard_queue.hpp"
+#include "netlist/netlist.hpp"
+
+namespace olfui {
+
+namespace {
+
+/// Undetected (unless dropping is off), testable faults in id order.
+std::vector<FaultId> campaign_targets(const FaultList& fl, bool drop_detected) {
+  std::vector<FaultId> targets;
+  for (FaultId f = 0; f < fl.size(); ++f) {
+    if (fl.untestable_kind(f) != UntestableKind::kNone) continue;
+    if (drop_detected && fl.detect_state(f) == DetectState::kDetected) continue;
+    targets.push_back(f);
+  }
+  return targets;
+}
+
+class FunctionBatchRunner final : public FaultBatchRunner {
+ public:
+  explicit FunctionBatchRunner(
+      std::function<std::uint64_t(std::span<const FaultId>)> kernel)
+      : kernel_(std::move(kernel)) {}
+  std::uint64_t run_batch(std::span<const FaultId> faults) override {
+    return kernel_(faults);
+  }
+
+ private:
+  std::function<std::uint64_t(std::span<const FaultId>)> kernel_;
+};
+
+}  // namespace
+
+CampaignTest make_function_test(
+    std::string name,
+    std::function<std::uint64_t(std::span<const FaultId>)> kernel,
+    int good_cycles) {
+  CampaignTest test;
+  test.name = std::move(name);
+  test.good_cycles = good_cycles;
+  test.make_runner = [kernel = std::move(kernel)]() {
+    return std::make_unique<FunctionBatchRunner>(kernel);
+  };
+  return test;
+}
+
+bool CampaignResult::operator==(const CampaignResult& o) const {
+  return universe == o.universe &&
+         total_new_detections == o.total_new_detections &&
+         detected == o.detected && tests == o.tests && classes == o.classes &&
+         raw_coverage == o.raw_coverage && pruned_coverage == o.pruned_coverage;
+}
+
+CampaignEngine::CampaignEngine(const FaultUniverse& universe,
+                               CampaignOptions opts)
+    : universe_(&universe), opts_(opts) {
+  opts_.batch_size = std::clamp(opts_.batch_size, 1, 63);
+}
+
+int CampaignEngine::resolved_threads() const {
+  if (opts_.threads > 0) return opts_.threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? static_cast<int>(hw) : 1;
+}
+
+BitVec CampaignEngine::grade(std::span<const FaultId> targets,
+                             const CampaignTest& test,
+                             const CampaignProgress& progress) const {
+  BitVec detected(targets.size());
+  if (targets.empty()) return detected;
+
+  const std::size_t batch = static_cast<std::size_t>(opts_.batch_size);
+  const std::size_t shards = (targets.size() + batch - 1) / batch;
+  std::vector<std::uint64_t> results(shards, 0);
+
+  std::mutex progress_mu;
+  std::size_t graded = 0;
+  const auto report = [&](std::size_t n) {
+    if (!progress) return;
+    std::lock_guard lock(progress_mu);
+    graded += n;
+    progress(test.name, graded, targets.size());
+  };
+
+  const auto worker = [&](ShardQueue& queue, std::size_t w) {
+    std::unique_ptr<FaultBatchRunner> runner;  // created on first shard
+    std::size_t shard;
+    while (queue.pop(w, shard)) {
+      if (!runner) runner = test.make_runner();
+      const std::size_t lo = shard * batch;
+      const std::size_t n = std::min(batch, targets.size() - lo);
+      results[shard] = runner->run_batch(targets.subspan(lo, n));
+      report(n);
+    }
+  };
+
+  const std::size_t workers = std::min<std::size_t>(
+      static_cast<std::size_t>(resolved_threads()), shards);
+  ShardQueue queue(shards, workers);
+  if (workers <= 1) {
+    worker(queue, 0);
+  } else {
+    // A throw from make_runner()/run_batch() must not escape a
+    // std::thread (that would terminate the process); capture the first
+    // one and rethrow on the caller's thread, matching the 1-thread path.
+    std::vector<std::exception_ptr> errors(workers);
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w)
+      pool.emplace_back([&, w] {
+        try {
+          worker(queue, w);
+        } catch (...) {
+          errors[w] = std::current_exception();
+        }
+      });
+    for (std::thread& t : pool) t.join();
+    for (const std::exception_ptr& e : errors)
+      if (e) std::rethrow_exception(e);
+  }
+
+  // Deterministic merge: shard order, then lane order within the shard.
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    const std::size_t lo = shard * batch;
+    const std::size_t n = std::min(batch, targets.size() - lo);
+    for (std::size_t j = 0; j < n; ++j)
+      if (results[shard] & (1ULL << j)) detected.set(lo + j, true);
+  }
+  return detected;
+}
+
+CampaignResult CampaignEngine::run(FaultList& fl,
+                                   std::span<const CampaignTest> tests,
+                                   const CampaignProgress& progress) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  CampaignResult result;
+  result.universe = universe_->size();
+
+  for (const CampaignTest& test : tests) {
+    const std::vector<FaultId> targets =
+        campaign_targets(fl, opts_.fault_dropping);
+    CampaignResult::PerTest pt;
+    pt.name = test.name;
+    pt.good_cycles = test.good_cycles;
+    pt.faults_targeted = targets.size();
+    pt.batches = (targets.size() + static_cast<std::size_t>(opts_.batch_size) -
+                  1) /
+                 static_cast<std::size_t>(opts_.batch_size);
+
+    const BitVec det = grade(targets, test, progress);
+    for (std::size_t i = det.find_first(); i < det.size();
+         i = det.find_next(i + 1)) {
+      if (fl.detect_state(targets[i]) == DetectState::kUndetected) {
+        fl.set_detected(targets[i]);
+        ++pt.new_detections;
+      }
+    }
+    result.total_new_detections += pt.new_detections;
+    result.stats.faults_simulated += targets.size();
+    result.stats.batches += pt.batches;
+    result.tests.push_back(std::move(pt));
+  }
+
+  // Final detection state and coverage figures.
+  result.detected.resize(fl.size());
+  for (FaultId f = 0; f < fl.size(); ++f)
+    if (fl.detect_state(f) == DetectState::kDetected)
+      result.detected.set(f, true);
+  result.raw_coverage = fl.raw_coverage();
+  result.pruned_coverage = fl.pruned_coverage();
+
+  // Per-class coverage: polarity, Table-I source, and top-of-hierarchy
+  // module. std::map keeps class order deterministic.
+  std::map<std::string, CampaignResult::ClassCoverage> classes;
+  const Netlist& nl = universe_->netlist();
+  for (FaultId f = 0; f < universe_->size(); ++f) {
+    const Fault& fault = universe_->fault(f);
+    const bool det = fl.detect_state(f) == DetectState::kDetected;
+    const auto tally = [&](std::string name) {
+      CampaignResult::ClassCoverage& row = classes[name];
+      row.name = std::move(name);
+      ++row.total;
+      if (det) ++row.detected;
+    };
+    tally(fault.sa1 ? "sa1" : "sa0");
+    const OnlineSource src = fl.online_source(f);
+    if (src != OnlineSource::kNone)
+      tally("source:" + std::string(to_string(src)));
+    const std::string& cell = nl.cell(fault.pin.cell).name;
+    const auto slash = cell.find('/');
+    tally("module:" + (slash == std::string::npos ? std::string("<top>")
+                                                  : cell.substr(0, slash)));
+  }
+  result.classes.reserve(classes.size());
+  for (auto& [key, row] : classes) result.classes.push_back(std::move(row));
+
+  result.stats.threads = resolved_threads();
+  result.stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  result.stats.faults_per_second =
+      result.stats.wall_seconds > 0
+          ? static_cast<double>(result.stats.faults_simulated) /
+                result.stats.wall_seconds
+          : 0.0;
+  return result;
+}
+
+}  // namespace olfui

@@ -1,0 +1,161 @@
+// olfui/campaign: the parallel fault-campaign orchestrator.
+//
+// The paper's core experiment — grade a test suite against the full
+// stuck-at universe under a mission observation policy — is a *campaign*:
+// an embarrassingly parallel sweep of (test, fault-batch) work items with
+// bookkeeping between tests. Before this subsystem every caller (sbst,
+// scan ATPG, the fig benches) hand-rolled its own single-threaded loop
+// over 63-fault batches; this engine is the single entry point for all of
+// them:
+//
+//  * sharding — the target fault list is cut into fixed 63-lane shards
+//    (one parallel-fault simulator pass each) and distributed across a
+//    worker pool through a work-stealing queue (shard_queue.hpp);
+//  * fault dropping — a fault detected by test k leaves the queue before
+//    test k+1, so late tests grade ever-shrinking target lists;
+//  * good-machine checkpointing — each test's fault-free run is recorded
+//    once (fsim::GoodTrace) and every batch replays the checkpoint as its
+//    reference instead of re-deriving good values from lane 0;
+//  * deterministic merge — batch boundaries depend only on the target
+//    list, each worker writes its batches' detection masks to dedicated
+//    slots, and the merge walks shards in index order, so the
+//    CampaignResult is bit-identical for any thread count.
+//
+// Workloads plug in through FaultBatchRunner: the SBST campaign wraps
+// SequentialFaultSimulator + SocFsimEnvironment, the scan flow wraps
+// ScanTestRunner, and ad-hoc sweeps can wrap anything that grades a
+// 63-fault span.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fault/fault_list.hpp"
+#include "util/bitvec.hpp"
+
+namespace olfui {
+
+/// One worker's private grading kernel: simulator + environment state.
+/// Instances are confined to a single worker thread; the factory that
+/// creates them must be callable from any thread.
+class FaultBatchRunner {
+ public:
+  virtual ~FaultBatchRunner() = default;
+  /// Grades up to 63 faults; bit i of the result = faults[i] detected.
+  virtual std::uint64_t run_batch(std::span<const FaultId> faults) = 0;
+};
+
+/// One test in a campaign: a name for reporting plus a thread-safe factory
+/// producing per-worker runners. `good_cycles` is reporting metadata (the
+/// good machine's functional cycle count, 0 where meaningless, e.g. scan
+/// patterns).
+struct CampaignTest {
+  std::string name;
+  int good_cycles = 0;
+  std::function<std::unique_ptr<FaultBatchRunner>()> make_runner;
+};
+
+struct CampaignOptions {
+  /// Worker threads; 0 picks std::thread::hardware_concurrency().
+  int threads = 0;
+  /// Faults per shard; clamped to [1, 63] (lane 0 is the good machine).
+  int batch_size = 63;
+  /// Detected faults leave the target queue before the next test. Off, every
+  /// test grades the full testable universe (the regression baseline).
+  bool fault_dropping = true;
+};
+
+/// Campaign-wide outcome. Everything except `stats` is a pure function of
+/// (universe, fault list, tests, batch_size) — thread count and scheduling
+/// never show through, which operator== checks (it deliberately ignores
+/// the nondeterministic runtime stats).
+struct CampaignResult {
+  struct PerTest {
+    std::string name;
+    int good_cycles = 0;
+    std::size_t faults_targeted = 0;  ///< queue length when the test ran
+    std::size_t batches = 0;
+    std::size_t new_detections = 0;
+    bool operator==(const PerTest&) const = default;
+  };
+
+  /// Coverage bucketed by fault class (polarity, module, Table-I source).
+  struct ClassCoverage {
+    std::string name;
+    std::size_t total = 0;
+    std::size_t detected = 0;
+    double coverage() const {
+      return total ? static_cast<double>(detected) / static_cast<double>(total)
+                   : 0.0;
+    }
+    bool operator==(const ClassCoverage&) const = default;
+  };
+
+  struct RuntimeStats {
+    double wall_seconds = 0;
+    int threads = 0;
+    std::size_t faults_simulated = 0;  ///< fault x test pairs graded
+    std::size_t batches = 0;
+    double faults_per_second = 0;
+  };
+
+  std::size_t universe = 0;
+  std::size_t total_new_detections = 0;
+  /// Detection state over the whole universe at campaign end (includes
+  /// faults already detected before the campaign started).
+  BitVec detected;
+  std::vector<PerTest> tests;
+  std::vector<ClassCoverage> classes;
+  double raw_coverage = 0;
+  double pruned_coverage = 0;
+  RuntimeStats stats;  ///< nondeterministic; excluded from operator==
+
+  bool operator==(const CampaignResult& o) const;
+};
+
+/// Wraps a stateless, thread-safe grading function (e.g. a const
+/// ScanTestRunner kernel) as a CampaignTest: every worker's runner calls
+/// the one shared function. State referenced by `kernel` must outlive the
+/// campaign.
+CampaignTest make_function_test(
+    std::string name,
+    std::function<std::uint64_t(std::span<const FaultId>)> kernel,
+    int good_cycles = 0);
+
+/// Progress callback: (test name, faults graded so far, faults targeted).
+using CampaignProgress =
+    std::function<void(const std::string&, std::size_t, std::size_t)>;
+
+class CampaignEngine {
+ public:
+  explicit CampaignEngine(const FaultUniverse& universe,
+                          CampaignOptions opts = {});
+
+  const CampaignOptions& options() const { return opts_; }
+  /// Worker count after resolving threads == 0.
+  int resolved_threads() const;
+
+  /// The deterministic parallel grading primitive: shards `targets`, runs
+  /// the shards across the worker pool, and returns per-target detection
+  /// flags (aligned with `targets`). Flows with their own between-test
+  /// bookkeeping (e.g. scan ATPG's equivalence-class propagation) build on
+  /// this directly.
+  BitVec grade(std::span<const FaultId> targets, const CampaignTest& test,
+               const CampaignProgress& progress = {}) const;
+
+  /// Runs the full campaign: for each test in order, grades the remaining
+  /// targets (fault dropping permitting), marks detections in `fl`, and
+  /// accumulates the result.
+  CampaignResult run(FaultList& fl, std::span<const CampaignTest> tests,
+                     const CampaignProgress& progress = {}) const;
+
+ private:
+  const FaultUniverse* universe_;
+  CampaignOptions opts_;
+};
+
+}  // namespace olfui

@@ -1,0 +1,332 @@
+#include "campaign/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace olfui {
+
+namespace {
+
+const char* kind_name(Json::Kind k) {
+  switch (k) {
+    case Json::Kind::kNull: return "null";
+    case Json::Kind::kBool: return "bool";
+    case Json::Kind::kNumber: return "number";
+    case Json::Kind::kString: return "string";
+    case Json::Kind::kArray: return "array";
+    case Json::Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+void dump_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_number(std::string& out, double v) {
+  if (v == std::floor(v) && std::abs(v) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    out += buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out += buf;
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json run() {
+    Json v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) { throw JsonError(what, pos_); }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) { ++pos_; return true; }
+    return false;
+  }
+
+  bool consume_word(std::string_view w) {
+    if (text_.substr(pos_, w.size()) != w) return false;
+    pos_ += w.size();
+    return true;
+  }
+
+  Json value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{' || c == '[') {
+      // Bound recursion: a corrupt/hostile document of nested brackets
+      // must fail cleanly, not overflow the stack.
+      if (depth_ >= kMaxDepth) fail("nesting too deep");
+      ++depth_;
+      Json v = c == '{' ? object() : array();
+      --depth_;
+      return v;
+    }
+    if (c == '"') return Json(string());
+    if (c == 't') { if (!consume_word("true")) fail("bad literal"); return Json(true); }
+    if (c == 'f') { if (!consume_word("false")) fail("bad literal"); return Json(false); }
+    if (c == 'n') { if (!consume_word("null")) fail("bad literal"); return Json(); }
+    return number();
+  }
+
+  Json object() {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (consume('}')) return obj;
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      obj.set(std::move(key), value());
+      skip_ws();
+      if (consume('}')) return obj;
+      expect(',');
+    }
+  }
+
+  Json array() {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (consume(']')) return arr;
+    while (true) {
+      arr.push_back(value());
+      skip_ws();
+      if (consume(']')) return arr;
+      expect(',');
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') { out += c; continue; }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // UTF-8 encode (surrogate pairs are not recombined; campaign
+          // documents only ever carry ASCII identifiers).
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  Json number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+    const std::string tok(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) fail("bad number");
+    return Json(v);
+  }
+
+  static constexpr int kMaxDepth = 128;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::size_t Json::as_size() const {
+  const double v = as_number();
+  if (!(v >= 0 && v <= 9007199254740992.0) || v != std::floor(v))
+    throw JsonError("expected a non-negative integer", 0);
+  return static_cast<std::size_t>(v);
+}
+
+int Json::as_int() const {
+  const double v = as_number();
+  if (!(v >= -2147483648.0 && v <= 2147483647.0) || v != std::floor(v))
+    throw JsonError("expected an int-range integer", 0);
+  return static_cast<int>(v);
+}
+
+void Json::require(Kind k) const {
+  if (kind_ != k)
+    throw JsonError(std::string("expected ") + kind_name(k) + ", got " +
+                        kind_name(kind_),
+                    0);
+}
+
+std::size_t Json::size() const {
+  if (kind_ == Kind::kArray) return arr_.size();
+  if (kind_ == Kind::kObject) return obj_.size();
+  require(Kind::kArray);
+  return 0;
+}
+
+const Json& Json::at(std::size_t i) const {
+  require(Kind::kArray);
+  if (i >= arr_.size()) throw JsonError("array index out of range", i);
+  return arr_[i];
+}
+
+const Json& Json::at(std::string_view key) const {
+  require(Kind::kObject);
+  for (const auto& [k, v] : obj_)
+    if (k == key) return v;
+  throw JsonError("missing key '" + std::string(key) + "'", 0);
+}
+
+bool Json::contains(std::string_view key) const {
+  if (kind_ != Kind::kObject) return false;
+  for (const auto& [k, v] : obj_)
+    if (k == key) return true;
+  return false;
+}
+
+void Json::push_back(Json v) {
+  require(Kind::kArray);
+  arr_.push_back(std::move(v));
+}
+
+void Json::set(std::string key, Json v) {
+  require(Kind::kObject);
+  for (auto& [k, old] : obj_) {
+    if (k == key) {
+      old = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(std::move(key), std::move(v));
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kNumber: dump_number(out, num_); break;
+    case Kind::kString: dump_string(out, str_); break;
+    case Kind::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i) out += ',';
+        newline(depth + 1);
+        arr_[i].dump_to(out, indent, depth + 1);
+      }
+      if (!arr_.empty()) newline(depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      out += '{';
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i) out += ',';
+        newline(depth + 1);
+        dump_string(out, obj_[i].first);
+        out += indent > 0 ? ": " : ":";
+        obj_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (!obj_.empty()) newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+Json Json::parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace olfui

@@ -1,0 +1,147 @@
+#include "campaign/report.hpp"
+
+#include <cstdio>
+#include <limits>
+
+namespace olfui {
+
+std::string bitvec_to_hex(const BitVec& bits) {
+  std::string out = std::to_string(bits.size());
+  out += ':';
+  for (std::size_t w = 0; w < bits.word_count(); ++w) {
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(bits.word(w)));
+    out += buf;
+  }
+  return out;
+}
+
+BitVec bitvec_from_hex(std::string_view text) {
+  const auto colon = text.find(':');
+  if (colon == std::string_view::npos)
+    throw JsonError("bitvec: missing ':' separator", 0);
+  std::size_t nbits = 0;
+  if (colon == 0) throw JsonError("bitvec: bad size", 0);
+  for (char c : text.substr(0, colon)) {
+    if (c < '0' || c > '9') throw JsonError("bitvec: bad size", 0);
+    if (nbits > (std::numeric_limits<std::size_t>::max() - 9) / 10)
+      throw JsonError("bitvec: size overflows", 0);
+    nbits = nbits * 10 + static_cast<std::size_t>(c - '0');
+  }
+  // Validate the length before allocating: a corrupt size field must
+  // throw, not attempt a giant allocation.
+  const std::string_view hex = text.substr(colon + 1);
+  const std::size_t words = nbits / 64 + (nbits % 64 != 0);
+  if (hex.size() % 16 != 0 || hex.size() / 16 != words)
+    throw JsonError("bitvec: word count does not match size", colon);
+  BitVec bits(nbits);
+  for (std::size_t i = 0; i < hex.size(); ++i) {
+    const char c = hex[i];
+    unsigned nibble;
+    if (c >= '0' && c <= '9') nibble = static_cast<unsigned>(c - '0');
+    else if (c >= 'a' && c <= 'f') nibble = static_cast<unsigned>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') nibble = static_cast<unsigned>(c - 'A' + 10);
+    else throw JsonError("bitvec: bad hex digit", colon + 1 + i);
+    // Word w occupies hex chars [16w, 16w+16), most significant first.
+    const std::size_t word = i / 16;
+    const std::size_t shift = (15 - i % 16) * 4;
+    for (unsigned b = 0; b < 4; ++b) {
+      if (!(nibble & (1u << b))) continue;
+      const std::size_t bit = word * 64 + shift + b;
+      if (bit >= nbits) throw JsonError("bitvec: set bit past size", i);
+      bits.set(bit, true);
+    }
+  }
+  return bits;
+}
+
+Json campaign_result_to_json(const CampaignResult& result) {
+  Json doc = Json::object();
+  doc.set("universe", result.universe);
+  doc.set("total_new_detections", result.total_new_detections);
+  doc.set("raw_coverage", result.raw_coverage);
+  doc.set("pruned_coverage", result.pruned_coverage);
+  doc.set("detected_bits", bitvec_to_hex(result.detected));
+
+  Json tests = Json::array();
+  for (const CampaignResult::PerTest& pt : result.tests) {
+    Json t = Json::object();
+    t.set("name", pt.name);
+    t.set("good_cycles", pt.good_cycles);
+    t.set("faults_targeted", pt.faults_targeted);
+    t.set("batches", pt.batches);
+    t.set("new_detections", pt.new_detections);
+    tests.push_back(std::move(t));
+  }
+  doc.set("tests", std::move(tests));
+
+  Json classes = Json::array();
+  for (const CampaignResult::ClassCoverage& cc : result.classes) {
+    Json c = Json::object();
+    c.set("name", cc.name);
+    c.set("total", cc.total);
+    c.set("detected", cc.detected);
+    classes.push_back(std::move(c));
+  }
+  doc.set("classes", std::move(classes));
+
+  Json stats = Json::object();
+  stats.set("wall_seconds", result.stats.wall_seconds);
+  stats.set("threads", result.stats.threads);
+  stats.set("faults_simulated", result.stats.faults_simulated);
+  stats.set("batches", result.stats.batches);
+  stats.set("faults_per_second", result.stats.faults_per_second);
+  doc.set("stats", std::move(stats));
+  return doc;
+}
+
+std::string campaign_result_to_json_string(const CampaignResult& result,
+                                           int indent) {
+  return campaign_result_to_json(result).dump(indent);
+}
+
+CampaignResult campaign_result_from_json(const Json& doc) {
+  CampaignResult result;
+  result.universe = doc.at("universe").as_size();
+  result.total_new_detections = doc.at("total_new_detections").as_size();
+  result.raw_coverage = doc.at("raw_coverage").as_number();
+  result.pruned_coverage = doc.at("pruned_coverage").as_number();
+  result.detected = bitvec_from_hex(doc.at("detected_bits").as_string());
+
+  const Json& tests = doc.at("tests");
+  for (std::size_t i = 0; i < tests.size(); ++i) {
+    const Json& t = tests.at(i);
+    CampaignResult::PerTest pt;
+    pt.name = t.at("name").as_string();
+    pt.good_cycles = t.at("good_cycles").as_int();
+    pt.faults_targeted = t.at("faults_targeted").as_size();
+    pt.batches = t.at("batches").as_size();
+    pt.new_detections = t.at("new_detections").as_size();
+    result.tests.push_back(std::move(pt));
+  }
+
+  const Json& classes = doc.at("classes");
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    const Json& c = classes.at(i);
+    CampaignResult::ClassCoverage cc;
+    cc.name = c.at("name").as_string();
+    cc.total = c.at("total").as_size();
+    cc.detected = c.at("detected").as_size();
+    result.classes.push_back(std::move(cc));
+  }
+
+  const Json& stats = doc.at("stats");
+  result.stats.wall_seconds = stats.at("wall_seconds").as_number();
+  result.stats.threads = stats.at("threads").as_int();
+  result.stats.faults_simulated = stats.at("faults_simulated").as_size();
+  result.stats.batches = stats.at("batches").as_size();
+  result.stats.faults_per_second = stats.at("faults_per_second").as_number();
+  return result;
+}
+
+CampaignResult campaign_result_from_json_string(std::string_view text) {
+  return campaign_result_from_json(Json::parse(text));
+}
+
+}  // namespace olfui

@@ -1,0 +1,34 @@
+// olfui/campaign: campaign-result JSON exchange.
+//
+// A campaign's outcome outlives the process that ran it: CI tracks
+// coverage trends, ablation sweeps diff results between configurations,
+// and an incremental re-grade wants the previous run's detection state as
+// its starting point. Both directions are provided — export and a strict
+// import that round-trips every deterministic field (the detection BitVec
+// travels as packed hex words, not a fault-id list, so a full-universe
+// result stays compact).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "campaign/campaign.hpp"
+#include "campaign/json.hpp"
+
+namespace olfui {
+
+/// Full document, runtime stats included.
+Json campaign_result_to_json(const CampaignResult& result);
+std::string campaign_result_to_json_string(const CampaignResult& result,
+                                           int indent = 2);
+
+/// Inverse of campaign_result_to_json. Throws JsonError on malformed or
+/// incomplete documents.
+CampaignResult campaign_result_from_json(const Json& doc);
+CampaignResult campaign_result_from_json_string(std::string_view text);
+
+/// Packed little-endian hex rendering of a BitVec ("size:words...").
+std::string bitvec_to_hex(const BitVec& bits);
+BitVec bitvec_from_hex(std::string_view text);
+
+}  // namespace olfui

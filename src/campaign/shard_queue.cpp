@@ -1,0 +1,50 @@
+#include "campaign/shard_queue.hpp"
+
+namespace olfui {
+
+ShardQueue::ShardQueue(std::size_t shards, std::size_t workers)
+    : lanes_(workers == 0 ? 1 : workers) {
+  for (std::size_t s = 0; s < shards; ++s)
+    lanes_[s % lanes_.size()].work.push_back(s);
+  for (Lane& lane : lanes_)
+    lane.count.store(lane.work.size(), std::memory_order_relaxed);
+}
+
+bool ShardQueue::pop(std::size_t worker, std::size_t& shard) {
+  {
+    Lane& own = lanes_[worker];
+    std::lock_guard lock(own.mu);
+    if (!own.work.empty()) {
+      shard = own.work.front();
+      own.work.pop_front();
+      own.count.store(own.work.size(), std::memory_order_relaxed);
+      return true;
+    }
+  }
+  // Steal from the victim with the most remaining work. The atomic count
+  // is only a heuristic; the actual steal re-checks under the victim's
+  // lock. No shard is ever re-enqueued, so an empty scan means the
+  // campaign is dry.
+  while (true) {
+    std::size_t victim = lanes_.size();
+    std::size_t best = 0;
+    for (std::size_t v = 0; v < lanes_.size(); ++v) {
+      if (v == worker) continue;
+      const std::size_t n = lanes_[v].count.load(std::memory_order_relaxed);
+      if (n > best) {
+        best = n;
+        victim = v;
+      }
+    }
+    if (victim == lanes_.size()) return false;
+    Lane& lane = lanes_[victim];
+    std::lock_guard lock(lane.mu);
+    if (lane.work.empty()) continue;  // raced with the owner; rescan
+    shard = lane.work.back();
+    lane.work.pop_back();
+    lane.count.store(lane.work.size(), std::memory_order_relaxed);
+    return true;
+  }
+}
+
+}  // namespace olfui

@@ -34,8 +34,28 @@ void SequentialFaultSimulator::set_observed(std::vector<CellId> output_cells) {
   observed_ = std::move(output_cells);
 }
 
+GoodTrace SequentialFaultSimulator::record_good_trace(FsimEnvironment& env) {
+  GoodTrace trace;
+  trace.words_per_cycle = (observed_.size() + 63) / 64;
+  sim_.clear_injections();
+  sim_.power_on();
+  env.reset(sim_);
+  for (int cycle = 0; cycle < opts_.max_cycles; ++cycle) {
+    if (!env.step(sim_, cycle)) break;
+    const std::size_t base = trace.bits.size();
+    trace.bits.resize(base + trace.words_per_cycle, 0);
+    for (std::size_t k = 0; k < observed_.size(); ++k)
+      trace.bits[base + k / 64] |= (sim_.observed(observed_[k]) & 1ULL)
+                                   << (k % 64);
+    ++trace.cycles;
+    sim_.clock();
+  }
+  return trace;
+}
+
 std::uint64_t SequentialFaultSimulator::run_batch(std::span<const FaultId> faults,
-                                                  FsimEnvironment& env) {
+                                                  FsimEnvironment& env,
+                                                  const GoodTrace* trace) {
   assert(faults.size() <= 63);
   sim_.clear_injections();
   std::uint64_t fault_lanes = 0;
@@ -49,13 +69,16 @@ std::uint64_t SequentialFaultSimulator::run_batch(std::span<const FaultId> fault
   sim_.power_on();
   env.reset(sim_);
 
+  const int bound = trace ? trace->cycles : opts_.max_cycles;
   std::uint64_t diverged = 0;
-  for (int cycle = 0; cycle < opts_.max_cycles; ++cycle) {
+  for (int cycle = 0; cycle < bound; ++cycle) {
     if (!env.step(sim_, cycle)) break;
-    for (CellId oc : observed_) {
-      const std::uint64_t w = sim_.observed(oc);
-      // Broadcast the good machine's (lane 0) bit across all lanes.
-      const std::uint64_t good = (w & 1ULL) ? ~0ULL : 0ULL;
+    for (std::size_t k = 0; k < observed_.size(); ++k) {
+      const std::uint64_t w = sim_.observed(observed_[k]);
+      // Reference value: the checkpoint if we have one, else a broadcast
+      // of the good machine's (lane 0) bit.
+      const bool good_bit = trace ? trace->bit(cycle, k) : (w & 1ULL);
+      const std::uint64_t good = good_bit ? ~0ULL : 0ULL;
       diverged |= (w ^ good);
     }
     diverged &= fault_lanes;

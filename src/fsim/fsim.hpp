@@ -56,6 +56,26 @@ struct SeqFsimOptions {
   bool early_exit = true;
 };
 
+/// Checkpoint of one fault-free run: the executed cycle count plus the
+/// per-cycle values of every observed output. A campaign records the good
+/// machine once per test program and replays the checkpoint as the
+/// reference in every batch, so detection no longer re-derives the good
+/// values from lane 0 and the cycle bound is exact instead of a guess.
+struct GoodTrace {
+  int cycles = 0;
+  std::size_t words_per_cycle = 0;  ///< ceil(observed_count / 64)
+  /// bits[cycle * words_per_cycle + w] bit k = observed cell (w*64+k)'s
+  /// good value on that cycle.
+  std::vector<std::uint64_t> bits;
+
+  bool bit(int cycle, std::size_t observed_index) const {
+    return (bits[static_cast<std::size_t>(cycle) * words_per_cycle +
+                 observed_index / 64] >>
+            (observed_index % 64)) &
+           1ULL;
+  }
+};
+
 class SequentialFaultSimulator {
  public:
   SequentialFaultSimulator(const Netlist& nl, const FaultUniverse& universe,
@@ -64,13 +84,25 @@ class SequentialFaultSimulator {
   /// Observed output ports (system bus). Detection compares these only.
   void set_observed(std::vector<CellId> output_cells);
 
+  /// Runs the good machine once with no injections, recording the observed
+  /// outputs each cycle. The returned checkpoint is tied to this
+  /// simulator's observed set and to `env`'s stimulus.
+  GoodTrace record_good_trace(FsimEnvironment& env);
+
   /// Simulates one batch of up to 63 faults against the good machine.
-  /// Returns a bit per batch entry: detected or not.
-  std::uint64_t run_batch(std::span<const FaultId> faults, FsimEnvironment& env);
+  /// Returns a bit per batch entry: detected or not. With `trace`, the
+  /// reference values come from the checkpoint (recorded by
+  /// record_good_trace) instead of lane 0, and the run is bounded by the
+  /// checkpoint's cycle count.
+  std::uint64_t run_batch(std::span<const FaultId> faults, FsimEnvironment& env,
+                          const GoodTrace* trace = nullptr);
 
   /// Runs all faults of `fl` that are neither detected nor untestable,
   /// marking newly detected faults. Returns the number of new detections.
   /// `progress`, if set, is called after each batch with (done, total).
+  /// This is the single-threaded kernel-level loop; campaign-shaped
+  /// workloads should go through campaign::CampaignEngine, which shards
+  /// batches across a worker pool with identical results.
   std::size_t run_campaign(FaultList& fl, FsimEnvironment& env,
                            std::function<void(std::size_t, std::size_t)> progress = {});
 

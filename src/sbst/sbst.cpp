@@ -1,6 +1,8 @@
 #include "sbst/sbst.hpp"
 
 #include <cassert>
+#include <memory>
+#include <utility>
 
 namespace olfui {
 
@@ -310,30 +312,84 @@ std::vector<int> run_suite_functional(const Soc& soc,
   return cycles;
 }
 
+namespace {
+
+/// One worker's private kernel: a packed simulator plus a per-lane memory
+/// environment, grading batches against the program's good-trace
+/// checkpoint. Shared immutable state (flash image, checkpoint) rides on
+/// shared_ptrs so every worker's runner references one copy.
+class SbstBatchRunner final : public FaultBatchRunner {
+ public:
+  SbstBatchRunner(const Soc& soc, const FaultUniverse& universe,
+                  std::shared_ptr<const FlashImage> flash,
+                  std::shared_ptr<const GoodTrace> trace, int max_cycles)
+      : flash_(std::move(flash)),
+        trace_(std::move(trace)),
+        env_(soc, *flash_, max_cycles),
+        fsim_(soc.netlist, universe, {.max_cycles = max_cycles}) {
+    fsim_.set_observed(soc.cpu.bus_output_cells);
+  }
+
+  std::uint64_t run_batch(std::span<const FaultId> faults) override {
+    return fsim_.run_batch(faults, env_, trace_.get());
+  }
+
+ private:
+  std::shared_ptr<const FlashImage> flash_;
+  std::shared_ptr<const GoodTrace> trace_;
+  SocFsimEnvironment env_;
+  SequentialFaultSimulator fsim_;
+};
+
+}  // namespace
+
+std::vector<CampaignTest> build_sbst_campaign_tests(
+    const Soc& soc, std::vector<SbstProgram>& suite,
+    const FaultUniverse& universe, int margin) {
+  const std::vector<int> cycles = run_suite_functional(soc, suite);
+  std::vector<CampaignTest> tests;
+  tests.reserve(suite.size());
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    auto flash = std::make_shared<FlashImage>(soc.config.flash_base,
+                                              soc.config.flash_size);
+    flash->load(suite[i].program.base(), suite[i].program.words());
+    const int max_cycles = cycles[i] + margin;
+
+    // Checkpoint the good machine once; every batch of every worker then
+    // replays this trace as its reference.
+    SocFsimEnvironment trace_env(soc, *flash, max_cycles);
+    SequentialFaultSimulator tracer(soc.netlist, universe,
+                                    {.max_cycles = max_cycles});
+    tracer.set_observed(soc.cpu.bus_output_cells);
+    auto trace =
+        std::make_shared<const GoodTrace>(tracer.record_good_trace(trace_env));
+
+    CampaignTest test;
+    test.name = suite[i].name;
+    test.good_cycles = cycles[i];
+    test.make_runner = [&soc, &universe, flash = std::move(flash),
+                        trace = std::move(trace), max_cycles]() {
+      return std::make_unique<SbstBatchRunner>(soc, universe, flash, trace,
+                                               max_cycles);
+    };
+    tests.push_back(std::move(test));
+  }
+  return tests;
+}
+
 SbstCampaignResult run_sbst_campaign(
     const Soc& soc, std::vector<SbstProgram>& suite, FaultList& fl,
-    std::function<void(const std::string&, std::size_t, std::size_t)> progress) {
+    std::function<void(const std::string&, std::size_t, std::size_t)> progress,
+    const CampaignOptions& opts) {
+  const std::vector<CampaignTest> tests =
+      build_sbst_campaign_tests(soc, suite, fl.universe());
+  const CampaignEngine engine(fl.universe(), opts);
   SbstCampaignResult result;
-  const std::vector<int> cycles = run_suite_functional(soc, suite);
-  for (std::size_t i = 0; i < suite.size(); ++i) {
-    SbstCampaignResult::PerProgram pp;
-    pp.name = suite[i].name;
-    pp.cycles = cycles[i];
-    FlashImage flash(soc.config.flash_base, soc.config.flash_size);
-    flash.load(suite[i].program.base(), suite[i].program.words());
-    // A small margin past the good machine's HALT lets slow faulty lanes
-    // diverge on the halted pin.
-    SocFsimEnvironment env(soc, flash, cycles[i] + 8);
-    SequentialFaultSimulator fsim(soc.netlist, fl.universe(),
-                                  {.max_cycles = cycles[i] + 8});
-    fsim.set_observed(soc.cpu.bus_output_cells);
-    const std::string& name = pp.name;
-    pp.new_detections = fsim.run_campaign(
-        fl, env, progress ? [&](std::size_t d, std::size_t t) {
-          progress(name, d, t);
-        } : std::function<void(std::size_t, std::size_t)>{});
-    result.programs.push_back(pp);
-    result.total_detected += pp.new_detections;
+  result.campaign = engine.run(fl, tests, progress);
+  for (const CampaignResult::PerTest& pt : result.campaign.tests) {
+    result.programs.push_back(
+        {pt.name, pt.good_cycles, pt.new_detections});
+    result.total_detected += pt.new_detections;
   }
   return result;
 }

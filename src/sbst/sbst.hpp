@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/campaign.hpp"
 #include "cpu/isa.hpp"
 #include "cpu/soc.hpp"
 #include "fault/fault_list.hpp"
@@ -47,12 +48,27 @@ struct SbstCampaignResult {
   };
   std::vector<PerProgram> programs;
   std::size_t total_detected = 0;
+  /// Full orchestrator result: per-class coverage, runtime stats, JSON-able.
+  CampaignResult campaign;
 };
 
-/// Fault-simulates the suite with system-bus observability, updating `fl`
-/// (already-detected and untestable faults are skipped — fault dropping).
+/// Converts the suite into orchestrator tests: runs each program on the
+/// good machine (cycle counts + the campaign's good-trace checkpoints) and
+/// wraps the system-bus fault-simulation kernel in per-worker runners.
+/// `soc` and `universe` are captured by reference and must outlive every
+/// campaign run over the returned tests. `margin` cycles past the good
+/// machine's HALT let slow faulty lanes diverge on the halted pin.
+std::vector<CampaignTest> build_sbst_campaign_tests(
+    const Soc& soc, std::vector<SbstProgram>& suite,
+    const FaultUniverse& universe, int margin = 8);
+
+/// Fault-simulates the suite with system-bus observability through the
+/// campaign orchestrator, updating `fl` (already-detected and untestable
+/// faults are skipped — fault dropping). `opts` controls threading,
+/// sharding, and dropping.
 SbstCampaignResult run_sbst_campaign(
     const Soc& soc, std::vector<SbstProgram>& suite, FaultList& fl,
-    std::function<void(const std::string&, std::size_t, std::size_t)> progress = {});
+    std::function<void(const std::string&, std::size_t, std::size_t)> progress = {},
+    const CampaignOptions& opts = {});
 
 }  // namespace olfui

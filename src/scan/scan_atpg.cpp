@@ -77,33 +77,33 @@ ScanAtpgResult generate_scan_tests(const Netlist& nl, const ScanChains& chains,
     runner.set_pin_constraint(net, value);
   Rng rng(opts.seed);
   const ClassMap classes(universe);
+  const CampaignEngine engine(universe, opts.campaign);
+
+  // All batch grading goes through the orchestrator; equivalence-class
+  // propagation stays here, applied over the deterministic per-target
+  // detection flags it returns.
+  const auto propagate = [&](std::span<const FaultId> targets,
+                             const BitVec& det, std::size_t& counter) {
+    for (std::size_t i = det.find_first(); i < det.size();
+         i = det.find_next(i + 1))
+      classes.mark_class_detected(fl, targets[i], counter);
+  };
 
   const auto grade = [&](const ScanPattern& pattern, std::size_t& counter) {
     std::size_t before = counter;
     const std::vector<FaultId> targets = open_reps(fl, classes);
-    for (std::size_t i = 0; i < targets.size(); i += 63) {
-      const std::size_t n = std::min<std::size_t>(63, targets.size() - i);
-      const std::uint64_t det = runner.run_pattern(
-          std::span(targets).subspan(i, n), universe, pattern);
-      for (std::size_t j = 0; j < n; ++j)
-        if (det & (1ULL << j))
-          classes.mark_class_detected(fl, targets[i + j], counter);
-    }
+    const CampaignTest test =
+        make_pattern_campaign(runner, universe, pattern, "pattern");
+    propagate(targets, engine.grade(targets, test), counter);
     return counter - before;
   };
 
   // Phase 1: chain integrity test.
   {
     const std::vector<FaultId> targets = open_reps(fl, classes);
-    for (std::size_t i = 0; i < targets.size(); i += 63) {
-      const std::size_t n = std::min<std::size_t>(63, targets.size() - i);
-      const std::uint64_t det = runner.run_chain_test(
-          std::span(targets).subspan(i, n), universe);
-      for (std::size_t j = 0; j < n; ++j)
-        if (det & (1ULL << j))
-          classes.mark_class_detected(fl, targets[i + j],
-                                      result.detected_by_chain_test);
-    }
+    const CampaignTest test = make_chain_test_campaign(runner, universe);
+    propagate(targets, engine.grade(targets, test),
+              result.detected_by_chain_test);
   }
 
   // Phase 2: random patterns with fault dropping.

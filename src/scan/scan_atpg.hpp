@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "campaign/campaign.hpp"
 #include "fault/fault_list.hpp"
 #include "scan/scan_test.hpp"
 
@@ -29,6 +30,9 @@ struct ScanAtpgOptions {
   std::size_t backtrack_limit = 2000;
   /// Primary inputs to hold at fixed values during test (e.g. rstn).
   std::vector<std::pair<NetId, bool>> pin_constraints;
+  /// Pattern grading runs through the campaign orchestrator; this controls
+  /// its threading and sharding (results are thread-count independent).
+  CampaignOptions campaign;
 };
 
 struct ScanAtpgResult {

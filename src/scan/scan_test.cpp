@@ -56,7 +56,7 @@ std::size_t ScanTestRunner::max_chain_length() const {
 
 std::uint64_t ScanTestRunner::run_pattern(std::span<const FaultId> faults,
                                           const FaultUniverse& universe,
-                                          const ScanPattern& pattern) {
+                                          const ScanPattern& pattern) const {
   PackedSim sim(*nl_);
   inject(sim, faults, universe);
   sim.power_on();
@@ -122,7 +122,7 @@ std::uint64_t ScanTestRunner::run_pattern(std::span<const FaultId> faults,
 }
 
 std::uint64_t ScanTestRunner::run_chain_test(std::span<const FaultId> faults,
-                                             const FaultUniverse& universe) {
+                                             const FaultUniverse& universe) const {
   PackedSim sim(*nl_);
   inject(sim, faults, universe);
   sim.power_on();
@@ -154,6 +154,25 @@ std::uint64_t ScanTestRunner::run_chain_test(std::span<const FaultId> faults,
   for (std::size_t i = 0; i < faults.size(); ++i)
     if (diverged & (1ULL << (i + 1))) detected |= 1ULL << i;
   return detected;
+}
+
+CampaignTest make_chain_test_campaign(const ScanTestRunner& runner,
+                                      const FaultUniverse& universe) {
+  return make_function_test(
+      "chain_test", [&runner, &universe](std::span<const FaultId> faults) {
+        return runner.run_chain_test(faults, universe);
+      });
+}
+
+CampaignTest make_pattern_campaign(const ScanTestRunner& runner,
+                                   const FaultUniverse& universe,
+                                   const ScanPattern& pattern,
+                                   std::string name) {
+  return make_function_test(
+      std::move(name),
+      [&runner, &universe, &pattern](std::span<const FaultId> faults) {
+        return runner.run_pattern(faults, universe, pattern);
+      });
 }
 
 }  // namespace olfui

@@ -19,10 +19,12 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "atpg/podem.hpp"
+#include "campaign/campaign.hpp"
 #include "fault/universe.hpp"
 #include "scan/scan.hpp"
 #include "sim/packed.hpp"
@@ -54,15 +56,18 @@ class ScanTestRunner {
   /// Applies one full-scan pattern to up to 63 faults (lane 0 is the good
   /// machine): shift-in, functional capture with PO observation, shift-out
   /// with scan-out observation. Returns the per-fault detection mask.
+  /// Builds its own PackedSim per call, so concurrent calls are safe —
+  /// which is what lets the campaign orchestrator fan batches out.
   std::uint64_t run_pattern(std::span<const FaultId> faults,
                             const FaultUniverse& universe,
-                            const ScanPattern& pattern);
+                            const ScanPattern& pattern) const;
 
   /// Chain integrity (flush) test: shifts a 00110011... sequence through
   /// all chains with SE held active and compares scan-out streams against
   /// the good machine. Detects serial-path faults without any ATPG.
+  /// Thread-safe like run_pattern.
   std::uint64_t run_chain_test(std::span<const FaultId> faults,
-                               const FaultUniverse& universe);
+                               const FaultUniverse& universe) const;
 
  private:
   void inject(PackedSim& sim, std::span<const FaultId> faults,
@@ -74,5 +79,15 @@ class ScanTestRunner {
   const ScanChains* chains_;
   std::vector<std::pair<NetId, bool>> constraints_;
 };
+
+/// Campaign adapters: the manufacturing-test kernels as orchestrator
+/// tests. `runner`, `universe`, and (for patterns) `pattern` must outlive
+/// the campaign that grades the test.
+CampaignTest make_chain_test_campaign(const ScanTestRunner& runner,
+                                      const FaultUniverse& universe);
+CampaignTest make_pattern_campaign(const ScanTestRunner& runner,
+                                   const FaultUniverse& universe,
+                                   const ScanPattern& pattern,
+                                   std::string name);
 
 }  // namespace olfui

@@ -1,0 +1,394 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <numeric>
+#include <set>
+
+#include "campaign/campaign.hpp"
+#include "campaign/json.hpp"
+#include "campaign/report.hpp"
+#include "campaign/shard_queue.hpp"
+#include "fault/fault_list.hpp"
+#include "fault/universe.hpp"
+#include "fsim/fsim.hpp"
+#include "netlist/wordops.hpp"
+
+namespace olfui {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rig: a 12-bit enabled counter. Big enough for a few dozen 63-fault
+// shards (so the work-stealing pool actually distributes work), small
+// enough for unit-test time.
+
+class CounterEnv : public FsimEnvironment {
+ public:
+  explicit CounterEnv(NetId en) : en_(en) {}
+  void reset(PackedSim& sim) override {
+    sim.set_input_all(en_, false);
+    sim.eval();
+  }
+  bool step(PackedSim& sim, int) override {
+    sim.set_input_all(en_, true);
+    sim.eval();
+    return true;
+  }
+
+ private:
+  NetId en_;
+};
+
+constexpr int kBits = 12;
+constexpr int kCycles = 40;
+
+struct CounterRig {
+  Netlist nl{"t"};
+  NetId en;
+  RegWord cnt;
+  std::vector<CellId> outputs;
+
+  CounterRig() {
+    WordOps w(nl, "m");
+    en = nl.add_input("en");
+    cnt = w.reg_declare(kBits, "cnt");
+    const auto inc = w.add_word(cnt.q, w.constant(1, kBits), w.lit(false), "inc");
+    const Bus d = w.mux_word(en, cnt.q, inc.sum, "d");
+    w.reg_connect(cnt, d);
+    for (int i = 0; i < kBits; ++i)
+      outputs.push_back(nl.add_output("o" + std::to_string(i), cnt.q[i]));
+  }
+};
+
+/// Per-worker runner over the rig; shares one recorded good trace.
+class RigBatchRunner final : public FaultBatchRunner {
+ public:
+  RigBatchRunner(const CounterRig& rig, const FaultUniverse& u,
+                 std::vector<CellId> observed,
+                 std::shared_ptr<const GoodTrace> trace)
+      : env_(rig.en),
+        fsim_(rig.nl, u, {.max_cycles = kCycles}),
+        trace_(std::move(trace)) {
+    fsim_.set_observed(std::move(observed));
+  }
+  std::uint64_t run_batch(std::span<const FaultId> faults) override {
+    return fsim_.run_batch(faults, env_, trace_.get());
+  }
+
+ private:
+  CounterEnv env_;
+  SequentialFaultSimulator fsim_;
+  std::shared_ptr<const GoodTrace> trace_;
+};
+
+CampaignTest make_rig_test(const CounterRig& rig, const FaultUniverse& u,
+                           std::vector<CellId> observed, std::string name) {
+  CounterEnv trace_env(rig.en);
+  SequentialFaultSimulator tracer(rig.nl, u, {.max_cycles = kCycles});
+  tracer.set_observed(observed);
+  auto trace =
+      std::make_shared<const GoodTrace>(tracer.record_good_trace(trace_env));
+  CampaignTest test;
+  test.name = std::move(name);
+  test.good_cycles = kCycles;
+  test.make_runner = [&rig, &u, observed = std::move(observed),
+                      trace = std::move(trace)]() {
+    return std::make_unique<RigBatchRunner>(rig, u, observed, trace);
+  };
+  return test;
+}
+
+/// Suite of two tests with growing observability, so the second test sees
+/// faults the first one missed (exercises between-test fault dropping).
+std::vector<CampaignTest> make_rig_suite(const CounterRig& rig,
+                                         const FaultUniverse& u) {
+  std::vector<CampaignTest> tests;
+  tests.push_back(make_rig_test(
+      rig, u,
+      std::vector<CellId>(rig.outputs.begin(), rig.outputs.begin() + 4),
+      "low_bits"));
+  tests.push_back(make_rig_test(rig, u, rig.outputs, "all_bits"));
+  return tests;
+}
+
+// ---------------------------------------------------------------------------
+// ShardQueue
+
+TEST(ShardQueue, EveryShardHandedOutExactlyOnce) {
+  ShardQueue queue(101, 4);
+  std::multiset<std::size_t> seen;
+  std::size_t shard;
+  // Workers drain in a round-robin of pops; worker 3 exercises stealing
+  // once its own stripe is dry.
+  bool any = true;
+  while (any) {
+    any = false;
+    for (std::size_t w = 0; w < 4; ++w) {
+      if (queue.pop(w, shard)) {
+        seen.insert(shard);
+        any = true;
+      }
+    }
+  }
+  ASSERT_EQ(seen.size(), 101u);
+  for (std::size_t s = 0; s < 101; ++s) EXPECT_EQ(seen.count(s), 1u) << s;
+}
+
+TEST(ShardQueue, EmptyQueueReportsDry) {
+  ShardQueue queue(0, 2);
+  std::size_t shard;
+  EXPECT_FALSE(queue.pop(0, shard));
+  EXPECT_FALSE(queue.pop(1, shard));
+}
+
+// ---------------------------------------------------------------------------
+// Json
+
+TEST(Json, RoundTripsDocument) {
+  const std::string text =
+      R"({"name":"campaign","count":42,"ratio":0.5,"ok":true,"none":null,)"
+      R"("tags":["a","b\n\"c\""],"nested":{"x":-7}})";
+  const Json doc = Json::parse(text);
+  EXPECT_EQ(doc.at("name").as_string(), "campaign");
+  EXPECT_EQ(doc.at("count").as_size(), 42u);
+  EXPECT_DOUBLE_EQ(doc.at("ratio").as_number(), 0.5);
+  EXPECT_TRUE(doc.at("ok").as_bool());
+  EXPECT_TRUE(doc.at("none").is_null());
+  EXPECT_EQ(doc.at("tags").size(), 2u);
+  EXPECT_EQ(doc.at("tags").at(1).as_string(), "b\n\"c\"");
+  EXPECT_EQ(doc.at("nested").at("x").as_int(), -7);
+  // dump -> parse -> dump is a fixed point.
+  const std::string once = doc.dump();
+  EXPECT_EQ(Json::parse(once).dump(), once);
+  const std::string pretty = doc.dump(2);
+  EXPECT_EQ(Json::parse(pretty).dump(), once);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(Json::parse("{"), JsonError);
+  EXPECT_THROW(Json::parse("[1,]"), JsonError);
+  EXPECT_THROW(Json::parse("{\"a\":1} trailing"), JsonError);
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
+  EXPECT_THROW(Json::parse("tru"), JsonError);
+  EXPECT_THROW(Json::parse(""), JsonError);
+  EXPECT_THROW(Json::parse("{\"a\"}"), JsonError);
+  // Unbounded nesting must fail cleanly, not overflow the stack.
+  EXPECT_THROW(Json::parse(std::string(100000, '[')), JsonError);
+}
+
+TEST(Json, MissingKeyAndKindMismatchThrow) {
+  const Json doc = Json::parse(R"({"a":1})");
+  EXPECT_THROW(doc.at("b"), JsonError);
+  EXPECT_THROW(doc.at("a").as_string(), JsonError);
+  EXPECT_THROW(doc.at(std::size_t{0}), JsonError);
+  EXPECT_TRUE(doc.contains("a"));
+  EXPECT_FALSE(doc.contains("b"));
+}
+
+TEST(Json, IntegerAccessorsRejectOutOfRangeValues) {
+  // A corrupt import must throw, not hit UB in the double->int cast.
+  EXPECT_THROW(Json::parse("-1").as_size(), JsonError);
+  EXPECT_THROW(Json::parse("1e300").as_size(), JsonError);
+  EXPECT_THROW(Json::parse("1.5").as_size(), JsonError);
+  EXPECT_THROW(Json::parse("3000000000").as_int(), JsonError);
+  EXPECT_THROW(Json::parse("-3000000000").as_int(), JsonError);
+  EXPECT_EQ(Json::parse("9007199254740992").as_size(), 9007199254740992ull);
+  EXPECT_EQ(Json::parse("-2147483648").as_int(), -2147483648);
+  EXPECT_EQ(Json::parse("2147483647").as_int(), 2147483647);
+}
+
+TEST(BitVecHex, RoundTrips) {
+  BitVec bits(131);
+  for (std::size_t i = 0; i < bits.size(); i += 3) bits.set(i, true);
+  bits.set(130, true);
+  const std::string hex = bitvec_to_hex(bits);
+  EXPECT_EQ(bitvec_from_hex(hex), bits);
+  // Empty vector round-trips too.
+  EXPECT_EQ(bitvec_from_hex(bitvec_to_hex(BitVec())), BitVec());
+  EXPECT_THROW(bitvec_from_hex("12"), JsonError);
+  EXPECT_THROW(bitvec_from_hex("65:00"), JsonError);
+}
+
+// ---------------------------------------------------------------------------
+// GoodTrace checkpoint
+
+TEST(GoodTrace, TracedBatchMatchesLane0Reference) {
+  CounterRig rig;
+  const FaultUniverse u(rig.nl);
+  SequentialFaultSimulator fsim(rig.nl, u, {.max_cycles = kCycles});
+  fsim.set_observed(rig.outputs);
+  CounterEnv env(rig.en);
+  const GoodTrace trace = fsim.record_good_trace(env);
+  EXPECT_EQ(trace.cycles, kCycles);
+  ASSERT_EQ(trace.words_per_cycle, 1u);
+
+  std::vector<FaultId> batch(63);
+  std::iota(batch.begin(), batch.end(), 0u);
+  const std::uint64_t plain = fsim.run_batch(batch, env);
+  const std::uint64_t traced = fsim.run_batch(batch, env, &trace);
+  EXPECT_EQ(plain, traced);
+}
+
+// ---------------------------------------------------------------------------
+// CampaignEngine
+
+TEST(Campaign, SingleAndMultiThreadResultsAreIdentical) {
+  CounterRig rig;
+  const FaultUniverse u(rig.nl);
+  ASSERT_GT(u.size(), 63u * 4) << "rig too small to shard meaningfully";
+  const std::vector<CampaignTest> tests = make_rig_suite(rig, u);
+
+  FaultList fl1(u);
+  const CampaignResult r1 =
+      CampaignEngine(u, {.threads = 1}).run(fl1, tests);
+  FaultList fl4(u);
+  const CampaignResult r4 =
+      CampaignEngine(u, {.threads = 4}).run(fl4, tests);
+
+  EXPECT_GT(r1.total_new_detections, 0u);
+  EXPECT_EQ(r1, r4);  // bit-identical deterministic payload
+  EXPECT_EQ(r1.detected, r4.detected);
+  EXPECT_EQ(r1.stats.threads, 1);
+  EXPECT_EQ(r4.stats.threads, 4);
+  for (FaultId f = 0; f < u.size(); ++f)
+    ASSERT_EQ(fl1.detect_state(f), fl4.detect_state(f)) << f;
+
+  // Odd batch size exercises the tail-shard path.
+  FaultList fl3(u);
+  const CampaignResult r3 =
+      CampaignEngine(u, {.threads = 3, .batch_size = 17}).run(fl3, tests);
+  EXPECT_EQ(r3.detected, r1.detected);
+  EXPECT_GT(r3.stats.batches, r1.stats.batches);
+}
+
+TEST(Campaign, FaultDroppingMatchesNoDropBaseline) {
+  CounterRig rig;
+  const FaultUniverse u(rig.nl);
+  const std::vector<CampaignTest> tests = make_rig_suite(rig, u);
+
+  FaultList drop(u);
+  const CampaignResult rd =
+      CampaignEngine(u, {.threads = 2}).run(drop, tests);
+  FaultList keep(u);
+  const CampaignResult rk =
+      CampaignEngine(u, {.threads = 2, .fault_dropping = false})
+          .run(keep, tests);
+
+  // Dropping changes only how much work is done, never the outcome.
+  EXPECT_EQ(rd.detected, rk.detected);
+  EXPECT_EQ(rd.total_new_detections, rk.total_new_detections);
+  ASSERT_EQ(rd.tests.size(), rk.tests.size());
+  for (std::size_t i = 0; i < rd.tests.size(); ++i)
+    EXPECT_EQ(rd.tests[i].new_detections, rk.tests[i].new_detections) << i;
+  // The second test's queue shrank by the first test's detections.
+  EXPECT_EQ(rd.tests[1].faults_targeted,
+            rk.tests[1].faults_targeted - rd.tests[0].new_detections);
+  EXPECT_LT(rd.stats.faults_simulated, rk.stats.faults_simulated);
+}
+
+TEST(Campaign, MarksFaultListAndSkipsUntestable) {
+  CounterRig rig;
+  const FaultUniverse u(rig.nl);
+  FaultList fl(u);
+  const FaultId skip = u.id_of({rig.cnt.flops[0], 0}, false);
+  fl.mark_untestable(skip, UntestableKind::kTied, OnlineSource::kMemoryMap);
+  const std::vector<CampaignTest> tests = make_rig_suite(rig, u);
+  const CampaignResult r = CampaignEngine(u, {.threads = 2}).run(fl, tests);
+  EXPECT_GT(r.total_new_detections, 0u);
+  EXPECT_EQ(fl.detect_state(skip), DetectState::kUndetected);
+  EXPECT_EQ(fl.count_detected(), r.total_new_detections);
+  EXPECT_EQ(r.detected.count(), r.total_new_detections);
+  // Idempotent: nothing new on a second run.
+  const CampaignResult again =
+      CampaignEngine(u, {.threads = 2}).run(fl, tests);
+  EXPECT_EQ(again.total_new_detections, 0u);
+}
+
+TEST(Campaign, ReportsClassCoverage) {
+  CounterRig rig;
+  const FaultUniverse u(rig.nl);
+  FaultList fl(u);
+  const std::vector<CampaignTest> tests = make_rig_suite(rig, u);
+  const CampaignResult r = CampaignEngine(u, {.threads = 1}).run(fl, tests);
+
+  std::size_t sa_total = 0;
+  bool saw_sa0 = false, saw_sa1 = false, saw_module = false;
+  for (const auto& cc : r.classes) {
+    if (cc.name == "sa0") { saw_sa0 = true; sa_total += cc.total; }
+    if (cc.name == "sa1") { saw_sa1 = true; sa_total += cc.total; }
+    if (cc.name.starts_with("module:")) saw_module = true;
+    EXPECT_LE(cc.detected, cc.total) << cc.name;
+  }
+  EXPECT_TRUE(saw_sa0);
+  EXPECT_TRUE(saw_sa1);
+  EXPECT_TRUE(saw_module);
+  EXPECT_EQ(sa_total, u.size());
+}
+
+TEST(Campaign, ProgressCoversEveryTargetedFault) {
+  CounterRig rig;
+  const FaultUniverse u(rig.nl);
+  FaultList fl(u);
+  const std::vector<CampaignTest> tests = make_rig_suite(rig, u);
+  std::map<std::string, std::size_t> last_done, totals;
+  const CampaignResult r =
+      CampaignEngine(u, {.threads = 4})
+          .run(fl, tests,
+               [&](const std::string& name, std::size_t done,
+                   std::size_t total) {
+                 last_done[name] = std::max(last_done[name], done);
+                 totals[name] = total;
+               });
+  ASSERT_EQ(last_done.size(), 2u);
+  for (const auto& pt : r.tests) {
+    EXPECT_EQ(last_done[pt.name], pt.faults_targeted);
+    EXPECT_EQ(totals[pt.name], pt.faults_targeted);
+  }
+}
+
+TEST(Campaign, ResultJsonRoundTrips) {
+  CounterRig rig;
+  const FaultUniverse u(rig.nl);
+  FaultList fl(u);
+  const std::vector<CampaignTest> tests = make_rig_suite(rig, u);
+  const CampaignResult r = CampaignEngine(u, {.threads = 2}).run(fl, tests);
+
+  const std::string json = campaign_result_to_json_string(r);
+  const CampaignResult back = campaign_result_from_json_string(json);
+  EXPECT_EQ(back, r);  // deterministic payload
+  EXPECT_EQ(back.detected, r.detected);
+  // Runtime stats travel too (compared manually: operator== skips them).
+  EXPECT_EQ(back.stats.threads, r.stats.threads);
+  EXPECT_EQ(back.stats.batches, r.stats.batches);
+  EXPECT_EQ(back.stats.faults_simulated, r.stats.faults_simulated);
+  EXPECT_DOUBLE_EQ(back.stats.wall_seconds, r.stats.wall_seconds);
+  // Compact and pretty dumps parse to the same document.
+  EXPECT_EQ(campaign_result_from_json_string(
+                campaign_result_to_json(r).dump(0)),
+            r);
+}
+
+TEST(Campaign, GradeMatchesLegacySequentialCampaign) {
+  CounterRig rig;
+  const FaultUniverse u(rig.nl);
+
+  // Legacy path: SequentialFaultSimulator::run_campaign, one thread.
+  FaultList legacy(u);
+  SequentialFaultSimulator fsim(rig.nl, u, {.max_cycles = kCycles});
+  fsim.set_observed(rig.outputs);
+  CounterEnv env(rig.en);
+  const std::size_t legacy_found = fsim.run_campaign(legacy, env);
+
+  // Orchestrated path, multithreaded.
+  FaultList fl(u);
+  std::vector<CampaignTest> tests;
+  tests.push_back(make_rig_test(rig, u, rig.outputs, "all_bits"));
+  const CampaignResult r = CampaignEngine(u, {.threads = 4}).run(fl, tests);
+
+  EXPECT_EQ(r.total_new_detections, legacy_found);
+  for (FaultId f = 0; f < u.size(); ++f)
+    ASSERT_EQ(fl.detect_state(f), legacy.detect_state(f)) << f;
+}
+
+}  // namespace
+}  // namespace olfui
