@@ -67,6 +67,41 @@ void print_scaling_table() {
               "orchestrator's deterministic-merge guarantee.\n\n");
 }
 
+/// Cross-check: the campaign graded with the event-driven kernel and with
+/// the full-sweep oracle must produce the bit-identical detection BitVec —
+/// the kernel is a work-skipping optimisation, never an approximation.
+void print_kernel_cross_check() {
+  const SocConfig cfg = lean_config();
+  auto soc = build_soc(cfg);
+  const FaultUniverse universe(soc->netlist);
+  auto suite = build_sbst_suite(cfg);
+  suite.erase(suite.begin() + 2, suite.end());
+
+  std::vector<FaultId> targets;
+  for (FaultId f = 0; f < universe.size() && targets.size() < 2048; f += 5)
+    targets.push_back(f);
+  const CampaignEngine engine(universe, {.threads = 2});
+
+  std::printf("== kernel cross-check: event-driven vs full sweep ================\n");
+  bool identical = true;
+  for (std::size_t p = 0; p < suite.size(); ++p) {
+    std::vector<SbstProgram> one{suite[p]};
+    const std::vector<CampaignTest> event_tests =
+        build_sbst_campaign_tests(*soc, one, universe, 8, /*event_driven=*/true);
+    const std::vector<CampaignTest> sweep_tests =
+        build_sbst_campaign_tests(*soc, one, universe, 8, /*event_driven=*/false);
+    const BitVec ev = engine.grade(targets, event_tests[0]);
+    const BitVec sw = engine.grade(targets, sweep_tests[0]);
+    identical &= ev == sw;
+    std::printf("%12s: %5zu detected, kernels %s\n", one[0].name.c_str(),
+                ev.count(), ev == sw ? "identical" : "DIFFER!");
+  }
+  std::printf(identical
+                  ? "detection BitVecs bit-identical with the kernel switched "
+                    "either way.\n\n"
+                  : "KERNEL MISMATCH — event-driven kernel bug!\n\n");
+}
+
 /// Microbenchmark: one program's grade() fan-out at a fixed thread count,
 /// so scheduler-level regressions show up without the full campaign.
 void BM_CampaignGrade(benchmark::State& state) {
@@ -94,6 +129,7 @@ BENCHMARK(BM_CampaignGrade)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecon
 
 int main(int argc, char** argv) {
   print_scaling_table();
+  print_kernel_cross_check();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

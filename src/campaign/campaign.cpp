@@ -71,15 +71,24 @@ int CampaignEngine::resolved_threads() const {
   return hw ? static_cast<int>(hw) : 1;
 }
 
+WorkerPool& CampaignEngine::pool() const {
+  if (!pool_)
+    pool_ = std::make_unique<WorkerPool>(
+        static_cast<std::size_t>(resolved_threads()) - 1);
+  return *pool_;
+}
+
 BitVec CampaignEngine::grade(std::span<const FaultId> targets,
                              const CampaignTest& test,
-                             const CampaignProgress& progress) const {
+                             const CampaignProgress& progress,
+                             std::vector<double>* shard_seconds) const {
   BitVec detected(targets.size());
   if (targets.empty()) return detected;
 
   const std::size_t batch = static_cast<std::size_t>(opts_.batch_size);
   const std::size_t shards = (targets.size() + batch - 1) / batch;
   std::vector<std::uint64_t> results(shards, 0);
+  std::vector<double> timings(shards, 0.0);
 
   std::mutex progress_mu;
   std::size_t graded = 0;
@@ -97,7 +106,11 @@ BitVec CampaignEngine::grade(std::span<const FaultId> targets,
       if (!runner) runner = test.make_runner();
       const std::size_t lo = shard * batch;
       const std::size_t n = std::min(batch, targets.size() - lo);
+      const auto t0 = std::chrono::steady_clock::now();
       results[shard] = runner->run_batch(targets.subspan(lo, n));
+      timings[shard] = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
       report(n);
     }
   };
@@ -108,23 +121,12 @@ BitVec CampaignEngine::grade(std::span<const FaultId> targets,
   if (workers <= 1) {
     worker(queue, 0);
   } else {
-    // A throw from make_runner()/run_batch() must not escape a
-    // std::thread (that would terminate the process); capture the first
-    // one and rethrow on the caller's thread, matching the 1-thread path.
-    std::vector<std::exception_ptr> errors(workers);
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w)
-      pool.emplace_back([&, w] {
-        try {
-          worker(queue, w);
-        } catch (...) {
-          errors[w] = std::current_exception();
-        }
-      });
-    for (std::thread& t : pool) t.join();
-    for (const std::exception_ptr& e : errors)
-      if (e) std::rethrow_exception(e);
+    // Fan out over the persistent pool; it captures a throw from
+    // make_runner()/run_batch() on any participant and rethrows the first
+    // one here, matching the 1-thread path. Serialized so a shared const
+    // engine never dispatches two jobs onto one pool.
+    std::lock_guard lock(pool_mu_);
+    pool().run(workers, [&](std::size_t w) { worker(queue, w); });
   }
 
   // Deterministic merge: shard order, then lane order within the shard.
@@ -134,6 +136,8 @@ BitVec CampaignEngine::grade(std::span<const FaultId> targets,
     for (std::size_t j = 0; j < n; ++j)
       if (results[shard] & (1ULL << j)) detected.set(lo + j, true);
   }
+  if (shard_seconds)
+    shard_seconds->insert(shard_seconds->end(), timings.begin(), timings.end());
   return detected;
 }
 
@@ -155,7 +159,8 @@ CampaignResult CampaignEngine::run(FaultList& fl,
                   1) /
                  static_cast<std::size_t>(opts_.batch_size);
 
-    const BitVec det = grade(targets, test, progress);
+    const BitVec det =
+        grade(targets, test, progress, &result.stats.shard_seconds);
     for (std::size_t i = det.find_first(); i < det.size();
          i = det.find_next(i + 1)) {
       if (fl.detect_state(targets[i]) == DetectState::kUndetected) {

@@ -30,10 +30,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "campaign/worker_pool.hpp"
 #include "fault/fault_list.hpp"
 #include "util/bitvec.hpp"
 
@@ -101,6 +103,11 @@ struct CampaignResult {
     std::size_t faults_simulated = 0;  ///< fault x test pairs graded
     std::size_t batches = 0;
     double faults_per_second = 0;
+    /// Wall time of every shard, all tests concatenated in shard index
+    /// order (test boundaries recoverable from tests[].batches). Early
+    /// exit skews shard cost, so this is the measurement input for
+    /// shard-size autotuning.
+    std::vector<double> shard_seconds;
   };
 
   std::size_t universe = 0;
@@ -140,12 +147,14 @@ class CampaignEngine {
   int resolved_threads() const;
 
   /// The deterministic parallel grading primitive: shards `targets`, runs
-  /// the shards across the worker pool, and returns per-target detection
-  /// flags (aligned with `targets`). Flows with their own between-test
-  /// bookkeeping (e.g. scan ATPG's equivalence-class propagation) build on
-  /// this directly.
+  /// the shards across the persistent worker pool, and returns per-target
+  /// detection flags (aligned with `targets`). Flows with their own
+  /// between-test bookkeeping (e.g. scan ATPG's equivalence-class
+  /// propagation) build on this directly. With `shard_seconds`, each
+  /// shard's wall time is appended in shard index order.
   BitVec grade(std::span<const FaultId> targets, const CampaignTest& test,
-               const CampaignProgress& progress = {}) const;
+               const CampaignProgress& progress = {},
+               std::vector<double>* shard_seconds = nullptr) const;
 
   /// Runs the full campaign: for each test in order, grades the remaining
   /// targets (fault dropping permitting), marks detections in `fl`, and
@@ -154,8 +163,17 @@ class CampaignEngine {
                      const CampaignProgress& progress = {}) const;
 
  private:
+  WorkerPool& pool() const;
+
   const FaultUniverse* universe_;
   CampaignOptions opts_;
+  /// Workers park on a condition variable between grade() calls, so
+  /// once-per-pattern callers (scan ATPG) stop paying thread
+  /// construction. Created lazily on the first multi-threaded grade;
+  /// grade() serializes on pool_mu_, so a const engine stays safe to
+  /// share across threads.
+  mutable std::mutex pool_mu_;
+  mutable std::unique_ptr<WorkerPool> pool_;
 };
 
 }  // namespace olfui

@@ -5,15 +5,30 @@
 
 namespace olfui {
 
+namespace {
+
+/// Fixed-width (16 char) lowercase hex of one 64-bit word.
+void append_hex_word(std::string& out, std::uint64_t w) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(w));
+  out += buf;
+}
+
+/// One hex digit; throws JsonError (at `offset`) on anything else.
+unsigned hex_nibble(char c, std::size_t offset) {
+  if (c >= '0' && c <= '9') return static_cast<unsigned>(c - '0');
+  if (c >= 'a' && c <= 'f') return static_cast<unsigned>(c - 'a' + 10);
+  if (c >= 'A' && c <= 'F') return static_cast<unsigned>(c - 'A' + 10);
+  throw JsonError("bad hex digit", offset);
+}
+
+}  // namespace
+
 std::string bitvec_to_hex(const BitVec& bits) {
   std::string out = std::to_string(bits.size());
   out += ':';
-  for (std::size_t w = 0; w < bits.word_count(); ++w) {
-    char buf[17];
-    std::snprintf(buf, sizeof buf, "%016llx",
-                  static_cast<unsigned long long>(bits.word(w)));
-    out += buf;
-  }
+  for (std::size_t w = 0; w < bits.word_count(); ++w)
+    append_hex_word(out, bits.word(w));
   return out;
 }
 
@@ -37,12 +52,7 @@ BitVec bitvec_from_hex(std::string_view text) {
     throw JsonError("bitvec: word count does not match size", colon);
   BitVec bits(nbits);
   for (std::size_t i = 0; i < hex.size(); ++i) {
-    const char c = hex[i];
-    unsigned nibble;
-    if (c >= '0' && c <= '9') nibble = static_cast<unsigned>(c - '0');
-    else if (c >= 'a' && c <= 'f') nibble = static_cast<unsigned>(c - 'a' + 10);
-    else if (c >= 'A' && c <= 'F') nibble = static_cast<unsigned>(c - 'A' + 10);
-    else throw JsonError("bitvec: bad hex digit", colon + 1 + i);
+    const unsigned nibble = hex_nibble(hex[i], colon + 1 + i);
     // Word w occupies hex chars [16w, 16w+16), most significant first.
     const std::size_t word = i / 16;
     const std::size_t shift = (15 - i % 16) * 4;
@@ -92,6 +102,9 @@ Json campaign_result_to_json(const CampaignResult& result) {
   stats.set("faults_simulated", result.stats.faults_simulated);
   stats.set("batches", result.stats.batches);
   stats.set("faults_per_second", result.stats.faults_per_second);
+  Json shard_seconds = Json::array();
+  for (double s : result.stats.shard_seconds) shard_seconds.push_back(s);
+  stats.set("shard_seconds", std::move(shard_seconds));
   doc.set("stats", std::move(stats));
   return doc;
 }
@@ -137,11 +150,65 @@ CampaignResult campaign_result_from_json(const Json& doc) {
   result.stats.faults_simulated = stats.at("faults_simulated").as_size();
   result.stats.batches = stats.at("batches").as_size();
   result.stats.faults_per_second = stats.at("faults_per_second").as_number();
+  if (stats.contains("shard_seconds")) {  // absent in pre-shard-stat dumps
+    const Json& shard_seconds = stats.at("shard_seconds");
+    for (std::size_t i = 0; i < shard_seconds.size(); ++i)
+      result.stats.shard_seconds.push_back(shard_seconds.at(i).as_number());
+  }
   return result;
 }
 
 CampaignResult campaign_result_from_json_string(std::string_view text) {
   return campaign_result_from_json(Json::parse(text));
+}
+
+namespace {
+
+std::string word_to_hex(std::uint64_t w) {
+  std::string out;
+  append_hex_word(out, w);
+  return out;
+}
+
+std::uint64_t word_from_hex(const std::string& s) {
+  if (s.size() != 16) throw JsonError("good_trace: bad word length", 0);
+  std::uint64_t w = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) w = (w << 4) | hex_nibble(s[i], i);
+  return w;
+}
+
+}  // namespace
+
+Json good_trace_to_json(const GoodTrace& trace) {
+  Json doc = Json::object();
+  doc.set("cycles", trace.cycles);
+  doc.set("words_per_cycle", trace.words_per_cycle);
+  Json starts = Json::array();
+  for (std::uint64_t s : trace.run_start)
+    starts.push_back(static_cast<std::size_t>(s));
+  doc.set("run_start", std::move(starts));
+  // 64-bit words exceed the exact-double range, so they travel as hex.
+  Json values = Json::array();
+  for (std::uint64_t v : trace.run_value) values.push_back(word_to_hex(v));
+  doc.set("run_value", std::move(values));
+  return doc;
+}
+
+GoodTrace good_trace_from_json(const Json& doc) {
+  GoodTrace trace;
+  trace.cycles = doc.at("cycles").as_int();
+  if (trace.cycles < 0) throw JsonError("good_trace: negative cycles", 0);
+  trace.words_per_cycle = doc.at("words_per_cycle").as_size();
+  const Json& starts = doc.at("run_start");
+  const Json& values = doc.at("run_value");
+  if (starts.size() != values.size())
+    throw JsonError("good_trace: run arrays disagree", 0);
+  for (std::size_t i = 0; i < starts.size(); ++i) {
+    trace.run_start.push_back(starts.at(i).as_size());
+    trace.run_value.push_back(word_from_hex(values.at(i).as_string()));
+  }
+  trace.rebuild_index();  // validates run coverage
+  return trace;
 }
 
 }  // namespace olfui

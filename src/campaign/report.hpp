@@ -14,6 +14,7 @@
 
 #include "campaign/campaign.hpp"
 #include "campaign/json.hpp"
+#include "fsim/fsim.hpp"
 
 namespace olfui {
 
@@ -30,5 +31,13 @@ CampaignResult campaign_result_from_json_string(std::string_view text);
 /// Packed little-endian hex rendering of a BitVec ("size:words...").
 std::string bitvec_to_hex(const BitVec& bits);
 BitVec bitvec_from_hex(std::string_view text);
+
+/// Good-trace checkpoint exchange: the RLE runs travel as (start, hex
+/// word) pairs, so a million-cycle checkpoint serializes in proportion to
+/// its bus activity, not its cycle count. Import validates the runs and
+/// rebuilds the cycle index; throws JsonError / std::runtime_error on
+/// malformed documents.
+Json good_trace_to_json(const GoodTrace& trace);
+GoodTrace good_trace_from_json(const Json& doc);
 
 }  // namespace olfui

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "util/bits.hpp"
 #include "util/strings.hpp"
 
 namespace olfui {
@@ -124,12 +125,10 @@ std::uint32_t SocSimulator::ram_word(std::uint64_t addr) const {
 
 std::array<std::uint64_t, 64> read_observed_bus_lanes(
     const PackedSim& sim, const std::vector<CellId>& cells) {
-  std::array<std::uint64_t, 64> lanes{};
-  for (std::size_t b = 0; b < cells.size(); ++b) {
-    const std::uint64_t w = sim.observed(cells[b]);
-    for (int l = 0; l < 64; ++l) lanes[l] |= ((w >> l) & 1ULL) << b;
-  }
-  return lanes;
+  std::array<std::uint64_t, 64> m{};
+  for (std::size_t b = 0; b < cells.size(); ++b) m[b] = sim.observed(cells[b]);
+  transpose64(m.data());
+  return m;
 }
 
 SocFsimEnvironment::SocFsimEnvironment(const Soc& soc, const FlashImage& flash,

@@ -1,31 +1,89 @@
 #include "fsim/fsim.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <stdexcept>
+
+#include "util/bits.hpp"
 
 namespace olfui {
 
+void GoodTrace::reserve_cycles(std::size_t n) {
+  cycle_run.reserve(n);
+  // Runs grow with bus activity, not cycle count; a modest floor avoids
+  // the first few doublings without committing cycle-proportional memory.
+  run_start.reserve(std::min<std::size_t>(n, 1024));
+  run_value.reserve(std::min<std::size_t>(n, 1024));
+}
+
+void GoodTrace::append_cycle(const std::uint64_t* words) {
+  if (words_per_cycle == 0) {  // nothing observed: only the bound matters
+    ++cycles;
+    return;
+  }
+  const std::size_t base =
+      static_cast<std::size_t>(cycles) * words_per_cycle;
+  for (std::size_t j = 0; j < words_per_cycle; ++j) {
+    if (run_value.empty() || run_value.back() != words[j]) {
+      run_start.push_back(base + j);
+      run_value.push_back(words[j]);
+    }
+    if (j == 0)
+      cycle_run.push_back(static_cast<std::uint32_t>(run_value.size() - 1));
+  }
+  ++cycles;
+}
+
+void GoodTrace::rebuild_index() {
+  if (run_start.size() != run_value.size())
+    throw std::runtime_error("GoodTrace: run arrays disagree");
+  if (total_words() > 0 && (run_start.empty() || run_start[0] != 0))
+    throw std::runtime_error("GoodTrace: first run must start at word 0");
+  for (std::size_t r = 0; r < run_start.size(); ++r) {
+    if (run_start[r] >= total_words() ||
+        (r > 0 && run_start[r] <= run_start[r - 1]))
+      throw std::runtime_error("GoodTrace: run starts not increasing in range");
+  }
+  cycle_run.clear();
+  if (words_per_cycle == 0) return;
+  cycle_run.reserve(static_cast<std::size_t>(cycles));
+  std::size_t r = 0;
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    const std::size_t w = static_cast<std::size_t>(cycle) * words_per_cycle;
+    while (r + 1 < run_start.size() && run_start[r + 1] <= w) ++r;
+    cycle_run.push_back(static_cast<std::uint32_t>(r));
+  }
+}
+
 void drive_bus_lanes(PackedSim& sim, const Bus& bus,
                      const std::array<std::uint64_t, 64>& lane_values) {
-  for (std::size_t b = 0; b < bus.size(); ++b) {
-    std::uint64_t w = 0;
-    for (int l = 0; l < 64; ++l) w |= ((lane_values[l] >> b) & 1ULL) << l;
-    sim.set_input_lanes(bus[b], w);
-  }
+  // Row l = lane l's value; after the transpose row b bit l = lane l's
+  // bit b, i.e. exactly the per-bit lane word.
+  std::array<std::uint64_t, 64> m = lane_values;
+  transpose64(m.data());
+  for (std::size_t b = 0; b < bus.size(); ++b) sim.set_input_lanes(bus[b], m[b]);
 }
 
 std::array<std::uint64_t, 64> read_bus_lanes(const PackedSim& sim, const Bus& bus) {
-  std::array<std::uint64_t, 64> lanes{};
-  for (std::size_t b = 0; b < bus.size(); ++b) {
-    const std::uint64_t w = sim.value(bus[b]);
-    for (int l = 0; l < 64; ++l) lanes[l] |= ((w >> l) & 1ULL) << b;
-  }
-  return lanes;
+  std::array<std::uint64_t, 64> m{};
+  for (std::size_t b = 0; b < bus.size(); ++b) m[b] = sim.value(bus[b]);
+  transpose64(m.data());
+  return m;
 }
 
-SequentialFaultSimulator::SequentialFaultSimulator(const Netlist& nl,
-                                                   const FaultUniverse& universe,
-                                                   SeqFsimOptions opts)
-    : nl_(&nl), universe_(&universe), opts_(opts), sim_(nl) {
+SequentialFaultSimulator::SequentialFaultSimulator(
+    const Netlist& nl, const FaultUniverse& universe, SeqFsimOptions opts,
+    std::shared_ptr<const PackedTopology> topo)
+    : nl_(&nl),
+      universe_(&universe),
+      opts_(opts),
+      sim_(topo ? std::move(topo) : PackedTopology::build(nl)) {
+  // A topology for a different netlist is a caller bug; silently
+  // rebuilding would also quietly forfeit the sharing optimisation.
+  if (sim_.topology().nl != &nl)
+    throw std::invalid_argument(
+        "SequentialFaultSimulator: topology is for a different netlist");
+  if (!opts_.event_driven) sim_.set_eval_mode(PackedEvalMode::kFullSweep);
   // Default: observe every top-level output.
   observed_ = nl.output_cells();
 }
@@ -37,17 +95,19 @@ void SequentialFaultSimulator::set_observed(std::vector<CellId> output_cells) {
 GoodTrace SequentialFaultSimulator::record_good_trace(FsimEnvironment& env) {
   GoodTrace trace;
   trace.words_per_cycle = (observed_.size() + 63) / 64;
+  // Size for the worst case up front: long programs previously paid a
+  // per-cycle resize on a flat bit array.
+  trace.reserve_cycles(static_cast<std::size_t>(std::max(opts_.max_cycles, 0)));
+  std::vector<std::uint64_t> words(trace.words_per_cycle);
   sim_.clear_injections();
   sim_.power_on();
   env.reset(sim_);
   for (int cycle = 0; cycle < opts_.max_cycles; ++cycle) {
     if (!env.step(sim_, cycle)) break;
-    const std::size_t base = trace.bits.size();
-    trace.bits.resize(base + trace.words_per_cycle, 0);
+    std::fill(words.begin(), words.end(), 0);
     for (std::size_t k = 0; k < observed_.size(); ++k)
-      trace.bits[base + k / 64] |= (sim_.observed(observed_[k]) & 1ULL)
-                                   << (k % 64);
-    ++trace.cycles;
+      words[k / 64] |= (sim_.observed(observed_[k]) & 1ULL) << (k % 64);
+    trace.append_cycle(words.data());
     sim_.clock();
   }
   return trace;

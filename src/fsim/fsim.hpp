@@ -20,6 +20,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -54,6 +55,9 @@ struct SeqFsimOptions {
   int max_cycles = 100000;
   /// Stop a batch as soon as every faulty lane has diverged.
   bool early_exit = true;
+  /// Use the event-driven packed kernel; false forces the levelized
+  /// full-sweep oracle. Both produce bit-identical results.
+  bool event_driven = true;
 };
 
 /// Checkpoint of one fault-free run: the executed cycle count plus the
@@ -61,25 +65,52 @@ struct SeqFsimOptions {
 /// machine once per test program and replays the checkpoint as the
 /// reference in every batch, so detection no longer re-derives the good
 /// values from lane 0 and the cycle bound is exact instead of a guess.
+///
+/// Storage is run-length compressed over the 64-bit observed words
+/// (conceptual word index w = cycle * words_per_cycle + word-in-cycle):
+/// run r covers [run_start[r], run_start[r+1]) with the constant word
+/// run_value[r]. Observed buses idle for most cycles, so million-cycle
+/// checkpoints collapse to a handful of runs; `cycle_run` indexes the run
+/// holding each cycle's first word, bounding bit() to a scan of at most
+/// words_per_cycle runs.
 struct GoodTrace {
   int cycles = 0;
   std::size_t words_per_cycle = 0;  ///< ceil(observed_count / 64)
-  /// bits[cycle * words_per_cycle + w] bit k = observed cell (w*64+k)'s
-  /// good value on that cycle.
-  std::vector<std::uint64_t> bits;
+  std::vector<std::uint64_t> run_start;  ///< first word index of each run
+  std::vector<std::uint64_t> run_value;
+  std::vector<std::uint32_t> cycle_run;  ///< run of cycle's first word
 
   bool bit(int cycle, std::size_t observed_index) const {
-    return (bits[static_cast<std::size_t>(cycle) * words_per_cycle +
-                 observed_index / 64] >>
-            (observed_index % 64)) &
-           1ULL;
+    const std::size_t w =
+        static_cast<std::size_t>(cycle) * words_per_cycle + observed_index / 64;
+    std::size_t r = cycle_run[static_cast<std::size_t>(cycle)];
+    while (r + 1 < run_start.size() && run_start[r + 1] <= w) ++r;
+    return (run_value[r] >> (observed_index % 64)) & 1ULL;
+  }
+
+  /// Reserves for an expected cycle count (avoids per-cycle reallocation
+  /// on long programs; runs stay demand-allocated).
+  void reserve_cycles(std::size_t n);
+  /// Appends one cycle's observed words (words_per_cycle of them). Cycles
+  /// must be appended in order; increments `cycles`.
+  void append_cycle(const std::uint64_t* words);
+  /// Recomputes cycle_run from run_start (after deserialization). Throws
+  /// std::runtime_error if the runs do not tile [0, cycles*words_per_cycle).
+  void rebuild_index();
+
+  std::size_t total_words() const {
+    return static_cast<std::size_t>(cycles) * words_per_cycle;
   }
 };
 
 class SequentialFaultSimulator {
  public:
+  /// `topo`, if given, must be a PackedTopology over `nl`; campaign
+  /// workers pass a shared one so per-worker construction stops re-running
+  /// levelization and fanout-graph building.
   SequentialFaultSimulator(const Netlist& nl, const FaultUniverse& universe,
-                           SeqFsimOptions opts = {});
+                           SeqFsimOptions opts = {},
+                           std::shared_ptr<const PackedTopology> topo = nullptr);
 
   /// Observed output ports (system bus). Detection compares these only.
   void set_observed(std::vector<CellId> output_cells);
@@ -107,6 +138,10 @@ class SequentialFaultSimulator {
                            std::function<void(std::size_t, std::size_t)> progress = {});
 
   const SeqFsimOptions& options() const { return opts_; }
+
+  /// The underlying packed simulator (activity counters, eval-mode probes).
+  PackedSim& sim() { return sim_; }
+  const PackedSim& sim() const { return sim_; }
 
  private:
   const Netlist* nl_;

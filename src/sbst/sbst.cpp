@@ -322,11 +322,15 @@ class SbstBatchRunner final : public FaultBatchRunner {
  public:
   SbstBatchRunner(const Soc& soc, const FaultUniverse& universe,
                   std::shared_ptr<const FlashImage> flash,
-                  std::shared_ptr<const GoodTrace> trace, int max_cycles)
+                  std::shared_ptr<const GoodTrace> trace,
+                  std::shared_ptr<const PackedTopology> topo, int max_cycles,
+                  bool event_driven)
       : flash_(std::move(flash)),
         trace_(std::move(trace)),
         env_(soc, *flash_, max_cycles),
-        fsim_(soc.netlist, universe, {.max_cycles = max_cycles}) {
+        fsim_(soc.netlist, universe,
+              {.max_cycles = max_cycles, .event_driven = event_driven},
+              std::move(topo)) {
     fsim_.set_observed(soc.cpu.bus_output_cells);
   }
 
@@ -345,8 +349,11 @@ class SbstBatchRunner final : public FaultBatchRunner {
 
 std::vector<CampaignTest> build_sbst_campaign_tests(
     const Soc& soc, std::vector<SbstProgram>& suite,
-    const FaultUniverse& universe, int margin) {
+    const FaultUniverse& universe, int margin, bool event_driven) {
   const std::vector<int> cycles = run_suite_functional(soc, suite);
+  // One topology (levelized order + fanout CSR) serves every tracer and
+  // every worker's simulator across the whole suite.
+  const auto topo = PackedTopology::build(soc.netlist);
   std::vector<CampaignTest> tests;
   tests.reserve(suite.size());
   for (std::size_t i = 0; i < suite.size(); ++i) {
@@ -358,8 +365,9 @@ std::vector<CampaignTest> build_sbst_campaign_tests(
     // Checkpoint the good machine once; every batch of every worker then
     // replays this trace as its reference.
     SocFsimEnvironment trace_env(soc, *flash, max_cycles);
-    SequentialFaultSimulator tracer(soc.netlist, universe,
-                                    {.max_cycles = max_cycles});
+    SequentialFaultSimulator tracer(
+        soc.netlist, universe,
+        {.max_cycles = max_cycles, .event_driven = event_driven}, topo);
     tracer.set_observed(soc.cpu.bus_output_cells);
     auto trace =
         std::make_shared<const GoodTrace>(tracer.record_good_trace(trace_env));
@@ -368,9 +376,10 @@ std::vector<CampaignTest> build_sbst_campaign_tests(
     test.name = suite[i].name;
     test.good_cycles = cycles[i];
     test.make_runner = [&soc, &universe, flash = std::move(flash),
-                        trace = std::move(trace), max_cycles]() {
+                        trace = std::move(trace), topo, max_cycles,
+                        event_driven]() {
       return std::make_unique<SbstBatchRunner>(soc, universe, flash, trace,
-                                               max_cycles);
+                                               topo, max_cycles, event_driven);
     };
     tests.push_back(std::move(test));
   }

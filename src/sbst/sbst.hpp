@@ -54,13 +54,17 @@ struct SbstCampaignResult {
 
 /// Converts the suite into orchestrator tests: runs each program on the
 /// good machine (cycle counts + the campaign's good-trace checkpoints) and
-/// wraps the system-bus fault-simulation kernel in per-worker runners.
-/// `soc` and `universe` are captured by reference and must outlive every
-/// campaign run over the returned tests. `margin` cycles past the good
-/// machine's HALT let slow faulty lanes diverge on the halted pin.
+/// wraps the system-bus fault-simulation kernel in per-worker runners; all
+/// runners share one PackedTopology of the SoC netlist. `soc` and
+/// `universe` are captured by reference and must outlive every campaign
+/// run over the returned tests. `margin` cycles past the good machine's
+/// HALT let slow faulty lanes diverge on the halted pin. `event_driven`
+/// selects the kernel (false = full-sweep oracle; results are
+/// bit-identical either way — the switch exists for cross-checks and
+/// benches).
 std::vector<CampaignTest> build_sbst_campaign_tests(
     const Soc& soc, std::vector<SbstProgram>& suite,
-    const FaultUniverse& universe, int margin = 8);
+    const FaultUniverse& universe, int margin = 8, bool event_driven = true);
 
 /// Fault-simulates the suite with system-bus observability through the
 /// campaign orchestrator, updating `fl` (already-detected and untestable

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -56,8 +57,9 @@ class ScanTestRunner {
   /// Applies one full-scan pattern to up to 63 faults (lane 0 is the good
   /// machine): shift-in, functional capture with PO observation, shift-out
   /// with scan-out observation. Returns the per-fault detection mask.
-  /// Builds its own PackedSim per call, so concurrent calls are safe —
-  /// which is what lets the campaign orchestrator fan batches out.
+  /// Builds its own PackedSim per call (over the runner's shared
+  /// topology), so concurrent calls are safe — which is what lets the
+  /// campaign orchestrator fan batches out.
   std::uint64_t run_pattern(std::span<const FaultId> faults,
                             const FaultUniverse& universe,
                             const ScanPattern& pattern) const;
@@ -77,6 +79,9 @@ class ScanTestRunner {
 
   const Netlist* nl_;
   const ScanChains* chains_;
+  /// Levelized order + fanout CSR, built once and shared by the per-call
+  /// simulators instead of being rebuilt for every pattern x batch.
+  std::shared_ptr<const PackedTopology> topo_;
   std::vector<std::pair<NetId, bool>> constraints_;
 };
 

@@ -1,14 +1,19 @@
 #include "sim/packed.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
 namespace olfui {
 
-PackedSim::PackedSim(const Netlist& nl) : nl_(&nl) {
+std::shared_ptr<const PackedTopology> PackedTopology::build(const Netlist& nl) {
+  auto topo = std::make_shared<PackedTopology>();
+  topo->nl = &nl;
+
   std::vector<CellId> order;
   if (!nl.levelize(order))
     throw std::runtime_error("PackedSim: combinational loop in netlist");
+  topo->order_index.assign(nl.num_cells(), kInvalidId);
   for (CellId id : order) {
     const Cell& c = nl.cell(id);
     if (c.type == CellType::kOutput) continue;
@@ -18,46 +23,123 @@ PackedSim::PackedSim(const Netlist& nl) : nl_(&nl) {
     fc.out = c.out;
     fc.id = id;
     for (std::size_t i = 0; i < c.ins.size(); ++i) fc.in[i] = c.ins[i];
-    order_.push_back(fc);
+    topo->order_index[id] = static_cast<std::uint32_t>(topo->order.size());
+    topo->order.push_back(fc);
   }
+
+  // Logic levels: producers (sources, ties, flop Qs) sit at level 0, so a
+  // combinational cell's level is strictly above every input's producer and
+  // the event drain can process level buckets in ascending order.
+  std::vector<std::uint32_t> net_level(nl.num_nets(), 0);
+  topo->level.resize(topo->order.size());
+  std::uint32_t max_level = 0;
+  for (std::size_t i = 0; i < topo->order.size(); ++i) {
+    const FlatCell& fc = topo->order[i];
+    std::uint32_t lvl = 0;
+    for (int k = 0; k < fc.n; ++k) lvl = std::max(lvl, net_level[fc.in[k]]);
+    ++lvl;
+    topo->level[i] = lvl;
+    net_level[fc.out] = lvl;
+    max_level = std::max(max_level, lvl);
+  }
+  topo->num_levels = max_level + 1;
+
+  // CSR fanout graph: for each net, the order indexes of its combinational
+  // readers (kOutput ports are read through observed(), flops at clock()).
+  topo->fanout_start.assign(nl.num_nets() + 1, 0);
+  for (const FlatCell& fc : topo->order)
+    for (int k = 0; k < fc.n; ++k) ++topo->fanout_start[fc.in[k] + 1];
+  for (std::size_t n = 0; n < nl.num_nets(); ++n)
+    topo->fanout_start[n + 1] += topo->fanout_start[n];
+  topo->fanout.resize(topo->fanout_start.back());
+  std::vector<std::uint32_t> cursor(topo->fanout_start.begin(),
+                                    topo->fanout_start.end() - 1);
+  for (std::size_t i = 0; i < topo->order.size(); ++i) {
+    const FlatCell& fc = topo->order[i];
+    for (int k = 0; k < fc.n; ++k)
+      topo->fanout[cursor[fc.in[k]]++] = static_cast<std::uint32_t>(i);
+  }
+
+  for (CellId id = 0; id < nl.num_cells(); ++id) {
+    const CellType t = nl.cell(id).type;
+    if (is_sequential(t)) {
+      topo->flop_cells.push_back(id);
+    } else if (t == CellType::kInput) {
+      topo->source_cells.push_back(id);
+      topo->input_cells.push_back(id);
+    } else if (is_tie(t)) {
+      topo->source_cells.push_back(id);
+    }
+  }
+  return topo;
+}
+
+PackedSim::PackedSim(const Netlist& nl) : PackedSim(PackedTopology::build(nl)) {}
+
+PackedSim::PackedSim(std::shared_ptr<const PackedTopology> topo)
+    : topo_(std::move(topo)) {
+  const Netlist& nl = *topo_->nl;
   values_.assign(nl.num_nets(), 0);
   flop_state_.assign(nl.num_cells(), 0);
   input_hold_.assign(nl.num_cells(), 0);
+  inj_start_.assign(nl.num_cells(), 0);
   has_inj_.assign(nl.num_cells(), 0);
-  for (CellId id = 0; id < nl.num_cells(); ++id) {
-    const CellType t = nl.cell(id).type;
-    if (is_sequential(t))
-      flop_cells_.push_back(id);
-    else if (t == CellType::kInput || is_tie(t))
-      source_cells_.push_back(id);
-  }
+  buckets_.resize(topo_->num_levels);
+  in_queue_.assign(topo_->order.size(), 0);
 }
 
 void PackedSim::clear_injections() {
-  inj_.clear();
+  inj_flat_.clear();
+  active_comb_.clear();
   std::fill(has_inj_.begin(), has_inj_.end(), 0);
+  inj_dirty_ = false;
+  needs_full_ = true;
 }
 
 void PackedSim::add_injection(const PackedInjection& inj) {
-  inj_[inj.cell].push_back(inj);
-  has_inj_[inj.cell] = 1;
+  inj_flat_.push_back(inj);
+  inj_dirty_ = true;
+  needs_full_ = true;
+}
+
+void PackedSim::prepare_injections() {
+  // Group by cell; stable so per-cell application order stays insertion
+  // order (masking is order-sensitive when lanes overlap).
+  std::stable_sort(
+      inj_flat_.begin(), inj_flat_.end(),
+      [](const PackedInjection& a, const PackedInjection& b) { return a.cell < b.cell; });
+  active_comb_.clear();
+  for (std::size_t i = 0; i < inj_flat_.size();) {
+    const CellId c = inj_flat_[i].cell;
+    std::size_t j = i;
+    while (j < inj_flat_.size() && inj_flat_[j].cell == c) ++j;
+    if (j - i > 0xFF)  // count must fit has_inj_; silent wrap would drop faults
+      throw std::runtime_error("PackedSim: more than 255 injections on one cell");
+    inj_start_[c] = static_cast<std::uint32_t>(i);
+    has_inj_[c] = static_cast<std::uint8_t>(j - i);
+    const std::uint32_t oi = topo_->order_index[c];
+    if (oi != kInvalidId) active_comb_.push_back(oi);
+    i = j;
+  }
+  inj_dirty_ = false;
 }
 
 void PackedSim::power_on() {
   std::fill(values_.begin(), values_.end(), 0);
   std::fill(flop_state_.begin(), flop_state_.end(), 0);
   std::fill(input_hold_.begin(), input_hold_.end(), 0);
+  needs_full_ = true;
 }
 
 void PackedSim::set_input_all(NetId net, bool v) {
-  const CellId drv = nl_->net(net).driver;
-  assert(drv != kInvalidId && nl_->cell(drv).type == CellType::kInput);
+  const CellId drv = topo_->nl->net(net).driver;
+  assert(drv != kInvalidId && topo_->nl->cell(drv).type == CellType::kInput);
   input_hold_[drv] = v ? ~0ULL : 0;
 }
 
 void PackedSim::set_input_lanes(NetId net, std::uint64_t lanes) {
-  const CellId drv = nl_->net(net).driver;
-  assert(drv != kInvalidId && nl_->cell(drv).type == CellType::kInput);
+  const CellId drv = topo_->nl->net(net).driver;
+  assert(drv != kInvalidId && topo_->nl->cell(drv).type == CellType::kInput);
   input_hold_[drv] = lanes;
 }
 
@@ -69,22 +151,69 @@ void PackedSim::set_input_word(const Bus& bus, std::uint64_t value) {
 std::uint64_t PackedSim::apply_inj(CellId id, std::uint64_t* tmp,
                                    std::uint64_t out_val,
                                    bool apply_output) const {
-  for (const PackedInjection& j : inj_.at(id)) {
-    if (j.pin == 0) {
+  const PackedInjection* j = inj_flat_.data() + inj_start_[id];
+  const PackedInjection* const end = j + has_inj_[id];
+  for (; j != end; ++j) {
+    if (j->pin == 0) {
       if (apply_output)
-        out_val = j.sa1 ? (out_val | j.lanes) : (out_val & ~j.lanes);
+        out_val = j->sa1 ? (out_val | j->lanes) : (out_val & ~j->lanes);
     } else if (tmp != nullptr) {
-      std::uint64_t& w = tmp[j.pin - 1];
-      w = j.sa1 ? (w | j.lanes) : (w & ~j.lanes);
+      std::uint64_t& w = tmp[j->pin - 1];
+      w = j->sa1 ? (w | j->lanes) : (w & ~j->lanes);
     }
   }
   return out_val;
 }
 
-void PackedSim::eval() {
+std::uint64_t PackedSim::compute_cell(const PackedTopology::FlatCell& fc) const {
+  const std::uint64_t* vals = values_.data();
+  if (__builtin_expect(has_inj_[fc.id], 0)) {
+    std::uint64_t tmp[4];
+    for (int i = 0; i < fc.n; ++i) tmp[i] = vals[fc.in[i]];
+    apply_inj(fc.id, tmp, 0, false);
+    const std::uint64_t out = eval_packed(fc.type, tmp, fc.n);
+    return apply_inj(fc.id, nullptr, out, true);
+  }
+  // Hot path: inline the common gates, fall back for the rest.
+  switch (fc.type) {
+    case CellType::kAnd2:
+      return vals[fc.in[0]] & vals[fc.in[1]];
+    case CellType::kOr2:
+      return vals[fc.in[0]] | vals[fc.in[1]];
+    case CellType::kXor2:
+      return vals[fc.in[0]] ^ vals[fc.in[1]];
+    case CellType::kMux2: {
+      const std::uint64_t s = vals[fc.in[kMuxS]];
+      return (s & vals[fc.in[kMuxB]]) | (~s & vals[fc.in[kMuxA]]);
+    }
+    case CellType::kNot:
+      return ~vals[fc.in[0]];
+    case CellType::kBuf:
+      return vals[fc.in[0]];
+    default: {
+      std::uint64_t tmp[4];
+      for (int i = 0; i < fc.n; ++i) tmp[i] = vals[fc.in[i]];
+      return eval_packed(fc.type, tmp, fc.n);
+    }
+  }
+}
+
+void PackedSim::schedule_readers(NetId net) {
+  const PackedTopology& t = *topo_;
+  for (std::uint32_t j = t.fanout_start[net]; j < t.fanout_start[net + 1]; ++j) {
+    const std::uint32_t k = t.fanout[j];
+    if (!in_queue_[k]) {
+      in_queue_[k] = 1;
+      buckets_[t.level[k]].push_back(k);
+    }
+  }
+}
+
+void PackedSim::run_full_sweep() {
+  const PackedTopology& t = *topo_;
   // Sources: primary inputs hold their driven value; ties their constant.
-  for (CellId id : source_cells_) {
-    const Cell& c = nl_->cell(id);
+  for (CellId id : t.source_cells) {
+    const Cell& c = t.nl->cell(id);
     std::uint64_t v = c.type == CellType::kTie1   ? ~0ULL
                       : c.type == CellType::kTie0 ? 0
                                                   : input_hold_[id];
@@ -92,61 +221,94 @@ void PackedSim::eval() {
     values_[c.out] = v;
   }
   // Expose flop state (with Q-pin faults).
-  for (CellId id : flop_cells_) {
+  for (CellId id : t.flop_cells) {
     std::uint64_t v = flop_state_[id];
     if (has_inj_[id]) v = apply_inj(id, nullptr, v, true);
-    values_[nl_->cell(id).out] = v;
+    values_[t.nl->cell(id).out] = v;
   }
-  // Levelized sweep over the flattened combinational cells.
-  const std::uint64_t* vals = values_.data();
-  for (const FlatCell& fc : order_) {
-    std::uint64_t out;
-    if (__builtin_expect(has_inj_[fc.id], 0)) {
-      std::uint64_t tmp[4];
-      for (int i = 0; i < fc.n; ++i) tmp[i] = vals[fc.in[i]];
-      std::uint64_t raw = apply_inj(fc.id, tmp, 0, false);
-      (void)raw;
-      out = eval_packed(fc.type, tmp, fc.n);
-      out = apply_inj(fc.id, nullptr, out, true);
-    } else {
-      // Hot path: inline the common gates, fall back for the rest.
-      switch (fc.type) {
-        case CellType::kAnd2:
-          out = vals[fc.in[0]] & vals[fc.in[1]];
-          break;
-        case CellType::kOr2:
-          out = vals[fc.in[0]] | vals[fc.in[1]];
-          break;
-        case CellType::kXor2:
-          out = vals[fc.in[0]] ^ vals[fc.in[1]];
-          break;
-        case CellType::kMux2: {
-          const std::uint64_t s = vals[fc.in[kMuxS]];
-          out = (s & vals[fc.in[kMuxB]]) | (~s & vals[fc.in[kMuxA]]);
-          break;
-        }
-        case CellType::kNot:
-          out = ~vals[fc.in[0]];
-          break;
-        case CellType::kBuf:
-          out = vals[fc.in[0]];
-          break;
-        default: {
-          std::uint64_t tmp[4];
-          for (int i = 0; i < fc.n; ++i) tmp[i] = vals[fc.in[i]];
-          out = eval_packed(fc.type, tmp, fc.n);
-          break;
-        }
+  // Levelized sweep over the flattened combinational cells. Both kernels
+  // share compute_cell, so the sweep oracle and the event path can never
+  // diverge on gate semantics.
+  for (const PackedTopology::FlatCell& fc : t.order)
+    values_[fc.out] = compute_cell(fc);
+  // The sweep recomputed everything; pending events are now satisfied.
+  for (std::vector<std::uint32_t>& bucket : buckets_) {
+    for (std::uint32_t k : bucket) in_queue_[k] = 0;
+    bucket.clear();
+  }
+  needs_full_ = false;
+  ++activity_.full_sweeps;
+  activity_.cells_evaluated += t.order.size();
+}
+
+void PackedSim::run_event_sweep() {
+  const PackedTopology& t = *topo_;
+  // Seed: primary inputs whose held word changed since the last eval.
+  // (Ties are constant and flop Qs are seeded by clock(), so neither needs
+  // a per-eval scan.)
+  for (CellId id : t.input_cells) {
+    std::uint64_t v = input_hold_[id];
+    if (has_inj_[id]) v = apply_inj(id, nullptr, v, true);
+    const NetId out = t.nl->cell(id).out;
+    if (v != values_[out]) {
+      values_[out] = v;
+      schedule_readers(out);
+    }
+  }
+  // Injected cells are permanently active, so fault effects propagate even
+  // when no input event reaches them this eval.
+  for (std::uint32_t k : active_comb_) {
+    if (!in_queue_[k]) {
+      in_queue_[k] = 1;
+      buckets_[t.level[k]].push_back(k);
+    }
+  }
+  // Drain level buckets in ascending order. Every fanout edge strictly
+  // increases the level, so a cell processed here cannot be re-scheduled
+  // within the same eval, and a bucket cannot grow while it drains.
+  std::uint64_t touched = 0;
+  for (std::uint32_t lvl = 1; lvl < t.num_levels; ++lvl) {
+    std::vector<std::uint32_t>& bucket = buckets_[lvl];
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const std::uint32_t k = bucket[i];
+      in_queue_[k] = 0;
+      const PackedTopology::FlatCell& fc = t.order[k];
+      const std::uint64_t out = compute_cell(fc);
+      if (out != values_[fc.out]) {
+        values_[fc.out] = out;
+        schedule_readers(fc.out);
       }
     }
-    values_[fc.out] = out;
+    touched += bucket.size();
+    bucket.clear();
   }
+  activity_.cells_evaluated += touched;
+}
+
+void PackedSim::eval() {
+  ++activity_.evals;
+  if (inj_dirty_) prepare_injections();
+  if (mode_ == PackedEvalMode::kFullSweep || needs_full_) {
+    run_full_sweep();
+    return;
+  }
+  run_event_sweep();
+}
+
+void PackedSim::full_eval() {
+  ++activity_.evals;
+  if (inj_dirty_) prepare_injections();
+  run_full_sweep();
 }
 
 void PackedSim::clock() {
+  if (inj_dirty_) prepare_injections();
+  const PackedTopology& t = *topo_;
   std::uint64_t tmp[4];
-  for (CellId id : flop_cells_) {
-    const Cell& c = nl_->cell(id);
+  // Pass 1: latch every flop from the settled net values. flop_state_ is
+  // never read here, so flop-to-flop paths latch pre-edge values.
+  for (CellId id : t.flop_cells) {
+    const Cell& c = t.nl->cell(id);
     const int n = static_cast<int>(c.ins.size());
     for (int i = 0; i < n; ++i) tmp[i] = values_[c.ins[i]];
     if (has_inj_[id]) apply_inj(id, tmp, 0, false);
@@ -154,17 +316,35 @@ void PackedSim::clock() {
     flop_state_[id] =
         c.type == CellType::kDff ? tmp[kDffD] : (tmp[kDffD] & tmp[kDffRstn]);
   }
+  // Pass 2 (event mode): expose changed Q values (with Q-pin faults) and
+  // seed their fanout, replacing the per-eval scan over every flop.
+  if (mode_ == PackedEvalMode::kEventDriven && !needs_full_) {
+    for (CellId id : t.flop_cells) {
+      std::uint64_t v = flop_state_[id];
+      if (has_inj_[id]) v = apply_inj(id, nullptr, v, true);
+      const NetId out = t.nl->cell(id).out;
+      if (v != values_[out]) {
+        values_[out] = v;
+        schedule_readers(out);
+      }
+    }
+  }
   eval();
 }
 
 std::uint64_t PackedSim::observed(CellId output_cell) const {
-  const Cell& c = nl_->cell(output_cell);
+  const Cell& c = topo_->nl->cell(output_cell);
   assert(c.type == CellType::kOutput);
+  // Injections are grouped lazily; observing between add_injection() and
+  // the next eval()/clock() would silently miss port faults.
+  assert(!inj_dirty_ && "call eval() after changing injections");
   std::uint64_t v = values_[c.ins[0]];
   if (has_inj_[output_cell]) {
-    for (const PackedInjection& j : inj_.at(output_cell)) {
-      if (j.pin != 1) continue;
-      v = j.sa1 ? (v | j.lanes) : (v & ~j.lanes);
+    const PackedInjection* j = inj_flat_.data() + inj_start_[output_cell];
+    const PackedInjection* const end = j + has_inj_[output_cell];
+    for (; j != end; ++j) {
+      if (j->pin != 1) continue;
+      v = j->sa1 ? (v | j->lanes) : (v & ~j->lanes);
     }
   }
   return v;

@@ -5,10 +5,21 @@
 // per pass and injects stuck-at values at (cell, pin) sites per lane — the
 // classic parallel-fault scheme. Simulation is 2-valued: callers must
 // apply an explicit reset sequence so that no X state matters.
+//
+// Evaluation is event-driven: the netlist is flattened once into a
+// PackedTopology (levelized cells, per-cell levels, CSR fanout graph) and
+// eval() visits only cells whose input words actually changed — sources
+// and flops seed events when their value differs from the previous one, a
+// cell whose output word is unchanged schedules no fanout, and injected
+// cells are permanently active so fault effects always propagate. A
+// full_eval() levelized sweep is retained for power-on/reset, injection
+// changes, and as a cross-check oracle; both paths compute bit-identical
+// values (the event path is a pure work-skipping optimisation, never an
+// approximation).
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "netlist/netlist.hpp"
@@ -24,9 +35,61 @@ struct PackedInjection {
   std::uint64_t lanes = 0;  ///< lane mask where the fault is active
 };
 
+/// Immutable evaluation structures shared by every PackedSim over the same
+/// netlist: the flattened levelized cell array, per-cell logic levels, and
+/// the CSR fanout graph used for event scheduling. Building it is O(cells
+/// + edges); flows that simulate one netlist many times (scan patterns,
+/// campaign workers) build it once and share it across simulators.
+struct PackedTopology {
+  /// Flattened cell record for the hot evaluation loop.
+  struct FlatCell {
+    CellType type;
+    std::uint8_t n;
+    NetId out;
+    CellId id;
+    NetId in[4];
+  };
+
+  const Netlist* nl = nullptr;
+  /// Combinational cells in topological order (kOutput excluded).
+  std::vector<FlatCell> order;
+  /// Logic level of order[i]: 1 + max level of its producers (sources and
+  /// flop outputs are level 0), so every fanout edge strictly increases.
+  std::vector<std::uint32_t> level;
+  std::uint32_t num_levels = 0;  ///< max level + 1
+  /// CSR fanout: combinational readers (order indexes) of each net.
+  std::vector<std::uint32_t> fanout_start;  // size num_nets + 1
+  std::vector<std::uint32_t> fanout;
+  /// Order index of each cell, or kInvalidId for non-combinational cells.
+  std::vector<std::uint32_t> order_index;
+  std::vector<CellId> flop_cells;
+  std::vector<CellId> source_cells;  ///< kInput + ties (full-sweep order)
+  std::vector<CellId> input_cells;   ///< kInput only (per-eval change scan)
+
+  /// Throws std::runtime_error on a combinational loop.
+  static std::shared_ptr<const PackedTopology> build(const Netlist& nl);
+};
+
+/// eval() strategy; both produce bit-identical values.
+enum class PackedEvalMode : std::uint8_t {
+  kEventDriven,  ///< dirty-set scheduling over the fanout graph (default)
+  kFullSweep,    ///< levelized sweep over every cell (the oracle/baseline)
+};
+
+/// Work counters for the activity benches: how much of the netlist the
+/// kernel actually touched.
+struct PackedActivity {
+  std::uint64_t evals = 0;            ///< eval() calls
+  std::uint64_t full_sweeps = 0;      ///< evals resolved by a full sweep
+  std::uint64_t cells_evaluated = 0;  ///< combinational cells computed
+};
+
 class PackedSim {
  public:
   explicit PackedSim(const Netlist& nl);
+  /// Shares a prebuilt topology (cheap: only per-net/per-cell state is
+  /// allocated). The netlist behind `topo` must outlive the simulator.
+  explicit PackedSim(std::shared_ptr<const PackedTopology> topo);
 
   void clear_injections();
   void add_injection(const PackedInjection& inj);
@@ -42,40 +105,63 @@ class PackedSim {
   /// Drives bit i of `value` on all lanes of bus[i].
   void set_input_word(const Bus& bus, std::uint64_t value);
 
-  /// Settles combinational logic (applies injections).
+  /// Settles combinational logic (applies injections). Event-driven unless
+  /// the mode is kFullSweep or the state was invalidated (power-on,
+  /// injection change), in which case it falls back to one full sweep.
   void eval();
+  /// Unconditional levelized sweep over every cell — the reference kernel.
+  void full_eval();
   /// Clock edge then eval.
   void clock();
+
+  void set_eval_mode(PackedEvalMode mode) { mode_ = mode; }
+  PackedEvalMode eval_mode() const { return mode_; }
+
+  const PackedActivity& activity() const { return activity_; }
+  void reset_activity() { activity_ = {}; }
+  std::size_t comb_cell_count() const { return topo_->order.size(); }
 
   std::uint64_t value(NetId net) const { return values_[net]; }
   /// Value seen by a top-level output port, including any injection on the
   /// port cell's input pin (PO stuck-at faults).
   std::uint64_t observed(CellId output_cell) const;
 
-  const Netlist& netlist() const { return *nl_; }
+  const Netlist& netlist() const { return *topo_->nl; }
+  const PackedTopology& topology() const { return *topo_; }
 
  private:
-  /// Flattened cell record for the hot evaluation loop.
-  struct FlatCell {
-    CellType type;
-    std::uint8_t n;
-    NetId out;
-    CellId id;
-    NetId in[4];
-  };
-
   std::uint64_t apply_inj(CellId id, std::uint64_t* tmp, std::uint64_t out_val,
                           bool apply_output) const;
+  void prepare_injections();
+  void run_full_sweep();
+  void run_event_sweep();
+  void schedule_readers(NetId net);
+  std::uint64_t compute_cell(const PackedTopology::FlatCell& fc) const;
 
-  const Netlist* nl_;
-  std::vector<FlatCell> order_;
-  std::vector<CellId> flop_cells_;
-  std::vector<CellId> source_cells_;  // kInput + ties
+  std::shared_ptr<const PackedTopology> topo_;
+  PackedEvalMode mode_ = PackedEvalMode::kEventDriven;
   std::vector<std::uint64_t> values_;       // per net
   std::vector<std::uint64_t> flop_state_;   // per cell (flop entries only)
   std::vector<std::uint64_t> input_hold_;   // per cell: driven PI value
-  std::vector<std::uint8_t> has_inj_;       // per cell
-  std::unordered_map<CellId, std::vector<PackedInjection>> inj_;
+
+  // Flat injection storage: inj_flat_ grouped by cell; cell c owns
+  // inj_flat_[inj_start_[c] .. inj_start_[c] + has_inj_[c]). Rebuilt
+  // lazily (inj_dirty_) by a stable sort, so per-cell application order
+  // matches insertion order.
+  std::vector<PackedInjection> inj_flat_;
+  std::vector<std::uint32_t> inj_start_;  // per cell
+  std::vector<std::uint8_t> has_inj_;     // per cell: injection count
+  std::vector<std::uint32_t> active_comb_;  // order indexes of injected cells
+  bool inj_dirty_ = false;
+
+  // Event scheduler: per-level buckets of order indexes + an in-queue bit.
+  // needs_full_ marks states (power-on, injection change, construction)
+  // whose net values are stale beyond what events track.
+  std::vector<std::vector<std::uint32_t>> buckets_;
+  std::vector<std::uint8_t> in_queue_;
+  bool needs_full_ = true;
+
+  PackedActivity activity_;
 };
 
 }  // namespace olfui

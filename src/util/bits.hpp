@@ -1,0 +1,26 @@
+// olfui/util: bit-matrix helpers for the packed simulation kernels.
+#pragma once
+
+#include <cstdint>
+
+namespace olfui {
+
+/// In-place 64x64 bit-matrix transpose (Hacker's Delight fig. 7-3,
+/// recursive block swap): after the call, bit j of a[i] is the old bit i
+/// of a[j]. The packed fault simulator uses it to flip between per-lane
+/// values (one word per machine) and per-net lane words (one word per bus
+/// bit) in ~6*64 word ops instead of a 64*64 single-bit loop.
+inline void transpose64(std::uint64_t a[64]) {
+  // LSB-first convention: column j of row i is bit j of a[i] (the classic
+  // figure is MSB-first; the block swap is mirrored accordingly).
+  std::uint64_t m = 0x00000000FFFFFFFFULL;
+  for (int j = 32; j != 0; j >>= 1, m ^= m << j) {
+    for (int k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const std::uint64_t t = ((a[k] >> j) ^ a[k | j]) & m;
+      a[k] ^= t << j;
+      a[k | j] ^= t;
+    }
+  }
+}
+
+}  // namespace olfui

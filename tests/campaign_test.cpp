@@ -1,14 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <numeric>
 #include <set>
+#include <stdexcept>
 
 #include "campaign/campaign.hpp"
 #include "campaign/json.hpp"
 #include "campaign/report.hpp"
 #include "campaign/shard_queue.hpp"
+#include "campaign/worker_pool.hpp"
 #include "fault/fault_list.hpp"
 #include "fault/universe.hpp"
 #include "fsim/fsim.hpp"
@@ -142,6 +145,52 @@ TEST(ShardQueue, EmptyQueueReportsDry) {
 }
 
 // ---------------------------------------------------------------------------
+// WorkerPool
+
+TEST(WorkerPool, RunsEveryParticipantAndReusesParkedThreads) {
+  WorkerPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  // Many dispatches through one pool: the scan-ATPG once-per-pattern shape.
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::uint64_t> mask{0};
+    pool.run(4, [&](std::size_t w) {
+      mask.fetch_or(1ULL << w, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(mask.load(), 0xFULL) << round;
+  }
+  // Fewer participants than threads: only those indexes run.
+  std::atomic<std::uint64_t> mask{0};
+  pool.run(2, [&](std::size_t w) { mask.fetch_or(1ULL << w); });
+  EXPECT_EQ(mask.load(), 0x3ULL);
+}
+
+TEST(WorkerPool, ClampsParticipantsAndSupportsZeroThreads) {
+  WorkerPool inline_only(0);
+  std::atomic<std::uint64_t> mask{0};
+  // Clamped to size() + 1 == 1: everything runs on the caller.
+  inline_only.run(8, [&](std::size_t w) { mask.fetch_or(1ULL << w); });
+  EXPECT_EQ(mask.load(), 0x1ULL);
+  inline_only.run(0, [&](std::size_t) { ADD_FAILURE() << "0 participants"; });
+}
+
+TEST(WorkerPool, PropagatesWorkerExceptionsToCaller) {
+  WorkerPool pool(2);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.run(3,
+               [&](std::size_t w) {
+                 if (w == 1) throw std::runtime_error("boom");
+                 ++completed;
+               }),
+      std::runtime_error);
+  EXPECT_EQ(completed.load(), 2);
+  // The pool must still be usable after a failed job.
+  std::atomic<std::uint64_t> mask{0};
+  pool.run(3, [&](std::size_t w) { mask.fetch_or(1ULL << w); });
+  EXPECT_EQ(mask.load(), 0x7ULL);
+}
+
+// ---------------------------------------------------------------------------
 // Json
 
 TEST(Json, RoundTripsDocument) {
@@ -227,6 +276,58 @@ TEST(GoodTrace, TracedBatchMatchesLane0Reference) {
   const std::uint64_t plain = fsim.run_batch(batch, env);
   const std::uint64_t traced = fsim.run_batch(batch, env, &trace);
   EXPECT_EQ(plain, traced);
+}
+
+TEST(GoodTrace, RleCompressesBehindBitAccessor) {
+  CounterRig rig;
+  const FaultUniverse u(rig.nl);
+  SequentialFaultSimulator fsim(rig.nl, u, {.max_cycles = kCycles});
+  fsim.set_observed(rig.outputs);
+  CounterEnv env(rig.en);
+  const GoodTrace trace = fsim.record_good_trace(env);
+
+  // Reference: replay the good machine and compare every bit() readback.
+  PackedSim sim(rig.nl);
+  sim.power_on();
+  env.reset(sim);
+  for (int cycle = 0; cycle < trace.cycles; ++cycle) {
+    ASSERT_TRUE(env.step(sim, cycle));
+    for (std::size_t k = 0; k < rig.outputs.size(); ++k)
+      ASSERT_EQ(trace.bit(cycle, k), (sim.observed(rig.outputs[k]) & 1) != 0)
+          << "cycle " << cycle << " bit " << k;
+    sim.clock();
+  }
+  // A counter's low bits toggle constantly but the trace must still store
+  // no more runs than words; the high bits make runs collapse.
+  EXPECT_LE(trace.run_value.size(), trace.total_words());
+  EXPECT_EQ(trace.cycle_run.size(), static_cast<std::size_t>(trace.cycles));
+}
+
+TEST(GoodTrace, JsonRoundTrips) {
+  CounterRig rig;
+  const FaultUniverse u(rig.nl);
+  SequentialFaultSimulator fsim(rig.nl, u, {.max_cycles = kCycles});
+  fsim.set_observed(rig.outputs);
+  CounterEnv env(rig.en);
+  const GoodTrace trace = fsim.record_good_trace(env);
+
+  const Json doc = good_trace_to_json(trace);
+  const GoodTrace back = good_trace_from_json(doc);
+  EXPECT_EQ(back.cycles, trace.cycles);
+  EXPECT_EQ(back.words_per_cycle, trace.words_per_cycle);
+  EXPECT_EQ(back.run_start, trace.run_start);
+  EXPECT_EQ(back.run_value, trace.run_value);
+  EXPECT_EQ(back.cycle_run, trace.cycle_run);
+  // dump -> parse -> import still matches bit-for-bit.
+  const GoodTrace reparsed = good_trace_from_json(Json::parse(doc.dump(2)));
+  for (int cycle = 0; cycle < trace.cycles; ++cycle)
+    for (std::size_t k = 0; k < rig.outputs.size(); ++k)
+      ASSERT_EQ(reparsed.bit(cycle, k), trace.bit(cycle, k));
+
+  // Corrupt documents must throw, not crash.
+  Json bad = good_trace_to_json(trace);
+  bad.set("run_start", Json::array());
+  EXPECT_THROW(good_trace_from_json(bad), std::exception);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,315 @@
+// Event-driven kernel equivalence suite.
+//
+// The event-driven eval() is a pure work-skipping optimisation: for any
+// netlist, stimulus, and injection set it must produce exactly the word
+// the levelized full sweep produces on every net. These tests drive
+// randomized netlists and stimuli through an event-mode simulator and a
+// forced-full-sweep oracle in lockstep and compare net-for-net, then
+// check campaign determinism across worker-pool sizes with the kernel
+// switched either way.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "fault/fault_list.hpp"
+#include "fault/universe.hpp"
+#include "fsim/fsim.hpp"
+#include "netlist/wordops.hpp"
+#include "sim/packed.hpp"
+#include "util/rng.hpp"
+
+namespace olfui {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Random netlist generation: inputs and declared flops first (so feedback
+// paths exist), then a DAG of random gates over any existing net, then
+// outputs and the flop D connections.
+
+struct RandomDesign {
+  Netlist nl{"rand"};
+  std::vector<NetId> input_nets;
+  std::vector<CellId> output_cells;
+};
+
+RandomDesign random_design(Rng& rng, int n_inputs, int n_flops, int n_gates) {
+  RandomDesign d;
+  std::vector<NetId> nets;
+  for (int i = 0; i < n_inputs; ++i) {
+    const NetId n = d.nl.add_input("in" + std::to_string(i));
+    d.input_nets.push_back(n);
+    nets.push_back(n);
+  }
+  nets.push_back(d.nl.add_cell(CellType::kTie0, "u_t0", d.nl.add_net("t0"), {}));
+  nets.push_back(d.nl.add_cell(CellType::kTie1, "u_t1", d.nl.add_net("t1"), {}));
+  // rstn for DFFR flops is always the first input.
+  const NetId rstn = d.input_nets[0];
+
+  std::vector<CellId> flops;
+  for (int f = 0; f < n_flops; ++f) {
+    const NetId q = d.nl.add_net("q" + std::to_string(f));
+    const bool with_reset = rng.next_bool();
+    const CellId cell =
+        with_reset
+            ? d.nl.add_cell(CellType::kDffR, "u_ff" + std::to_string(f), q,
+                            {kInvalidId, rstn})
+            : d.nl.add_cell(CellType::kDff, "u_ff" + std::to_string(f), q,
+                            {kInvalidId});
+    flops.push_back(cell);
+    nets.push_back(q);
+  }
+
+  const CellType kGateTypes[] = {
+      CellType::kBuf,   CellType::kNot,   CellType::kAnd2,  CellType::kAnd3,
+      CellType::kAnd4,  CellType::kOr2,   CellType::kOr3,   CellType::kOr4,
+      CellType::kNand2, CellType::kNand3, CellType::kNand4, CellType::kNor2,
+      CellType::kNor3,  CellType::kNor4,  CellType::kXor2,  CellType::kXnor2,
+      CellType::kMux2};
+  for (int g = 0; g < n_gates; ++g) {
+    const CellType t =
+        kGateTypes[rng.next_below(sizeof kGateTypes / sizeof kGateTypes[0])];
+    std::vector<NetId> ins(static_cast<std::size_t>(num_inputs(t)));
+    for (NetId& in : ins) in = nets[rng.next_below(nets.size())];
+    const NetId out = d.nl.add_net("g" + std::to_string(g));
+    d.nl.add_cell(t, "u_g" + std::to_string(g), out, std::move(ins));
+    nets.push_back(out);
+  }
+
+  // Feedback: every flop D comes from anywhere in the design.
+  for (CellId f : flops)
+    d.nl.connect_input(f, 0, nets[rng.next_below(nets.size())]);
+
+  for (int o = 0; o < 8; ++o)
+    d.output_cells.push_back(d.nl.add_output(
+        "out" + std::to_string(o), nets[rng.next_below(nets.size())]));
+
+  EXPECT_TRUE(d.nl.validate().empty());
+  return d;
+}
+
+/// Drives identical random stimuli through both simulators and asserts
+/// every net carries the identical word after every operation. With
+/// `power_on` false the run continues from the current state (exercising
+/// mid-run invalidation paths).
+void run_lockstep(RandomDesign& d, PackedSim& evt, PackedSim& oracle, Rng& rng,
+                  int steps, bool power_on = true) {
+  const auto compare_all = [&](int step) {
+    for (NetId n = 0; n < d.nl.num_nets(); ++n)
+      ASSERT_EQ(evt.value(n), oracle.value(n))
+          << "net " << d.nl.net(n).name << " diverged at step " << step;
+    for (CellId oc : d.output_cells)
+      ASSERT_EQ(evt.observed(oc), oracle.observed(oc))
+          << "output " << d.nl.cell(oc).name << " diverged at step " << step;
+  };
+
+  if (power_on) {
+    evt.power_on();
+    oracle.power_on();
+  }
+  for (int step = 0; step < steps; ++step) {
+    for (NetId in : d.input_nets) {
+      if (rng.next_below(3) == 0) continue;  // leave some inputs unchanged
+      const std::uint64_t w = rng.next_u64();
+      evt.set_input_lanes(in, w);
+      oracle.set_input_lanes(in, w);
+    }
+    if (rng.next_below(4) == 0) {
+      evt.clock();
+      oracle.clock();
+    } else {
+      evt.eval();
+      oracle.eval();
+    }
+    compare_all(step);
+    if (::testing::Test::HasFailure()) return;
+  }
+  // The settled event state must be a fixed point of the full sweep.
+  evt.full_eval();
+  compare_all(steps);
+}
+
+TEST(EventSim, RandomNetlistsMatchFullSweepOracle) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    RandomDesign d = random_design(rng, 10, 24, 220);
+    PackedSim evt(d.nl);
+    PackedSim oracle(d.nl);
+    oracle.set_eval_mode(PackedEvalMode::kFullSweep);
+    ASSERT_EQ(evt.eval_mode(), PackedEvalMode::kEventDriven);
+    run_lockstep(d, evt, oracle, rng, 60);
+    // The point of the kernel: strictly less work than sweeping.
+    EXPECT_LT(evt.activity().cells_evaluated, oracle.activity().cells_evaluated)
+        << "seed " << seed;
+  }
+}
+
+TEST(EventSim, InjectionsMatchFullSweepOracle) {
+  for (std::uint64_t seed = 11; seed <= 14; ++seed) {
+    Rng rng(seed);
+    RandomDesign d = random_design(rng, 8, 16, 160);
+    auto topo = PackedTopology::build(d.nl);
+    PackedSim evt(topo);
+    PackedSim oracle(topo);
+    oracle.set_eval_mode(PackedEvalMode::kFullSweep);
+
+    const auto random_injection = [&] {
+      const CellId cell = static_cast<CellId>(rng.next_below(d.nl.num_cells()));
+      const CellType t = d.nl.cell(cell).type;
+      int pin = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(num_inputs(t)) + 1));
+      if (t == CellType::kOutput) pin = 1;  // kOutput has no output pin
+      return PackedInjection{cell, static_cast<std::uint8_t>(pin),
+                             rng.next_bool(), rng.next_u64()};
+    };
+
+    for (int i = 0; i < 12; ++i) {
+      const PackedInjection inj = random_injection();
+      evt.add_injection(inj);
+      oracle.add_injection(inj);
+    }
+    run_lockstep(d, evt, oracle, rng, 40);
+
+    // Changing injections mid-run (no power-on) must invalidate event
+    // state (the needs-full path) and still match the oracle.
+    const PackedInjection late = random_injection();
+    evt.add_injection(late);
+    oracle.add_injection(late);
+    run_lockstep(d, evt, oracle, rng, 20, /*power_on=*/false);
+
+    evt.clear_injections();
+    oracle.clear_injections();
+    run_lockstep(d, evt, oracle, rng, 20, /*power_on=*/false);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Campaign determinism on the persistent worker pool, kernel switched
+// either way. Small counter rig (mirrors campaign_test's) graded at
+// 1/2/4/8 threads.
+
+constexpr int kBits = 10;
+constexpr int kCycles = 30;
+
+struct CounterRig {
+  Netlist nl{"t"};
+  NetId en;
+  std::vector<CellId> outputs;
+
+  CounterRig() {
+    WordOps w(nl, "m");
+    en = nl.add_input("en");
+    RegWord cnt = w.reg_declare(kBits, "cnt");
+    const auto inc = w.add_word(cnt.q, w.constant(1, kBits), w.lit(false), "inc");
+    const Bus d = w.mux_word(en, cnt.q, inc.sum, "d");
+    w.reg_connect(cnt, d);
+    for (int i = 0; i < kBits; ++i)
+      outputs.push_back(nl.add_output("o" + std::to_string(i), cnt.q[i]));
+  }
+};
+
+class CounterEnv : public FsimEnvironment {
+ public:
+  explicit CounterEnv(NetId en) : en_(en) {}
+  void reset(PackedSim& sim) override {
+    sim.set_input_all(en_, false);
+    sim.eval();
+  }
+  bool step(PackedSim& sim, int) override {
+    sim.set_input_all(en_, true);
+    sim.eval();
+    return true;
+  }
+
+ private:
+  NetId en_;
+};
+
+class RigBatchRunner final : public FaultBatchRunner {
+ public:
+  RigBatchRunner(const CounterRig& rig, const FaultUniverse& u,
+                 std::shared_ptr<const GoodTrace> trace, bool event_driven)
+      : env_(rig.en),
+        fsim_(rig.nl, u,
+              {.max_cycles = kCycles, .event_driven = event_driven}),
+        trace_(std::move(trace)) {
+    fsim_.set_observed(rig.outputs);
+  }
+  std::uint64_t run_batch(std::span<const FaultId> faults) override {
+    return fsim_.run_batch(faults, env_, trace_.get());
+  }
+
+ private:
+  CounterEnv env_;
+  SequentialFaultSimulator fsim_;
+  std::shared_ptr<const GoodTrace> trace_;
+};
+
+CampaignTest make_rig_test(const CounterRig& rig, const FaultUniverse& u,
+                           bool event_driven) {
+  CounterEnv trace_env(rig.en);
+  SequentialFaultSimulator tracer(
+      rig.nl, u, {.max_cycles = kCycles, .event_driven = event_driven});
+  tracer.set_observed(rig.outputs);
+  auto trace =
+      std::make_shared<const GoodTrace>(tracer.record_good_trace(trace_env));
+  CampaignTest test;
+  test.name = event_driven ? "event" : "sweep";
+  test.good_cycles = kCycles;
+  test.make_runner = [&rig, &u, trace = std::move(trace), event_driven]() {
+    return std::make_unique<RigBatchRunner>(rig, u, trace, event_driven);
+  };
+  return test;
+}
+
+TEST(EventSim, CampaignDeterministicAcrossPoolSizesAndKernels) {
+  CounterRig rig;
+  const FaultUniverse u(rig.nl);
+  ASSERT_GT(u.size(), 63u * 4) << "rig too small to shard meaningfully";
+
+  CampaignResult reference;
+  for (const bool event_driven : {true, false}) {
+    std::vector<CampaignTest> tests;
+    tests.push_back(make_rig_test(rig, u, event_driven));
+    for (const int threads : {1, 2, 4, 8}) {
+      FaultList fl(u);
+      const CampaignResult r =
+          CampaignEngine(u, {.threads = threads}).run(fl, tests);
+      if (event_driven && threads == 1) {
+        reference = r;
+        EXPECT_GT(r.total_new_detections, 0u);
+      } else {
+        // Same detection payload regardless of pool size AND kernel.
+        EXPECT_EQ(r.detected, reference.detected)
+            << "kernel=" << (event_driven ? "event" : "sweep")
+            << " threads=" << threads;
+        EXPECT_EQ(r.total_new_detections, reference.total_new_detections);
+      }
+      // Per-shard wall times landed for every shard of every test.
+      std::size_t shards = 0;
+      for (const auto& pt : r.tests) shards += pt.batches;
+      EXPECT_EQ(r.stats.shard_seconds.size(), shards);
+    }
+  }
+}
+
+/// The same engine (and therefore the same parked pool) must survive many
+/// grade() calls — the scan-ATPG usage pattern that motivated the pool.
+TEST(EventSim, PersistentPoolSurvivesRepeatedGrades) {
+  CounterRig rig;
+  const FaultUniverse u(rig.nl);
+  const CampaignTest test = make_rig_test(rig, u, true);
+  const CampaignEngine engine(u, {.threads = 4});
+
+  std::vector<FaultId> targets;
+  for (FaultId f = 0; f < u.size(); ++f) targets.push_back(f);
+  const BitVec first = engine.grade(targets, test);
+  EXPECT_GT(first.count(), 0u);
+  for (int i = 0; i < 10; ++i)
+    ASSERT_EQ(engine.grade(targets, test), first) << "grade call " << i;
+}
+
+}  // namespace
+}  // namespace olfui

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "util/bits.hpp"
 #include "util/bitvec.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
@@ -132,6 +135,27 @@ TEST(Strings, WithCommas) {
   EXPECT_EQ(with_commas(1000), "1,000");
   EXPECT_EQ(with_commas(214930), "214,930");
   EXPECT_EQ(with_commas(1234567890), "1,234,567,890");
+}
+
+TEST(Bits, Transpose64MatchesBitLoop) {
+  std::uint64_t m[64], expect[64] = {};
+  std::uint64_t x = 0x243F6A8885A308D3ULL;  // splitmix-ish fill
+  for (auto& w : m) {
+    x += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    w = z ^ (z >> 27);
+  }
+  for (int i = 0; i < 64; ++i)
+    for (int j = 0; j < 64; ++j)
+      if ((m[i] >> j) & 1ULL) expect[j] |= 1ULL << i;
+  std::uint64_t t[64];
+  std::copy(std::begin(m), std::end(m), std::begin(t));
+  transpose64(t);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(t[i], expect[i]) << i;
+  // Involution: transposing twice restores the original.
+  transpose64(t);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(t[i], m[i]) << i;
 }
 
 }  // namespace
