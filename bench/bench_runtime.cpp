@@ -41,7 +41,13 @@ SocConfig sized_config(int size_class) {
   return cfg;
 }
 
-void print_runtime_table() {
+/// Returns true when the paper's "<1 s" structural-analysis claim holds on
+/// the full case-study configuration. The unit suite deliberately does NOT
+/// assert this (wall-clock checks flake under `ctest -j` on loaded
+/// machines — see core_test); this bench owns the claim, asserted in its
+/// own isolated process.
+bool print_runtime_table() {
+  bool under_one_second = true;
   std::printf("== E8: analysis runtime vs netlist size ==========================\n");
   std::printf("paper: structural analysis < 1 s; source search ~1 engineer week "
               "(manual)\n");
@@ -69,12 +75,16 @@ void print_runtime_table() {
             .count();
 
     const AnalysisReport rep = analyzer.run(fl);
+    if (size_class == 2 && rep.analysis_seconds >= 1.0)
+      under_one_second = false;
     static const char* kNames[] = {"lean", "mid", "full", "large"};
     std::printf("%-10s %10zu %10zu %14.3f %16.3f\n", kNames[size_class],
                 soc->netlist.stats().cells, universe.size(),
                 rep.analysis_seconds, search_s);
   }
-  std::printf("\n");
+  std::printf("paper claim (<1 s on the full config): %s\n\n",
+              under_one_second ? "HOLDS" : "VIOLATED");
+  return under_one_second;
 }
 
 void BM_AnalysisAtSize(benchmark::State& state) {
@@ -104,8 +114,8 @@ BENCHMARK(BM_FaultUniverseConstruction)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_runtime_table();
+  const bool ok = print_runtime_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return ok ? 0 : 1;
 }

@@ -5,12 +5,16 @@
 // sites, but launching a transition needs BOTH logic values at the site:
 // every mission-constant net loses both of its transition faults, so the
 // on-line untestable share for the transition model is strictly larger
-// than for stuck-at. This bench reports the side-by-side Table-I rows.
+// than for stuck-at. This bench reports the side-by-side Table-I rows, and
+// then grades an SBST slice for BOTH models through the campaign
+// orchestrator — one code path (CampaignEngine + SbstBatchRunner) produces
+// the stuck-at and TDF coverage and runtime columns.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 
 #include "core/analyzer.hpp"
+#include "sbst/sbst.hpp"
 
 namespace {
 
@@ -49,6 +53,43 @@ void print_tdf_comparison() {
                   : "VIOLATED");
 }
 
+/// Coverage + runtime for one model, suite and analysis pruning included —
+/// the end-to-end path the unit tests exercise piecewise.
+CampaignResult graded_campaign(FaultModel model) {
+  SocConfig cfg;
+  cfg.cpu.with_multiplier = false;  // keep the bench in seconds, not minutes
+  auto soc = build_soc(cfg);
+  auto suite = build_sbst_suite(cfg);
+  suite.erase(suite.begin() + 2, suite.end());  // alu_arith + alu_logic
+  const FaultUniverse universe(soc->netlist);
+  FaultList fl(universe);
+  OnlineUntestabilityAnalyzer analyzer(*soc, universe);
+  AnalyzerOptions aopts;
+  aopts.fault_model = model;
+  analyzer.run(fl, aopts);
+
+  CampaignOptions opts;
+  opts.fault_model = model;
+  return run_sbst_campaign(*soc, suite, fl, {}, opts).campaign;
+}
+
+void print_tdf_campaign() {
+  std::printf("== extension: SBST slice graded for both models (one engine) ====\n");
+  std::printf("%-12s %10s %12s %12s %12s %12s\n", "model", "targeted",
+              "detected", "raw cov", "pruned cov", "wall [s]");
+  for (const FaultModel model :
+       {FaultModel::kStuckAt, FaultModel::kTransition}) {
+    const CampaignResult r = graded_campaign(model);
+    std::printf("%-12s %10zu %12zu %11.1f%% %11.1f%% %12.3f\n",
+                std::string(to_string(model)).c_str(),
+                r.tests.empty() ? 0 : r.tests.front().faults_targeted,
+                r.total_new_detections, 100.0 * r.raw_coverage,
+                100.0 * r.pruned_coverage, r.stats.wall_seconds);
+  }
+  std::printf("(TDF batches run two passes — a launch-schedule recording of "
+              "the good machine, then the capture-armed faulty lanes)\n\n");
+}
+
 void BM_TransitionClassification(benchmark::State& state) {
   auto soc = build_soc({});
   const FaultUniverse universe(soc->netlist);
@@ -62,10 +103,19 @@ void BM_TransitionClassification(benchmark::State& state) {
 }
 BENCHMARK(BM_TransitionClassification)->Unit(benchmark::kMillisecond);
 
+void BM_TdfCampaign(benchmark::State& state) {
+  const FaultModel model = state.range(0) == 0 ? FaultModel::kStuckAt
+                                               : FaultModel::kTransition;
+  for (auto _ : state) benchmark::DoNotOptimize(graded_campaign(model));
+  state.SetLabel(std::string(to_string(model)));
+}
+BENCHMARK(BM_TdfCampaign)->DenseRange(0, 1)->Unit(benchmark::kSecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {
   print_tdf_comparison();
+  print_tdf_campaign();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "campaign/shard_queue.hpp"
+#include "fault/tdf.hpp"
 #include "netlist/netlist.hpp"
 
 namespace olfui {
@@ -53,7 +54,7 @@ CampaignTest make_function_test(
 }
 
 bool CampaignResult::operator==(const CampaignResult& o) const {
-  return universe == o.universe &&
+  return universe == o.universe && fault_model == o.fault_model &&
          total_new_detections == o.total_new_detections &&
          detected == o.detected && tests == o.tests && classes == o.classes &&
          raw_coverage == o.raw_coverage && pruned_coverage == o.pruned_coverage;
@@ -108,6 +109,9 @@ BitVec CampaignEngine::grade(std::span<const FaultId> targets,
       const std::size_t n = std::min(batch, targets.size() - lo);
       const auto t0 = std::chrono::steady_clock::now();
       results[shard] = runner->run_batch(targets.subspan(lo, n));
+      // Slot-indexed by shard id (never completion order): the report's
+      // timing layout stays thread-count independent, matching the
+      // detection merge below.
       timings[shard] = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - t0)
                            .count();
@@ -147,6 +151,7 @@ CampaignResult CampaignEngine::run(FaultList& fl,
   const auto t0 = std::chrono::steady_clock::now();
   CampaignResult result;
   result.universe = universe_->size();
+  result.fault_model = opts_.fault_model;
 
   for (const CampaignTest& test : tests) {
     const std::vector<FaultId> targets =
@@ -195,7 +200,9 @@ CampaignResult CampaignEngine::run(FaultList& fl,
       ++row.total;
       if (det) ++row.detected;
     };
-    tally(fault.sa1 ? "sa1" : "sa0");
+    tally(opts_.fault_model == FaultModel::kTransition
+              ? std::string(tdf_class_name(fault))
+              : (fault.sa1 ? "sa1" : "sa0"));
     const OnlineSource src = fl.online_source(f);
     if (src != OnlineSource::kNone)
       tally("source:" + std::string(to_string(src)));

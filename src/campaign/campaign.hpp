@@ -69,6 +69,11 @@ struct CampaignOptions {
   /// Detected faults leave the target queue before the next test. Off, every
   /// test grades the full testable universe (the regression baseline).
   bool fault_dropping = true;
+  /// How the shared fault ids are read (fault/tdf.hpp): labels the result's
+  /// polarity classes (sa0/sa1 vs str/stf) and the JSON report. The tests'
+  /// runners must grade the matching model — the engine only shards and
+  /// merges, it never reinterprets a batch.
+  FaultModel fault_model = FaultModel::kStuckAt;
 };
 
 /// Campaign-wide outcome. Everything except `stats` is a pure function of
@@ -111,6 +116,8 @@ struct CampaignResult {
   };
 
   std::size_t universe = 0;
+  /// The model the campaign graded (copied from CampaignOptions).
+  FaultModel fault_model = FaultModel::kStuckAt;
   std::size_t total_new_detections = 0;
   /// Detection state over the whole universe at campaign end (includes
   /// faults already detected before the campaign started).

@@ -69,6 +69,7 @@ BitVec bitvec_from_hex(std::string_view text) {
 Json campaign_result_to_json(const CampaignResult& result) {
   Json doc = Json::object();
   doc.set("universe", result.universe);
+  doc.set("fault_model", std::string(to_string(result.fault_model)));
   doc.set("total_new_detections", result.total_new_detections);
   doc.set("raw_coverage", result.raw_coverage);
   doc.set("pruned_coverage", result.pruned_coverage);
@@ -117,6 +118,13 @@ std::string campaign_result_to_json_string(const CampaignResult& result,
 CampaignResult campaign_result_from_json(const Json& doc) {
   CampaignResult result;
   result.universe = doc.at("universe").as_size();
+  if (doc.contains("fault_model")) {  // absent in pre-TDF dumps: stuck-at
+    const std::string model = doc.at("fault_model").as_string();
+    if (model == to_string(FaultModel::kTransition))
+      result.fault_model = FaultModel::kTransition;
+    else if (model != to_string(FaultModel::kStuckAt))
+      throw JsonError("campaign: unknown fault_model '" + model + "'", 0);
+  }
   result.total_new_detections = doc.at("total_new_detections").as_size();
   result.raw_coverage = doc.at("raw_coverage").as_number();
   result.pruned_coverage = doc.at("pruned_coverage").as_number();

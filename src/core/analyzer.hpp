@@ -27,10 +27,8 @@
 
 namespace olfui {
 
-enum class FaultModel : std::uint8_t {
-  kStuckAt,     ///< the paper's model
-  kTransition,  ///< extension: slow-to-rise / slow-to-fall on the same sites
-};
+// FaultModel lives in fault/fault_list.hpp (shared with the campaign
+// orchestrator); it is re-exported here for the analyzer's historical users.
 
 struct AnalyzerOptions {
   FaultModel fault_model = FaultModel::kStuckAt;

@@ -26,6 +26,14 @@ std::string_view to_string(OnlineSource s) {
   return "?";
 }
 
+std::string_view to_string(FaultModel m) {
+  switch (m) {
+    case FaultModel::kStuckAt: return "stuck_at";
+    case FaultModel::kTransition: return "transition";
+  }
+  return "?";
+}
+
 FaultList::FaultList(const FaultUniverse& universe)
     : universe_(&universe),
       detect_(universe.size(), DetectState::kUndetected),

@@ -21,6 +21,18 @@ namespace olfui {
 
 enum class DetectState : std::uint8_t { kUndetected, kDetected };
 
+/// The fault model a flow grades against. Both models share the universe's
+/// site enumeration: under kTransition, the s-a-0 slot of a pin is read as
+/// its slow-to-rise fault and the s-a-1 slot as slow-to-fall (see
+/// fault/tdf.hpp), so fault ids, BitVec exchanges, and FaultList
+/// bookkeeping work unchanged for either model.
+enum class FaultModel : std::uint8_t {
+  kStuckAt,     ///< the paper's model
+  kTransition,  ///< extension: slow-to-rise / slow-to-fall on the same sites
+};
+
+std::string_view to_string(FaultModel m);
+
 enum class UntestableKind : std::uint8_t {
   kNone,           ///< not proven untestable
   kTied,           ///< unexcitable: site carries a constant ("UT" class)

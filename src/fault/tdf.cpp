@@ -1,0 +1,23 @@
+#include "fault/tdf.hpp"
+
+#include "util/strings.hpp"
+
+namespace olfui {
+
+std::string_view tdf_class_name(const Fault& f) {
+  return tdf_slow_to_rise(f) ? "str" : "stf";
+}
+
+std::string tdf_fault_name(const FaultUniverse& universe, FaultId id) {
+  const Fault& f = universe.fault(id);
+  const Cell& c = universe.netlist().cell(f.pin.cell);
+  return format("%s/%s %s", c.name.c_str(),
+                std::string(pin_name(c.type, f.pin.pin)).c_str(),
+                tdf_slow_to_rise(f) ? "slow-to-rise" : "slow-to-fall");
+}
+
+NetId tdf_site_net(const Netlist& nl, const Fault& f) {
+  return nl.pin_net(f.pin);
+}
+
+}  // namespace olfui

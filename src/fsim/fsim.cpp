@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "fault/tdf.hpp"
 #include "util/bits.hpp"
 
 namespace olfui {
@@ -113,6 +114,28 @@ GoodTrace SequentialFaultSimulator::record_good_trace(FsimEnvironment& env) {
   return trace;
 }
 
+std::uint64_t SequentialFaultSimulator::observe_divergence(
+    int cycle, const GoodTrace* trace) const {
+  std::uint64_t diverged = 0;
+  for (std::size_t k = 0; k < observed_.size(); ++k) {
+    const std::uint64_t w = sim_.observed(observed_[k]);
+    // Reference value: the checkpoint if we have one, else a broadcast
+    // of the good machine's (lane 0) bit.
+    const bool good_bit = trace ? trace->bit(cycle, k) : (w & 1ULL);
+    const std::uint64_t good = good_bit ? ~0ULL : 0ULL;
+    diverged |= (w ^ good);
+  }
+  return diverged;
+}
+
+std::uint64_t SequentialFaultSimulator::unpack_detected(std::uint64_t diverged,
+                                                        std::size_t n) {
+  std::uint64_t detected = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    if (diverged & (1ULL << (i + 1))) detected |= 1ULL << i;
+  return detected;
+}
+
 std::uint64_t SequentialFaultSimulator::run_batch(std::span<const FaultId> faults,
                                                   FsimEnvironment& env,
                                                   const GoodTrace* trace) {
@@ -133,23 +156,77 @@ std::uint64_t SequentialFaultSimulator::run_batch(std::span<const FaultId> fault
   std::uint64_t diverged = 0;
   for (int cycle = 0; cycle < bound; ++cycle) {
     if (!env.step(sim_, cycle)) break;
-    for (std::size_t k = 0; k < observed_.size(); ++k) {
-      const std::uint64_t w = sim_.observed(observed_[k]);
-      // Reference value: the checkpoint if we have one, else a broadcast
-      // of the good machine's (lane 0) bit.
-      const bool good_bit = trace ? trace->bit(cycle, k) : (w & 1ULL);
-      const std::uint64_t good = good_bit ? ~0ULL : 0ULL;
-      diverged |= (w ^ good);
-    }
-    diverged &= fault_lanes;
+    diverged = (diverged | observe_divergence(cycle, trace)) & fault_lanes;
     if (opts_.early_exit && diverged == fault_lanes) break;
     sim_.clock();
   }
+  return unpack_detected(diverged, faults.size());
+}
 
-  std::uint64_t detected = 0;
-  for (std::size_t i = 0; i < faults.size(); ++i)
-    if (diverged & (1ULL << (i + 1))) detected |= 1ULL << i;
-  return detected;
+std::uint64_t SequentialFaultSimulator::run_tdf_batch(
+    std::span<const FaultId> faults, FsimEnvironment& env,
+    const GoodTrace* trace) {
+  assert(faults.size() <= 63);
+  const int bound = trace ? trace->cycles : opts_.max_cycles;
+
+  std::vector<NetId> site(faults.size());
+  std::uint64_t rise = 0;  // bit i: faults[i] is slow-to-rise
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const Fault& f = universe_->fault(faults[i]);
+    site[i] = tdf_site_net(*nl_, f);
+    if (tdf_slow_to_rise(f)) rise |= 1ULL << i;
+  }
+
+  // Pass 1 — good machine: bit i of site_good[c] is faults[i]'s site value
+  // during cycle c (lane 0 carries the good machine; no injections exist).
+  sim_.clear_injections();
+  sim_.power_on();
+  env.reset(sim_);
+  std::vector<std::uint64_t> site_good;
+  site_good.reserve(static_cast<std::size_t>(std::max(bound, 0)));
+  for (int cycle = 0; cycle < bound; ++cycle) {
+    if (!env.step(sim_, cycle)) break;
+    std::uint64_t w = 0;
+    for (std::size_t i = 0; i < faults.size(); ++i)
+      w |= (sim_.value(site[i]) & 1ULL) << i;
+    site_good.push_back(w);
+    sim_.clock();
+  }
+  const int cycles = static_cast<int>(site_good.size());
+
+  // Pass 2 — faulty machines: fault i rides lane i+1, armed per capture
+  // cycle. The capture value coincides with the shared stuck-at slot's
+  // polarity (slow-to-rise holds the site at 0), so the injection record
+  // is the stuck-at one with a cycle-varying lane mask.
+  sim_.clear_injections();
+  std::uint64_t fault_lanes = 0;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const Fault& f = universe_->fault(faults[i]);
+    fault_lanes |= 1ULL << (i + 1);
+    sim_.add_injection({f.pin.cell, f.pin.pin, f.sa1, 0});
+  }
+  sim_.power_on();
+  env.reset(sim_);
+
+  std::uint64_t diverged = 0;
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    // Launch detection needs a previous clocked cycle, so cycle 0 never
+    // captures; afterwards fault i is live iff its site made the
+    // transition across the edge into this cycle.
+    const std::uint64_t cur = site_good[static_cast<std::size_t>(cycle)];
+    const std::uint64_t prev =
+        cycle > 0 ? site_good[static_cast<std::size_t>(cycle) - 1] : cur;
+    const std::uint64_t launched =
+        ((~prev & cur) & rise) | ((prev & ~cur) & ~rise);
+    for (std::size_t i = 0; i < faults.size(); ++i)
+      sim_.set_injection_lanes(
+          i, (launched >> i) & 1ULL ? (1ULL << (i + 1)) : 0);
+    if (!env.step(sim_, cycle)) break;
+    diverged = (diverged | observe_divergence(cycle, trace)) & fault_lanes;
+    if (opts_.early_exit && diverged == fault_lanes) break;
+    sim_.clock();
+  }
+  return unpack_detected(diverged, faults.size());
 }
 
 std::size_t SequentialFaultSimulator::run_campaign(

@@ -128,6 +128,25 @@ class SequentialFaultSimulator {
   std::uint64_t run_batch(std::span<const FaultId> faults, FsimEnvironment& env,
                           const GoodTrace* trace = nullptr);
 
+  /// Transition-delay batch (the TDF reading of the same fault ids — see
+  /// fault/tdf.hpp): two passes over the test program. Pass 1 replays the
+  /// good machine and records each fault site's launch schedule (the
+  /// cycles where the site's good value makes the fault's transition,
+  /// 0->1 for slow-to-rise, 1->0 for slow-to-fall). Pass 2 runs the
+  /// faulty machines with each fault armed only on its capture cycles —
+  /// the site held at its pre-transition value for exactly the cycle
+  /// after each launch — and grades divergence on the observed outputs
+  /// like run_batch. Launches are read from the good machine (the
+  /// standard parallel-TDF approximation), so results are deterministic
+  /// and kernel-independent. `trace` bounds the run and supplies the
+  /// reference exactly as in run_batch; the env must replay identical
+  /// stimulus across both passes (true of every FsimEnvironment whose
+  /// reset() fully rewinds it, which reuse across batches already
+  /// requires).
+  std::uint64_t run_tdf_batch(std::span<const FaultId> faults,
+                              FsimEnvironment& env,
+                              const GoodTrace* trace = nullptr);
+
   /// Runs all faults of `fl` that are neither detected nor untestable,
   /// marking newly detected faults. Returns the number of new detections.
   /// `progress`, if set, is called after each batch with (done, total).
@@ -144,6 +163,14 @@ class SequentialFaultSimulator {
   const PackedSim& sim() const { return sim_; }
 
  private:
+  /// One cycle's observed-output divergence word against the reference
+  /// (checkpoint bit when `trace` is given, else a lane-0 broadcast).
+  /// Shared by the stuck-at and TDF batch loops so the two models can
+  /// never drift on observation semantics.
+  std::uint64_t observe_divergence(int cycle, const GoodTrace* trace) const;
+  /// Repacks per-lane divergence (lane i+1 = faults[i]) into per-fault bits.
+  static std::uint64_t unpack_detected(std::uint64_t diverged, std::size_t n);
+
   const Netlist* nl_;
   const FaultUniverse* universe_;
   SeqFsimOptions opts_;

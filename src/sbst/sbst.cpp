@@ -324,18 +324,21 @@ class SbstBatchRunner final : public FaultBatchRunner {
                   std::shared_ptr<const FlashImage> flash,
                   std::shared_ptr<const GoodTrace> trace,
                   std::shared_ptr<const PackedTopology> topo, int max_cycles,
-                  bool event_driven)
+                  bool event_driven, FaultModel fault_model)
       : flash_(std::move(flash)),
         trace_(std::move(trace)),
         env_(soc, *flash_, max_cycles),
         fsim_(soc.netlist, universe,
               {.max_cycles = max_cycles, .event_driven = event_driven},
-              std::move(topo)) {
+              std::move(topo)),
+        fault_model_(fault_model) {
     fsim_.set_observed(soc.cpu.bus_output_cells);
   }
 
   std::uint64_t run_batch(std::span<const FaultId> faults) override {
-    return fsim_.run_batch(faults, env_, trace_.get());
+    return fault_model_ == FaultModel::kTransition
+               ? fsim_.run_tdf_batch(faults, env_, trace_.get())
+               : fsim_.run_batch(faults, env_, trace_.get());
   }
 
  private:
@@ -343,13 +346,15 @@ class SbstBatchRunner final : public FaultBatchRunner {
   std::shared_ptr<const GoodTrace> trace_;
   SocFsimEnvironment env_;
   SequentialFaultSimulator fsim_;
+  FaultModel fault_model_;
 };
 
 }  // namespace
 
 std::vector<CampaignTest> build_sbst_campaign_tests(
     const Soc& soc, std::vector<SbstProgram>& suite,
-    const FaultUniverse& universe, int margin, bool event_driven) {
+    const FaultUniverse& universe, int margin, bool event_driven,
+    FaultModel fault_model) {
   const std::vector<int> cycles = run_suite_functional(soc, suite);
   // One topology (levelized order + fanout CSR) serves every tracer and
   // every worker's simulator across the whole suite.
@@ -377,9 +382,10 @@ std::vector<CampaignTest> build_sbst_campaign_tests(
     test.good_cycles = cycles[i];
     test.make_runner = [&soc, &universe, flash = std::move(flash),
                         trace = std::move(trace), topo, max_cycles,
-                        event_driven]() {
+                        event_driven, fault_model]() {
       return std::make_unique<SbstBatchRunner>(soc, universe, flash, trace,
-                                               topo, max_cycles, event_driven);
+                                               topo, max_cycles, event_driven,
+                                               fault_model);
     };
     tests.push_back(std::move(test));
   }
@@ -390,8 +396,11 @@ SbstCampaignResult run_sbst_campaign(
     const Soc& soc, std::vector<SbstProgram>& suite, FaultList& fl,
     std::function<void(const std::string&, std::size_t, std::size_t)> progress,
     const CampaignOptions& opts) {
-  const std::vector<CampaignTest> tests =
-      build_sbst_campaign_tests(soc, suite, fl.universe());
+  // Always the event kernel here (the fast path; the full-sweep oracle is
+  // reachable through build_sbst_campaign_tests for cross-checks).
+  const std::vector<CampaignTest> tests = build_sbst_campaign_tests(
+      soc, suite, fl.universe(), kSbstCampaignMargin, /*event_driven=*/true,
+      opts.fault_model);
   const CampaignEngine engine(fl.universe(), opts);
   SbstCampaignResult result;
   result.campaign = engine.run(fl, tests, progress);

@@ -61,15 +61,25 @@ struct SbstCampaignResult {
 /// HALT let slow faulty lanes diverge on the halted pin. `event_driven`
 /// selects the kernel (false = full-sweep oracle; results are
 /// bit-identical either way — the switch exists for cross-checks and
-/// benches).
+/// benches). `fault_model` selects the grading kernel: kStuckAt wraps
+/// run_batch, kTransition wraps the launch/capture run_tdf_batch over the
+/// same fault ids (fault/tdf.hpp).
+/// Margin default shared by build_sbst_campaign_tests' declaration and
+/// run_sbst_campaign's explicit call, so the two paths cannot drift.
+inline constexpr int kSbstCampaignMargin = 8;
+
 std::vector<CampaignTest> build_sbst_campaign_tests(
     const Soc& soc, std::vector<SbstProgram>& suite,
-    const FaultUniverse& universe, int margin = 8, bool event_driven = true);
+    const FaultUniverse& universe, int margin = kSbstCampaignMargin,
+    bool event_driven = true, FaultModel fault_model = FaultModel::kStuckAt);
 
 /// Fault-simulates the suite with system-bus observability through the
 /// campaign orchestrator, updating `fl` (already-detected and untestable
 /// faults are skipped — fault dropping). `opts` controls threading,
-/// sharding, and dropping.
+/// sharding, dropping, and the fault model (opts.fault_model ==
+/// kTransition grades the suite for TDF coverage; pair it with
+/// classify_transition_faults-based pruning in `fl` for the pruned
+/// figures).
 SbstCampaignResult run_sbst_campaign(
     const Soc& soc, std::vector<SbstProgram>& suite, FaultList& fl,
     std::function<void(const std::string&, std::size_t, std::size_t)> progress = {},

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <numeric>
 #include <stdexcept>
 
 namespace olfui {
@@ -90,6 +91,7 @@ PackedSim::PackedSim(std::shared_ptr<const PackedTopology> topo)
 
 void PackedSim::clear_injections() {
   inj_flat_.clear();
+  inj_pos_.clear();
   active_comb_.clear();
   std::fill(has_inj_.begin(), has_inj_.end(), 0);
   inj_dirty_ = false;
@@ -97,17 +99,67 @@ void PackedSim::clear_injections() {
 }
 
 void PackedSim::add_injection(const PackedInjection& inj) {
+  inj_pos_.push_back(static_cast<std::uint32_t>(inj_flat_.size()));
   inj_flat_.push_back(inj);
   inj_dirty_ = true;
   needs_full_ = true;
 }
 
+void PackedSim::set_injection_lanes(std::size_t index, std::uint64_t lanes) {
+  assert(index < inj_pos_.size());
+  PackedInjection& inj = inj_flat_[inj_pos_[index]];
+  if (inj.lanes == lanes) return;
+  inj.lanes = lanes;
+  // A pending full sweep (or full-sweep mode) re-applies every injection
+  // from scratch, so nothing is stale.
+  if (needs_full_ || inj_dirty_ || mode_ == PackedEvalMode::kFullSweep) return;
+  const Cell& c = topo_->nl->cell(inj.cell);
+  if (topo_->order_index[inj.cell] != kInvalidId)
+    return;  // combinational: permanently event-active, next eval recomputes
+  switch (c.type) {
+    case CellType::kOutput:
+      return;  // applied live at observed()
+    case CellType::kInput:
+      return;  // source scan applies injections every event eval
+    default:
+      break;
+  }
+  if (is_sequential(c.type)) {
+    // D/reset-pin faults apply at the next clock(); a Q-pin fault changes
+    // the exposed value mid-cycle, so mirror clock()'s pass 2 for this one
+    // flop: re-apply injections over the latched state and seed fanout.
+    std::uint64_t v = flop_state_[inj.cell];
+    v = apply_inj(inj.cell, nullptr, v, true);
+    if (v != values_[c.out]) {
+      values_[c.out] = v;
+      schedule_readers(c.out);
+    }
+    return;
+  }
+  // Ties (and any future source kind) are not re-scanned per eval; fall
+  // back to one full sweep rather than risk a stale constant.
+  needs_full_ = true;
+}
+
 void PackedSim::prepare_injections() {
   // Group by cell; stable so per-cell application order stays insertion
-  // order (masking is order-sensitive when lanes overlap).
-  std::stable_sort(
-      inj_flat_.begin(), inj_flat_.end(),
-      [](const PackedInjection& a, const PackedInjection& b) { return a.cell < b.cell; });
+  // order (masking is order-sensitive when lanes overlap). The permutation
+  // is tracked so set_injection_lanes handles survive the sort.
+  std::vector<std::uint32_t> perm(inj_flat_.size());
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::stable_sort(perm.begin(), perm.end(),
+                   [this](std::uint32_t a, std::uint32_t b) {
+                     return inj_flat_[a].cell < inj_flat_[b].cell;
+                   });
+  std::vector<PackedInjection> sorted;
+  sorted.reserve(inj_flat_.size());
+  std::vector<std::uint32_t> inverse(inj_flat_.size());
+  for (std::uint32_t k = 0; k < perm.size(); ++k) {
+    inverse[perm[k]] = k;
+    sorted.push_back(inj_flat_[perm[k]]);
+  }
+  inj_flat_ = std::move(sorted);
+  for (std::uint32_t& pos : inj_pos_) pos = inverse[pos];
   active_comb_.clear();
   for (std::size_t i = 0; i < inj_flat_.size();) {
     const CellId c = inj_flat_[i].cell;

@@ -93,6 +93,16 @@ class PackedSim {
 
   void clear_injections();
   void add_injection(const PackedInjection& inj);
+  /// Rewrites the lane mask of an existing injection; `index` is the
+  /// insertion order of add_injection calls since the last
+  /// clear_injections(). Unlike add_injection this does NOT invalidate the
+  /// event state: the injected cell set is unchanged, injected
+  /// combinational cells are permanently event-active, source cells are
+  /// re-scanned every eval, port faults apply at observed(), flop D/reset
+  /// faults apply at clock() — only a flop Q fault needs (and gets) an
+  /// explicit re-expose. This is the per-cycle arming primitive of the
+  /// transition-delay flow, where a fault is live only on capture cycles.
+  void set_injection_lanes(std::size_t index, std::uint64_t lanes);
 
   /// Zeroes all state (flops and nets). 2-valued power-on; drive a reset
   /// sequence afterwards for circuits that need one.
@@ -147,8 +157,10 @@ class PackedSim {
   // Flat injection storage: inj_flat_ grouped by cell; cell c owns
   // inj_flat_[inj_start_[c] .. inj_start_[c] + has_inj_[c]). Rebuilt
   // lazily (inj_dirty_) by a stable sort, so per-cell application order
-  // matches insertion order.
+  // matches insertion order. inj_pos_[i] tracks where insertion i landed
+  // after grouping (the set_injection_lanes handle).
   std::vector<PackedInjection> inj_flat_;
+  std::vector<std::uint32_t> inj_pos_;
   std::vector<std::uint32_t> inj_start_;  // per cell
   std::vector<std::uint8_t> has_inj_;     // per cell: injection count
   std::vector<std::uint32_t> active_comb_;  // order indexes of injected cells

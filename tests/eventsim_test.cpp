@@ -9,12 +9,15 @@
 // switched either way.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <numeric>
 #include <string>
 #include <vector>
 
 #include "campaign/campaign.hpp"
 #include "fault/fault_list.hpp"
+#include "fault/tdf.hpp"
 #include "fault/universe.hpp"
 #include "fsim/fsim.hpp"
 #include "netlist/wordops.hpp"
@@ -186,6 +189,134 @@ TEST(EventSim, InjectionsMatchFullSweepOracle) {
 }
 
 // ---------------------------------------------------------------------------
+// Transition-delay batches vs a naive two-cycle oracle. The oracle runs
+// one fault at a time through two plain simulators: a good run recording
+// the site's value and every observed output per cycle, then a faulty run
+// that re-injects the full stuck record from scratch (clear + add, the
+// always-full-sweep path) on exactly the capture cycles the good run
+// launched. run_tdf_batch must reproduce its verdict fault-for-fault with
+// either kernel, with and without a GoodTrace checkpoint.
+
+/// Replays a fixed per-cycle stimulus (identical on all lanes), so every
+/// pass of every engine sees the same test "program".
+class ScriptedEnv : public FsimEnvironment {
+ public:
+  ScriptedEnv(const std::vector<NetId>& inputs,
+              const std::vector<std::vector<bool>>& words)
+      : inputs_(&inputs), words_(&words) {}
+  void reset(PackedSim& sim) override {
+    for (NetId in : *inputs_) sim.set_input_all(in, false);
+    sim.eval();
+  }
+  bool step(PackedSim& sim, int cycle) override {
+    if (cycle >= static_cast<int>(words_->size())) return false;
+    const std::vector<bool>& w = (*words_)[static_cast<std::size_t>(cycle)];
+    for (std::size_t i = 0; i < inputs_->size(); ++i)
+      sim.set_input_all((*inputs_)[i], w[i]);
+    sim.eval();
+    return true;
+  }
+
+ private:
+  const std::vector<NetId>* inputs_;
+  const std::vector<std::vector<bool>>* words_;
+};
+
+/// Single-fault TDF oracle over the scripted stimulus; returns detected.
+bool naive_tdf_detects(const RandomDesign& d, const FaultUniverse& u,
+                       FaultId id, const std::vector<std::vector<bool>>& words) {
+  const Fault& f = u.fault(id);
+  const NetId site = tdf_site_net(d.nl, f);
+  const bool rise = tdf_slow_to_rise(f);
+
+  const auto drive = [&](PackedSim& sim, const std::vector<bool>& w) {
+    for (std::size_t i = 0; i < d.input_nets.size(); ++i)
+      sim.set_input_all(d.input_nets[i], w[i]);
+  };
+
+  // Good run: per-cycle site value and observed outputs.
+  PackedSim good(d.nl);
+  good.power_on();
+  for (NetId in : d.input_nets) good.set_input_all(in, false);
+  good.eval();
+  std::vector<bool> site_good;
+  std::vector<std::vector<bool>> out_good;
+  for (const std::vector<bool>& w : words) {
+    drive(good, w);
+    good.eval();
+    site_good.push_back((good.value(site) & 1ULL) != 0);
+    std::vector<bool> outs;
+    for (CellId oc : d.output_cells)
+      outs.push_back((good.observed(oc) & 1ULL) != 0);
+    out_good.push_back(std::move(outs));
+    good.clock();
+  }
+
+  // Faulty run: rebuild the injection set from scratch every cycle.
+  PackedSim bad(d.nl);
+  bad.power_on();
+  for (NetId in : d.input_nets) bad.set_input_all(in, false);
+  bad.eval();
+  for (std::size_t c = 0; c < words.size(); ++c) {
+    const bool launched =
+        c > 0 && (rise ? (!site_good[c - 1] && site_good[c])
+                       : (site_good[c - 1] && !site_good[c]));
+    bad.clear_injections();
+    if (launched) bad.add_injection({f.pin.cell, f.pin.pin, f.sa1, ~0ULL});
+    drive(bad, words[c]);
+    bad.eval();
+    for (std::size_t k = 0; k < d.output_cells.size(); ++k)
+      if (((bad.observed(d.output_cells[k]) & 1ULL) != 0) != out_good[c][k])
+        return true;
+    bad.clock();
+  }
+  return false;
+}
+
+TEST(TdfSim, BatchMatchesNaiveTwoCycleOracle) {
+  for (std::uint64_t seed = 21; seed <= 24; ++seed) {
+    Rng rng(seed);
+    RandomDesign d = random_design(rng, 6, 10, 70);
+    const FaultUniverse u(d.nl);
+
+    const int cycles = 24;
+    std::vector<std::vector<bool>> words(static_cast<std::size_t>(cycles));
+    for (auto& w : words) {
+      w.resize(d.input_nets.size());
+      for (std::size_t i = 0; i < w.size(); ++i) w[i] = rng.next_bool();
+    }
+    ScriptedEnv env(d.input_nets, words);
+
+    SeqFsimOptions opts{.max_cycles = cycles, .event_driven = true};
+    SequentialFaultSimulator evt(d.nl, u, opts);
+    evt.set_observed(d.output_cells);
+    SeqFsimOptions sweep_opts = opts;
+    sweep_opts.event_driven = false;
+    SequentialFaultSimulator sweep(d.nl, u, sweep_opts);
+    sweep.set_observed(d.output_cells);
+    const GoodTrace trace = evt.record_good_trace(env);
+
+    for (FaultId base = 0; base < u.size(); base += 63) {
+      const std::size_t n = std::min<std::size_t>(63, u.size() - base);
+      std::vector<FaultId> batch(n);
+      std::iota(batch.begin(), batch.end(), base);
+
+      const std::uint64_t det_evt = evt.run_tdf_batch(batch, env);
+      const std::uint64_t det_sweep = sweep.run_tdf_batch(batch, env);
+      const std::uint64_t det_traced = evt.run_tdf_batch(batch, env, &trace);
+      ASSERT_EQ(det_evt, det_sweep) << "seed " << seed << " base " << base;
+      ASSERT_EQ(det_evt, det_traced) << "seed " << seed << " base " << base;
+
+      for (std::size_t i = 0; i < n; ++i) {
+        const bool oracle = naive_tdf_detects(d, u, batch[i], words);
+        ASSERT_EQ((det_evt >> i) & 1ULL, oracle ? 1ULL : 0ULL)
+            << "seed " << seed << " " << tdf_fault_name(u, batch[i]);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Campaign determinism on the persistent worker pool, kernel switched
 // either way. Small counter rig (mirrors campaign_test's) graded at
 // 1/2/4/8 threads.
@@ -230,25 +361,31 @@ class CounterEnv : public FsimEnvironment {
 class RigBatchRunner final : public FaultBatchRunner {
  public:
   RigBatchRunner(const CounterRig& rig, const FaultUniverse& u,
-                 std::shared_ptr<const GoodTrace> trace, bool event_driven)
+                 std::shared_ptr<const GoodTrace> trace, bool event_driven,
+                 FaultModel model)
       : env_(rig.en),
         fsim_(rig.nl, u,
               {.max_cycles = kCycles, .event_driven = event_driven}),
-        trace_(std::move(trace)) {
+        trace_(std::move(trace)),
+        model_(model) {
     fsim_.set_observed(rig.outputs);
   }
   std::uint64_t run_batch(std::span<const FaultId> faults) override {
-    return fsim_.run_batch(faults, env_, trace_.get());
+    return model_ == FaultModel::kTransition
+               ? fsim_.run_tdf_batch(faults, env_, trace_.get())
+               : fsim_.run_batch(faults, env_, trace_.get());
   }
 
  private:
   CounterEnv env_;
   SequentialFaultSimulator fsim_;
   std::shared_ptr<const GoodTrace> trace_;
+  FaultModel model_;
 };
 
 CampaignTest make_rig_test(const CounterRig& rig, const FaultUniverse& u,
-                           bool event_driven) {
+                           bool event_driven,
+                           FaultModel model = FaultModel::kStuckAt) {
   CounterEnv trace_env(rig.en);
   SequentialFaultSimulator tracer(
       rig.nl, u, {.max_cycles = kCycles, .event_driven = event_driven});
@@ -258,8 +395,10 @@ CampaignTest make_rig_test(const CounterRig& rig, const FaultUniverse& u,
   CampaignTest test;
   test.name = event_driven ? "event" : "sweep";
   test.good_cycles = kCycles;
-  test.make_runner = [&rig, &u, trace = std::move(trace), event_driven]() {
-    return std::make_unique<RigBatchRunner>(rig, u, trace, event_driven);
+  test.make_runner = [&rig, &u, trace = std::move(trace), event_driven,
+                      model]() {
+    return std::make_unique<RigBatchRunner>(rig, u, trace, event_driven,
+                                            model);
   };
   return test;
 }
@@ -293,6 +432,52 @@ TEST(EventSim, CampaignDeterministicAcrossPoolSizesAndKernels) {
       EXPECT_EQ(r.stats.shard_seconds.size(), shards);
     }
   }
+}
+
+TEST(TdfSim, CampaignDeterministicAcrossPoolSizesAndKernels) {
+  // The acceptance bar for the TDF runner: bit-identical campaign results
+  // across 1/2/4/8 threads AND both kernels, exactly like stuck-at.
+  CounterRig rig;
+  const FaultUniverse u(rig.nl);
+
+  CampaignResult reference;
+  for (const bool event_driven : {true, false}) {
+    std::vector<CampaignTest> tests;
+    tests.push_back(
+        make_rig_test(rig, u, event_driven, FaultModel::kTransition));
+    for (const int threads : {1, 2, 4, 8}) {
+      FaultList fl(u);
+      const CampaignResult r =
+          CampaignEngine(u, {.threads = threads,
+                             .fault_model = FaultModel::kTransition})
+              .run(fl, tests);
+      EXPECT_EQ(r.fault_model, FaultModel::kTransition);
+      if (event_driven && threads == 1) {
+        reference = r;
+        EXPECT_GT(r.total_new_detections, 0u);
+      } else {
+        // Same detection payload regardless of pool size AND kernel (the
+        // tests differ by display name, so compare the payload fields).
+        EXPECT_EQ(r.detected, reference.detected)
+            << "kernel=" << (event_driven ? "event" : "sweep")
+            << " threads=" << threads;
+        EXPECT_EQ(r.total_new_detections, reference.total_new_detections);
+        EXPECT_EQ(r.classes, reference.classes);
+      }
+    }
+  }
+  // Empirical sanity check on this fixed rig: TDF detects no more than
+  // stuck-at. NOT a theorem — an always-armed stuck fault corrupts state
+  // from cycle 0 and can be sequentially masked where the single-capture
+  // TDF effect is not — but on this deterministic rig the counts hold,
+  // and a TDF runner suddenly out-detecting stuck-at here would almost
+  // certainly be an arming bug.
+  std::vector<CampaignTest> sa_tests;
+  sa_tests.push_back(make_rig_test(rig, u, true));
+  FaultList sa_fl(u);
+  const CampaignResult sa =
+      CampaignEngine(u, {.threads = 2}).run(sa_fl, sa_tests);
+  EXPECT_LE(reference.total_new_detections, sa.total_new_detections);
 }
 
 /// The same engine (and therefore the same parked pool) must survive many
