@@ -1,23 +1,34 @@
-// Campaign orchestrator scaling: the full-universe SBST campaign at
-// 1/2/4/8 worker threads.
+// Campaign orchestrator scaling + batch-scheduler comparison on the SBST
+// workload. Writes BENCH_campaign.json; CI runs it as a smoke step.
 //
-// The campaign is embarrassingly parallel — 63-fault shards are
-// independent parallel-fault simulator passes — so throughput should
-// scale with cores until the shard queue runs dry. This bench grades the
-// whole suite against the whole stuck-at universe per thread count and
-// reports wall time, faults/sec, and speedup over the 1-thread run. It
-// also cross-checks the orchestrator's determinism guarantee: every
-// thread count must produce the bit-identical detection set.
-//
-// NOTE: speedup is bounded by the machine — on a 1-core container every
-// row degenerates to ~1.0x; on an N-core host expect near-linear scaling
-// to min(N, 8).
+// Sections:
+//  * scheduler comparison — the same fault slice graded under the fixed,
+//    cone-aware, and (profile-guided) adaptive batch policies. All three
+//    must produce the bit-identical detection BitVec (the merge is
+//    order-independent); the numbers show whether cone grouping pays on
+//    the event-driven kernel (smaller active sets, more uniform early
+//    exit). Runs single-thread so the comparison measures batch quality,
+//    not scheduling luck.
+//  * thread scaling — the slice graded at 1/2/4/8 worker threads with the
+//    determinism cross-check (every thread count must produce the same
+//    detections). NOTE: on a 1-core container every speedup degenerates
+//    to ~1.0x; on an N-core host expect near-linear scaling to min(N, 8).
+//  * kernel cross-check — event-driven vs full-sweep detections.
+//  * full-universe scaling table — the original whole-suite campaign at
+//    1/2/4/8 threads; minutes of work, so it only runs with
+//    OLFUI_BENCH_FULL=1 (CI smoke skips it).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
 #include <thread>
 
 #include "campaign/campaign.hpp"
+#include "campaign/json.hpp"
+#include "campaign/scheduler.hpp"
 #include "sbst/sbst.hpp"
 
 namespace {
@@ -32,7 +43,194 @@ SocConfig lean_config() {
   return cfg;
 }
 
-void print_scaling_table() {
+/// A fixed fault slice keeps runs comparable and fast enough for CI.
+std::vector<FaultId> fault_slice(const FaultUniverse& universe,
+                                 std::size_t count, FaultId stride) {
+  std::vector<FaultId> targets;
+  for (FaultId f = 0; f < universe.size() && targets.size() < count;
+       f += stride)
+    targets.push_back(f);
+  return targets;
+}
+
+struct PolicyRun {
+  double seconds = 0;
+  std::size_t batches = 0;
+  BitVec detected;
+};
+
+/// Grades `targets` against every test under one policy, timing the whole
+/// sweep and collecting per-shard times (the adaptive profile input).
+PolicyRun grade_policy(const FaultUniverse& universe,
+                       std::span<const CampaignTest> tests,
+                       std::span<const FaultId> targets,
+                       std::shared_ptr<const BatchScheduler> scheduler,
+                       int threads, CampaignResult* profile_out = nullptr) {
+  CampaignOptions opts;
+  opts.threads = threads;
+  opts.scheduler = std::move(scheduler);
+  const CampaignEngine engine(universe, opts);
+
+  PolicyRun run;
+  run.detected = BitVec(targets.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const CampaignTest& test : tests) {
+    std::vector<double> shard_seconds;
+    const BitVec det = engine.grade(targets, test, {}, &shard_seconds);
+    for (std::size_t i = det.find_first(); i < det.size();
+         i = det.find_next(i + 1))
+      run.detected.set(i, true);
+    run.batches += shard_seconds.size();
+    if (profile_out) {
+      CampaignResult::PerTest pt;
+      pt.name = test.name;
+      pt.faults_targeted = targets.size();
+      pt.batches = shard_seconds.size();
+      profile_out->tests.push_back(std::move(pt));
+      profile_out->stats.shard_seconds.insert(
+          profile_out->stats.shard_seconds.end(), shard_seconds.begin(),
+          shard_seconds.end());
+    }
+  }
+  run.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return run;
+}
+
+void run_scheduler_comparison(const Soc& soc, const FaultUniverse& universe,
+                              Json& doc) {
+  auto suite = build_sbst_suite(soc.config);
+  suite.erase(suite.begin() + 2, suite.end());  // alu_arith + alu_logic
+  const std::vector<CampaignTest> tests =
+      build_sbst_campaign_tests(soc, suite, universe);
+  const std::vector<FaultId> targets = fault_slice(universe, 2048, 5);
+
+  std::printf("== batch-scheduler comparison: %zu faults x %zu programs =====\n",
+              targets.size(), tests.size());
+  std::printf("%10s %10s %10s %10s %10s\n", "policy", "wall [s]", "batches",
+              "detected", "speedup");
+
+  // Fixed first: its shard times are the adaptive profile.
+  CampaignResult profile;
+  const PolicyRun fixed =
+      grade_policy(universe, tests, targets, nullptr, 1, &profile);
+  const PolicyRun cone = grade_policy(
+      universe, tests, targets, std::make_shared<const ConeScheduler>(universe),
+      1);
+  const PolicyRun adaptive = grade_policy(
+      universe, tests, targets,
+      std::make_shared<const AdaptiveScheduler>(profile), 1);
+
+  const bool identical =
+      fixed.detected == cone.detected && fixed.detected == adaptive.detected;
+  Json policies = Json::array();
+  const auto row = [&](const char* name, const PolicyRun& run) {
+    const double speedup =
+        run.seconds > 0 ? fixed.seconds / run.seconds : 0.0;
+    std::printf("%10s %10.3f %10zu %10zu %9.2fx\n", name, run.seconds,
+                run.batches, run.detected.count(), speedup);
+    Json p = Json::object();
+    p.set("policy", name);
+    p.set("wall_seconds", run.seconds);
+    p.set("batches", run.batches);
+    p.set("detected", run.detected.count());
+    p.set("speedup_vs_fixed", speedup);
+    policies.push_back(std::move(p));
+  };
+  row("fixed", fixed);
+  row("cone", cone);
+  row("adaptive", adaptive);
+  std::printf("detection sets %s across policies\n\n",
+              identical ? "bit-identical" : "DIFFER — scheduler bug!");
+
+  doc.set("slice", targets.size());
+  doc.set("policies", std::move(policies));
+  doc.set("policy_detections_identical", identical);
+  doc.set("cone_speedup_vs_fixed",
+          cone.seconds > 0 ? fixed.seconds / cone.seconds : 0.0);
+  // "No slower than default" with a 5% measurement-noise allowance.
+  doc.set("cone_no_slower", cone.seconds <= fixed.seconds * 1.05);
+}
+
+void run_thread_scaling(const Soc& soc, const FaultUniverse& universe,
+                        Json& doc) {
+  auto suite = build_sbst_suite(soc.config);
+  suite.erase(suite.begin() + 1, suite.end());
+  const std::vector<CampaignTest> tests =
+      build_sbst_campaign_tests(soc, suite, universe);
+  const std::vector<FaultId> targets = fault_slice(universe, 2048, 5);
+
+  std::printf("== thread scaling: one program, %zu faults (host: %u cores) ==\n",
+              targets.size(), std::thread::hardware_concurrency());
+  std::printf("%8s %10s %10s %10s\n", "threads", "wall [s]", "speedup",
+              "detected");
+  Json rows = Json::array();
+  double base_seconds = 0;
+  BitVec reference;
+  bool deterministic = true;
+  for (const int threads : {1, 2, 4, 8}) {
+    const PolicyRun run = grade_policy(universe, tests, targets, nullptr,
+                                       threads);
+    if (threads == 1) {
+      base_seconds = run.seconds;
+      reference = run.detected;
+    } else if (!(run.detected == reference)) {
+      deterministic = false;
+      std::printf("DETERMINISM VIOLATION at %d threads!\n", threads);
+    }
+    const double speedup = run.seconds > 0 ? base_seconds / run.seconds : 0.0;
+    std::printf("%8d %10.3f %9.2fx %10zu\n", threads, run.seconds, speedup,
+                run.detected.count());
+    Json r = Json::object();
+    r.set("threads", threads);
+    r.set("wall_seconds", run.seconds);
+    r.set("speedup", speedup);
+    rows.push_back(std::move(r));
+  }
+  std::printf("%s\n\n", deterministic
+                            ? "detection sets bit-identical across all "
+                              "thread counts."
+                            : "DETERMINISM VIOLATION!");
+  doc.set("threads", std::move(rows));
+  doc.set("thread_detections_identical", deterministic);
+}
+
+/// Cross-check: the campaign graded with the event-driven kernel and with
+/// the full-sweep oracle must produce the bit-identical detection BitVec —
+/// the kernel is a work-skipping optimisation, never an approximation.
+void run_kernel_cross_check(const Soc& soc, const FaultUniverse& universe,
+                            Json& doc) {
+  auto suite = build_sbst_suite(soc.config);
+  suite.erase(suite.begin() + 2, suite.end());
+
+  const std::vector<FaultId> targets = fault_slice(universe, 2048, 5);
+  const CampaignEngine engine(universe, {.threads = 2});
+
+  std::printf("== kernel cross-check: event-driven vs full sweep ================\n");
+  bool identical = true;
+  for (std::size_t p = 0; p < suite.size(); ++p) {
+    std::vector<SbstProgram> one{suite[p]};
+    const std::vector<CampaignTest> event_tests =
+        build_sbst_campaign_tests(soc, one, universe, 8, /*event_driven=*/true);
+    const std::vector<CampaignTest> sweep_tests =
+        build_sbst_campaign_tests(soc, one, universe, 8, /*event_driven=*/false);
+    const BitVec ev = engine.grade(targets, event_tests[0]);
+    const BitVec sw = engine.grade(targets, sweep_tests[0]);
+    identical &= ev == sw;
+    std::printf("%12s: %5zu detected, kernels %s\n", one[0].name.c_str(),
+                ev.count(), ev == sw ? "identical" : "DIFFER!");
+  }
+  std::printf(identical
+                  ? "detection BitVecs bit-identical with the kernel switched "
+                    "either way.\n\n"
+                  : "KERNEL MISMATCH — event-driven kernel bug!\n\n");
+  doc.set("kernel_detections_identical", identical);
+}
+
+/// The original whole-suite, whole-universe campaign at every thread
+/// count — minutes of simulation, gated out of the CI smoke run.
+void print_full_scaling_table() {
   const SocConfig cfg = lean_config();
   auto soc = build_soc(cfg);
   const FaultUniverse universe(soc->netlist);
@@ -67,41 +265,6 @@ void print_scaling_table() {
               "orchestrator's deterministic-merge guarantee.\n\n");
 }
 
-/// Cross-check: the campaign graded with the event-driven kernel and with
-/// the full-sweep oracle must produce the bit-identical detection BitVec —
-/// the kernel is a work-skipping optimisation, never an approximation.
-void print_kernel_cross_check() {
-  const SocConfig cfg = lean_config();
-  auto soc = build_soc(cfg);
-  const FaultUniverse universe(soc->netlist);
-  auto suite = build_sbst_suite(cfg);
-  suite.erase(suite.begin() + 2, suite.end());
-
-  std::vector<FaultId> targets;
-  for (FaultId f = 0; f < universe.size() && targets.size() < 2048; f += 5)
-    targets.push_back(f);
-  const CampaignEngine engine(universe, {.threads = 2});
-
-  std::printf("== kernel cross-check: event-driven vs full sweep ================\n");
-  bool identical = true;
-  for (std::size_t p = 0; p < suite.size(); ++p) {
-    std::vector<SbstProgram> one{suite[p]};
-    const std::vector<CampaignTest> event_tests =
-        build_sbst_campaign_tests(*soc, one, universe, 8, /*event_driven=*/true);
-    const std::vector<CampaignTest> sweep_tests =
-        build_sbst_campaign_tests(*soc, one, universe, 8, /*event_driven=*/false);
-    const BitVec ev = engine.grade(targets, event_tests[0]);
-    const BitVec sw = engine.grade(targets, sweep_tests[0]);
-    identical &= ev == sw;
-    std::printf("%12s: %5zu detected, kernels %s\n", one[0].name.c_str(),
-                ev.count(), ev == sw ? "identical" : "DIFFER!");
-  }
-  std::printf(identical
-                  ? "detection BitVecs bit-identical with the kernel switched "
-                    "either way.\n\n"
-                  : "KERNEL MISMATCH — event-driven kernel bug!\n\n");
-}
-
 /// Microbenchmark: one program's grade() fan-out at a fixed thread count,
 /// so scheduler-level regressions show up without the full campaign.
 void BM_CampaignGrade(benchmark::State& state) {
@@ -114,10 +277,7 @@ void BM_CampaignGrade(benchmark::State& state) {
       build_sbst_campaign_tests(*soc, suite, universe);
   const CampaignEngine engine(
       universe, {.threads = static_cast<int>(state.range(0))});
-  // A fixed 1024-fault slice keeps iterations comparable across runs.
-  std::vector<FaultId> targets;
-  for (FaultId f = 0; f < universe.size() && targets.size() < 1024; f += 7)
-    targets.push_back(f);
+  const std::vector<FaultId> targets = fault_slice(universe, 1024, 7);
   for (auto _ : state)
     benchmark::DoNotOptimize(engine.grade(targets, tests[0]));
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
@@ -128,8 +288,20 @@ BENCHMARK(BM_CampaignGrade)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecon
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_scaling_table();
-  print_kernel_cross_check();
+  // One SoC + universe serves every smoke section (the dominant setup
+  // cost on the 1-core CI runner); sections build their own suite
+  // subsets and campaign tests.
+  const auto soc = build_soc(lean_config());
+  const FaultUniverse universe(soc->netlist);
+  Json doc = Json::object();
+  doc.set("bench", "campaign_scaling");
+  run_scheduler_comparison(*soc, universe, doc);
+  run_thread_scaling(*soc, universe, doc);
+  run_kernel_cross_check(*soc, universe, doc);
+  std::ofstream("BENCH_campaign.json") << doc.dump(2) << "\n";
+  std::printf("BENCH_campaign.json written.\n\n");
+  if (const char* full = std::getenv("OLFUI_BENCH_FULL"); full && *full == '1')
+    print_full_scaling_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -58,7 +58,7 @@ KernelRun run_kernel(const Soc& soc, const FaultUniverse& universe,
       soc.netlist, universe,
       {.max_cycles = max_cycles, .event_driven = event_driven});
   tracer.set_observed(soc.cpu.bus_output_cells);
-  const GoodTrace trace = tracer.record_good_trace(trace_env);
+  const ReferenceTrace trace = tracer.record_reference_trace(trace_env);
 
   SocFsimEnvironment env(soc, flash, max_cycles);
   SequentialFaultSimulator fsim(

@@ -9,10 +9,21 @@
 // then grades an SBST slice for BOTH models through the campaign
 // orchestrator — one code path (CampaignEngine + SbstBatchRunner) produces
 // the stuck-at and TDF coverage and runtime columns.
+// The ReferenceTrace extension: run_tdf_batch used to re-record the good
+// machine's site values once per batch (pass 1); with the shared all-net
+// ReferenceTrace the launch schedules are read from the checkpoint, so
+// only the capture-armed faulty pass runs. print_trace_sharing measures
+// that amortization head-to-head and writes BENCH_tdf.json (the ROADMAP
+// projected ~1.75x on the SBST workload).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <span>
+#include <vector>
 
+#include "campaign/json.hpp"
 #include "core/analyzer.hpp"
 #include "sbst/sbst.hpp"
 
@@ -90,6 +101,84 @@ void print_tdf_campaign() {
               "the good machine, then the capture-armed faulty lanes)\n\n");
 }
 
+/// Launch-schedule sharing: identical TDF batches graded with and without
+/// the shared ReferenceTrace. The untraced path pays a full good-machine
+/// pass per batch (pass 1 never early-exits); the traced path reads the
+/// schedules out of the one checkpoint recorded per test.
+void print_trace_sharing() {
+  SocConfig cfg;
+  cfg.cpu.with_multiplier = false;
+  auto soc = build_soc(cfg);
+  auto suite = build_sbst_suite(cfg);
+  SbstProgram& program = suite[0];  // alu_arith
+  const FaultUniverse universe(soc->netlist);
+  const std::vector<int> cycles = run_suite_functional(*soc, suite);
+  const int max_cycles = cycles[0] + 8;
+
+  FlashImage flash(soc->config.flash_base, soc->config.flash_size);
+  flash.load(program.program.base(), program.program.words());
+
+  SocFsimEnvironment trace_env(*soc, flash, max_cycles);
+  SequentialFaultSimulator tracer(soc->netlist, universe,
+                                  {.max_cycles = max_cycles});
+  tracer.set_observed(soc->cpu.bus_output_cells);
+  const auto trace_t0 = std::chrono::steady_clock::now();
+  const ReferenceTrace trace = tracer.record_reference_trace(trace_env);
+  const double record_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - trace_t0)
+          .count();
+
+  std::vector<FaultId> targets;
+  for (FaultId f = 0; f < universe.size() && targets.size() < 1024; f += 7)
+    targets.push_back(f);
+
+  const auto grade = [&](const ReferenceTrace* t, double& seconds) {
+    SocFsimEnvironment env(*soc, flash, max_cycles);
+    SequentialFaultSimulator fsim(soc->netlist, universe,
+                                  {.max_cycles = max_cycles});
+    fsim.set_observed(soc->cpu.bus_output_cells);
+    std::vector<std::uint64_t> detections;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < targets.size(); i += 63) {
+      const std::size_t n = std::min<std::size_t>(63, targets.size() - i);
+      detections.push_back(
+          fsim.run_tdf_batch(std::span(targets).subspan(i, n), env, t));
+    }
+    seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return detections;
+  };
+
+  double untraced_seconds = 0, traced_seconds = 0;
+  const auto untraced = grade(nullptr, untraced_seconds);
+  const auto traced = grade(&trace, traced_seconds);
+  const bool identical = untraced == traced;
+  const double speedup =
+      traced_seconds > 0 ? untraced_seconds / traced_seconds : 0.0;
+
+  std::printf("== extension: TDF launch-schedule sharing (ReferenceTrace) ======\n");
+  std::printf("%-22s %10s\n", "path", "wall [s]");
+  std::printf("%-22s %10.3f   (good pass re-recorded per batch)\n",
+              "per-batch pass 1", untraced_seconds);
+  std::printf("%-22s %10.3f   (+%.3f s one-time recording per test)\n",
+              "shared trace", traced_seconds, record_seconds);
+  std::printf("speedup %.2fx, detections %s, trace: %d cycles, %zu runs\n\n",
+              speedup, identical ? "identical" : "MISMATCH!", trace.cycles,
+              trace.run_count());
+
+  Json doc = Json::object();
+  doc.set("bench", "tdf_extension");
+  doc.set("program", program.name);
+  doc.set("fault_slice", targets.size());
+  doc.set("untraced_wall_seconds", untraced_seconds);
+  doc.set("traced_wall_seconds", traced_seconds);
+  doc.set("trace_record_seconds", record_seconds);
+  doc.set("trace_sharing_speedup", speedup);
+  doc.set("detections_identical", identical);
+  std::ofstream("BENCH_tdf.json") << doc.dump(2) << "\n";
+}
+
 void BM_TransitionClassification(benchmark::State& state) {
   auto soc = build_soc({});
   const FaultUniverse universe(soc->netlist);
@@ -115,6 +204,7 @@ BENCHMARK(BM_TdfCampaign)->DenseRange(0, 1)->Unit(benchmark::kSecond);
 
 int main(int argc, char** argv) {
   print_tdf_comparison();
+  print_trace_sharing();
   print_tdf_campaign();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

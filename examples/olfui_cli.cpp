@@ -14,18 +14,29 @@
 //                          parallel campaign orchestrator; needs scan
 //                          chains ("scan_en"/"scan_in*"/"scan_out*" ports)
 //     --threads N          orchestrator worker threads (0 = all cores)
+//     --schedule P         batch-formation policy for --campaign and
+//                          --dump-schedule: default | cone | adaptive
+//                          (adaptive has no profile here, so it plans
+//                          like default until fed a previous run)
+//     --dump-schedule FILE write the computed batch plan over the
+//                          testable universe (shard sizes, cone-overlap
+//                          stats) as JSON for offline inspection
 //
 // Example:
 //   olfui_cli periph.v --tie test_mode=0 --unobserve dbg_tap --csv out.csv
 //   olfui_cli core_scan.v --campaign --threads 8 --json coverage.json
+//   olfui_cli core_scan.v --schedule cone --dump-schedule plan.json
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "campaign/json.hpp"
+#include "campaign/report.hpp"
+#include "campaign/scheduler.hpp"
 #include "fault/report.hpp"
 #include "memmap/memmap.hpp"
 #include "netlist/sweep.hpp"
@@ -42,7 +53,8 @@ using namespace olfui;
   std::fprintf(stderr,
                "usage: %s <netlist.v> [--tie NET=0|1] [--unobserve PORT] "
                "[--memmap BASE:SIZE] [--model sa|tdf] [--csv FILE] "
-               "[--json FILE] [--sweep] [--campaign] [--threads N]\n",
+               "[--json FILE] [--sweep] [--campaign] [--threads N] "
+               "[--schedule default|cone|adaptive] [--dump-schedule FILE]\n",
                argv0);
   std::exit(2);
 }
@@ -74,7 +86,7 @@ int main(int argc, char** argv) {
   MemoryMap map;
   bool use_memmap = false, sweep = false, transition = false, campaign = false;
   int threads = 0;
-  std::string csv_path, json_path;
+  std::string csv_path, json_path, schedule = "default", dump_schedule_path;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -111,6 +123,12 @@ int main(int argc, char** argv) {
       const auto n = parse_uint(next());
       if (!n) usage(argv[0]);
       threads = static_cast<int>(*n);
+    } else if (arg == "--schedule") {
+      schedule = next();
+      if (schedule != "default" && schedule != "cone" && schedule != "adaptive")
+        usage(argv[0]);
+    } else if (arg == "--dump-schedule") {
+      dump_schedule_path = next();
     } else {
       usage(argv[0]);
     }
@@ -169,6 +187,42 @@ int main(int argc, char** argv) {
                   : 0.0);
   std::printf("\n%s", module_breakdown_table(faults).c_str());
 
+  // Batch-formation policy shared by --dump-schedule and --campaign.
+  // Null means the engine's built-in fixed policy; "adaptive" with no
+  // previous run to profile also plans fixed (documented cold start).
+  // Built only when a consumer exists — cone analysis walks the whole
+  // netlist and a plain analysis run should not pay for it.
+  std::shared_ptr<const BatchScheduler> scheduler;
+  std::shared_ptr<const ConeScheduler> cone_scheduler;
+  if (campaign || !dump_schedule_path.empty()) {
+    if (schedule == "cone") {
+      cone_scheduler = std::make_shared<const ConeScheduler>(universe);
+      scheduler = cone_scheduler;
+    } else if (schedule == "adaptive") {
+      scheduler = std::make_shared<const AdaptiveScheduler>();
+    }
+  }
+
+  if (!dump_schedule_path.empty()) {
+    // Plan the testable universe exactly as a campaign's first test would
+    // see it (untestable faults never enter the queue).
+    std::vector<FaultId> targets;
+    for (FaultId f = 0; f < universe.size(); ++f)
+      if (faults.untestable_kind(f) == UntestableKind::kNone)
+        targets.push_back(f);
+    const FixedScheduler fixed;
+    const BatchScheduler& policy = scheduler ? *scheduler : fixed;
+    const BatchPlan plan =
+        policy.plan(targets, {.batch_size = 63, .test_name = "dump"});
+    std::vector<std::uint64_t> sigs;
+    if (cone_scheduler) {
+      sigs.reserve(targets.size());
+      for (FaultId f : targets) sigs.push_back(cone_scheduler->signature(f));
+    }
+    Json doc = batch_plan_to_json(plan, policy.name(), sigs);
+    write_file(dump_schedule_path, doc.dump(2) + "\n");
+  }
+
   Json manuf_json;  // filled by --campaign, merged into --json output
   if (campaign) {
     if (transition) {
@@ -188,6 +242,7 @@ int main(int argc, char** argv) {
     }
     ScanAtpgOptions atpg_opts;
     atpg_opts.campaign.threads = threads;
+    atpg_opts.campaign.scheduler = scheduler;
     // Mission-constant nets keep their values during test application.
     for (const auto& [name, value] : ties)
       atpg_opts.pin_constraints.emplace_back(nl.find_net(name), value);

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <thread>
 
+#include "campaign/scheduler.hpp"
 #include "campaign/shard_queue.hpp"
 #include "fault/tdf.hpp"
 #include "netlist/netlist.hpp"
@@ -79,6 +80,11 @@ WorkerPool& CampaignEngine::pool() const {
   return *pool_;
 }
 
+const BatchScheduler& CampaignEngine::scheduler() const {
+  static const FixedScheduler kFixed;
+  return opts_.scheduler ? *opts_.scheduler : kFixed;
+}
+
 BitVec CampaignEngine::grade(std::span<const FaultId> targets,
                              const CampaignTest& test,
                              const CampaignProgress& progress,
@@ -86,8 +92,19 @@ BitVec CampaignEngine::grade(std::span<const FaultId> targets,
   BitVec detected(targets.size());
   if (targets.empty()) return detected;
 
-  const std::size_t batch = static_cast<std::size_t>(opts_.batch_size);
-  const std::size_t shards = (targets.size() + batch - 1) / batch;
+  // Batch formation is the scheduler's: the plan permutes the targets and
+  // draws the batch boundaries; everything below (sharding, merge,
+  // timings) is plan-shaped. A malformed plan throws here rather than
+  // silently dropping faults.
+  const ScheduleContext ctx{static_cast<std::size_t>(opts_.batch_size),
+                            test.name};
+  const BatchPlan plan = scheduler().plan(targets, ctx);
+  plan.validate(targets.size(), 63);
+  std::vector<FaultId> planned(targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i)
+    planned[i] = targets[plan.order[i]];
+
+  const std::size_t shards = plan.batches();
   std::vector<std::uint64_t> results(shards, 0);
   std::vector<double> timings(shards, 0.0);
 
@@ -105,10 +122,10 @@ BitVec CampaignEngine::grade(std::span<const FaultId> targets,
     std::size_t shard;
     while (queue.pop(w, shard)) {
       if (!runner) runner = test.make_runner();
-      const std::size_t lo = shard * batch;
-      const std::size_t n = std::min(batch, targets.size() - lo);
+      const std::size_t lo = plan.batch_start[shard];
+      const std::size_t n = plan.batch_size(shard);
       const auto t0 = std::chrono::steady_clock::now();
-      results[shard] = runner->run_batch(targets.subspan(lo, n));
+      results[shard] = runner->run_batch(std::span(planned).subspan(lo, n));
       // Slot-indexed by shard id (never completion order): the report's
       // timing layout stays thread-count independent, matching the
       // detection merge below.
@@ -133,12 +150,14 @@ BitVec CampaignEngine::grade(std::span<const FaultId> targets,
     pool().run(workers, [&](std::size_t w) { worker(queue, w); });
   }
 
-  // Deterministic merge: shard order, then lane order within the shard.
+  // Deterministic merge: shard order, then lane order within the shard,
+  // mapped back through the plan's permutation — so any partition of the
+  // targets yields the same detection flags in target order.
   for (std::size_t shard = 0; shard < shards; ++shard) {
-    const std::size_t lo = shard * batch;
-    const std::size_t n = std::min(batch, targets.size() - lo);
+    const std::size_t lo = plan.batch_start[shard];
+    const std::size_t n = plan.batch_size(shard);
     for (std::size_t j = 0; j < n; ++j)
-      if (results[shard] & (1ULL << j)) detected.set(lo + j, true);
+      if (results[shard] & (1ULL << j)) detected.set(plan.order[lo + j], true);
   }
   if (shard_seconds)
     shard_seconds->insert(shard_seconds->end(), timings.begin(), timings.end());
@@ -152,6 +171,7 @@ CampaignResult CampaignEngine::run(FaultList& fl,
   CampaignResult result;
   result.universe = universe_->size();
   result.fault_model = opts_.fault_model;
+  result.stats.schedule_policy = std::string(scheduler().name());
 
   for (const CampaignTest& test : tests) {
     const std::vector<FaultId> targets =
@@ -160,12 +180,13 @@ CampaignResult CampaignEngine::run(FaultList& fl,
     pt.name = test.name;
     pt.good_cycles = test.good_cycles;
     pt.faults_targeted = targets.size();
-    pt.batches = (targets.size() + static_cast<std::size_t>(opts_.batch_size) -
-                  1) /
-                 static_cast<std::size_t>(opts_.batch_size);
 
+    // One timing slot lands per shard, so the scheduler's actual batch
+    // count (policies may split or regroup) is the timing delta.
+    const std::size_t shards_before = result.stats.shard_seconds.size();
     const BitVec det =
         grade(targets, test, progress, &result.stats.shard_seconds);
+    pt.batches = result.stats.shard_seconds.size() - shards_before;
     for (std::size_t i = det.find_first(); i < det.size();
          i = det.find_next(i + 1)) {
       if (fl.detect_state(targets[i]) == DetectState::kUndetected) {

@@ -8,14 +8,17 @@
 // over 63-fault batches; this engine is the single entry point for all of
 // them:
 //
-//  * sharding — the target fault list is cut into fixed 63-lane shards
-//    (one parallel-fault simulator pass each) and distributed across a
-//    worker pool through a work-stealing queue (shard_queue.hpp);
+//  * scheduling — the target fault list is cut into up-to-63-lane batches
+//    (one parallel-fault simulator pass each) by a pluggable
+//    BatchScheduler (scheduler.hpp: fixed spans by default, cone-aware
+//    grouping, profile-guided adaptive splitting) and distributed across
+//    a worker pool through a work-stealing queue (shard_queue.hpp);
 //  * fault dropping — a fault detected by test k leaves the queue before
 //    test k+1, so late tests grade ever-shrinking target lists;
 //  * good-machine checkpointing — each test's fault-free run is recorded
-//    once (fsim::GoodTrace) and every batch replays the checkpoint as its
-//    reference instead of re-deriving good values from lane 0;
+//    once (fsim::ReferenceTrace, all nets) and every batch replays the
+//    checkpoint as its reference instead of re-deriving good values from
+//    lane 0 (TDF batches also read their launch schedules from it);
 //  * deterministic merge — batch boundaries depend only on the target
 //    list, each worker writes its batches' detection masks to dedicated
 //    slots, and the merge walks shards in index order, so the
@@ -40,6 +43,8 @@
 #include "util/bitvec.hpp"
 
 namespace olfui {
+
+class BatchScheduler;  // campaign/scheduler.hpp
 
 /// One worker's private grading kernel: simulator + environment state.
 /// Instances are confined to a single worker thread; the factory that
@@ -74,12 +79,19 @@ struct CampaignOptions {
   /// runners must grade the matching model — the engine only shards and
   /// merges, it never reinterprets a batch.
   FaultModel fault_model = FaultModel::kStuckAt;
+  /// Batch-formation policy (scheduler.hpp); null grades with the fixed
+  /// contiguous-span policy. Policies only regroup and resize batches —
+  /// every policy produces the identical detection set (the merge is
+  /// order-independent), so this is purely a performance knob.
+  std::shared_ptr<const BatchScheduler> scheduler;
 };
 
 /// Campaign-wide outcome. Everything except `stats` is a pure function of
-/// (universe, fault list, tests, batch_size) — thread count and scheduling
-/// never show through, which operator== checks (it deliberately ignores
-/// the nondeterministic runtime stats).
+/// (universe, fault list, tests, batch_size, scheduling policy) — thread
+/// count never shows through, which operator== checks (it deliberately
+/// ignores the nondeterministic runtime stats). The scheduling policy
+/// shows through only via tests[].batches (policies regroup work); the
+/// detection payload (`detected`, classes, coverage) is policy-invariant.
 struct CampaignResult {
   struct PerTest {
     std::string name;
@@ -108,10 +120,12 @@ struct CampaignResult {
     std::size_t faults_simulated = 0;  ///< fault x test pairs graded
     std::size_t batches = 0;
     double faults_per_second = 0;
+    /// BatchScheduler::name() of the policy that formed the batches.
+    std::string schedule_policy = "fixed";
     /// Wall time of every shard, all tests concatenated in shard index
     /// order (test boundaries recoverable from tests[].batches). Early
-    /// exit skews shard cost, so this is the measurement input for
-    /// shard-size autotuning.
+    /// exit skews shard cost, so this is the profile input for
+    /// AdaptiveScheduler's hot-shard splitting (scheduler.hpp).
     std::vector<double> shard_seconds;
   };
 
@@ -153,8 +167,9 @@ class CampaignEngine {
   /// Worker count after resolving threads == 0.
   int resolved_threads() const;
 
-  /// The deterministic parallel grading primitive: shards `targets`, runs
-  /// the shards across the persistent worker pool, and returns per-target
+  /// The deterministic parallel grading primitive: forms batches through
+  /// the configured BatchScheduler, runs them as shards across the
+  /// persistent worker pool, and returns per-target
   /// detection flags (aligned with `targets`). Flows with their own
   /// between-test bookkeeping (e.g. scan ATPG's equivalence-class
   /// propagation) build on this directly. With `shard_seconds`, each
@@ -171,6 +186,7 @@ class CampaignEngine {
 
  private:
   WorkerPool& pool() const;
+  const BatchScheduler& scheduler() const;
 
   const FaultUniverse* universe_;
   CampaignOptions opts_;

@@ -1,7 +1,10 @@
 #include "campaign/report.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cstdio>
 #include <limits>
+#include <map>
 
 namespace olfui {
 
@@ -103,6 +106,7 @@ Json campaign_result_to_json(const CampaignResult& result) {
   stats.set("faults_simulated", result.stats.faults_simulated);
   stats.set("batches", result.stats.batches);
   stats.set("faults_per_second", result.stats.faults_per_second);
+  stats.set("schedule_policy", result.stats.schedule_policy);
   Json shard_seconds = Json::array();
   for (double s : result.stats.shard_seconds) shard_seconds.push_back(s);
   stats.set("shard_seconds", std::move(shard_seconds));
@@ -158,6 +162,8 @@ CampaignResult campaign_result_from_json(const Json& doc) {
   result.stats.faults_simulated = stats.at("faults_simulated").as_size();
   result.stats.batches = stats.at("batches").as_size();
   result.stats.faults_per_second = stats.at("faults_per_second").as_number();
+  if (stats.contains("schedule_policy"))  // absent in pre-scheduler dumps
+    result.stats.schedule_policy = stats.at("schedule_policy").as_string();
   if (stats.contains("shard_seconds")) {  // absent in pre-shard-stat dumps
     const Json& shard_seconds = stats.at("shard_seconds");
     for (std::size_t i = 0; i < shard_seconds.size(); ++i)
@@ -179,7 +185,7 @@ std::string word_to_hex(std::uint64_t w) {
 }
 
 std::uint64_t word_from_hex(const std::string& s) {
-  if (s.size() != 16) throw JsonError("good_trace: bad word length", 0);
+  if (s.size() != 16) throw JsonError("reference_trace: bad word length", 0);
   std::uint64_t w = 0;
   for (std::size_t i = 0; i < s.size(); ++i) w = (w << 4) | hex_nibble(s[i], i);
   return w;
@@ -187,36 +193,149 @@ std::uint64_t word_from_hex(const std::string& s) {
 
 }  // namespace
 
-Json good_trace_to_json(const GoodTrace& trace) {
+Json reference_trace_to_json(const ReferenceTrace& trace) {
   Json doc = Json::object();
   doc.set("cycles", trace.cycles);
-  doc.set("words_per_cycle", trace.words_per_cycle);
-  Json starts = Json::array();
-  for (std::uint64_t s : trace.run_start)
-    starts.push_back(static_cast<std::size_t>(s));
-  doc.set("run_start", std::move(starts));
-  // 64-bit words exceed the exact-double range, so they travel as hex.
-  Json values = Json::array();
-  for (std::uint64_t v : trace.run_value) values.push_back(word_to_hex(v));
-  doc.set("run_value", std::move(values));
+  doc.set("num_nets", trace.num_nets);
+  Json columns = Json::array();
+  for (const ReferenceTrace::Column& col : trace.columns) {
+    Json c = Json::object();
+    Json cycles = Json::array();
+    for (std::uint32_t s : col.cycle)
+      cycles.push_back(static_cast<std::size_t>(s));
+    c.set("cycle", std::move(cycles));
+    // 64-bit words exceed the exact-double range, so they travel as hex.
+    Json values = Json::array();
+    for (std::uint64_t v : col.value) values.push_back(word_to_hex(v));
+    c.set("value", std::move(values));
+    columns.push_back(std::move(c));
+  }
+  doc.set("columns", std::move(columns));
   return doc;
 }
 
-GoodTrace good_trace_from_json(const Json& doc) {
-  GoodTrace trace;
+ReferenceTrace reference_trace_from_json(const Json& doc) {
+  ReferenceTrace trace;
   trace.cycles = doc.at("cycles").as_int();
-  if (trace.cycles < 0) throw JsonError("good_trace: negative cycles", 0);
-  trace.words_per_cycle = doc.at("words_per_cycle").as_size();
-  const Json& starts = doc.at("run_start");
-  const Json& values = doc.at("run_value");
-  if (starts.size() != values.size())
-    throw JsonError("good_trace: run arrays disagree", 0);
-  for (std::size_t i = 0; i < starts.size(); ++i) {
-    trace.run_start.push_back(starts.at(i).as_size());
-    trace.run_value.push_back(word_from_hex(values.at(i).as_string()));
+  trace.num_nets = doc.at("num_nets").as_size();
+  const Json& columns = doc.at("columns");
+  for (std::size_t o = 0; o < columns.size(); ++o) {
+    const Json& c = columns.at(o);
+    const Json& cycles = c.at("cycle");
+    const Json& values = c.at("value");
+    if (cycles.size() != values.size())
+      throw JsonError("reference_trace: run arrays disagree", 0);
+    ReferenceTrace::Column col;
+    for (std::size_t i = 0; i < cycles.size(); ++i) {
+      const std::size_t start = cycles.at(i).as_size();
+      if (start > 0xFFFFFFFFull)
+        throw JsonError("reference_trace: run start overflows", 0);
+      col.cycle.push_back(static_cast<std::uint32_t>(start));
+      col.value.push_back(word_from_hex(values.at(i).as_string()));
+    }
+    trace.columns.push_back(std::move(col));
   }
-  trace.rebuild_index();  // validates run coverage
+  trace.validate();  // column count, run ordering and range
   return trace;
+}
+
+Json batch_plan_to_json(const BatchPlan& plan, std::string_view policy,
+                        std::span<const std::uint64_t> cone_sigs) {
+  Json doc = Json::object();
+  doc.set("policy", std::string(policy));
+  doc.set("targets", plan.order.size());
+  doc.set("batches", plan.batches());
+  Json sizes = Json::array();
+  for (std::size_t b = 0; b < plan.batches(); ++b)
+    sizes.push_back(plan.batch_size(b));
+  doc.set("batch_sizes", std::move(sizes));
+  if (!cone_sigs.empty()) {
+    // Cone-overlap view: the union popcount is (a Bloom estimate of) how
+    // many of the 64 cone buckets one simulator pass activates — lower is
+    // a tighter batch.
+    Json unions = Json::array();
+    double total_bits = 0;
+    std::size_t max_bits = 0;
+    for (std::size_t b = 0; b < plan.batches(); ++b) {
+      std::uint64_t u = 0;
+      for (std::size_t i = plan.batch_start[b]; i < plan.batch_start[b + 1];
+           ++i)
+        u |= cone_sigs[plan.order[i]];
+      const std::size_t bits = static_cast<std::size_t>(std::popcount(u));
+      unions.push_back(bits);
+      total_bits += static_cast<double>(bits);
+      max_bits = std::max(max_bits, bits);
+    }
+    Json cone = Json::object();
+    cone.set("mean_union_bits",
+             plan.batches() ? total_bits / static_cast<double>(plan.batches())
+                            : 0.0);
+    cone.set("max_union_bits", max_bits);
+    cone.set("per_batch_union_bits", std::move(unions));
+    doc.set("cone", std::move(cone));
+  }
+  return doc;
+}
+
+Json fault_summary_to_json(const FaultList& fl) {
+  Json doc = Json::object();
+  doc.set("universe", fl.size());
+  doc.set("detected", fl.count_detected());
+  doc.set("untestable", fl.count_untestable());
+
+  // The Table-I rows, kept as the legacy by_source/by_kind objects AND
+  // re-expressed as campaign ClassCoverage rows under "classes" (with
+  // real per-class detected counts), so both report stacks speak one
+  // schema.
+  std::size_t tied = 0, unobs = 0, redundant = 0;
+  std::size_t tied_det = 0, unobs_det = 0, redundant_det = 0;
+  std::map<OnlineSource, std::size_t> source_det;
+  for (FaultId f = 0; f < fl.size(); ++f) {
+    const bool det = fl.detect_state(f) == DetectState::kDetected;
+    if (det) ++source_det[fl.online_source(f)];
+    switch (fl.untestable_kind(f)) {
+      case UntestableKind::kTied: ++tied; tied_det += det; break;
+      case UntestableKind::kUnobservable: ++unobs; unobs_det += det; break;
+      case UntestableKind::kRedundant: ++redundant; redundant_det += det; break;
+      case UntestableKind::kNone: break;
+    }
+  }
+
+  std::vector<CampaignResult::ClassCoverage> classes;
+  Json by_source = Json::object();
+  for (OnlineSource s :
+       {OnlineSource::kStructural, OnlineSource::kScan,
+        OnlineSource::kDebugControl, OnlineSource::kDebugObserve,
+        OnlineSource::kMemoryMap}) {
+    const std::size_t n = fl.count_source(s);
+    by_source.set(std::string(to_string(s)), n);
+    classes.push_back({"source:" + std::string(to_string(s)), n,
+                       source_det.count(s) ? source_det[s] : 0});
+  }
+  doc.set("by_source", std::move(by_source));
+
+  Json by_kind = Json::object();
+  by_kind.set("tied", tied);
+  by_kind.set("unobservable", unobs);
+  by_kind.set("redundant", redundant);
+  doc.set("by_kind", std::move(by_kind));
+  classes.push_back({"kind:tied", tied, tied_det});
+  classes.push_back({"kind:unobservable", unobs, unobs_det});
+  classes.push_back({"kind:redundant", redundant, redundant_det});
+
+  doc.set("raw_coverage", fl.raw_coverage());
+  doc.set("pruned_coverage", fl.pruned_coverage());
+
+  Json class_rows = Json::array();
+  for (const CampaignResult::ClassCoverage& cc : classes) {
+    Json c = Json::object();
+    c.set("name", cc.name);
+    c.set("total", cc.total);
+    c.set("detected", cc.detected);
+    class_rows.push_back(std::move(c));
+  }
+  doc.set("classes", std::move(class_rows));
+  return doc;
 }
 
 }  // namespace olfui

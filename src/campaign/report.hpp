@@ -9,11 +9,14 @@
 // result stays compact).
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 
 #include "campaign/campaign.hpp"
 #include "campaign/json.hpp"
+#include "campaign/scheduler.hpp"
 #include "fsim/fsim.hpp"
 
 namespace olfui {
@@ -32,12 +35,26 @@ CampaignResult campaign_result_from_json_string(std::string_view text);
 std::string bitvec_to_hex(const BitVec& bits);
 BitVec bitvec_from_hex(std::string_view text);
 
-/// Good-trace checkpoint exchange: the RLE runs travel as (start, hex
-/// word) pairs, so a million-cycle checkpoint serializes in proportion to
-/// its bus activity, not its cycle count. Import validates the runs and
-/// rebuilds the cycle index; throws JsonError / std::runtime_error on
+/// Reference-trace checkpoint exchange: each 64-net column's RLE runs
+/// travel as (start cycle, hex word) pairs, so a million-cycle checkpoint
+/// serializes in proportion to its net activity, not cycles * nets.
+/// Import validates the runs; throws JsonError / std::runtime_error on
 /// malformed documents.
-Json good_trace_to_json(const GoodTrace& trace);
-GoodTrace good_trace_from_json(const Json& doc);
+Json reference_trace_to_json(const ReferenceTrace& trace);
+ReferenceTrace reference_trace_from_json(const Json& doc);
+
+/// Batch-plan dump (the CLI's --dump-schedule): policy, batch sizes, and —
+/// when per-target cone signatures are supplied — per-batch cone-overlap
+/// stats (popcount of the batch's signature union: the estimated share of
+/// the 64 cone buckets one simulator pass activates).
+Json batch_plan_to_json(const BatchPlan& plan, std::string_view policy,
+                        std::span<const std::uint64_t> cone_sigs = {});
+
+/// Classification summary of a fault list — the JSON schema shared with
+/// fault/report.hpp's to_json_summary shim (one schema for both report
+/// stacks): universe/detected/untestable counts, by_source and by_kind
+/// objects, both coverage figures, plus the same rows expressed as
+/// campaign ClassCoverage entries under "classes".
+Json fault_summary_to_json(const FaultList& fl);
 
 }  // namespace olfui

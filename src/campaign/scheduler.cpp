@@ -1,0 +1,118 @@
+#include "campaign/scheduler.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "campaign/campaign.hpp"
+
+namespace olfui {
+
+BatchPlan BatchPlan::fixed(std::size_t targets, std::size_t batch_size) {
+  BatchPlan plan;
+  plan.order.resize(targets);
+  std::iota(plan.order.begin(), plan.order.end(), 0u);
+  plan.batch_start.push_back(0);
+  for (std::size_t lo = 0; lo < targets; lo += batch_size)
+    plan.batch_start.push_back(
+        static_cast<std::uint32_t>(std::min(targets, lo + batch_size)));
+  return plan;
+}
+
+void BatchPlan::validate(std::size_t targets, std::size_t max_batch) const {
+  if (order.size() != targets)
+    throw std::invalid_argument("BatchPlan: order is not a full permutation");
+  std::vector<bool> seen(targets, false);
+  for (std::uint32_t idx : order) {
+    if (idx >= targets || seen[idx])
+      throw std::invalid_argument("BatchPlan: order repeats or escapes range");
+    seen[idx] = true;
+  }
+  if (batch_start.empty() || batch_start.front() != 0 ||
+      batch_start.back() != targets)
+    throw std::invalid_argument("BatchPlan: batches do not tile the targets");
+  for (std::size_t b = 0; b + 1 < batch_start.size(); ++b) {
+    const std::size_t n = batch_start[b + 1] - batch_start[b];
+    if (batch_start[b + 1] <= batch_start[b] || n > max_batch)
+      throw std::invalid_argument("BatchPlan: batch size out of [1, max]");
+  }
+}
+
+BatchPlan FixedScheduler::plan(std::span<const FaultId> targets,
+                               const ScheduleContext& ctx) const {
+  return BatchPlan::fixed(targets.size(), ctx.batch_size);
+}
+
+ConeScheduler::ConeScheduler(const FaultUniverse& universe,
+                             std::shared_ptr<const PackedTopology> topo)
+    : universe_(&universe) {
+  if (topo && topo->nl != &universe.netlist())
+    throw std::invalid_argument(
+        "ConeScheduler: topology is for a different netlist");
+  cones_ = ConeAnalysis::build(
+      topo ? *topo : *PackedTopology::build(universe.netlist()));
+}
+
+std::uint64_t ConeScheduler::signature(FaultId f) const {
+  const NetId net = universe_->effect_net(f);
+  return net == kInvalidId ? 0 : cones_.net_sig[net];
+}
+
+BatchPlan ConeScheduler::plan(std::span<const FaultId> targets,
+                              const ScheduleContext& ctx) const {
+  std::vector<std::uint64_t> sigs(targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i)
+    sigs[i] = signature(targets[i]);
+  BatchPlan plan = BatchPlan::fixed(targets.size(), ctx.batch_size);
+  // Stable: equal signatures keep target (= fault id) order, so the plan
+  // is a pure function of the target list.
+  std::stable_sort(plan.order.begin(), plan.order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return sigs[a] < sigs[b];
+                   });
+  return plan;
+}
+
+AdaptiveScheduler::AdaptiveScheduler(const CampaignResult& profile,
+                                     double split_factor)
+    : split_factor_(split_factor) {
+  std::size_t pos = 0;
+  for (const CampaignResult::PerTest& pt : profile.tests) {
+    TestProfile tp;
+    tp.faults_targeted = pt.faults_targeted;
+    if (pos + pt.batches <= profile.stats.shard_seconds.size())
+      tp.shard_seconds.assign(
+          profile.stats.shard_seconds.begin() + static_cast<std::ptrdiff_t>(pos),
+          profile.stats.shard_seconds.begin() +
+              static_cast<std::ptrdiff_t>(pos + pt.batches));
+    pos += pt.batches;
+    profiles_.emplace(pt.name, std::move(tp));  // first occurrence wins
+  }
+}
+
+BatchPlan AdaptiveScheduler::plan(std::span<const FaultId> targets,
+                                  const ScheduleContext& ctx) const {
+  BatchPlan plan = BatchPlan::fixed(targets.size(), ctx.batch_size);
+  const auto it = profiles_.find(ctx.test_name);
+  if (it == profiles_.end() || it->second.faults_targeted != targets.size() ||
+      it->second.shard_seconds.size() != plan.batches())
+    return plan;
+
+  const std::vector<double>& seconds = it->second.shard_seconds;
+  std::vector<double> sorted = seconds;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted[sorted.size() / 2];
+
+  std::vector<std::uint32_t> starts{0};
+  for (std::size_t b = 0; b < plan.batches(); ++b) {
+    const std::uint32_t lo = plan.batch_start[b];
+    const std::uint32_t hi = plan.batch_start[b + 1];
+    if (seconds[b] > split_factor_ * median && hi - lo >= 2)
+      starts.push_back(lo + (hi - lo) / 2);
+    starts.push_back(hi);
+  }
+  plan.batch_start = std::move(starts);
+  return plan;
+}
+
+}  // namespace olfui

@@ -1,0 +1,149 @@
+// olfui/campaign: pluggable batch formation (the scheduling seam).
+//
+// CampaignEngine::grade used to hard-wire fixed contiguous 63-lane spans;
+// the scheduler turns batch formation into a policy behind one seam. A
+// policy returns a BatchPlan — a permutation of the target indices plus
+// batch boundaries — and the engine gathers, shards, and merges through
+// the plan, so a policy controls WHICH faults share a simulator pass and
+// HOW big the passes are, never what a pass computes.
+//
+// Three policies ship:
+//  * FixedScheduler — contiguous batch_size spans in target order, the
+//    pre-seam behaviour (identity plan, bit-identical batches and merge);
+//  * ConeScheduler — groups faults whose fanout cones overlap, using the
+//    static ConeAnalysis Bloom signatures (sim/packed.hpp) keyed on each
+//    fault's effect net (fault/universe.hpp). Cone-mates activate the
+//    same region of the event-driven kernel and tend to diverge on the
+//    same cycles, so batches stay small in active set and uniform in
+//    early exit;
+//  * AdaptiveScheduler — profile-guided shard splitting: replays a
+//    previous CampaignResult's per-shard wall times
+//    (stats.shard_seconds) and halves the shards that ran hot, shrinking
+//    the straggler tail that fixed spans leave on skewed early-exit
+//    workloads.
+//
+// Determinism contract: plan() must be a pure function of (targets,
+// context, construction-time state) — never of thread count, timing, or
+// global state — so campaign results stay bit-identical for any worker
+// count. Faults are graded independently within a batch (lanes are
+// separate machines) and the engine's merge maps plan positions back to
+// target order, so every valid plan produces the same detection set; the
+// scheduler-equivalence test asserts this across all three policies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fault/universe.hpp"
+#include "sim/packed.hpp"
+
+namespace olfui {
+
+struct CampaignResult;  // campaign.hpp (adaptive profiles)
+
+/// What the engine tells a policy about the grade() call being planned.
+struct ScheduleContext {
+  /// Upper bound on batch size (the engine's clamped CampaignOptions
+  /// value, never above 63 — lane 0 is the good machine).
+  std::size_t batch_size = 63;
+  /// Campaign test being graded (profile lookup key for adaptive plans).
+  std::string_view test_name;
+};
+
+/// One grade() call's batch formation: a permutation of the target
+/// indices plus batch boundaries. Batch b grades targets[order[i]] for i
+/// in [batch_start[b], batch_start[b+1]).
+struct BatchPlan {
+  std::vector<std::uint32_t> order;        ///< permutation of [0, targets)
+  std::vector<std::uint32_t> batch_start;  ///< size batches()+1; 0-led
+  std::size_t batches() const {
+    return batch_start.empty() ? 0 : batch_start.size() - 1;
+  }
+  std::size_t batch_size(std::size_t b) const {
+    return batch_start[b + 1] - batch_start[b];
+  }
+
+  /// The identity plan: contiguous `batch_size` spans in target order.
+  static BatchPlan fixed(std::size_t targets, std::size_t batch_size);
+
+  /// Checks the plan covers each of `targets` exactly once in batches of
+  /// [1, max_batch]; throws std::invalid_argument on a malformed plan (a
+  /// scheduler bug must fail the campaign loudly, not drop faults).
+  void validate(std::size_t targets, std::size_t max_batch) const;
+};
+
+class BatchScheduler {
+ public:
+  virtual ~BatchScheduler() = default;
+  /// Policy label for reports ("fixed" / "cone" / "adaptive").
+  virtual std::string_view name() const = 0;
+  virtual BatchPlan plan(std::span<const FaultId> targets,
+                         const ScheduleContext& ctx) const = 0;
+};
+
+/// The default policy — the engine without a scheduler behaves exactly
+/// like an engine holding one of these.
+class FixedScheduler final : public BatchScheduler {
+ public:
+  std::string_view name() const override { return "fixed"; }
+  BatchPlan plan(std::span<const FaultId> targets,
+                 const ScheduleContext& ctx) const override;
+};
+
+/// Cone-aware grouping: stable-sorts targets by their effect net's cone
+/// signature (equal cones end up adjacent, ties keep target order), then
+/// cuts fixed-size batches. Construction runs the static cone analysis
+/// once per universe; plan() is a sort.
+class ConeScheduler final : public BatchScheduler {
+ public:
+  /// `topo`, if given, must be a PackedTopology over the universe's
+  /// netlist (flows that already share one — SBST campaigns, scan
+  /// runners — pass it to skip a rebuild); throws std::invalid_argument
+  /// on a mismatch. Without one, a topology is built and discarded.
+  explicit ConeScheduler(const FaultUniverse& universe,
+                         std::shared_ptr<const PackedTopology> topo = nullptr);
+  std::string_view name() const override { return "cone"; }
+  BatchPlan plan(std::span<const FaultId> targets,
+                 const ScheduleContext& ctx) const override;
+
+  /// The grouping key of one fault (exposed for plan dumps and tests).
+  std::uint64_t signature(FaultId f) const;
+  const ConeAnalysis& cones() const { return cones_; }
+
+ private:
+  const FaultUniverse* universe_;
+  ConeAnalysis cones_;
+};
+
+/// Profile-guided shard splitting: starts from the fixed plan and halves
+/// every batch whose profiled wall time exceeded split_factor x the
+/// test's median shard time. Falls back to the fixed plan for a test the
+/// profile does not cover with a matching shape (unknown name, different
+/// target count or batch count) — a stale profile degrades to the
+/// default policy, it never degrades correctness.
+class AdaptiveScheduler final : public BatchScheduler {
+ public:
+  explicit AdaptiveScheduler(const CampaignResult& profile,
+                             double split_factor = 2.0);
+  /// No profile: every plan is the fixed plan (the CLI's cold-start path).
+  AdaptiveScheduler() = default;
+
+  std::string_view name() const override { return "adaptive"; }
+  BatchPlan plan(std::span<const FaultId> targets,
+                 const ScheduleContext& ctx) const override;
+
+ private:
+  struct TestProfile {
+    std::size_t faults_targeted = 0;
+    std::vector<double> shard_seconds;
+  };
+  std::map<std::string, TestProfile, std::less<>> profiles_;
+  double split_factor_ = 2.0;
+};
+
+}  // namespace olfui

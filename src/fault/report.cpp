@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "campaign/report.hpp"
 #include "util/strings.hpp"
 
 namespace olfui {
@@ -27,38 +28,10 @@ std::string to_csv(const FaultList& fl, bool untestable_only) {
 }
 
 std::string to_json_summary(const FaultList& fl) {
-  std::string out = "{\n";
-  out += format("  \"universe\": %zu,\n", fl.size());
-  out += format("  \"detected\": %zu,\n", fl.count_detected());
-  out += format("  \"untestable\": %zu,\n", fl.count_untestable());
-  out += "  \"by_source\": {\n";
-  bool first = true;
-  for (OnlineSource s :
-       {OnlineSource::kStructural, OnlineSource::kScan, OnlineSource::kDebugControl,
-        OnlineSource::kDebugObserve, OnlineSource::kMemoryMap}) {
-    out += format("%s    \"%s\": %zu", first ? "" : ",\n",
-                  std::string(to_string(s)).c_str(), fl.count_source(s));
-    first = false;
-  }
-  out += "\n  },\n";
-  std::size_t tied = 0, unobs = 0, redundant = 0;
-  for (FaultId f = 0; f < fl.size(); ++f) {
-    switch (fl.untestable_kind(f)) {
-      case UntestableKind::kTied: ++tied; break;
-      case UntestableKind::kUnobservable: ++unobs; break;
-      case UntestableKind::kRedundant: ++redundant; break;
-      case UntestableKind::kNone: break;
-    }
-  }
-  out += "  \"by_kind\": {\n";
-  out += format("    \"tied\": %zu,\n", tied);
-  out += format("    \"unobservable\": %zu,\n", unobs);
-  out += format("    \"redundant\": %zu\n", redundant);
-  out += "  },\n";
-  out += format("  \"raw_coverage\": %.6f,\n", fl.raw_coverage());
-  out += format("  \"pruned_coverage\": %.6f\n", fl.pruned_coverage());
-  out += "}\n";
-  return out;
+  // Thin compatibility shim: the schema (and the document model behind
+  // it) is owned by campaign/report's fault_summary_to_json, so the two
+  // report stacks cannot drift.
+  return fault_summary_to_json(fl).dump(2) + "\n";
 }
 
 std::vector<ModuleBreakdownRow> module_breakdown(const FaultList& fl) {

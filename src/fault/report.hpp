@@ -21,7 +21,8 @@ namespace olfui {
 std::string to_csv(const FaultList& fl, bool untestable_only = false);
 
 /// JSON object with universe size, per-source counts, per-kind counts and
-/// both coverage figures.
+/// both coverage figures. Thin shim over campaign/report.hpp's
+/// fault_summary_to_json — the campaign module owns the schema.
 std::string to_json_summary(const FaultList& fl);
 
 struct ModuleBreakdownRow {

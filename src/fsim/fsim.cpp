@@ -9,51 +9,73 @@
 
 namespace olfui {
 
-void GoodTrace::reserve_cycles(std::size_t n) {
-  cycle_run.reserve(n);
-  // Runs grow with bus activity, not cycle count; a modest floor avoids
-  // the first few doublings without committing cycle-proportional memory.
-  run_start.reserve(std::min<std::size_t>(n, 1024));
-  run_value.reserve(std::min<std::size_t>(n, 1024));
+bool ReferenceTrace::net_bit(int cycle, NetId net) const {
+  const Column& col = columns[net / 64];
+  // Last run starting at or before `cycle` (the first run starts at 0).
+  const auto it = std::upper_bound(col.cycle.begin(), col.cycle.end(),
+                                   static_cast<std::uint32_t>(cycle));
+  const std::size_t r = static_cast<std::size_t>(it - col.cycle.begin()) - 1;
+  return (col.value[r] >> (net % 64)) & 1ULL;
 }
 
-void GoodTrace::append_cycle(const std::uint64_t* words) {
-  if (words_per_cycle == 0) {  // nothing observed: only the bound matters
-    ++cycles;
-    return;
+void ReferenceTrace::net_history(NetId net,
+                                 std::vector<std::uint64_t>& packed) const {
+  const std::size_t n = static_cast<std::size_t>(cycles);
+  packed.assign((n + 63) / 64, 0);
+  const Column& col = columns[net / 64];
+  const int bit = static_cast<int>(net % 64);
+  for (std::size_t r = 0; r < col.cycle.size(); ++r) {
+    if (!((col.value[r] >> bit) & 1ULL)) continue;
+    const std::size_t hi = r + 1 < col.cycle.size() ? col.cycle[r + 1] : n;
+    for (std::size_t c = col.cycle[r]; c < hi; ++c)
+      packed[c / 64] |= 1ULL << (c % 64);
   }
-  const std::size_t base =
-      static_cast<std::size_t>(cycles) * words_per_cycle;
-  for (std::size_t j = 0; j < words_per_cycle; ++j) {
-    if (run_value.empty() || run_value.back() != words[j]) {
-      run_start.push_back(base + j);
-      run_value.push_back(words[j]);
+}
+
+void ReferenceTrace::reset(std::size_t nets) {
+  cycles = 0;
+  num_nets = nets;
+  columns.assign((nets + 63) / 64, {});
+}
+
+void ReferenceTrace::append_cycle(const std::uint64_t* words) {
+  for (std::size_t o = 0; o < columns.size(); ++o) {
+    Column& col = columns[o];
+    if (col.value.empty() || col.value.back() != words[o]) {
+      col.cycle.push_back(static_cast<std::uint32_t>(cycles));
+      col.value.push_back(words[o]);
     }
-    if (j == 0)
-      cycle_run.push_back(static_cast<std::uint32_t>(run_value.size() - 1));
   }
   ++cycles;
 }
 
-void GoodTrace::rebuild_index() {
-  if (run_start.size() != run_value.size())
-    throw std::runtime_error("GoodTrace: run arrays disagree");
-  if (total_words() > 0 && (run_start.empty() || run_start[0] != 0))
-    throw std::runtime_error("GoodTrace: first run must start at word 0");
-  for (std::size_t r = 0; r < run_start.size(); ++r) {
-    if (run_start[r] >= total_words() ||
-        (r > 0 && run_start[r] <= run_start[r - 1]))
-      throw std::runtime_error("GoodTrace: run starts not increasing in range");
+void ReferenceTrace::validate() const {
+  if (cycles < 0) throw std::runtime_error("ReferenceTrace: negative cycles");
+  if (columns.size() != (num_nets + 63) / 64)
+    throw std::runtime_error("ReferenceTrace: column count mismatch");
+  for (const Column& col : columns) {
+    if (col.cycle.size() != col.value.size())
+      throw std::runtime_error("ReferenceTrace: run arrays disagree");
+    if (cycles == 0) {
+      if (!col.cycle.empty())
+        throw std::runtime_error("ReferenceTrace: runs in an empty trace");
+      continue;
+    }
+    if (col.cycle.empty() || col.cycle[0] != 0)
+      throw std::runtime_error("ReferenceTrace: first run must start at 0");
+    for (std::size_t r = 1; r < col.cycle.size(); ++r) {
+      if (col.cycle[r] <= col.cycle[r - 1] ||
+          col.cycle[r] >= static_cast<std::uint32_t>(cycles))
+        throw std::runtime_error(
+            "ReferenceTrace: run starts not increasing in range");
+    }
   }
-  cycle_run.clear();
-  if (words_per_cycle == 0) return;
-  cycle_run.reserve(static_cast<std::size_t>(cycles));
-  std::size_t r = 0;
-  for (int cycle = 0; cycle < cycles; ++cycle) {
-    const std::size_t w = static_cast<std::size_t>(cycle) * words_per_cycle;
-    while (r + 1 < run_start.size() && run_start[r + 1] <= w) ++r;
-    cycle_run.push_back(static_cast<std::uint32_t>(r));
-  }
+}
+
+std::size_t ReferenceTrace::run_count() const {
+  std::size_t n = 0;
+  for (const Column& col : columns) n += col.value.size();
+  return n;
 }
 
 void drive_bus_lanes(PackedSim& sim, const Bus& bus,
@@ -91,37 +113,61 @@ SequentialFaultSimulator::SequentialFaultSimulator(
 
 void SequentialFaultSimulator::set_observed(std::vector<CellId> output_cells) {
   observed_ = std::move(output_cells);
+  prepared_trace_ = nullptr;  // cached columns follow the observed set
 }
 
-GoodTrace SequentialFaultSimulator::record_good_trace(FsimEnvironment& env) {
-  GoodTrace trace;
-  trace.words_per_cycle = (observed_.size() + 63) / 64;
-  // Size for the worst case up front: long programs previously paid a
-  // per-cycle resize on a flat bit array.
-  trace.reserve_cycles(static_cast<std::size_t>(std::max(opts_.max_cycles, 0)));
-  std::vector<std::uint64_t> words(trace.words_per_cycle);
+ReferenceTrace SequentialFaultSimulator::record_reference_trace(
+    FsimEnvironment& env) {
+  ReferenceTrace trace;
+  const std::size_t nets = nl_->num_nets();
+  trace.reset(nets);
+  std::vector<std::uint64_t> words(trace.columns.size());
   sim_.clear_injections();
   sim_.power_on();
   env.reset(sim_);
   for (int cycle = 0; cycle < opts_.max_cycles; ++cycle) {
     if (!env.step(sim_, cycle)) break;
     std::fill(words.begin(), words.end(), 0);
-    for (std::size_t k = 0; k < observed_.size(); ++k)
-      words[k / 64] |= (sim_.observed(observed_[k]) & 1ULL) << (k % 64);
+    for (NetId n = 0; n < nets; ++n)
+      words[n / 64] |= (sim_.value(n) & 1ULL) << (n % 64);
     trace.append_cycle(words.data());
     sim_.clock();
   }
   return trace;
 }
 
+void SequentialFaultSimulator::prepare_trace(const ReferenceTrace* trace) {
+  if (trace == prepared_trace_ &&
+      (!trace || (trace->cycles == prepared_cycles_ &&
+                  trace->num_nets == prepared_nets_ &&
+                  trace->run_count() == prepared_runs_)))
+    return;
+  prepared_trace_ = trace;
+  observed_history_.clear();
+  if (!trace) return;
+  prepared_cycles_ = trace->cycles;
+  prepared_nets_ = trace->num_nets;
+  prepared_runs_ = trace->run_count();
+  observed_history_.resize(observed_.size());
+  for (std::size_t k = 0; k < observed_.size(); ++k) {
+    // The good machine runs without injections, so an output port's
+    // observed value is exactly the value of the net it reads.
+    const Cell& c = nl_->cell(observed_[k]);
+    trace->net_history(c.ins[0], observed_history_[k]);
+  }
+}
+
 std::uint64_t SequentialFaultSimulator::observe_divergence(
-    int cycle, const GoodTrace* trace) const {
+    int cycle, const ReferenceTrace* trace) const {
   std::uint64_t diverged = 0;
+  const std::size_t c = static_cast<std::size_t>(cycle);
   for (std::size_t k = 0; k < observed_.size(); ++k) {
     const std::uint64_t w = sim_.observed(observed_[k]);
-    // Reference value: the checkpoint if we have one, else a broadcast
-    // of the good machine's (lane 0) bit.
-    const bool good_bit = trace ? trace->bit(cycle, k) : (w & 1ULL);
+    // Reference value: the checkpoint column if we have one, else a
+    // broadcast of the good machine's (lane 0) bit.
+    const bool good_bit =
+        trace ? ((observed_history_[k][c / 64] >> (c % 64)) & 1ULL) != 0
+              : (w & 1ULL) != 0;
     const std::uint64_t good = good_bit ? ~0ULL : 0ULL;
     diverged |= (w ^ good);
   }
@@ -138,8 +184,9 @@ std::uint64_t SequentialFaultSimulator::unpack_detected(std::uint64_t diverged,
 
 std::uint64_t SequentialFaultSimulator::run_batch(std::span<const FaultId> faults,
                                                   FsimEnvironment& env,
-                                                  const GoodTrace* trace) {
+                                                  const ReferenceTrace* trace) {
   assert(faults.size() <= 63);
+  prepare_trace(trace);
   sim_.clear_injections();
   std::uint64_t fault_lanes = 0;
   for (std::size_t i = 0; i < faults.size(); ++i) {
@@ -165,8 +212,9 @@ std::uint64_t SequentialFaultSimulator::run_batch(std::span<const FaultId> fault
 
 std::uint64_t SequentialFaultSimulator::run_tdf_batch(
     std::span<const FaultId> faults, FsimEnvironment& env,
-    const GoodTrace* trace) {
+    const ReferenceTrace* trace) {
   assert(faults.size() <= 63);
+  prepare_trace(trace);
   const int bound = trace ? trace->cycles : opts_.max_cycles;
 
   std::vector<NetId> site(faults.size());
@@ -177,20 +225,35 @@ std::uint64_t SequentialFaultSimulator::run_tdf_batch(
     if (tdf_slow_to_rise(f)) rise |= 1ULL << i;
   }
 
-  // Pass 1 — good machine: bit i of site_good[c] is faults[i]'s site value
-  // during cycle c (lane 0 carries the good machine; no injections exist).
-  sim_.clear_injections();
-  sim_.power_on();
-  env.reset(sim_);
+  // Launch schedules — bit i of site_good[c] is faults[i]'s site value
+  // during cycle c. With a checkpoint they come straight out of the
+  // shared all-net trace (no good-machine pass per batch); without one, a
+  // pass 1 replays the good machine and records them (lane 0 carries the
+  // good machine; no injections exist). Both paths read the identical
+  // values, so detection cannot depend on which one ran.
   std::vector<std::uint64_t> site_good;
-  site_good.reserve(static_cast<std::size_t>(std::max(bound, 0)));
-  for (int cycle = 0; cycle < bound; ++cycle) {
-    if (!env.step(sim_, cycle)) break;
-    std::uint64_t w = 0;
-    for (std::size_t i = 0; i < faults.size(); ++i)
-      w |= (sim_.value(site[i]) & 1ULL) << i;
-    site_good.push_back(w);
-    sim_.clock();
+  if (trace) {
+    site_good.assign(static_cast<std::size_t>(std::max(bound, 0)), 0);
+    std::vector<std::uint64_t> hist;
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      trace->net_history(site[i], hist);
+      for (int c = 0; c < bound; ++c)
+        site_good[static_cast<std::size_t>(c)] |=
+            ((hist[static_cast<std::size_t>(c) / 64] >> (c % 64)) & 1ULL) << i;
+    }
+  } else {
+    sim_.clear_injections();
+    sim_.power_on();
+    env.reset(sim_);
+    site_good.reserve(static_cast<std::size_t>(std::max(bound, 0)));
+    for (int cycle = 0; cycle < bound; ++cycle) {
+      if (!env.step(sim_, cycle)) break;
+      std::uint64_t w = 0;
+      for (std::size_t i = 0; i < faults.size(); ++i)
+        w |= (sim_.value(site[i]) & 1ULL) << i;
+      site_good.push_back(w);
+      sim_.clock();
+    }
   }
   const int cycles = static_cast<int>(site_good.size());
 

@@ -61,46 +61,52 @@ struct SeqFsimOptions {
 };
 
 /// Checkpoint of one fault-free run: the executed cycle count plus the
-/// per-cycle values of every observed output. A campaign records the good
-/// machine once per test program and replays the checkpoint as the
-/// reference in every batch, so detection no longer re-derives the good
-/// values from lane 0 and the cycle bound is exact instead of a guess.
+/// per-cycle lane-0 value of EVERY net. A campaign records the good
+/// machine once per test program; every batch of every worker then reads
+/// its reference from the checkpoint instead of re-deriving good values —
+/// the stuck-at path replays the observed-output columns, the TDF path
+/// reads each fault site's launch schedule straight out of the trace
+/// (eliminating the per-batch good-machine pass 1), and an incremental
+/// re-grade can diff any net's history against a previous run.
 ///
-/// Storage is run-length compressed over the 64-bit observed words
-/// (conceptual word index w = cycle * words_per_cycle + word-in-cycle):
-/// run r covers [run_start[r], run_start[r+1]) with the constant word
-/// run_value[r]. Observed buses idle for most cycles, so million-cycle
-/// checkpoints collapse to a handful of runs; `cycle_run` indexes the run
-/// holding each cycle's first word, bounding bit() to a scan of at most
-/// words_per_cycle runs.
-struct GoodTrace {
+/// Storage is column-oriented RLE: nets are packed 64 to a word column,
+/// and each column stores (start cycle, word value) runs — a cycle that
+/// changes none of a column's nets appends nothing, so the trace grows
+/// with bus activity, not with cycles * nets. (A positional RLE over the
+/// concatenated per-cycle words — what the old observed-only GoodTrace
+/// used — degenerates once a cycle spans hundreds of words: an unchanged
+/// cycle still re-emits every distinct adjacent word.)
+struct ReferenceTrace {
+  /// One 64-net word column: run r holds `value[r]` from `cycle[r]` until
+  /// the next run's start (or the end of the trace).
+  struct Column {
+    std::vector<std::uint32_t> cycle;  ///< run starts, increasing, first 0
+    std::vector<std::uint64_t> value;
+  };
+
   int cycles = 0;
-  std::size_t words_per_cycle = 0;  ///< ceil(observed_count / 64)
-  std::vector<std::uint64_t> run_start;  ///< first word index of each run
-  std::vector<std::uint64_t> run_value;
-  std::vector<std::uint32_t> cycle_run;  ///< run of cycle's first word
+  std::size_t num_nets = 0;
+  std::vector<Column> columns;  ///< ceil(num_nets / 64)
 
-  bool bit(int cycle, std::size_t observed_index) const {
-    const std::size_t w =
-        static_cast<std::size_t>(cycle) * words_per_cycle + observed_index / 64;
-    std::size_t r = cycle_run[static_cast<std::size_t>(cycle)];
-    while (r + 1 < run_start.size() && run_start[r + 1] <= w) ++r;
-    return (run_value[r] >> (observed_index % 64)) & 1ULL;
-  }
+  /// Lane-0 value of `net` during `cycle` (binary search in the column).
+  bool net_bit(int cycle, NetId net) const;
 
-  /// Reserves for an expected cycle count (avoids per-cycle reallocation
-  /// on long programs; runs stay demand-allocated).
-  void reserve_cycles(std::size_t n);
-  /// Appends one cycle's observed words (words_per_cycle of them). Cycles
-  /// must be appended in order; increments `cycles`.
+  /// One net's whole history, packed by cycle (bit c of packed[c / 64]).
+  /// Walks the net's column once — the bulk form every per-batch consumer
+  /// uses instead of per-cycle net_bit() scans.
+  void net_history(NetId net, std::vector<std::uint64_t>& packed) const;
+
+  /// Clears and sizes the columns for a netlist with `nets` nets.
+  void reset(std::size_t nets);
+  /// Appends one cycle's net words (columns.size() of them). Cycles must
+  /// be appended in order; increments `cycles`.
   void append_cycle(const std::uint64_t* words);
-  /// Recomputes cycle_run from run_start (after deserialization). Throws
-  /// std::runtime_error if the runs do not tile [0, cycles*words_per_cycle).
-  void rebuild_index();
+  /// Checks the column invariants (after deserialization). Throws
+  /// std::runtime_error on malformed runs.
+  void validate() const;
 
-  std::size_t total_words() const {
-    return static_cast<std::size_t>(cycles) * words_per_cycle;
-  }
+  /// Total stored runs across all columns (the compression measure).
+  std::size_t run_count() const;
 };
 
 class SequentialFaultSimulator {
@@ -115,37 +121,44 @@ class SequentialFaultSimulator {
   /// Observed output ports (system bus). Detection compares these only.
   void set_observed(std::vector<CellId> output_cells);
 
-  /// Runs the good machine once with no injections, recording the observed
-  /// outputs each cycle. The returned checkpoint is tied to this
-  /// simulator's observed set and to `env`'s stimulus.
-  GoodTrace record_good_trace(FsimEnvironment& env);
+  /// Runs the good machine once with no injections, recording every net
+  /// each cycle. The returned checkpoint is tied to `env`'s stimulus (not
+  /// to the observed set — it carries all nets, so one recording serves
+  /// stuck-at references, TDF launch schedules, and future re-grades).
+  ReferenceTrace record_reference_trace(FsimEnvironment& env);
 
   /// Simulates one batch of up to 63 faults against the good machine.
   /// Returns a bit per batch entry: detected or not. With `trace`, the
   /// reference values come from the checkpoint (recorded by
-  /// record_good_trace) instead of lane 0, and the run is bounded by the
-  /// checkpoint's cycle count.
+  /// record_reference_trace) instead of lane 0, and the run is bounded by
+  /// the checkpoint's cycle count. The trace must stay alive (and
+  /// unmodified) across the batches that pass it: the simulator caches
+  /// per-observed-output history columns keyed on the trace pointer.
   std::uint64_t run_batch(std::span<const FaultId> faults, FsimEnvironment& env,
-                          const GoodTrace* trace = nullptr);
+                          const ReferenceTrace* trace = nullptr);
 
   /// Transition-delay batch (the TDF reading of the same fault ids — see
-  /// fault/tdf.hpp): two passes over the test program. Pass 1 replays the
-  /// good machine and records each fault site's launch schedule (the
-  /// cycles where the site's good value makes the fault's transition,
-  /// 0->1 for slow-to-rise, 1->0 for slow-to-fall). Pass 2 runs the
-  /// faulty machines with each fault armed only on its capture cycles —
-  /// the site held at its pre-transition value for exactly the cycle
-  /// after each launch — and grades divergence on the observed outputs
-  /// like run_batch. Launches are read from the good machine (the
-  /// standard parallel-TDF approximation), so results are deterministic
-  /// and kernel-independent. `trace` bounds the run and supplies the
-  /// reference exactly as in run_batch; the env must replay identical
-  /// stimulus across both passes (true of every FsimEnvironment whose
-  /// reset() fully rewinds it, which reuse across batches already
-  /// requires).
+  /// fault/tdf.hpp): launch/capture over the test program. The launch
+  /// schedule of each fault site (the cycles where the site's good value
+  /// makes the fault's transition, 0->1 for slow-to-rise, 1->0 for
+  /// slow-to-fall) comes from the shared ReferenceTrace when one is given
+  /// — the trace already holds every net's good history, so the per-batch
+  /// good-machine pass 1 disappears and only the capture-armed faulty
+  /// pass runs (the launch-schedule-sharing speedup measured by
+  /// bench_tdf_extension). Without a trace, a pass 1 replays the good
+  /// machine and records the site values first (the self-contained
+  /// oracle path). Either way the faulty pass arms each fault only on its
+  /// capture cycles — the site held at its pre-transition value for
+  /// exactly the cycle after each launch — and grades divergence on the
+  /// observed outputs like run_batch. Launches are read from the good
+  /// machine (the standard parallel-TDF approximation), so results are
+  /// deterministic, kernel-independent, and identical with or without the
+  /// trace; the env must replay identical stimulus across passes (true of
+  /// every FsimEnvironment whose reset() fully rewinds it, which reuse
+  /// across batches already requires).
   std::uint64_t run_tdf_batch(std::span<const FaultId> faults,
                               FsimEnvironment& env,
-                              const GoodTrace* trace = nullptr);
+                              const ReferenceTrace* trace = nullptr);
 
   /// Runs all faults of `fl` that are neither detected nor untestable,
   /// marking newly detected faults. Returns the number of new detections.
@@ -167,15 +180,28 @@ class SequentialFaultSimulator {
   /// (checkpoint bit when `trace` is given, else a lane-0 broadcast).
   /// Shared by the stuck-at and TDF batch loops so the two models can
   /// never drift on observation semantics.
-  std::uint64_t observe_divergence(int cycle, const GoodTrace* trace) const;
+  std::uint64_t observe_divergence(int cycle, const ReferenceTrace* trace) const;
   /// Repacks per-lane divergence (lane i+1 = faults[i]) into per-fault bits.
   static std::uint64_t unpack_detected(std::uint64_t diverged, std::size_t n);
+  /// Extracts each observed output's history column from `trace` once per
+  /// trace (cached on the pointer), so observe_divergence is a packed-bit
+  /// read per output instead of a per-cycle run scan.
+  void prepare_trace(const ReferenceTrace* trace);
 
   const Netlist* nl_;
   const FaultUniverse* universe_;
   SeqFsimOptions opts_;
   PackedSim sim_;
   std::vector<CellId> observed_;
+  /// prepare_trace cache: per observed output, cycle-packed good bits.
+  /// Keyed on the trace pointer plus a shape fingerprint (cycles, nets,
+  /// run count), so a different trace that happens to land at a freed
+  /// trace's address still triggers a rebuild.
+  const ReferenceTrace* prepared_trace_ = nullptr;
+  int prepared_cycles_ = -1;
+  std::size_t prepared_nets_ = 0;
+  std::size_t prepared_runs_ = 0;
+  std::vector<std::vector<std::uint64_t>> observed_history_;
 };
 
 /// Parallel-pattern single-fault combinational simulation: returns true if

@@ -322,7 +322,7 @@ class SbstBatchRunner final : public FaultBatchRunner {
  public:
   SbstBatchRunner(const Soc& soc, const FaultUniverse& universe,
                   std::shared_ptr<const FlashImage> flash,
-                  std::shared_ptr<const GoodTrace> trace,
+                  std::shared_ptr<const ReferenceTrace> trace,
                   std::shared_ptr<const PackedTopology> topo, int max_cycles,
                   bool event_driven, FaultModel fault_model)
       : flash_(std::move(flash)),
@@ -343,7 +343,7 @@ class SbstBatchRunner final : public FaultBatchRunner {
 
  private:
   std::shared_ptr<const FlashImage> flash_;
-  std::shared_ptr<const GoodTrace> trace_;
+  std::shared_ptr<const ReferenceTrace> trace_;
   SocFsimEnvironment env_;
   SequentialFaultSimulator fsim_;
   FaultModel fault_model_;
@@ -368,14 +368,15 @@ std::vector<CampaignTest> build_sbst_campaign_tests(
     const int max_cycles = cycles[i] + margin;
 
     // Checkpoint the good machine once; every batch of every worker then
-    // replays this trace as its reference.
+    // replays this trace as its reference (and, under the TDF model, reads
+    // its launch schedules from it instead of re-running a good pass).
     SocFsimEnvironment trace_env(soc, *flash, max_cycles);
     SequentialFaultSimulator tracer(
         soc.netlist, universe,
         {.max_cycles = max_cycles, .event_driven = event_driven}, topo);
     tracer.set_observed(soc.cpu.bus_output_cells);
-    auto trace =
-        std::make_shared<const GoodTrace>(tracer.record_good_trace(trace_env));
+    auto trace = std::make_shared<const ReferenceTrace>(
+        tracer.record_reference_trace(trace_env));
 
     CampaignTest test;
     test.name = suite[i].name;

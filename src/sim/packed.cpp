@@ -75,6 +75,48 @@ std::shared_ptr<const PackedTopology> PackedTopology::build(const Netlist& nl) {
   return topo;
 }
 
+ConeAnalysis ConeAnalysis::build(const PackedTopology& topo) {
+  const Netlist& nl = *topo.nl;
+  ConeAnalysis ca;
+  ca.net_sig.assign(nl.num_nets(), 0);
+
+  // Seed: output ports mark the nets they read (cones end at observation,
+  // and a port's own bit lets faults on the port cell group with its cone).
+  for (CellId oc : nl.output_cells()) {
+    const Cell& c = nl.cell(oc);
+    if (!c.ins.empty()) ca.net_sig[c.ins[0]] |= cone_bit(oc);
+  }
+
+  // Alternate a flop back-propagation pass (D-side nets inherit the Q
+  // cone: fault effects latch across the edge) with a reverse-topological
+  // combinational pass (one pass settles the whole combinational closure
+  // given the current flop/port seeds) until nothing changes. Signatures
+  // only gain bits, so the fixpoint exists and every reachable cell's bit
+  // is present in it.
+  const auto merge = [&](NetId net, std::uint64_t contrib) {
+    const std::uint64_t merged = ca.net_sig[net] | contrib;
+    if (merged == ca.net_sig[net]) return false;
+    ca.net_sig[net] = merged;
+    return true;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++ca.rounds;
+    for (CellId id : topo.flop_cells) {
+      const Cell& c = nl.cell(id);
+      const std::uint64_t contrib = cone_bit(id) | ca.net_sig[c.out];
+      for (NetId in : c.ins) changed |= merge(in, contrib);
+    }
+    for (std::size_t i = topo.order.size(); i-- > 0;) {
+      const PackedTopology::FlatCell& fc = topo.order[i];
+      const std::uint64_t contrib = cone_bit(fc.id) | ca.net_sig[fc.out];
+      for (int k = 0; k < fc.n; ++k) changed |= merge(fc.in[k], contrib);
+    }
+  }
+  return ca;
+}
+
 PackedSim::PackedSim(const Netlist& nl) : PackedSim(PackedTopology::build(nl)) {}
 
 PackedSim::PackedSim(std::shared_ptr<const PackedTopology> topo)

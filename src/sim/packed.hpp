@@ -70,6 +70,32 @@ struct PackedTopology {
   static std::shared_ptr<const PackedTopology> build(const Netlist& nl);
 };
 
+/// Static fanout-cone signatures over a topology. `net_sig[n]` is a 64-bit
+/// Bloom approximation of the set of cells reachable from net `n` —
+/// through combinational logic, across flops (next-cycle propagation), and
+/// into output ports. A reachable cell's cone_bit() is ALWAYS set in the
+/// signature (no false negatives, checked against a brute-force BFS oracle
+/// in tests/scheduler_test.cpp); unrelated cells may collide onto the same
+/// bit, which is fine for the only consumer — the cone-aware batch
+/// scheduler, which groups faults whose signatures overlap so a batch's
+/// event-driven active set stays small and early exit is uniform within
+/// the batch. Built once per topology by iterating a reverse-topological
+/// combinational pass with a flop back-propagation pass to the sequential
+/// fixpoint (signatures grow monotonically, so termination is guaranteed;
+/// rounds scale with sequential depth).
+struct ConeAnalysis {
+  std::vector<std::uint64_t> net_sig;  ///< per net
+  int rounds = 0;  ///< passes needed to reach the sequential fixpoint
+
+  /// The Bloom bit of one cell (dense ids mixed so neighbours spread
+  /// across all 64 bits instead of aliasing onto the same few).
+  static std::uint64_t cone_bit(CellId id) {
+    return 1ULL << ((id * 0x9E3779B97F4A7C15ULL) >> 58);
+  }
+
+  static ConeAnalysis build(const PackedTopology& topo);
+};
+
 /// eval() strategy; both produce bit-identical values.
 enum class PackedEvalMode : std::uint8_t {
   kEventDriven,  ///< dirty-set scheduling over the fanout graph (default)

@@ -68,7 +68,7 @@ class RigBatchRunner final : public FaultBatchRunner {
  public:
   RigBatchRunner(const CounterRig& rig, const FaultUniverse& u,
                  std::vector<CellId> observed,
-                 std::shared_ptr<const GoodTrace> trace,
+                 std::shared_ptr<const ReferenceTrace> trace,
                  FaultModel model = FaultModel::kStuckAt)
       : env_(rig.en),
         fsim_(rig.nl, u, {.max_cycles = kCycles}),
@@ -85,7 +85,7 @@ class RigBatchRunner final : public FaultBatchRunner {
  private:
   CounterEnv env_;
   SequentialFaultSimulator fsim_;
-  std::shared_ptr<const GoodTrace> trace_;
+  std::shared_ptr<const ReferenceTrace> trace_;
   FaultModel model_;
 };
 
@@ -95,8 +95,8 @@ CampaignTest make_rig_test(const CounterRig& rig, const FaultUniverse& u,
   CounterEnv trace_env(rig.en);
   SequentialFaultSimulator tracer(rig.nl, u, {.max_cycles = kCycles});
   tracer.set_observed(observed);
-  auto trace =
-      std::make_shared<const GoodTrace>(tracer.record_good_trace(trace_env));
+  auto trace = std::make_shared<const ReferenceTrace>(
+      tracer.record_reference_trace(trace_env));
   CampaignTest test;
   test.name = std::move(name);
   test.good_cycles = kCycles;
@@ -265,75 +265,94 @@ TEST(BitVecHex, RoundTrips) {
 }
 
 // ---------------------------------------------------------------------------
-// GoodTrace checkpoint
+// ReferenceTrace checkpoint
 
-TEST(GoodTrace, TracedBatchMatchesLane0Reference) {
+TEST(ReferenceTrace, TracedBatchesMatchUntracedForBothModels) {
   CounterRig rig;
   const FaultUniverse u(rig.nl);
   SequentialFaultSimulator fsim(rig.nl, u, {.max_cycles = kCycles});
   fsim.set_observed(rig.outputs);
   CounterEnv env(rig.en);
-  const GoodTrace trace = fsim.record_good_trace(env);
+  const ReferenceTrace trace = fsim.record_reference_trace(env);
   EXPECT_EQ(trace.cycles, kCycles);
-  ASSERT_EQ(trace.words_per_cycle, 1u);
+  EXPECT_EQ(trace.num_nets, rig.nl.num_nets());
+  ASSERT_EQ(trace.columns.size(), (rig.nl.num_nets() + 63) / 64);
 
   std::vector<FaultId> batch(63);
   std::iota(batch.begin(), batch.end(), 0u);
-  const std::uint64_t plain = fsim.run_batch(batch, env);
-  const std::uint64_t traced = fsim.run_batch(batch, env, &trace);
-  EXPECT_EQ(plain, traced);
+  EXPECT_EQ(fsim.run_batch(batch, env), fsim.run_batch(batch, env, &trace));
+  // TDF: the traced path reads launch schedules from the checkpoint (no
+  // pass 1); it must grade exactly like the self-contained two-pass path.
+  EXPECT_EQ(fsim.run_tdf_batch(batch, env),
+            fsim.run_tdf_batch(batch, env, &trace));
 }
 
-TEST(GoodTrace, RleCompressesBehindBitAccessor) {
+TEST(ReferenceTrace, ColumnRleMatchesReplayOnEveryNet) {
   CounterRig rig;
   const FaultUniverse u(rig.nl);
   SequentialFaultSimulator fsim(rig.nl, u, {.max_cycles = kCycles});
   fsim.set_observed(rig.outputs);
   CounterEnv env(rig.en);
-  const GoodTrace trace = fsim.record_good_trace(env);
+  const ReferenceTrace trace = fsim.record_reference_trace(env);
 
-  // Reference: replay the good machine and compare every bit() readback.
+  // Reference: replay the good machine and compare every net_bit readback.
   PackedSim sim(rig.nl);
   sim.power_on();
   env.reset(sim);
   for (int cycle = 0; cycle < trace.cycles; ++cycle) {
     ASSERT_TRUE(env.step(sim, cycle));
-    for (std::size_t k = 0; k < rig.outputs.size(); ++k)
-      ASSERT_EQ(trace.bit(cycle, k), (sim.observed(rig.outputs[k]) & 1) != 0)
-          << "cycle " << cycle << " bit " << k;
+    for (NetId n = 0; n < rig.nl.num_nets(); ++n)
+      ASSERT_EQ(trace.net_bit(cycle, n), (sim.value(n) & 1ULL) != 0)
+          << "cycle " << cycle << " net " << n;
     sim.clock();
   }
-  // A counter's low bits toggle constantly but the trace must still store
-  // no more runs than words; the high bits make runs collapse.
-  EXPECT_LE(trace.run_value.size(), trace.total_words());
-  EXPECT_EQ(trace.cycle_run.size(), static_cast<std::size_t>(trace.cycles));
+  // net_history is the bulk form of net_bit — bit-for-bit the same view.
+  std::vector<std::uint64_t> packed;
+  for (NetId n = 0; n < rig.nl.num_nets(); ++n) {
+    trace.net_history(n, packed);
+    ASSERT_EQ(packed.size(),
+              (static_cast<std::size_t>(trace.cycles) + 63) / 64);
+    for (int cycle = 0; cycle < trace.cycles; ++cycle)
+      ASSERT_EQ((packed[static_cast<std::size_t>(cycle) / 64] >>
+                 (cycle % 64)) & 1ULL,
+                trace.net_bit(cycle, n) ? 1ULL : 0ULL)
+          << "net " << n << " cycle " << cycle;
+  }
+  // Column RLE: a column never stores more runs than cycles, and the
+  // quiet columns (high counter bits, constant nets) collapse.
+  EXPECT_LE(trace.run_count(),
+            static_cast<std::size_t>(trace.cycles) * trace.columns.size());
+  EXPECT_GT(trace.run_count(), 0u);
 }
 
-TEST(GoodTrace, JsonRoundTrips) {
+TEST(ReferenceTrace, JsonRoundTrips) {
   CounterRig rig;
   const FaultUniverse u(rig.nl);
   SequentialFaultSimulator fsim(rig.nl, u, {.max_cycles = kCycles});
   fsim.set_observed(rig.outputs);
   CounterEnv env(rig.en);
-  const GoodTrace trace = fsim.record_good_trace(env);
+  const ReferenceTrace trace = fsim.record_reference_trace(env);
 
-  const Json doc = good_trace_to_json(trace);
-  const GoodTrace back = good_trace_from_json(doc);
+  const Json doc = reference_trace_to_json(trace);
+  const ReferenceTrace back = reference_trace_from_json(doc);
   EXPECT_EQ(back.cycles, trace.cycles);
-  EXPECT_EQ(back.words_per_cycle, trace.words_per_cycle);
-  EXPECT_EQ(back.run_start, trace.run_start);
-  EXPECT_EQ(back.run_value, trace.run_value);
-  EXPECT_EQ(back.cycle_run, trace.cycle_run);
+  EXPECT_EQ(back.num_nets, trace.num_nets);
+  ASSERT_EQ(back.columns.size(), trace.columns.size());
+  for (std::size_t o = 0; o < trace.columns.size(); ++o) {
+    EXPECT_EQ(back.columns[o].cycle, trace.columns[o].cycle);
+    EXPECT_EQ(back.columns[o].value, trace.columns[o].value);
+  }
   // dump -> parse -> import still matches bit-for-bit.
-  const GoodTrace reparsed = good_trace_from_json(Json::parse(doc.dump(2)));
+  const ReferenceTrace reparsed =
+      reference_trace_from_json(Json::parse(doc.dump(2)));
   for (int cycle = 0; cycle < trace.cycles; ++cycle)
-    for (std::size_t k = 0; k < rig.outputs.size(); ++k)
-      ASSERT_EQ(reparsed.bit(cycle, k), trace.bit(cycle, k));
+    for (NetId n = 0; n < rig.nl.num_nets(); ++n)
+      ASSERT_EQ(reparsed.net_bit(cycle, n), trace.net_bit(cycle, n));
 
   // Corrupt documents must throw, not crash.
-  Json bad = good_trace_to_json(trace);
-  bad.set("run_start", Json::array());
-  EXPECT_THROW(good_trace_from_json(bad), std::exception);
+  Json bad = reference_trace_to_json(trace);
+  bad.set("columns", Json::array());
+  EXPECT_THROW(reference_trace_from_json(bad), std::exception);
 }
 
 // ---------------------------------------------------------------------------

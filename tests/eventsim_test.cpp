@@ -195,7 +195,9 @@ TEST(EventSim, InjectionsMatchFullSweepOracle) {
 // that re-injects the full stuck record from scratch (clear + add, the
 // always-full-sweep path) on exactly the capture cycles the good run
 // launched. run_tdf_batch must reproduce its verdict fault-for-fault with
-// either kernel, with and without a GoodTrace checkpoint.
+// either kernel, with and without a ReferenceTrace checkpoint (the traced
+// path reads its launch schedules out of the shared all-net trace instead
+// of running pass 1 — same verdicts, one good pass fewer).
 
 /// Replays a fixed per-cycle stimulus (identical on all lanes), so every
 /// pass of every engine sees the same test "program".
@@ -294,7 +296,7 @@ TEST(TdfSim, BatchMatchesNaiveTwoCycleOracle) {
     sweep_opts.event_driven = false;
     SequentialFaultSimulator sweep(d.nl, u, sweep_opts);
     sweep.set_observed(d.output_cells);
-    const GoodTrace trace = evt.record_good_trace(env);
+    const ReferenceTrace trace = evt.record_reference_trace(env);
 
     for (FaultId base = 0; base < u.size(); base += 63) {
       const std::size_t n = std::min<std::size_t>(63, u.size() - base);
@@ -361,7 +363,7 @@ class CounterEnv : public FsimEnvironment {
 class RigBatchRunner final : public FaultBatchRunner {
  public:
   RigBatchRunner(const CounterRig& rig, const FaultUniverse& u,
-                 std::shared_ptr<const GoodTrace> trace, bool event_driven,
+                 std::shared_ptr<const ReferenceTrace> trace, bool event_driven,
                  FaultModel model)
       : env_(rig.en),
         fsim_(rig.nl, u,
@@ -379,7 +381,7 @@ class RigBatchRunner final : public FaultBatchRunner {
  private:
   CounterEnv env_;
   SequentialFaultSimulator fsim_;
-  std::shared_ptr<const GoodTrace> trace_;
+  std::shared_ptr<const ReferenceTrace> trace_;
   FaultModel model_;
 };
 
@@ -390,8 +392,8 @@ CampaignTest make_rig_test(const CounterRig& rig, const FaultUniverse& u,
   SequentialFaultSimulator tracer(
       rig.nl, u, {.max_cycles = kCycles, .event_driven = event_driven});
   tracer.set_observed(rig.outputs);
-  auto trace =
-      std::make_shared<const GoodTrace>(tracer.record_good_trace(trace_env));
+  auto trace = std::make_shared<const ReferenceTrace>(
+      tracer.record_reference_trace(trace_env));
   CampaignTest test;
   test.name = event_driven ? "event" : "sweep";
   test.good_cycles = kCycles;

@@ -1,0 +1,417 @@
+// Scheduling-seam suite: the static cone analysis against a brute-force
+// BFS reachability oracle on randomized netlists, the BatchPlan contract,
+// the three shipped policies' plan shapes, and the campaign-level
+// guarantee that batch formation never changes detection results — the
+// same rig graded under fixed / cone / adaptive plans, across thread
+// counts and both kernels, must produce the bit-identical detection set.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "campaign/report.hpp"
+#include "campaign/scheduler.hpp"
+#include "fault/fault_list.hpp"
+#include "fault/universe.hpp"
+#include "fsim/fsim.hpp"
+#include "netlist/wordops.hpp"
+#include "sim/packed.hpp"
+#include "util/rng.hpp"
+
+namespace olfui {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Random netlist generation (the eventsim_test recipe: inputs and declared
+// flops first so feedback paths exist, then a DAG of random gates, then
+// outputs and the flop D connections).
+
+struct RandomDesign {
+  Netlist nl{"rand"};
+  std::vector<NetId> input_nets;
+  std::vector<CellId> output_cells;
+};
+
+RandomDesign random_design(Rng& rng, int n_inputs, int n_flops, int n_gates) {
+  RandomDesign d;
+  std::vector<NetId> nets;
+  for (int i = 0; i < n_inputs; ++i) {
+    const NetId n = d.nl.add_input("in" + std::to_string(i));
+    d.input_nets.push_back(n);
+    nets.push_back(n);
+  }
+  nets.push_back(d.nl.add_cell(CellType::kTie0, "u_t0", d.nl.add_net("t0"), {}));
+  nets.push_back(d.nl.add_cell(CellType::kTie1, "u_t1", d.nl.add_net("t1"), {}));
+  const NetId rstn = d.input_nets[0];
+
+  std::vector<CellId> flops;
+  for (int f = 0; f < n_flops; ++f) {
+    const NetId q = d.nl.add_net("q" + std::to_string(f));
+    const CellId cell =
+        rng.next_bool()
+            ? d.nl.add_cell(CellType::kDffR, "u_ff" + std::to_string(f), q,
+                            {kInvalidId, rstn})
+            : d.nl.add_cell(CellType::kDff, "u_ff" + std::to_string(f), q,
+                            {kInvalidId});
+    flops.push_back(cell);
+    nets.push_back(q);
+  }
+
+  const CellType kGateTypes[] = {
+      CellType::kBuf,   CellType::kNot,   CellType::kAnd2,  CellType::kAnd3,
+      CellType::kOr2,   CellType::kOr3,   CellType::kNand2, CellType::kNor2,
+      CellType::kXor2,  CellType::kXnor2, CellType::kMux2};
+  for (int g = 0; g < n_gates; ++g) {
+    const CellType t =
+        kGateTypes[rng.next_below(sizeof kGateTypes / sizeof kGateTypes[0])];
+    std::vector<NetId> ins(static_cast<std::size_t>(num_inputs(t)));
+    for (NetId& in : ins) in = nets[rng.next_below(nets.size())];
+    const NetId out = d.nl.add_net("g" + std::to_string(g));
+    d.nl.add_cell(t, "u_g" + std::to_string(g), out, std::move(ins));
+    nets.push_back(out);
+  }
+
+  for (CellId f : flops)
+    d.nl.connect_input(f, 0, nets[rng.next_below(nets.size())]);
+
+  for (int o = 0; o < 6; ++o)
+    d.output_cells.push_back(d.nl.add_output(
+        "out" + std::to_string(o), nets[rng.next_below(nets.size())]));
+
+  EXPECT_TRUE(d.nl.validate().empty());
+  return d;
+}
+
+/// Brute-force oracle: every cell reachable from `net` through the
+/// netlist fanout — combinational readers, flops (via Q), output ports.
+std::vector<CellId> bfs_reachable(const Netlist& nl, NetId net) {
+  std::vector<char> cell_seen(nl.num_cells(), 0), net_seen(nl.num_nets(), 0);
+  std::vector<NetId> frontier{net};
+  net_seen[net] = 1;
+  std::vector<CellId> reachable;
+  while (!frontier.empty()) {
+    const NetId n = frontier.back();
+    frontier.pop_back();
+    for (const Pin& p : nl.net(n).fanout) {
+      if (cell_seen[p.cell]) continue;
+      cell_seen[p.cell] = 1;
+      reachable.push_back(p.cell);
+      const NetId out = nl.cell(p.cell).out;
+      if (out != kInvalidId && !net_seen[out]) {
+        net_seen[out] = 1;
+        frontier.push_back(out);
+      }
+    }
+  }
+  return reachable;
+}
+
+// ---------------------------------------------------------------------------
+// ConeAnalysis vs the BFS oracle
+
+TEST(ConeAnalysis, SignaturesCoverBruteForceReachability) {
+  // The Bloom contract: a reachable cell's bit is ALWAYS in the net's
+  // signature (false positives allowed, false negatives never).
+  for (std::uint64_t seed = 31; seed <= 35; ++seed) {
+    Rng rng(seed);
+    RandomDesign d = random_design(rng, 8, 14, 120);
+    const auto topo = PackedTopology::build(d.nl);
+    const ConeAnalysis ca = ConeAnalysis::build(*topo);
+    ASSERT_EQ(ca.net_sig.size(), d.nl.num_nets());
+    EXPECT_GT(ca.rounds, 0);
+    for (NetId n = 0; n < d.nl.num_nets(); ++n) {
+      for (CellId c : bfs_reachable(d.nl, n))
+        ASSERT_NE(ca.net_sig[n] & ConeAnalysis::cone_bit(c), 0u)
+            << "seed " << seed << ": cell " << d.nl.cell(c).name
+            << " reachable from net " << d.nl.net(n).name
+            << " but missing from its cone signature";
+    }
+  }
+}
+
+TEST(ConeAnalysis, UnreadNetHasEmptySignature) {
+  Netlist nl("t");
+  WordOps w(nl, "m");
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId y = w.and2(a, b, "y");
+  nl.add_output("o", y);
+  const NetId dangling = nl.add_input("unused");
+  const auto topo = PackedTopology::build(nl);
+  const ConeAnalysis ca = ConeAnalysis::build(*topo);
+  EXPECT_EQ(ca.net_sig[dangling], 0u);
+  EXPECT_NE(ca.net_sig[a], 0u);
+  // The AND's inputs see the gate and the output port downstream.
+  const CellId gate = nl.net(y).driver;
+  EXPECT_NE(ca.net_sig[a] & ConeAnalysis::cone_bit(gate), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// BatchPlan contract
+
+TEST(BatchPlan, FixedTilesTargetsAndValidates) {
+  const BatchPlan plan = BatchPlan::fixed(10, 3);
+  EXPECT_EQ(plan.batches(), 4u);
+  EXPECT_EQ(plan.batch_start, (std::vector<std::uint32_t>{0, 3, 6, 9, 10}));
+  EXPECT_NO_THROW(plan.validate(10, 63));
+
+  const BatchPlan empty = BatchPlan::fixed(0, 63);
+  EXPECT_EQ(empty.batches(), 0u);
+  EXPECT_NO_THROW(empty.validate(0, 63));
+}
+
+TEST(BatchPlan, ValidateRejectsMalformedPlans) {
+  BatchPlan plan = BatchPlan::fixed(8, 4);
+  plan.order[3] = 2;  // duplicate index
+  EXPECT_THROW(plan.validate(8, 63), std::invalid_argument);
+
+  plan = BatchPlan::fixed(8, 4);
+  plan.batch_start.back() = 7;  // does not tile
+  EXPECT_THROW(plan.validate(8, 63), std::invalid_argument);
+
+  plan = BatchPlan::fixed(8, 4);
+  EXPECT_THROW(plan.validate(8, 3), std::invalid_argument);  // batch too big
+}
+
+// ---------------------------------------------------------------------------
+// Policy plan shapes
+
+TEST(Scheduler, ConePlanIsADeterministicPermutationInBatchBounds) {
+  Rng rng(7);
+  RandomDesign d = random_design(rng, 6, 10, 80);
+  const FaultUniverse u(d.nl);
+  const ConeScheduler sched(u);
+
+  std::vector<FaultId> targets(u.size());
+  std::iota(targets.begin(), targets.end(), 0u);
+  const ScheduleContext ctx{63, "t"};
+  const BatchPlan plan = sched.plan(targets, ctx);
+  EXPECT_NO_THROW(plan.validate(targets.size(), 63));
+  for (std::size_t b = 0; b < plan.batches(); ++b)
+    EXPECT_LE(plan.batch_size(b), 63u);
+
+  // Pure function of the target list: same inputs, same plan.
+  const BatchPlan again = sched.plan(targets, ctx);
+  EXPECT_EQ(plan.order, again.order);
+  EXPECT_EQ(plan.batch_start, again.batch_start);
+
+  // Grouping actually happened: within every batch, signatures are
+  // sorted, so equal-cone faults are adjacent.
+  std::vector<std::uint64_t> sigs;
+  sigs.reserve(targets.size());
+  for (FaultId f : targets) sigs.push_back(sched.signature(f));
+  for (std::size_t i = 1; i < plan.order.size(); ++i)
+    EXPECT_LE(sigs[plan.order[i - 1]], sigs[plan.order[i]]) << i;
+}
+
+TEST(Scheduler, AdaptiveSplitsHotShardsAndFallsBackOnStaleProfiles) {
+  // Synthetic profile: one test, four fixed shards, the second ran hot.
+  CampaignResult profile;
+  CampaignResult::PerTest pt;
+  pt.name = "t";
+  pt.faults_targeted = 200;
+  pt.batches = 4;  // 63 + 63 + 63 + 11
+  profile.tests.push_back(pt);
+  profile.stats.shard_seconds = {0.01, 0.50, 0.01, 0.01};
+
+  const AdaptiveScheduler sched(profile);
+  std::vector<FaultId> targets(200);
+  std::iota(targets.begin(), targets.end(), 0u);
+
+  const BatchPlan plan = sched.plan(targets, {63, "t"});
+  EXPECT_NO_THROW(plan.validate(targets.size(), 63));
+  // The hot shard [63, 126) split in half; order stays the identity.
+  EXPECT_EQ(plan.batch_start,
+            (std::vector<std::uint32_t>{0, 63, 94, 126, 189, 200}));
+  for (std::size_t i = 0; i < plan.order.size(); ++i)
+    ASSERT_EQ(plan.order[i], i);
+
+  // Unknown test, or a target count the profile does not match: the plan
+  // degrades to fixed, never to something wrong.
+  const BatchPlan unknown = sched.plan(targets, {63, "other"});
+  EXPECT_EQ(unknown.batch_start, BatchPlan::fixed(200, 63).batch_start);
+  std::vector<FaultId> fewer(150);
+  std::iota(fewer.begin(), fewer.end(), 0u);
+  const BatchPlan stale = sched.plan(fewer, {63, "t"});
+  EXPECT_EQ(stale.batch_start, BatchPlan::fixed(150, 63).batch_start);
+
+  // Profile-less adaptive is the fixed plan everywhere.
+  const AdaptiveScheduler cold;
+  EXPECT_EQ(cold.plan(targets, {63, "t"}).batch_start,
+            BatchPlan::fixed(200, 63).batch_start);
+}
+
+// ---------------------------------------------------------------------------
+// Campaign-level equivalence: the rig from campaign_test, graded under
+// every policy x thread count x kernel.
+
+constexpr int kBits = 11;
+constexpr int kCycles = 36;
+
+struct CounterRig {
+  Netlist nl{"t"};
+  NetId en;
+  std::vector<CellId> outputs;
+
+  CounterRig() {
+    WordOps w(nl, "m");
+    en = nl.add_input("en");
+    RegWord cnt = w.reg_declare(kBits, "cnt");
+    const auto inc = w.add_word(cnt.q, w.constant(1, kBits), w.lit(false), "inc");
+    const Bus d = w.mux_word(en, cnt.q, inc.sum, "d");
+    w.reg_connect(cnt, d);
+    for (int i = 0; i < kBits; ++i)
+      outputs.push_back(nl.add_output("o" + std::to_string(i), cnt.q[i]));
+  }
+};
+
+class CounterEnv : public FsimEnvironment {
+ public:
+  explicit CounterEnv(NetId en) : en_(en) {}
+  void reset(PackedSim& sim) override {
+    sim.set_input_all(en_, false);
+    sim.eval();
+  }
+  bool step(PackedSim& sim, int) override {
+    sim.set_input_all(en_, true);
+    sim.eval();
+    return true;
+  }
+
+ private:
+  NetId en_;
+};
+
+class RigBatchRunner final : public FaultBatchRunner {
+ public:
+  RigBatchRunner(const CounterRig& rig, const FaultUniverse& u,
+                 std::shared_ptr<const ReferenceTrace> trace,
+                 bool event_driven)
+      : env_(rig.en),
+        fsim_(rig.nl, u, {.max_cycles = kCycles, .event_driven = event_driven}),
+        trace_(std::move(trace)) {
+    fsim_.set_observed(rig.outputs);
+  }
+  std::uint64_t run_batch(std::span<const FaultId> faults) override {
+    return fsim_.run_batch(faults, env_, trace_.get());
+  }
+
+ private:
+  CounterEnv env_;
+  SequentialFaultSimulator fsim_;
+  std::shared_ptr<const ReferenceTrace> trace_;
+};
+
+CampaignTest make_rig_test(const CounterRig& rig, const FaultUniverse& u,
+                           bool event_driven) {
+  CounterEnv trace_env(rig.en);
+  SequentialFaultSimulator tracer(
+      rig.nl, u, {.max_cycles = kCycles, .event_driven = event_driven});
+  tracer.set_observed(rig.outputs);
+  auto trace = std::make_shared<const ReferenceTrace>(
+      tracer.record_reference_trace(trace_env));
+  CampaignTest test;
+  test.name = "rig";
+  test.good_cycles = kCycles;
+  test.make_runner = [&rig, &u, trace = std::move(trace), event_driven]() {
+    return std::make_unique<RigBatchRunner>(rig, u, trace, event_driven);
+  };
+  return test;
+}
+
+TEST(Scheduler, AllPoliciesProduceIdenticalDetections) {
+  CounterRig rig;
+  const FaultUniverse u(rig.nl);
+  ASSERT_GT(u.size(), 63u * 4) << "rig too small to shard meaningfully";
+
+  // Reference run: fixed policy, 1 thread, event kernel. Its result also
+  // feeds the adaptive profile, exactly like a profile-guided re-run.
+  std::vector<CampaignTest> ref_tests;
+  ref_tests.push_back(make_rig_test(rig, u, true));
+  FaultList ref_fl(u);
+  const CampaignResult reference =
+      CampaignEngine(u, {.threads = 1}).run(ref_fl, ref_tests);
+  EXPECT_GT(reference.total_new_detections, 0u);
+  EXPECT_EQ(reference.stats.schedule_policy, "fixed");
+
+  const auto cone = std::make_shared<const ConeScheduler>(u);
+  const auto adaptive = std::make_shared<const AdaptiveScheduler>(reference);
+  const std::pair<const char*, std::shared_ptr<const BatchScheduler>>
+      policies[] = {{"fixed", nullptr}, {"cone", cone}, {"adaptive", adaptive}};
+
+  for (const auto& [name, scheduler] : policies) {
+    for (const bool event_driven : {true, false}) {
+      std::vector<CampaignTest> tests;
+      tests.push_back(make_rig_test(rig, u, event_driven));
+      for (const int threads : {1, 2, 4, 8}) {
+        CampaignOptions opts;
+        opts.threads = threads;
+        opts.scheduler = scheduler;
+        FaultList fl(u);
+        const CampaignResult r = CampaignEngine(u, opts).run(fl, tests);
+        // The whole point of the seam: batch formation is a performance
+        // knob — the detection payload never moves.
+        EXPECT_EQ(r.detected, reference.detected)
+            << "policy=" << name
+            << " kernel=" << (event_driven ? "event" : "sweep")
+            << " threads=" << threads;
+        EXPECT_EQ(r.total_new_detections, reference.total_new_detections);
+        EXPECT_EQ(r.classes, reference.classes);
+        EXPECT_EQ(r.stats.schedule_policy, scheduler ? name : "fixed");
+        // One wall-time slot per planned shard, whatever the plan shape.
+        std::size_t shards = 0;
+        for (const auto& pt : r.tests) shards += pt.batches;
+        EXPECT_EQ(r.stats.shard_seconds.size(), shards);
+      }
+    }
+  }
+}
+
+TEST(Scheduler, PolicyLabelRoundTripsThroughJson) {
+  CounterRig rig;
+  const FaultUniverse u(rig.nl);
+  std::vector<CampaignTest> tests;
+  tests.push_back(make_rig_test(rig, u, true));
+  CampaignOptions opts;
+  opts.threads = 2;
+  opts.scheduler = std::make_shared<const ConeScheduler>(u);
+  FaultList fl(u);
+  const CampaignResult r = CampaignEngine(u, opts).run(fl, tests);
+  EXPECT_EQ(r.stats.schedule_policy, "cone");
+  const CampaignResult back =
+      campaign_result_from_json_string(campaign_result_to_json_string(r));
+  EXPECT_EQ(back, r);
+  EXPECT_EQ(back.stats.schedule_policy, "cone");
+}
+
+TEST(Scheduler, BatchPlanJsonReportsSizesAndConeStats) {
+  Rng rng(9);
+  RandomDesign d = random_design(rng, 6, 8, 60);
+  const FaultUniverse u(d.nl);
+  const ConeScheduler sched(u);
+  std::vector<FaultId> targets(u.size());
+  std::iota(targets.begin(), targets.end(), 0u);
+  const BatchPlan plan = sched.plan(targets, {63, "dump"});
+  std::vector<std::uint64_t> sigs;
+  for (FaultId f : targets) sigs.push_back(sched.signature(f));
+
+  const Json doc = batch_plan_to_json(plan, sched.name(), sigs);
+  EXPECT_EQ(doc.at("policy").as_string(), "cone");
+  EXPECT_EQ(doc.at("targets").as_size(), targets.size());
+  EXPECT_EQ(doc.at("batches").as_size(), plan.batches());
+  ASSERT_EQ(doc.at("batch_sizes").size(), plan.batches());
+  std::size_t total = 0;
+  for (std::size_t b = 0; b < plan.batches(); ++b)
+    total += doc.at("batch_sizes").at(b).as_size();
+  EXPECT_EQ(total, targets.size());
+  ASSERT_TRUE(doc.contains("cone"));
+  EXPECT_EQ(doc.at("cone").at("per_batch_union_bits").size(), plan.batches());
+  EXPECT_LE(doc.at("cone").at("max_union_bits").as_size(), 64u);
+}
+
+}  // namespace
+}  // namespace olfui
