@@ -14,10 +14,16 @@
 //    detections). NOTE: on a 1-core container every speedup degenerates
 //    to ~1.0x; on an N-core host expect near-linear scaling to min(N, 8).
 //  * kernel cross-check — event-driven vs full-sweep detections.
+//  * executor comparison — the slice graded on the in-process pool vs
+//    coordinator + 2 subprocess workers (olfui_cli --worker), with the
+//    bit-identical cross-check; skipped (and flagged in the JSON) when
+//    ./olfui_cli is not in the working directory. Runs on the default SoC
+//    configuration — the one workers rebuild — not the lean one.
 //  * full-universe scaling table — the original whole-suite campaign at
 //    1/2/4/8 threads; minutes of work, so it only runs with
 //    OLFUI_BENCH_FULL=1 (CI smoke skips it).
 #include <benchmark/benchmark.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdio>
@@ -27,6 +33,7 @@
 #include <thread>
 
 #include "campaign/campaign.hpp"
+#include "campaign/executor.hpp"
 #include "campaign/json.hpp"
 #include "campaign/scheduler.hpp"
 #include "sbst/sbst.hpp"
@@ -228,6 +235,69 @@ void run_kernel_cross_check(const Soc& soc, const FaultUniverse& universe,
   doc.set("kernel_detections_identical", identical);
 }
 
+/// Executor comparison: the same slice graded on the in-process pool and
+/// on coordinator + 2 subprocess workers. The wall-time gap is the
+/// protocol + worker-state-rebuild overhead a multi-host deployment pays
+/// once per worker; the detection cross-check is the point.
+void run_executor_comparison(Json& doc) {
+  if (access("./olfui_cli", X_OK) != 0) {
+    std::printf("== executor comparison skipped (./olfui_cli not here) =====\n\n");
+    doc.set("executor_skipped", true);
+    return;
+  }
+  // Workers rebuild the default SoC configuration, so the coordinator
+  // must grade the same one (the lean bench SoC would fingerprint-fail).
+  const auto soc = build_soc({});
+  const FaultUniverse universe(soc->netlist);
+  auto suite = build_sbst_suite(soc->config);
+  suite.erase(suite.begin() + 1, suite.end());
+  const std::vector<CampaignTest> tests =
+      build_sbst_campaign_tests(*soc, suite, universe);
+  const std::vector<FaultId> targets = fault_slice(universe, 1024, 7);
+
+  std::printf("== executor comparison: %zu faults, inproc vs 2 workers ====\n",
+              targets.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  const BitVec inproc =
+      CampaignEngine(universe, {.threads = 2}).grade(targets, tests[0]);
+  const double inproc_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  CampaignOptions opts;
+  opts.threads = 2;
+  opts.executor = std::make_shared<SubprocessExecutor>(
+      std::vector<std::string>{"./olfui_cli", "--worker"}, 2);
+  const CampaignEngine sub_engine(universe, opts);
+  const auto t1 = std::chrono::steady_clock::now();
+  const BitVec cold = sub_engine.grade(targets, tests[0]);
+  const double cold_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t1)
+          .count();
+  // Second pass on the now-warm workers: the steady-state cost once the
+  // per-worker state rebuild is amortized.
+  const auto t2 = std::chrono::steady_clock::now();
+  const BitVec warm = sub_engine.grade(targets, tests[0]);
+  const double warm_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t2)
+          .count();
+
+  const bool identical = inproc == cold && inproc == warm;
+  std::printf("%12s %10.3f s\n%12s %10.3f s (cold: spawn + state rebuild)\n"
+              "%12s %10.3f s (warm workers)\n",
+              "inproc", inproc_seconds, "subprocess", cold_seconds,
+              "subprocess", warm_seconds);
+  std::printf("detection BitVecs %s across executors\n\n",
+              identical ? "bit-identical" : "DIFFER — executor bug!");
+  Json e = Json::object();
+  e.set("inproc_seconds", inproc_seconds);
+  e.set("subprocess_cold_seconds", cold_seconds);
+  e.set("subprocess_warm_seconds", warm_seconds);
+  e.set("workers", 2);
+  doc.set("executor", std::move(e));
+  doc.set("executor_detections_identical", identical);
+}
+
 /// The original whole-suite, whole-universe campaign at every thread
 /// count — minutes of simulation, gated out of the CI smoke run.
 void print_full_scaling_table() {
@@ -298,6 +368,7 @@ int main(int argc, char** argv) {
   run_scheduler_comparison(*soc, universe, doc);
   run_thread_scaling(*soc, universe, doc);
   run_kernel_cross_check(*soc, universe, doc);
+  run_executor_comparison(doc);
   std::ofstream("BENCH_campaign.json") << doc.dump(2) << "\n";
   std::printf("BENCH_campaign.json written.\n\n");
   if (const char* full = std::getenv("OLFUI_BENCH_FULL"); full && *full == '1')

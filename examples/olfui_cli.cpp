@@ -1,4 +1,28 @@
-// olfui_cli — command-line front end for third-party netlists.
+// olfui_cli — command-line front end for third-party netlists, plus the
+// coordinator/worker pair for distributed SBST campaigns.
+//
+//   olfui_cli --sbst [options]
+//     Grades the built-in MiniRISC32 SBST suite against the stuck-at (or
+//     TDF) universe through the campaign orchestrator, on a pluggable
+//     shard executor:
+//       --executor inproc|subprocess   shard backend (default inproc)
+//       --workers N          subprocess worker processes (default 2)
+//       --programs N         grade only the first N suite programs
+//       --limit N            grade only the first N eligible faults per
+//                            test (the CI smoke slice; 0 = all)
+//       --threads N          in-process worker threads (0 = all cores)
+//       --schedule P         default | cone | adaptive
+//       --model sa|tdf       fault model (default sa)
+//       --json FILE          full CampaignResult (runtime stats included)
+//       --json-no-stats FILE deterministic payload only — byte-identical
+//                            across executors/threads/workers, the file
+//                            the distributed smoke compares
+//
+//   olfui_cli --worker
+//     Runs one campaign worker speaking the JSON line protocol
+//     (campaign/executor.hpp) on stdin/stdout; spawned by
+//     --executor subprocess, rebuilds grading state from each request's
+//     CampaignTest::spec. Not meant for interactive use.
 //
 //   olfui_cli <netlist.v> [options]
 //     --tie NET=0|1        mission-constant net (repeatable)
@@ -29,17 +53,20 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "campaign/executor.hpp"
 #include "campaign/json.hpp"
 #include "campaign/report.hpp"
 #include "campaign/scheduler.hpp"
 #include "fault/report.hpp"
 #include "memmap/memmap.hpp"
 #include "netlist/sweep.hpp"
+#include "sbst/sbst.hpp"
 #include "scan/scan_atpg.hpp"
 #include "sta/sta.hpp"
 #include "util/strings.hpp"
@@ -54,8 +81,13 @@ using namespace olfui;
                "usage: %s <netlist.v> [--tie NET=0|1] [--unobserve PORT] "
                "[--memmap BASE:SIZE] [--model sa|tdf] [--csv FILE] "
                "[--json FILE] [--sweep] [--campaign] [--threads N] "
-               "[--schedule default|cone|adaptive] [--dump-schedule FILE]\n",
-               argv0);
+               "[--schedule default|cone|adaptive] [--dump-schedule FILE]\n"
+               "       %s --sbst [--executor inproc|subprocess] [--workers N] "
+               "[--programs N] [--limit N] [--threads N] "
+               "[--schedule default|cone|adaptive] [--model sa|tdf] "
+               "[--json FILE] [--json-no-stats FILE]\n"
+               "       %s --worker\n",
+               argv0, argv0, argv0);
   std::exit(2);
 }
 
@@ -76,10 +108,177 @@ void write_file(const std::string& path, const std::string& content) {
   std::printf("wrote %s (%zu bytes)\n", path.c_str(), content.size());
 }
 
+// ---------------------------------------------------------------------------
+// --worker: one subprocess campaign worker over the built-in SBST workload.
+
+/// Rebuilds SBST grading state from each request's CampaignTest::spec.
+/// The SoC, universe, and topology are built lazily on the first request
+/// and shared across tests; per-test runners (simulator + reference
+/// trace) are cached so a persistent worker pays the rebuild once.
+class SbstWorkerWorkload final : public WorkerWorkload {
+ public:
+  std::size_t universe_size() override {
+    ensure_soc();
+    return universe_->size();
+  }
+
+  std::uint64_t run_batch(const ShardRequest& request,
+                          std::span<const FaultId> faults) override {
+    return entry(request).runner->run_batch(faults);
+  }
+
+  std::uint64_t state_fingerprint(const ShardRequest& request) override {
+    return entry(request).trace_fp;
+  }
+
+ private:
+  struct Entry {
+    std::unique_ptr<FaultBatchRunner> runner;
+    std::uint64_t trace_fp = 0;
+  };
+
+  void ensure_soc() {
+    if (soc_) return;
+    soc_ = build_soc({});  // must match the coordinator's configuration
+    universe_ = std::make_unique<FaultUniverse>(soc_->netlist);
+    topo_ = PackedTopology::build(soc_->netlist);
+    suite_ = build_sbst_suite(soc_->config);
+  }
+
+  Entry& entry(const ShardRequest& request) {
+    ensure_soc();
+    const std::string key = request.test + "|" +
+                            std::string(to_string(request.fault_model)) + "|" +
+                            request.spec.dump();
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+      SbstCampaignTest rebuilt = rebuild_sbst_campaign_test(
+          *soc_, suite_, *universe_, topo_, request.spec, request.fault_model);
+      Entry e;
+      e.trace_fp = rebuilt.trace->fingerprint();
+      e.runner = rebuilt.test.make_runner();
+      it = cache_.emplace(key, std::move(e)).first;
+    }
+    return it->second;
+  }
+
+  std::unique_ptr<Soc> soc_;
+  std::unique_ptr<FaultUniverse> universe_;
+  std::shared_ptr<const PackedTopology> topo_;
+  std::vector<SbstProgram> suite_;
+  std::map<std::string, Entry> cache_;
+};
+
+int run_worker_mode() {
+  SbstWorkerWorkload workload;
+  return serve_worker(stdin, stdout, workload);
+}
+
+// ---------------------------------------------------------------------------
+// --sbst: campaign coordinator over the built-in SBST workload.
+
+int run_sbst_mode(int argc, char** argv) {
+  std::size_t programs = 0, limit = 0;
+  int threads = 0, workers = 2;
+  bool subprocess = false, transition = false;
+  std::string schedule = "default", json_path, json_no_stats_path;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    const auto next_uint = [&]() -> std::size_t {
+      const auto n = parse_uint(next());
+      if (!n) usage(argv[0]);
+      return static_cast<std::size_t>(*n);
+    };
+    if (arg == "--executor") {
+      const std::string kind = next();
+      if (kind == "subprocess") subprocess = true;
+      else if (kind != "inproc") usage(argv[0]);
+    } else if (arg == "--workers") {
+      workers = static_cast<int>(next_uint());
+    } else if (arg == "--programs") {
+      programs = next_uint();
+    } else if (arg == "--limit") {
+      limit = next_uint();
+    } else if (arg == "--threads") {
+      threads = static_cast<int>(next_uint());
+    } else if (arg == "--schedule") {
+      schedule = next();
+      if (schedule != "default" && schedule != "cone" && schedule != "adaptive")
+        usage(argv[0]);
+    } else if (arg == "--model") {
+      const std::string model = next();
+      if (model != "sa" && model != "tdf") usage(argv[0]);
+      transition = model == "tdf";
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--json-no-stats") {
+      json_no_stats_path = next();
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  auto soc = build_soc({});
+  auto suite = build_sbst_suite(soc->config);
+  if (programs && programs < suite.size())
+    suite.erase(suite.begin() + static_cast<std::ptrdiff_t>(programs),
+                suite.end());
+  const FaultUniverse universe(soc->netlist);
+  FaultList fl(universe);
+
+  CampaignOptions opts;
+  opts.threads = threads;
+  opts.fault_model =
+      transition ? FaultModel::kTransition : FaultModel::kStuckAt;
+  opts.target_limit = limit;
+  if (schedule == "cone")
+    opts.scheduler = std::make_shared<const ConeScheduler>(universe);
+  else if (schedule == "adaptive")
+    opts.scheduler = std::make_shared<const AdaptiveScheduler>();
+  if (subprocess)
+    opts.executor = std::make_shared<SubprocessExecutor>(
+        std::vector<std::string>{argv[0], "--worker"}, workers);
+
+  std::printf("sbst campaign: %zu programs, %zu faults%s, model %s,\n"
+              "  schedule %s, executor %s",
+              suite.size(), universe.size(), limit ? " (sliced)" : "",
+              transition ? "tdf" : "sa", schedule.c_str(),
+              subprocess ? "subprocess" : "inproc");
+  if (subprocess) std::printf(" (%d workers)", workers);
+  std::printf("\n");
+
+  const SbstCampaignResult result = run_sbst_campaign(*soc, suite, fl, {}, opts);
+  for (const auto& pp : result.programs)
+    std::printf("  %-12s %6d cycles %8zu new detections\n", pp.name.c_str(),
+                pp.cycles, pp.new_detections);
+  const auto& stats = result.campaign.stats;
+  std::printf("campaign: %zu new detections, %zu fault-test pairs graded, "
+              "%zu batches, %.2f s, %.0f faults/sec\n",
+              result.campaign.total_new_detections, stats.faults_simulated,
+              stats.batches, stats.wall_seconds, stats.faults_per_second);
+
+  if (!json_path.empty())
+    write_file(json_path,
+               campaign_result_to_json_string(result.campaign) + "\n");
+  if (!json_no_stats_path.empty())
+    write_file(json_no_stats_path,
+               campaign_result_to_json_string(result.campaign, 2,
+                                              /*include_stats=*/false) +
+                   "\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) usage(argv[0]);
+  if (std::strcmp(argv[1], "--worker") == 0) return run_worker_mode();
+  if (std::strcmp(argv[1], "--sbst") == 0) return run_sbst_mode(argc, argv);
   std::string input = argv[1];
   std::vector<std::pair<std::string, bool>> ties;
   std::vector<std::string> unobserved;
@@ -110,7 +309,9 @@ int main(int argc, char** argv) {
       map.add_range("range" + std::to_string(map.ranges().size()), *base, *size);
       use_memmap = true;
     } else if (arg == "--model") {
-      transition = next() == "tdf";
+      const std::string model = next();
+      if (model != "sa" && model != "tdf") usage(argv[0]);
+      transition = model == "tdf";
     } else if (arg == "--csv") {
       csv_path = next();
     } else if (arg == "--json") {

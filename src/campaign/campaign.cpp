@@ -4,10 +4,11 @@
 #include <chrono>
 #include <map>
 #include <mutex>
+#include <numeric>
 #include <thread>
 
+#include "campaign/executor.hpp"
 #include "campaign/scheduler.hpp"
-#include "campaign/shard_queue.hpp"
 #include "fault/tdf.hpp"
 #include "netlist/netlist.hpp"
 
@@ -15,13 +16,16 @@ namespace olfui {
 
 namespace {
 
-/// Undetected (unless dropping is off), testable faults in id order.
-std::vector<FaultId> campaign_targets(const FaultList& fl, bool drop_detected) {
+/// Undetected (unless dropping is off), testable faults in id order,
+/// truncated to `limit` when nonzero (the smoke-slicing knob).
+std::vector<FaultId> campaign_targets(const FaultList& fl, bool drop_detected,
+                                      std::size_t limit) {
   std::vector<FaultId> targets;
   for (FaultId f = 0; f < fl.size(); ++f) {
     if (fl.untestable_kind(f) != UntestableKind::kNone) continue;
     if (drop_detected && fl.detect_state(f) == DetectState::kDetected) continue;
     targets.push_back(f);
+    if (limit && targets.size() == limit) break;
   }
   return targets;
 }
@@ -73,16 +77,17 @@ int CampaignEngine::resolved_threads() const {
   return hw ? static_cast<int>(hw) : 1;
 }
 
-WorkerPool& CampaignEngine::pool() const {
-  if (!pool_)
-    pool_ = std::make_unique<WorkerPool>(
-        static_cast<std::size_t>(resolved_threads()) - 1);
-  return *pool_;
-}
-
 const BatchScheduler& CampaignEngine::scheduler() const {
   static const FixedScheduler kFixed;
   return opts_.scheduler ? *opts_.scheduler : kFixed;
+}
+
+ShardExecutor& CampaignEngine::executor() const {
+  if (opts_.executor) return *opts_.executor;
+  std::lock_guard lock(exec_mu_);
+  if (!default_executor_)
+    default_executor_ = std::make_shared<InProcessExecutor>(opts_.threads);
+  return *default_executor_;
 }
 
 BitVec CampaignEngine::grade(std::span<const FaultId> targets,
@@ -92,8 +97,9 @@ BitVec CampaignEngine::grade(std::span<const FaultId> targets,
   BitVec detected(targets.size());
   if (targets.empty()) return detected;
 
+  // --- plan ---------------------------------------------------------------
   // Batch formation is the scheduler's: the plan permutes the targets and
-  // draws the batch boundaries; everything below (sharding, merge,
+  // draws the batch boundaries; everything below (execution, merge,
   // timings) is plan-shaped. A malformed plan throws here rather than
   // silently dropping faults.
   const ScheduleContext ctx{static_cast<std::size_t>(opts_.batch_size),
@@ -103,64 +109,40 @@ BitVec CampaignEngine::grade(std::span<const FaultId> targets,
   std::vector<FaultId> planned(targets.size());
   for (std::size_t i = 0; i < targets.size(); ++i)
     planned[i] = targets[plan.order[i]];
+  std::vector<std::uint32_t> shard_ids(plan.batches());
+  std::iota(shard_ids.begin(), shard_ids.end(), 0u);
 
-  const std::size_t shards = plan.batches();
-  std::vector<std::uint64_t> results(shards, 0);
-  std::vector<double> timings(shards, 0.0);
-
+  // --- execute ------------------------------------------------------------
+  // Where the shards run is the executor's (executor.hpp); a lost or
+  // failed shard throws out of execute(), never shrinks the merge.
   std::mutex progress_mu;
   std::size_t graded = 0;
-  const auto report = [&](std::size_t n) {
-    if (!progress) return;
-    std::lock_guard lock(progress_mu);
-    graded += n;
-    progress(test.name, graded, targets.size());
-  };
+  ShardWork work{plan,       targets,           planned,
+                 shard_ids,  test,              opts_.fault_model,
+                 universe_->size(),             {}};
+  if (progress)
+    work.progress = [&](std::size_t n) {
+      std::lock_guard lock(progress_mu);
+      graded += n;
+      progress(test.name, graded, targets.size());
+    };
+  const std::vector<ShardResult> results = executor().execute(work);
 
-  const auto worker = [&](ShardQueue& queue, std::size_t w) {
-    std::unique_ptr<FaultBatchRunner> runner;  // created on first shard
-    std::size_t shard;
-    while (queue.pop(w, shard)) {
-      if (!runner) runner = test.make_runner();
-      const std::size_t lo = plan.batch_start[shard];
-      const std::size_t n = plan.batch_size(shard);
-      const auto t0 = std::chrono::steady_clock::now();
-      results[shard] = runner->run_batch(std::span(planned).subspan(lo, n));
-      // Slot-indexed by shard id (never completion order): the report's
-      // timing layout stays thread-count independent, matching the
-      // detection merge below.
-      timings[shard] = std::chrono::duration<double>(
-                           std::chrono::steady_clock::now() - t0)
-                           .count();
-      report(n);
-    }
-  };
-
-  const std::size_t workers = std::min<std::size_t>(
-      static_cast<std::size_t>(resolved_threads()), shards);
-  ShardQueue queue(shards, workers);
-  if (workers <= 1) {
-    worker(queue, 0);
-  } else {
-    // Fan out over the persistent pool; it captures a throw from
-    // make_runner()/run_batch() on any participant and rethrows the first
-    // one here, matching the 1-thread path. Serialized so a shared const
-    // engine never dispatches two jobs onto one pool.
-    std::lock_guard lock(pool_mu_);
-    pool().run(workers, [&](std::size_t w) { worker(queue, w); });
-  }
-
-  // Deterministic merge: shard order, then lane order within the shard,
-  // mapped back through the plan's permutation — so any partition of the
-  // targets yields the same detection flags in target order.
-  for (std::size_t shard = 0; shard < shards; ++shard) {
+  // --- merge --------------------------------------------------------------
+  // Deterministic: shard order, then lane order within the shard, mapped
+  // back through the plan's permutation — so any partition of the targets,
+  // run anywhere, yields the same detection flags in target order.
+  // Timings stay slot-indexed by shard id (never completion order), so
+  // the report's layout is thread- and placement-independent too.
+  for (std::size_t shard = 0; shard < plan.batches(); ++shard) {
     const std::size_t lo = plan.batch_start[shard];
     const std::size_t n = plan.batch_size(shard);
     for (std::size_t j = 0; j < n; ++j)
-      if (results[shard] & (1ULL << j)) detected.set(plan.order[lo + j], true);
+      if (results[shard].mask & (1ULL << j))
+        detected.set(plan.order[lo + j], true);
   }
   if (shard_seconds)
-    shard_seconds->insert(shard_seconds->end(), timings.begin(), timings.end());
+    for (const ShardResult& r : results) shard_seconds->push_back(r.seconds);
   return detected;
 }
 
@@ -172,10 +154,11 @@ CampaignResult CampaignEngine::run(FaultList& fl,
   result.universe = universe_->size();
   result.fault_model = opts_.fault_model;
   result.stats.schedule_policy = std::string(scheduler().name());
+  result.stats.executor = std::string(executor().name());
 
   for (const CampaignTest& test : tests) {
     const std::vector<FaultId> targets =
-        campaign_targets(fl, opts_.fault_dropping);
+        campaign_targets(fl, opts_.fault_dropping, opts_.target_limit);
     CampaignResult::PerTest pt;
     pt.name = test.name;
     pt.good_cycles = test.good_cycles;

@@ -11,8 +11,11 @@
 //  * scheduling — the target fault list is cut into up-to-63-lane batches
 //    (one parallel-fault simulator pass each) by a pluggable
 //    BatchScheduler (scheduler.hpp: fixed spans by default, cone-aware
-//    grouping, profile-guided adaptive splitting) and distributed across
-//    a worker pool through a work-stealing queue (shard_queue.hpp);
+//    grouping, profile-guided adaptive splitting);
+//  * execution — the planned shards run on a pluggable ShardExecutor
+//    (executor.hpp: the in-process work-stealing worker pool by default,
+//    or subprocess workers speaking a JSON line protocol — the seam any
+//    future socket/multi-host backend plugs into);
 //  * fault dropping — a fault detected by test k leaves the queue before
 //    test k+1, so late tests grade ever-shrinking target lists;
 //  * good-machine checkpointing — each test's fault-free run is recorded
@@ -38,13 +41,14 @@
 #include <string>
 #include <vector>
 
-#include "campaign/worker_pool.hpp"
+#include "campaign/json.hpp"
 #include "fault/fault_list.hpp"
 #include "util/bitvec.hpp"
 
 namespace olfui {
 
 class BatchScheduler;  // campaign/scheduler.hpp
+class ShardExecutor;   // campaign/executor.hpp
 
 /// One worker's private grading kernel: simulator + environment state.
 /// Instances are confined to a single worker thread; the factory that
@@ -64,6 +68,12 @@ struct CampaignTest {
   std::string name;
   int good_cycles = 0;
   std::function<std::unique_ptr<FaultBatchRunner>()> make_runner;
+  /// Optional wire description of this test for remote executors: an
+  /// opaque JSON document a worker-side workload uses to rebuild the
+  /// grading state make_runner captures (program id, fsim options, state
+  /// fingerprint — see build_sbst_campaign_tests). Null for local-only
+  /// tests; a remote executor handed a null spec fails the campaign.
+  Json spec;
 };
 
 struct CampaignOptions {
@@ -84,6 +94,16 @@ struct CampaignOptions {
   /// every policy produces the identical detection set (the merge is
   /// order-independent), so this is purely a performance knob.
   std::shared_ptr<const BatchScheduler> scheduler;
+  /// Shard-execution backend (executor.hpp); null runs shards on the
+  /// engine's in-process worker pool. Executors only decide where planned
+  /// shards run — the merge is slot-indexed by shard id, so every backend
+  /// produces the identical detection set.
+  std::shared_ptr<ShardExecutor> executor;
+  /// Grade only the first N eligible targets per test (0 = all): the
+  /// smoke/CI slicing knob. Deterministic — the slice is a prefix of the
+  /// id-ordered target list — but coverage figures then describe the
+  /// slice, not the universe.
+  std::size_t target_limit = 0;
 };
 
 /// Campaign-wide outcome. Everything except `stats` is a pure function of
@@ -116,12 +136,17 @@ struct CampaignResult {
 
   struct RuntimeStats {
     double wall_seconds = 0;
+    /// The engine's configured in-process parallelism (resolved_threads).
+    /// With a custom executor this is what the default backend would have
+    /// used, not what ran the shards — see `executor` for the backend.
     int threads = 0;
     std::size_t faults_simulated = 0;  ///< fault x test pairs graded
     std::size_t batches = 0;
     double faults_per_second = 0;
     /// BatchScheduler::name() of the policy that formed the batches.
     std::string schedule_policy = "fixed";
+    /// ShardExecutor::name() of the backend that ran the shards.
+    std::string executor = "inproc";
     /// Wall time of every shard, all tests concatenated in shard index
     /// order (test boundaries recoverable from tests[].batches). Early
     /// exit skews shard cost, so this is the profile input for
@@ -167,13 +192,15 @@ class CampaignEngine {
   /// Worker count after resolving threads == 0.
   int resolved_threads() const;
 
-  /// The deterministic parallel grading primitive: forms batches through
-  /// the configured BatchScheduler, runs them as shards across the
-  /// persistent worker pool, and returns per-target
-  /// detection flags (aligned with `targets`). Flows with their own
-  /// between-test bookkeeping (e.g. scan ATPG's equivalence-class
-  /// propagation) build on this directly. With `shard_seconds`, each
-  /// shard's wall time is appended in shard index order.
+  /// The deterministic parallel grading primitive, an explicit
+  /// plan -> execute -> merge pipeline: forms batches through the
+  /// configured BatchScheduler, hands the validated plan and every shard
+  /// id to the configured ShardExecutor, and merges the returned masks
+  /// back to target order, returning per-target detection flags (aligned
+  /// with `targets`). Flows with their own between-test bookkeeping
+  /// (e.g. scan ATPG's equivalence-class propagation) build on this
+  /// directly. With `shard_seconds`, each shard's wall time is appended
+  /// in shard index order.
   BitVec grade(std::span<const FaultId> targets, const CampaignTest& test,
                const CampaignProgress& progress = {},
                std::vector<double>* shard_seconds = nullptr) const;
@@ -185,18 +212,18 @@ class CampaignEngine {
                      const CampaignProgress& progress = {}) const;
 
  private:
-  WorkerPool& pool() const;
   const BatchScheduler& scheduler() const;
+  ShardExecutor& executor() const;
 
   const FaultUniverse* universe_;
   CampaignOptions opts_;
-  /// Workers park on a condition variable between grade() calls, so
-  /// once-per-pattern callers (scan ATPG) stop paying thread
-  /// construction. Created lazily on the first multi-threaded grade;
-  /// grade() serializes on pool_mu_, so a const engine stays safe to
-  /// share across threads.
-  mutable std::mutex pool_mu_;
-  mutable std::unique_ptr<WorkerPool> pool_;
+  /// Default backend when opts_.executor is null: an InProcessExecutor
+  /// over the resolved thread count, created lazily under exec_mu_ (its
+  /// worker pool parks between grade() calls — see executor.hpp).
+  /// Executors synchronize execute() internally, so a const engine stays
+  /// safe to share across threads.
+  mutable std::mutex exec_mu_;
+  mutable std::shared_ptr<ShardExecutor> default_executor_;
 };
 
 }  // namespace olfui

@@ -1,0 +1,489 @@
+#include "campaign/executor.hpp"
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+#include "campaign/report.hpp"
+#include "campaign/shard_queue.hpp"
+
+namespace olfui {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// One '\n'-terminated line from `in` (terminator stripped); false on EOF.
+bool read_line(std::FILE* in, std::string& line) {
+  char* buf = nullptr;
+  std::size_t cap = 0;
+  const ssize_t n = ::getline(&buf, &cap, in);
+  if (n < 0) {
+    std::free(buf);
+    return false;
+  }
+  line.assign(buf, static_cast<std::size_t>(n));
+  std::free(buf);
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r'))
+    line.pop_back();
+  return true;
+}
+
+/// Writes one JSON document as a line and flushes (the protocol is
+/// line-buffered in both directions). Returns false on a broken pipe.
+bool write_line(std::FILE* out, const Json& doc) {
+  const std::string text = doc.dump() + "\n";
+  if (std::fwrite(text.data(), 1, text.size(), out) != text.size())
+    return false;
+  return std::fflush(out) == 0;
+}
+
+std::string_view fault_model_name(FaultModel m) { return to_string(m); }
+
+FaultModel fault_model_from_name(const std::string& name) {
+  if (name == to_string(FaultModel::kStuckAt)) return FaultModel::kStuckAt;
+  if (name == to_string(FaultModel::kTransition))
+    return FaultModel::kTransition;
+  throw JsonError("shard request: unknown fault_model '" + name + "'", 0);
+}
+
+std::string describe_exit(int status) {
+  if (WIFEXITED(status))
+    return "exited with status " + std::to_string(WEXITSTATUS(status));
+  if (WIFSIGNALED(status))
+    return "killed by signal " + std::to_string(WTERMSIG(status));
+  return "ended with wait status " + std::to_string(status);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// InProcessExecutor
+
+InProcessExecutor::InProcessExecutor(int threads) : threads_(threads) {}
+
+int InProcessExecutor::resolved_threads() const {
+  if (threads_ > 0) return threads_;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? static_cast<int>(hw) : 1;
+}
+
+WorkerPool& InProcessExecutor::pool() {
+  if (!pool_)
+    pool_ = std::make_unique<WorkerPool>(
+        static_cast<std::size_t>(resolved_threads()) - 1);
+  return *pool_;
+}
+
+std::vector<ShardResult> InProcessExecutor::execute(const ShardWork& work) {
+  std::vector<ShardResult> results(work.shards.size());
+  if (work.shards.empty()) return results;
+
+  const auto worker = [&](ShardQueue& queue, std::size_t w) {
+    std::unique_ptr<FaultBatchRunner> runner;  // created on first shard
+    std::size_t idx;
+    while (queue.pop(w, idx)) {
+      const std::uint32_t shard = work.shards[idx];
+      const std::size_t lo = work.plan.batch_start[shard];
+      const std::size_t n = work.plan.batch_size(shard);
+      try {
+        // Runner construction stays outside the timed span: shard_seconds
+        // is the adaptive scheduler's profile input and must measure
+        // grading cost, not one-time per-worker setup.
+        if (!runner) runner = work.test.make_runner();
+        const auto t0 = std::chrono::steady_clock::now();
+        results[idx].mask = runner->run_batch(work.planned.subspan(lo, n));
+        results[idx].seconds = seconds_since(t0);
+      } catch (const std::exception& e) {
+        // The runner knows neither which shard it was grading nor for
+        // which test — attach both before the pool rethrows on the
+        // caller, so a campaign failure names the work item that died.
+        throw std::runtime_error("campaign test '" + work.test.name +
+                                 "' shard " + std::to_string(shard) + ": " +
+                                 e.what());
+      }
+      if (work.progress) work.progress(n);
+    }
+  };
+
+  const std::size_t workers = std::min<std::size_t>(
+      static_cast<std::size_t>(resolved_threads()), work.shards.size());
+  ShardQueue queue(work.shards.size(), workers);
+  if (workers <= 1) {
+    worker(queue, 0);
+  } else {
+    // Fan out over the persistent pool; it captures a throw from any
+    // participant and rethrows the first one here, matching the 1-thread
+    // path. The lock also keeps a shared executor from dispatching two
+    // jobs onto one pool.
+    std::lock_guard lock(mu_);
+    pool().run(workers, [&](std::size_t w) { worker(queue, w); });
+  }
+  return results;
+}
+
+// ---------------------------------------------------------------------------
+// Wire format
+
+Json shard_request_to_json(const ShardWork& work) {
+  Json doc = Json::object();
+  doc.set("type", "grade");
+  doc.set("protocol", kWorkerProtocolVersion);
+  doc.set("test", work.test.name);
+  doc.set("fault_model", std::string(fault_model_name(work.fault_model)));
+  doc.set("spec", work.test.spec);
+  doc.set("plan", batch_plan_to_json(work.plan, "wire"));
+  Json targets = Json::array();
+  for (FaultId f : work.targets)
+    targets.push_back(static_cast<std::size_t>(f));
+  doc.set("targets", std::move(targets));
+  Json shards = Json::array();
+  for (std::uint32_t s : work.shards)
+    shards.push_back(static_cast<std::size_t>(s));
+  doc.set("shards", std::move(shards));
+  return doc;
+}
+
+ShardRequest shard_request_from_json(const Json& doc) {
+  if (doc.at("type").as_string() != "grade")
+    throw JsonError("shard request: not a grade document", 0);
+  if (doc.at("protocol").as_int() != kWorkerProtocolVersion)
+    throw JsonError("shard request: protocol version mismatch", 0);
+  ShardRequest req;
+  req.test = doc.at("test").as_string();
+  req.fault_model = fault_model_from_name(doc.at("fault_model").as_string());
+  req.spec = doc.at("spec");
+  req.plan = batch_plan_from_json(doc.at("plan"));
+  const Json& targets = doc.at("targets");
+  req.targets.reserve(targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const std::size_t f = targets.at(i).as_size();
+    if (f > 0xFFFFFFFFull)
+      throw JsonError("shard request: fault id overflows", 0);
+    req.targets.push_back(static_cast<FaultId>(f));
+  }
+  if (req.plan.order.size() != req.targets.size())
+    throw JsonError("shard request: plan does not cover the targets", 0);
+  const Json& shards = doc.at("shards");
+  req.shards.reserve(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const std::size_t s = shards.at(i).as_size();
+    if (s >= req.plan.batches())
+      throw JsonError("shard request: shard id out of plan range", 0);
+    req.shards.push_back(static_cast<std::uint32_t>(s));
+  }
+  // Gather once here (the plan is validated above, inside
+  // batch_plan_from_json): every consumer grades plan-ordered spans.
+  req.planned.resize(req.targets.size());
+  for (std::size_t i = 0; i < req.targets.size(); ++i)
+    req.planned[i] = req.targets[req.plan.order[i]];
+  return req;
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+
+int serve_worker(std::FILE* in, std::FILE* out, WorkerWorkload& workload) {
+  {
+    Json hello = Json::object();
+    hello.set("type", "hello");
+    hello.set("protocol", kWorkerProtocolVersion);
+    if (!write_line(out, hello)) return 1;
+  }
+  std::string line;
+  while (read_line(in, line)) {
+    if (line.find_first_not_of(" \t") == std::string::npos) continue;
+    try {
+      const ShardRequest req = shard_request_from_json(Json::parse(line));
+      // Fingerprinting first forces the workload's one-time state rebuild
+      // (netlist, reference trace) before any shard is timed: the
+      // per-shard seconds are the adaptive scheduler's profile input and
+      // must measure grading, not setup.
+      const std::uint64_t state_fp = workload.state_fingerprint(req);
+      for (std::uint32_t shard : req.shards) {
+        const std::size_t lo = req.plan.batch_start[shard];
+        const std::size_t n = req.plan.batch_size(shard);
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::uint64_t mask = workload.run_batch(
+            req, std::span(req.planned).subspan(lo, n));
+        Json reply = Json::object();
+        reply.set("type", "shard");
+        reply.set("shard", static_cast<std::size_t>(shard));
+        reply.set("mask", word_to_hex(mask));
+        reply.set("seconds", seconds_since(t0));
+        if (!write_line(out, reply)) return 1;
+      }
+      Json done = Json::object();
+      done.set("type", "done");
+      done.set("test", req.test);
+      done.set("universe", workload.universe_size());
+      done.set("state_fp", word_to_hex(state_fp));
+      if (!write_line(out, done)) return 1;
+    } catch (const std::exception& e) {
+      Json error = Json::object();
+      error.set("type", "error");
+      error.set("message", std::string(e.what()));
+      write_line(out, error);
+      return 1;
+    }
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// SubprocessExecutor
+
+SubprocessExecutor::SubprocessExecutor(std::vector<std::string> worker_command,
+                                       int workers)
+    : command_(std::move(worker_command)), workers_(std::max(1, workers)) {
+  if (command_.empty())
+    throw std::invalid_argument("SubprocessExecutor: empty worker command");
+  // A worker that dies mid-protocol must surface as an EPIPE write error
+  // (reported with context below), not kill the coordinator — but never
+  // clobber a handler the embedding application installed.
+  const auto prev = std::signal(SIGPIPE, SIG_IGN);
+  if (prev != SIG_DFL && prev != SIG_IGN) std::signal(SIGPIPE, prev);
+}
+
+SubprocessExecutor::~SubprocessExecutor() {
+  std::lock_guard lock(mu_);
+  shutdown_all();
+}
+
+void SubprocessExecutor::shutdown_all() {
+  for (Worker& w : procs_) {
+    // Closing stdin is the shutdown signal (serve_worker returns on EOF);
+    // closing stdout unblocks a worker mid-write via EPIPE.
+    if (w.to) std::fclose(w.to);
+    if (w.from) std::fclose(w.from);
+    w.to = w.from = nullptr;
+    if (w.pid > 0) {
+      int status = 0;
+      ::waitpid(static_cast<pid_t>(w.pid), &status, 0);
+    }
+  }
+  procs_.clear();
+}
+
+void SubprocessExecutor::fail(std::size_t worker, const std::string& what) {
+  // The protocol stream is no longer trustworthy; restart from scratch on
+  // the next execute() rather than resynchronising.
+  shutdown_all();
+  throw std::runtime_error("subprocess executor: worker " +
+                           std::to_string(worker) + ": " + what);
+}
+
+void SubprocessExecutor::spawn_all() {
+  procs_.resize(static_cast<std::size_t>(workers_));
+  std::vector<char*> argv;
+  argv.reserve(command_.size() + 1);
+  for (const std::string& arg : command_)
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  argv.push_back(nullptr);
+
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    int to_child[2], from_child[2];
+    // CLOEXEC so a later sibling's exec doesn't inherit (and hold open)
+    // this worker's pipe ends; dup2 below clears it on the two fds the
+    // child actually uses. Error paths close every fd not yet owned by
+    // procs_[i] — fail() only cleans up what is recorded there.
+    if (::pipe2(to_child, O_CLOEXEC) != 0)
+      fail(i, std::string("pipe: ") + std::strerror(errno));
+    if (::pipe2(from_child, O_CLOEXEC) != 0) {
+      const int err = errno;
+      ::close(to_child[0]);
+      ::close(to_child[1]);
+      fail(i, std::string("pipe: ") + std::strerror(err));
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      const int err = errno;
+      ::close(to_child[0]);
+      ::close(to_child[1]);
+      ::close(from_child[0]);
+      ::close(from_child[1]);
+      fail(i, std::string("fork: ") + std::strerror(err));
+    }
+    if (pid == 0) {
+      ::dup2(to_child[0], STDIN_FILENO);
+      ::dup2(from_child[1], STDOUT_FILENO);
+      ::execvp(argv[0], argv.data());
+      std::fprintf(stderr, "worker exec '%s': %s\n", argv[0],
+                   std::strerror(errno));
+      ::_exit(127);
+    }
+    ::close(to_child[0]);
+    ::close(from_child[1]);
+    procs_[i].pid = pid;
+    procs_[i].to = ::fdopen(to_child[1], "w");
+    if (!procs_[i].to) {
+      // Closing the write end is the child's EOF, so shutdown_all's
+      // waitpid (via fail) cannot hang on it.
+      ::close(to_child[1]);
+      ::close(from_child[0]);
+      fail(i, "fdopen failed");
+    }
+    procs_[i].from = ::fdopen(from_child[0], "r");
+    if (!procs_[i].from) {
+      ::close(from_child[0]);
+      fail(i, "fdopen failed");
+    }
+  }
+
+  // Handshake: every worker must greet with a matching protocol version
+  // before any work is dispatched (catches wrong binaries and immediate
+  // crashes at spawn time, not mid-campaign).
+  std::string line;
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    if (!read_line(procs_[i].from, line)) {
+      int status = 0;
+      ::waitpid(static_cast<pid_t>(procs_[i].pid), &status, 0);
+      procs_[i].pid = -1;
+      fail(i, "no hello (" + describe_exit(status) + ")");
+    }
+    try {
+      const Json hello = Json::parse(line);
+      if (hello.at("type").as_string() != "hello")
+        fail(i, "handshake is not a hello document");
+      if (hello.at("protocol").as_int() != kWorkerProtocolVersion)
+        fail(i, "protocol version mismatch");
+    } catch (const JsonError& e) {
+      fail(i, std::string("malformed hello: ") + e.what());
+    }
+  }
+}
+
+std::vector<ShardResult> SubprocessExecutor::execute(const ShardWork& work) {
+  std::lock_guard lock(mu_);
+  std::vector<ShardResult> results(work.shards.size());
+  if (work.shards.empty()) return results;
+  if (work.test.spec.is_null())
+    throw std::runtime_error("subprocess executor: test '" + work.test.name +
+                             "' has no spec — it cannot be rebuilt remotely");
+  if (procs_.empty()) spawn_all();
+
+  // Deterministic striping: shard i goes to worker i mod active. Which
+  // worker runs a shard never matters for the result — replies are
+  // slot-indexed by shard id — so this is purely load spreading.
+  const std::size_t active = std::min(procs_.size(), work.shards.size());
+  std::unordered_map<std::uint32_t, std::size_t> slot;  // shard id -> index
+  slot.reserve(work.shards.size());
+  for (std::size_t i = 0; i < work.shards.size(); ++i)
+    slot.emplace(work.shards[i], i);
+
+  // One request document, its per-worker "shards" field rewritten in
+  // place (Json::set overwrites) — the O(targets) payload is built once,
+  // not cloned per worker.
+  Json request = shard_request_to_json(work);
+  const std::string context = " during test '" + work.test.name + "'";
+  for (std::size_t w = 0; w < active; ++w) {
+    Json shards = Json::array();
+    for (std::size_t i = w; i < work.shards.size(); i += active)
+      shards.push_back(static_cast<std::size_t>(work.shards[i]));
+    request.set("shards", std::move(shards));
+    if (!write_line(procs_[w].to, request))
+      fail(w, "request write failed (worker gone?)" + context);
+  }
+
+  // Workers grade concurrently; replies are drained worker by worker (the
+  // pipes buffer). Every assigned shard must be answered exactly once and
+  // the stream must end in a matching "done" — anything else, including
+  // EOF from a crashed or killed worker, fails the campaign loudly.
+  std::string line;
+  std::string done_fp;  // first worker's state_fp; siblings must agree
+  for (std::size_t w = 0; w < active; ++w) {
+    std::size_t pending = 0;
+    for (std::size_t i = w; i < work.shards.size(); i += active) ++pending;
+    std::vector<bool> answered(work.shards.size(), false);
+    const std::size_t assigned = pending;
+    bool done = false;
+    while (!done) {
+      if (!read_line(procs_[w].from, line)) {
+        int status = 0;
+        ::waitpid(static_cast<pid_t>(procs_[w].pid), &status, 0);
+        procs_[w].pid = -1;
+        fail(w, "died (" + describe_exit(status) + ") after " +
+                    std::to_string(assigned - pending) + "/" +
+                    std::to_string(assigned) + " shards" + context);
+      }
+      Json reply;
+      std::string type;
+      try {
+        reply = Json::parse(line);
+        type = reply.at("type").as_string();
+      } catch (const JsonError& e) {
+        fail(w, std::string("malformed reply: ") + e.what() + context);
+      }
+      if (type == "error") {
+        std::string message = "(error reply without a message)";
+        try {
+          message = reply.at("message").as_string();
+        } catch (const JsonError&) {
+        }
+        fail(w, "reported: " + message + context);
+      } else if (type == "shard") {
+        std::uint32_t shard = 0;
+        ShardResult r;
+        try {
+          shard = static_cast<std::uint32_t>(reply.at("shard").as_size());
+          r.mask = word_from_hex(reply.at("mask").as_string());
+          r.seconds = reply.at("seconds").as_number();
+        } catch (const JsonError& e) {
+          fail(w, std::string("malformed shard reply: ") + e.what() + context);
+        }
+        const auto it = slot.find(shard);
+        if (it == slot.end() || it->second % active != w ||
+            answered[it->second])
+          fail(w, "answered shard " + std::to_string(shard) +
+                      " it was not asked (or twice)" + context);
+        answered[it->second] = true;
+        results[it->second] = r;
+        --pending;
+        if (work.progress) work.progress(work.plan.batch_size(shard));
+      } else if (type == "done") {
+        if (pending != 0)
+          fail(w, "finished with " + std::to_string(pending) +
+                      " unanswered shards" + context);
+        std::string fp;
+        try {
+          if (reply.at("universe").as_size() != work.universe)
+            fail(w, "rebuilt a different universe (" +
+                        std::to_string(reply.at("universe").as_size()) +
+                        " faults, coordinator has " +
+                        std::to_string(work.universe) + ")" + context);
+          fp = reply.at("state_fp").as_string();
+        } catch (const JsonError& e) {
+          fail(w, std::string("malformed done reply: ") + e.what() + context);
+        }
+        // Siblings rebuilt the same test from the same spec; disagreeing
+        // fingerprints mean at least one graded against drifted state
+        // (the worker-side spec.state_fp check is the strong guard, but
+        // it is opt-in — this one costs nothing and is not).
+        if (done_fp.empty())
+          done_fp = fp;
+        else if (fp != done_fp)
+          fail(w, "rebuilt state disagrees with a sibling worker (" + fp +
+                      " vs " + done_fp + ")" + context);
+        done = true;
+      } else {
+        fail(w, "unknown reply type '" + type + "'" + context);
+      }
+    }
+  }
+  return results;
+}
+
+}  // namespace olfui

@@ -1,0 +1,212 @@
+// olfui/campaign: the shard-execution seam (plan -> execute -> merge).
+//
+// CampaignEngine::grade used to hard-wire shard execution onto its own
+// worker pool; the executor turns "who runs a planned shard, where" into a
+// policy behind one interface, the same move the scheduler made for batch
+// formation. The engine plans (BatchScheduler), hands the validated plan
+// plus shard ids to a ShardExecutor, and merges the returned per-shard
+// 64-bit masks back to target order — the merge is slot-indexed by shard
+// id, so the result is bit-identical no matter where (or in what order)
+// the shards actually ran.
+//
+// Two executors ship:
+//  * InProcessExecutor — the pre-seam behaviour: a persistent CV-parked
+//    WorkerPool draining a work-stealing ShardQueue in this process;
+//  * SubprocessExecutor — spawns worker child processes (olfui_cli
+//    --worker) and speaks a JSON line protocol over their stdin/stdout.
+//    Shards are striped across workers up front (deterministic), each
+//    worker rebuilds the test's grading state from CampaignTest::spec,
+//    and a worker that crashes or under-reports is detected and reported,
+//    never silently dropped. This is the coordinator shape any future
+//    socket/multi-host backend plugs into: the wire format is the
+//    executor's, not the transport's.
+//
+// Wire protocol (one JSON document per line, both directions):
+//
+//   worker -> coordinator on spawn:
+//     {"type":"hello","protocol":1}
+//   coordinator -> worker, one per grade() call per worker:
+//     {"type":"grade","test":NAME,"fault_model":"stuck_at"|"transition",
+//      "spec":<CampaignTest::spec>,"plan":<batch_plan_to_json>,
+//      "targets":[fault ids in target order],"shards":[shard ids]}
+//   worker -> coordinator, one per requested shard, then a summary:
+//     {"type":"shard","shard":ID,"mask":"16-hex-word","seconds":S}
+//     {"type":"done","test":NAME,"universe":N,"state_fp":"16-hex-word"}
+//   worker -> coordinator on any failure (the worker then exits 1):
+//     {"type":"error","message":TEXT}
+//
+// Determinism contract: a worker grades exactly the fault spans the plan
+// dictates (it re-gathers targets through batch_plan_from_json), lane
+// semantics are the runner's, and the coordinator re-merges by shard id —
+// so coordinator + N subprocess workers produce the same detection set as
+// the in-process pool, bit for bit. The "done" line carries the worker's
+// rebuilt universe size (and state fingerprint, cross-checked against
+// spec.state_fp on the worker) so a workload mismatch fails loudly
+// instead of grading garbage.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "campaign/scheduler.hpp"
+#include "campaign/worker_pool.hpp"
+
+namespace olfui {
+
+/// Wire-format revision; bumped on any incompatible protocol change.
+inline constexpr int kWorkerProtocolVersion = 1;
+
+/// One shard's outcome: detection mask (bit i = i-th fault of the batch
+/// detected) plus the grading wall time (the adaptive-profile input).
+struct ShardResult {
+  std::uint64_t mask = 0;
+  double seconds = 0;
+};
+
+/// Everything one grade() call hands its executor. References and spans
+/// point into the engine's frame and stay valid for the execute() call.
+struct ShardWork {
+  const BatchPlan& plan;              ///< validated by the engine
+  std::span<const FaultId> targets;   ///< in original target order
+  std::span<const FaultId> planned;   ///< planned[i] = targets[plan.order[i]]
+  std::span<const std::uint32_t> shards;  ///< shard ids to execute
+  const CampaignTest& test;
+  FaultModel fault_model = FaultModel::kStuckAt;
+  std::size_t universe = 0;  ///< remote-worker cross-check
+  /// Thread-safe completion callback, called with each finished shard's
+  /// batch size (may be empty).
+  std::function<void(std::size_t)> progress;
+};
+
+class ShardExecutor {
+ public:
+  virtual ~ShardExecutor() = default;
+  /// Backend label for reports ("inproc" / "subprocess").
+  virtual std::string_view name() const = 0;
+  /// Executes the requested shards; result[i] belongs to work.shards[i]
+  /// regardless of completion order. Throws on any shard failure (a lost
+  /// shard must fail the campaign loudly, never shrink the merge).
+  /// Internally synchronized: safe to call through a shared const engine.
+  virtual std::vector<ShardResult> execute(const ShardWork& work) = 0;
+};
+
+/// The default backend — a persistent WorkerPool draining a work-stealing
+/// ShardQueue in this process. An engine without an explicit executor
+/// behaves exactly like an engine holding one of these.
+class InProcessExecutor final : public ShardExecutor {
+ public:
+  /// Worker threads; 0 picks std::thread::hardware_concurrency().
+  explicit InProcessExecutor(int threads = 0);
+
+  std::string_view name() const override { return "inproc"; }
+  std::vector<ShardResult> execute(const ShardWork& work) override;
+
+  /// Thread count after resolving threads == 0.
+  int resolved_threads() const;
+
+ private:
+  WorkerPool& pool();
+
+  int threads_;
+  /// Workers park between execute() calls (see worker_pool.hpp); created
+  /// lazily on the first multi-threaded execute. The mutex also
+  /// serializes concurrent execute() calls onto the one pool.
+  std::mutex mu_;
+  std::unique_ptr<WorkerPool> pool_;
+};
+
+/// Distributed backend: `workers` child processes launched from
+/// `worker_command` (argv of one worker, e.g. {"./olfui_cli","--worker"}),
+/// each speaking the line protocol above on stdin/stdout. Children are
+/// spawned lazily on the first execute() and persist across grade() calls
+/// (workers cache rebuilt per-test state), shutting down on destruction.
+class SubprocessExecutor final : public ShardExecutor {
+ public:
+  SubprocessExecutor(std::vector<std::string> worker_command, int workers);
+  ~SubprocessExecutor() override;
+
+  SubprocessExecutor(const SubprocessExecutor&) = delete;
+  SubprocessExecutor& operator=(const SubprocessExecutor&) = delete;
+
+  std::string_view name() const override { return "subprocess"; }
+  std::vector<ShardResult> execute(const ShardWork& work) override;
+
+  int workers() const { return workers_; }
+
+ private:
+  struct Worker {
+    long pid = -1;
+    std::FILE* to = nullptr;    ///< worker's stdin
+    std::FILE* from = nullptr;  ///< worker's stdout
+  };
+
+  void spawn_all();                     // under mu_
+  void shutdown_all();                  // under mu_
+  [[noreturn]] void fail(std::size_t worker, const std::string& what);
+
+  std::vector<std::string> command_;
+  int workers_;
+  std::mutex mu_;
+  std::vector<Worker> procs_;
+};
+
+// ---------------------------------------------------------------------------
+// Wire format helpers (exposed for the worker side and for tests).
+
+/// One decoded coordinator->worker grade request.
+struct ShardRequest {
+  std::string test;
+  FaultModel fault_model = FaultModel::kStuckAt;
+  Json spec;  ///< CampaignTest::spec, opaque to the protocol
+  BatchPlan plan;
+  std::vector<FaultId> targets;          ///< original target order
+  std::vector<std::uint32_t> shards;     ///< shard ids to grade
+  /// Targets gathered through the plan (filled by shard_request_from_json
+  /// after validating the plan): planned[i] = targets[plan.order[i]].
+  std::vector<FaultId> planned;
+};
+
+Json shard_request_to_json(const ShardWork& work);
+/// Parses and validates a grade request (plan validated against the
+/// target count, shard ids bounds-checked); fills `planned`. Throws
+/// JsonError on malformed documents.
+ShardRequest shard_request_from_json(const Json& doc);
+
+// ---------------------------------------------------------------------------
+// Worker side.
+
+/// The worker half's workload: rebuilds per-test grading state from a
+/// request (a subprocess worker owns its own netlist/universe copies and
+/// must reconstruct state the coordinator's CampaignTest::spec describes).
+class WorkerWorkload {
+ public:
+  virtual ~WorkerWorkload() = default;
+  /// Universe size of the rebuilt workload (reported on "done" lines so
+  /// the coordinator can reject a mismatched worker).
+  virtual std::size_t universe_size() = 0;
+  /// Grades one batch of the request's test; bit i = faults[i] detected.
+  /// Batches arrive gathered in plan order. Implementations should cache
+  /// per-test state across requests — workers are persistent.
+  virtual std::uint64_t run_batch(const ShardRequest& request,
+                                  std::span<const FaultId> faults) = 0;
+  /// Fingerprint of the rebuilt per-test state (e.g.
+  /// ReferenceTrace::fingerprint()); cross-checked against the spec's
+  /// state_fp when present. 0 opts out.
+  virtual std::uint64_t state_fingerprint(const ShardRequest& request) = 0;
+};
+
+/// Serves the worker half of the protocol on (in, out) until EOF: hello,
+/// then one reply stream per request. Returns 0 on clean shutdown, 1
+/// after answering a failure with an "error" document. olfui_cli --worker
+/// is a thin wrapper around this; tests drive it over memory streams.
+int serve_worker(std::FILE* in, std::FILE* out, WorkerWorkload& workload);
+
+}  // namespace olfui

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <limits>
 #include <map>
+#include <stdexcept>
 
 namespace olfui {
 
@@ -69,7 +70,22 @@ BitVec bitvec_from_hex(std::string_view text) {
   return bits;
 }
 
-Json campaign_result_to_json(const CampaignResult& result) {
+std::string word_to_hex(std::uint64_t w) {
+  std::string out;
+  append_hex_word(out, w);
+  return out;
+}
+
+std::uint64_t word_from_hex(std::string_view text) {
+  if (text.size() != 16) throw JsonError("hex word: bad length", 0);
+  std::uint64_t w = 0;
+  for (std::size_t i = 0; i < text.size(); ++i)
+    w = (w << 4) | hex_nibble(text[i], i);
+  return w;
+}
+
+Json campaign_result_to_json(const CampaignResult& result,
+                             bool include_stats) {
   Json doc = Json::object();
   doc.set("universe", result.universe);
   doc.set("fault_model", std::string(to_string(result.fault_model)));
@@ -100,23 +116,26 @@ Json campaign_result_to_json(const CampaignResult& result) {
   }
   doc.set("classes", std::move(classes));
 
-  Json stats = Json::object();
-  stats.set("wall_seconds", result.stats.wall_seconds);
-  stats.set("threads", result.stats.threads);
-  stats.set("faults_simulated", result.stats.faults_simulated);
-  stats.set("batches", result.stats.batches);
-  stats.set("faults_per_second", result.stats.faults_per_second);
-  stats.set("schedule_policy", result.stats.schedule_policy);
-  Json shard_seconds = Json::array();
-  for (double s : result.stats.shard_seconds) shard_seconds.push_back(s);
-  stats.set("shard_seconds", std::move(shard_seconds));
-  doc.set("stats", std::move(stats));
+  if (include_stats) {
+    Json stats = Json::object();
+    stats.set("wall_seconds", result.stats.wall_seconds);
+    stats.set("threads", result.stats.threads);
+    stats.set("faults_simulated", result.stats.faults_simulated);
+    stats.set("batches", result.stats.batches);
+    stats.set("faults_per_second", result.stats.faults_per_second);
+    stats.set("schedule_policy", result.stats.schedule_policy);
+    stats.set("executor", result.stats.executor);
+    Json shard_seconds = Json::array();
+    for (double s : result.stats.shard_seconds) shard_seconds.push_back(s);
+    stats.set("shard_seconds", std::move(shard_seconds));
+    doc.set("stats", std::move(stats));
+  }
   return doc;
 }
 
 std::string campaign_result_to_json_string(const CampaignResult& result,
-                                           int indent) {
-  return campaign_result_to_json(result).dump(indent);
+                                           int indent, bool include_stats) {
+  return campaign_result_to_json(result, include_stats).dump(indent);
 }
 
 CampaignResult campaign_result_from_json(const Json& doc) {
@@ -156,18 +175,22 @@ CampaignResult campaign_result_from_json(const Json& doc) {
     result.classes.push_back(std::move(cc));
   }
 
-  const Json& stats = doc.at("stats");
-  result.stats.wall_seconds = stats.at("wall_seconds").as_number();
-  result.stats.threads = stats.at("threads").as_int();
-  result.stats.faults_simulated = stats.at("faults_simulated").as_size();
-  result.stats.batches = stats.at("batches").as_size();
-  result.stats.faults_per_second = stats.at("faults_per_second").as_number();
-  if (stats.contains("schedule_policy"))  // absent in pre-scheduler dumps
-    result.stats.schedule_policy = stats.at("schedule_policy").as_string();
-  if (stats.contains("shard_seconds")) {  // absent in pre-shard-stat dumps
-    const Json& shard_seconds = stats.at("shard_seconds");
-    for (std::size_t i = 0; i < shard_seconds.size(); ++i)
-      result.stats.shard_seconds.push_back(shard_seconds.at(i).as_number());
+  if (doc.contains("stats")) {  // omitted by deterministic-payload dumps
+    const Json& stats = doc.at("stats");
+    result.stats.wall_seconds = stats.at("wall_seconds").as_number();
+    result.stats.threads = stats.at("threads").as_int();
+    result.stats.faults_simulated = stats.at("faults_simulated").as_size();
+    result.stats.batches = stats.at("batches").as_size();
+    result.stats.faults_per_second = stats.at("faults_per_second").as_number();
+    if (stats.contains("schedule_policy"))  // absent in pre-scheduler dumps
+      result.stats.schedule_policy = stats.at("schedule_policy").as_string();
+    if (stats.contains("executor"))  // absent in pre-executor dumps
+      result.stats.executor = stats.at("executor").as_string();
+    if (stats.contains("shard_seconds")) {  // absent in pre-shard-stat dumps
+      const Json& shard_seconds = stats.at("shard_seconds");
+      for (std::size_t i = 0; i < shard_seconds.size(); ++i)
+        result.stats.shard_seconds.push_back(shard_seconds.at(i).as_number());
+    }
   }
   return result;
 }
@@ -175,23 +198,6 @@ CampaignResult campaign_result_from_json(const Json& doc) {
 CampaignResult campaign_result_from_json_string(std::string_view text) {
   return campaign_result_from_json(Json::parse(text));
 }
-
-namespace {
-
-std::string word_to_hex(std::uint64_t w) {
-  std::string out;
-  append_hex_word(out, w);
-  return out;
-}
-
-std::uint64_t word_from_hex(const std::string& s) {
-  if (s.size() != 16) throw JsonError("reference_trace: bad word length", 0);
-  std::uint64_t w = 0;
-  for (std::size_t i = 0; i < s.size(); ++i) w = (w << 4) | hex_nibble(s[i], i);
-  return w;
-}
-
-}  // namespace
 
 Json reference_trace_to_json(const ReferenceTrace& trace) {
   Json doc = Json::object();
@@ -245,6 +251,10 @@ Json batch_plan_to_json(const BatchPlan& plan, std::string_view policy,
   doc.set("policy", std::string(policy));
   doc.set("targets", plan.order.size());
   doc.set("batches", plan.batches());
+  Json order = Json::array();
+  for (std::uint32_t idx : plan.order)
+    order.push_back(static_cast<std::size_t>(idx));
+  doc.set("order", std::move(order));
   Json sizes = Json::array();
   for (std::size_t b = 0; b < plan.batches(); ++b)
     sizes.push_back(plan.batch_size(b));
@@ -275,6 +285,57 @@ Json batch_plan_to_json(const BatchPlan& plan, std::string_view policy,
     doc.set("cone", std::move(cone));
   }
   return doc;
+}
+
+BatchPlan batch_plan_from_json(const Json& doc) {
+  BatchPlan plan;
+  const Json& order = doc.at("order");
+  const std::size_t targets = doc.at("targets").as_size();
+  if (order.size() != targets)
+    throw JsonError("batch_plan: order length disagrees with targets", 0);
+  plan.order.reserve(targets);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const std::size_t idx = order.at(i).as_size();
+    if (idx > 0xFFFFFFFFull)
+      throw JsonError("batch_plan: order index overflows", 0);
+    plan.order.push_back(static_cast<std::uint32_t>(idx));
+  }
+  const Json& sizes = doc.at("batch_sizes");
+  if (doc.at("batches").as_size() != sizes.size())
+    throw JsonError("batch_plan: batches disagrees with batch_sizes", 0);
+  plan.batch_start.push_back(0);
+  std::size_t pos = 0;
+  for (std::size_t b = 0; b < sizes.size(); ++b) {
+    pos += sizes.at(b).as_size();
+    if (pos > targets) throw JsonError("batch_plan: batches overrun targets", 0);
+    plan.batch_start.push_back(static_cast<std::uint32_t>(pos));
+  }
+  try {
+    // Structural validation (full permutation, batches of [1, 63] tiling
+    // the targets) — a malformed plan must never reach a grading loop.
+    plan.validate(targets, 63);
+  } catch (const std::invalid_argument& e) {
+    throw JsonError(std::string("batch_plan: ") + e.what(), 0);
+  }
+  return plan;
+}
+
+Json seq_fsim_options_to_json(const SeqFsimOptions& opts) {
+  Json doc = Json::object();
+  doc.set("max_cycles", opts.max_cycles);
+  doc.set("early_exit", opts.early_exit);
+  doc.set("event_driven", opts.event_driven);
+  return doc;
+}
+
+SeqFsimOptions seq_fsim_options_from_json(const Json& doc) {
+  SeqFsimOptions opts;
+  opts.max_cycles = doc.at("max_cycles").as_int();
+  if (opts.max_cycles <= 0)
+    throw JsonError("fsim options: max_cycles must be positive", 0);
+  opts.early_exit = doc.at("early_exit").as_bool();
+  opts.event_driven = doc.at("event_driven").as_bool();
+  return opts;
 }
 
 Json fault_summary_to_json(const FaultList& fl) {

@@ -21,10 +21,16 @@
 
 namespace olfui {
 
-/// Full document, runtime stats included.
-Json campaign_result_to_json(const CampaignResult& result);
+/// Full document. With include_stats = false the nondeterministic "stats"
+/// object is omitted, leaving exactly the deterministic payload
+/// (operator=='s view) — the form two runs of one campaign can be
+/// byte-compared on, which is how the distributed smoke asserts
+/// subprocess == in-process.
+Json campaign_result_to_json(const CampaignResult& result,
+                             bool include_stats = true);
 std::string campaign_result_to_json_string(const CampaignResult& result,
-                                           int indent = 2);
+                                           int indent = 2,
+                                           bool include_stats = true);
 
 /// Inverse of campaign_result_to_json. Throws JsonError on malformed or
 /// incomplete documents.
@@ -35,6 +41,12 @@ CampaignResult campaign_result_from_json_string(std::string_view text);
 std::string bitvec_to_hex(const BitVec& bits);
 BitVec bitvec_from_hex(std::string_view text);
 
+/// Fixed-width (16 char) lowercase hex of one 64-bit word, and its strict
+/// inverse (throws JsonError on any other shape) — the wire form of
+/// detection masks and fingerprints throughout the campaign JSON.
+std::string word_to_hex(std::uint64_t w);
+std::uint64_t word_from_hex(std::string_view text);
+
 /// Reference-trace checkpoint exchange: each 64-net column's RLE runs
 /// travel as (start cycle, hex word) pairs, so a million-cycle checkpoint
 /// serializes in proportion to its net activity, not cycles * nets.
@@ -43,12 +55,28 @@ BitVec bitvec_from_hex(std::string_view text);
 Json reference_trace_to_json(const ReferenceTrace& trace);
 ReferenceTrace reference_trace_from_json(const Json& doc);
 
-/// Batch-plan dump (the CLI's --dump-schedule): policy, batch sizes, and —
-/// when per-target cone signatures are supplied — per-batch cone-overlap
-/// stats (popcount of the batch's signature union: the estimated share of
-/// the 64 cone buckets one simulator pass activates).
+/// Batch-plan exchange: policy, the full target permutation ("order"),
+/// batch sizes, and — when per-target cone signatures are supplied —
+/// per-batch cone-overlap stats (popcount of the batch's signature union:
+/// the estimated share of the 64 cone buckets one simulator pass
+/// activates). Doubles as the CLI's --dump-schedule document and as the
+/// subprocess worker protocol's plan payload.
 Json batch_plan_to_json(const BatchPlan& plan, std::string_view policy,
                         std::span<const std::uint64_t> cone_sigs = {});
+
+/// Inverse of batch_plan_to_json: rebuilds the plan from "order" +
+/// "batch_sizes" and validates it (full permutation, batches tiling the
+/// targets in [1, 63]). Throws JsonError on malformed or inconsistent
+/// documents — a worker must refuse a plan that would drop faults.
+BatchPlan batch_plan_from_json(const Json& doc);
+
+/// Simulator-option exchange (the fsim half of a CampaignTest::spec):
+/// subprocess workers rebuild their grading kernels from the netlist plus
+/// these options, so the coordinator's kernel choice travels with the
+/// test instead of being a per-host accident. Import rejects unknown
+/// shapes (JsonError) and nonpositive cycle budgets.
+Json seq_fsim_options_to_json(const SeqFsimOptions& opts);
+SeqFsimOptions seq_fsim_options_from_json(const Json& doc);
 
 /// Classification summary of a fault list — the JSON schema shared with
 /// fault/report.hpp's to_json_summary shim (one schema for both report

@@ -1,8 +1,30 @@
 #include "campaign/worker_pool.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 namespace olfui {
+
+namespace {
+
+/// Captures the in-flight exception, prefixing std::exception messages
+/// with the participant index (shard/test context is the dispatcher's —
+/// see InProcessExecutor — but which lane died is only known here).
+/// Non-std exceptions are kept as-is rather than losing their type.
+std::exception_ptr capture_with_context(std::size_t participant) {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    return std::make_exception_ptr(std::runtime_error(
+        "worker pool participant " + std::to_string(participant) + ": " +
+        e.what()));
+  } catch (...) {
+    return std::current_exception();
+  }
+}
+
+}  // namespace
 
 WorkerPool::WorkerPool(std::size_t threads) {
   threads_.reserve(threads);
@@ -35,7 +57,7 @@ void WorkerPool::worker_main(std::size_t index) {
     try {
       (*job)(index);
     } catch (...) {
-      error = std::current_exception();
+      error = capture_with_context(index);
     }
     {
       std::lock_guard lock(mu_);
@@ -65,7 +87,7 @@ void WorkerPool::run(std::size_t participants,
     job(0);
   } catch (...) {
     std::lock_guard lock(mu_);
-    errors_[0] = std::current_exception();
+    errors_[0] = capture_with_context(0);
   }
   {
     std::unique_lock lock(mu_);

@@ -36,8 +36,10 @@ class WorkerPool {
   /// Runs job(0) on the caller and job(1..participants-1) on parked
   /// workers, blocking until every participant returns. participants is
   /// clamped to size() + 1. The first exception thrown by any participant
-  /// is rethrown on the caller after all participants finish. Not
-  /// re-entrant: one run() at a time per pool.
+  /// is rethrown on the caller after all participants finish, its message
+  /// prefixed with the throwing participant's index (callers dispatching
+  /// sharded work add the shard/test context — see InProcessExecutor).
+  /// Not re-entrant: one run() at a time per pool.
   void run(std::size_t participants,
            const std::function<void(std::size_t)>& job);
 

@@ -78,6 +78,26 @@ std::size_t ReferenceTrace::run_count() const {
   return n;
 }
 
+std::uint64_t ReferenceTrace::fingerprint() const {
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(cycles));
+  mix(num_nets);
+  for (const Column& col : columns) {
+    mix(col.cycle.size());
+    for (std::size_t r = 0; r < col.cycle.size(); ++r) {
+      mix(col.cycle[r]);
+      mix(col.value[r]);
+    }
+  }
+  return h;
+}
+
 void drive_bus_lanes(PackedSim& sim, const Bus& bus,
                      const std::array<std::uint64_t, 64>& lane_values) {
   // Row l = lane l's value; after the transpose row b bit l = lane l's

@@ -107,6 +107,14 @@ struct ReferenceTrace {
 
   /// Total stored runs across all columns (the compression measure).
   std::size_t run_count() const;
+
+  /// Order-sensitive FNV-1a over the shape and every run: equal
+  /// fingerprints mean bit-identical checkpoints. Subprocess campaign
+  /// workers rebuild their reference traces from the netlist and hash
+  /// them, so the coordinator can reject a worker whose rebuilt state
+  /// drifted (wrong SoC configuration, different program) instead of
+  /// merging garbage masks — see campaign/executor.hpp.
+  std::uint64_t fingerprint() const;
 };
 
 class SequentialFaultSimulator {

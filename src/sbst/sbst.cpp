@@ -2,7 +2,10 @@
 
 #include <cassert>
 #include <memory>
+#include <stdexcept>
 #include <utility>
+
+#include "campaign/report.hpp"
 
 namespace olfui {
 
@@ -351,45 +354,108 @@ class SbstBatchRunner final : public FaultBatchRunner {
 
 }  // namespace
 
+namespace {
+
+/// The shared trailing half of build/rebuild: checkpoint the good machine
+/// under `opts` and wrap the grading kernel in per-worker runners. The
+/// trace is recorded here exactly once per (program, options) — both the
+/// coordinator and every subprocess worker derive their state through
+/// this one function, so the two sides can only agree or fingerprint-fail.
+SbstCampaignTest make_sbst_campaign_test(const Soc& soc, SbstProgram& program,
+                                         const FaultUniverse& universe,
+                                         std::shared_ptr<const PackedTopology> topo,
+                                         SeqFsimOptions opts, int good_cycles,
+                                         FaultModel fault_model) {
+  auto flash = std::make_shared<FlashImage>(soc.config.flash_base,
+                                            soc.config.flash_size);
+  flash->load(program.program.base(), program.program.words());
+
+  // Checkpoint the good machine once; every batch of every worker then
+  // replays this trace as its reference (and, under the TDF model, reads
+  // its launch schedules from it instead of re-running a good pass).
+  SocFsimEnvironment trace_env(soc, *flash, opts.max_cycles);
+  SequentialFaultSimulator tracer(soc.netlist, universe, opts, topo);
+  tracer.set_observed(soc.cpu.bus_output_cells);
+  auto trace = std::make_shared<const ReferenceTrace>(
+      tracer.record_reference_trace(trace_env));
+
+  SbstCampaignTest out;
+  out.trace = trace;
+  out.test.name = program.name;
+  out.test.good_cycles = good_cycles;
+  Json spec = Json::object();
+  spec.set("workload", "sbst");
+  spec.set("program", program.name);
+  spec.set("fsim", seq_fsim_options_to_json(opts));
+  spec.set("state_fp", word_to_hex(trace->fingerprint()));
+  out.test.spec = std::move(spec);
+  out.test.make_runner = [&soc, &universe, flash = std::move(flash), trace,
+                          topo = std::move(topo), opts, fault_model]() {
+    return std::make_unique<SbstBatchRunner>(soc, universe, flash, trace, topo,
+                                             opts.max_cycles,
+                                             opts.event_driven, fault_model);
+  };
+  return out;
+}
+
+}  // namespace
+
+SbstCampaignTest build_sbst_campaign_test(
+    const Soc& soc, SbstProgram& program, const FaultUniverse& universe,
+    std::shared_ptr<const PackedTopology> topo, int margin, bool event_driven,
+    FaultModel fault_model) {
+  SocSimulator runner(soc);
+  runner.load_program(program.program);
+  const int cycles = runner.run(kSbstFunctionalCycleCap);
+  // `margin` cycles past the good machine's HALT let slow faulty lanes
+  // diverge on the halted pin; the budget travels in the spec as a plain
+  // max_cycles so a worker needs no functional pre-run of its own.
+  const SeqFsimOptions opts{.max_cycles = cycles + margin,
+                            .event_driven = event_driven};
+  return make_sbst_campaign_test(soc, program, universe, std::move(topo), opts,
+                                 cycles, fault_model);
+}
+
+SbstCampaignTest rebuild_sbst_campaign_test(
+    const Soc& soc, std::vector<SbstProgram>& suite,
+    const FaultUniverse& universe, std::shared_ptr<const PackedTopology> topo,
+    const Json& spec, FaultModel fault_model) {
+  if (!spec.is_object() || !spec.contains("workload") ||
+      spec.at("workload").as_string() != "sbst")
+    throw std::invalid_argument(
+        "sbst worker: spec does not describe an sbst test");
+  const std::string& name = spec.at("program").as_string();
+  SbstProgram* program = nullptr;
+  for (SbstProgram& sp : suite)
+    if (sp.name == name) program = &sp;
+  if (!program)
+    throw std::invalid_argument("sbst worker: unknown program '" + name +
+                                "' (SoC configuration mismatch?)");
+  const SeqFsimOptions opts = seq_fsim_options_from_json(spec.at("fsim"));
+  SbstCampaignTest rebuilt = make_sbst_campaign_test(
+      soc, *program, universe, std::move(topo), opts, 0, fault_model);
+  if (spec.contains("state_fp") &&
+      word_from_hex(spec.at("state_fp").as_string()) !=
+          rebuilt.trace->fingerprint())
+    throw std::runtime_error(
+        "sbst worker: rebuilt state for '" + name +
+        "' does not match the coordinator's (SoC configuration drift?)");
+  return rebuilt;
+}
+
 std::vector<CampaignTest> build_sbst_campaign_tests(
     const Soc& soc, std::vector<SbstProgram>& suite,
     const FaultUniverse& universe, int margin, bool event_driven,
     FaultModel fault_model) {
-  const std::vector<int> cycles = run_suite_functional(soc, suite);
   // One topology (levelized order + fanout CSR) serves every tracer and
   // every worker's simulator across the whole suite.
   const auto topo = PackedTopology::build(soc.netlist);
   std::vector<CampaignTest> tests;
   tests.reserve(suite.size());
-  for (std::size_t i = 0; i < suite.size(); ++i) {
-    auto flash = std::make_shared<FlashImage>(soc.config.flash_base,
-                                              soc.config.flash_size);
-    flash->load(suite[i].program.base(), suite[i].program.words());
-    const int max_cycles = cycles[i] + margin;
-
-    // Checkpoint the good machine once; every batch of every worker then
-    // replays this trace as its reference (and, under the TDF model, reads
-    // its launch schedules from it instead of re-running a good pass).
-    SocFsimEnvironment trace_env(soc, *flash, max_cycles);
-    SequentialFaultSimulator tracer(
-        soc.netlist, universe,
-        {.max_cycles = max_cycles, .event_driven = event_driven}, topo);
-    tracer.set_observed(soc.cpu.bus_output_cells);
-    auto trace = std::make_shared<const ReferenceTrace>(
-        tracer.record_reference_trace(trace_env));
-
-    CampaignTest test;
-    test.name = suite[i].name;
-    test.good_cycles = cycles[i];
-    test.make_runner = [&soc, &universe, flash = std::move(flash),
-                        trace = std::move(trace), topo, max_cycles,
-                        event_driven, fault_model]() {
-      return std::make_unique<SbstBatchRunner>(soc, universe, flash, trace,
-                                               topo, max_cycles, event_driven,
-                                               fault_model);
-    };
-    tests.push_back(std::move(test));
-  }
+  for (SbstProgram& sp : suite)
+    tests.push_back(build_sbst_campaign_test(soc, sp, universe, topo, margin,
+                                             event_driven, fault_model)
+                        .test);
   return tests;
 }
 

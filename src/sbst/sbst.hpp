@@ -32,13 +32,18 @@ struct SbstProgram {
 /// Builds the full suite, each program based at the SoC reset vector.
 std::vector<SbstProgram> build_sbst_suite(const SocConfig& cfg);
 
+/// Cycle budget for one program's good-machine functional run, shared by
+/// run_suite_functional's default and the campaign-test builders so the
+/// two paths cannot drift.
+inline constexpr int kSbstFunctionalCycleCap = 5000;
+
 /// Functionally runs every program (good machine), returning per-program
 /// cycle counts. If `recorder` is given it accumulates toggle activity
 /// across the whole suite (the §4 signal-activity screening input).
-std::vector<int> run_suite_functional(const Soc& soc,
-                                      std::vector<SbstProgram>& suite,
-                                      int max_cycles_per_program = 5000,
-                                      ToggleRecorder* recorder = nullptr);
+std::vector<int> run_suite_functional(
+    const Soc& soc, std::vector<SbstProgram>& suite,
+    int max_cycles_per_program = kSbstFunctionalCycleCap,
+    ToggleRecorder* recorder = nullptr);
 
 struct SbstCampaignResult {
   struct PerProgram {
@@ -72,6 +77,42 @@ std::vector<CampaignTest> build_sbst_campaign_tests(
     const Soc& soc, std::vector<SbstProgram>& suite,
     const FaultUniverse& universe, int margin = kSbstCampaignMargin,
     bool event_driven = true, FaultModel fault_model = FaultModel::kStuckAt);
+
+/// One program's campaign test plus the recorded good-machine checkpoint
+/// (exposed so subprocess workers can fingerprint their rebuilt state —
+/// the trace hash is the strongest cheap witness that two processes built
+/// the same grading state from the same netlist).
+struct SbstCampaignTest {
+  CampaignTest test;
+  std::shared_ptr<const ReferenceTrace> trace;
+};
+
+/// Builds one program's campaign test: runs the program functionally for
+/// its cycle count, records the reference trace, and wraps the grading
+/// kernel in per-worker runners (build_sbst_campaign_tests is a loop over
+/// this). The returned test carries a wire spec
+/// ({"workload":"sbst","program":NAME,"fsim":{...},"state_fp":HEX}) so a
+/// subprocess worker can rebuild the same state from its own SoC —
+/// see rebuild_sbst_campaign_test. `topo` must be a PackedTopology over
+/// soc.netlist (shared across the suite's tests and workers).
+SbstCampaignTest build_sbst_campaign_test(
+    const Soc& soc, SbstProgram& program, const FaultUniverse& universe,
+    std::shared_ptr<const PackedTopology> topo,
+    int margin = kSbstCampaignMargin, bool event_driven = true,
+    FaultModel fault_model = FaultModel::kStuckAt);
+
+/// The worker half: reconstructs the campaign test a spec (produced by
+/// build_sbst_campaign_test on the coordinator) describes, over the
+/// worker's own soc/universe. The program is looked up by name in
+/// `suite`, the kernel options come from the spec's "fsim" object, and
+/// the rebuilt trace's fingerprint must match the spec's "state_fp" when
+/// present — a drifted rebuild (different SoC configuration, changed
+/// program) throws std::runtime_error instead of grading garbage.
+/// Throws std::invalid_argument on unknown programs or malformed specs.
+SbstCampaignTest rebuild_sbst_campaign_test(
+    const Soc& soc, std::vector<SbstProgram>& suite,
+    const FaultUniverse& universe, std::shared_ptr<const PackedTopology> topo,
+    const Json& spec, FaultModel fault_model);
 
 /// Fault-simulates the suite with system-bus observability through the
 /// campaign orchestrator, updating `fl` (already-detected and untestable

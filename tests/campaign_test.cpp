@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <numeric>
@@ -8,14 +11,17 @@
 #include <stdexcept>
 
 #include "campaign/campaign.hpp"
+#include "campaign/executor.hpp"
 #include "campaign/json.hpp"
 #include "campaign/report.hpp"
+#include "campaign/scheduler.hpp"
 #include "campaign/shard_queue.hpp"
 #include "campaign/worker_pool.hpp"
 #include "fault/fault_list.hpp"
 #include "fault/universe.hpp"
 #include "fsim/fsim.hpp"
 #include "netlist/wordops.hpp"
+#include "sbst/sbst.hpp"
 
 namespace olfui {
 namespace {
@@ -576,6 +582,384 @@ TEST(Campaign, ShardTimingsCoverEveryShardAtEveryThreadCount) {
     for (std::size_t s = 0; s < shards; ++s)
       EXPECT_GT(r.stats.shard_seconds[s], 0.0)
           << "threads " << threads << " shard " << s;
+  }
+}
+
+TEST(Campaign, ExceptionsCarryTestAndShardContext) {
+  // A runner failure must name the work item that died, not just rethrow
+  // the bare error: the caller sees test name + shard id (and, through a
+  // pool, the participant index) prefixed onto the original message.
+  CounterRig rig;
+  const FaultUniverse u(rig.nl);
+  std::vector<FaultId> targets(100);
+  std::iota(targets.begin(), targets.end(), 0u);
+  const CampaignTest bad = make_function_test(
+      "explodes", [](std::span<const FaultId> faults) -> std::uint64_t {
+        for (FaultId f : faults)
+          if (f == 70) throw std::runtime_error("boom");
+        return 0;
+      });
+  for (const int threads : {1, 2}) {
+    try {
+      CampaignEngine(u, {.threads = threads}).grade(targets, bad);
+      FAIL() << "runner exception swallowed at " << threads << " threads";
+    } catch (const std::runtime_error& e) {
+      const std::string msg = e.what();
+      // Fault 70 lands in shard 1 of the fixed 63-lane plan.
+      EXPECT_NE(msg.find("campaign test 'explodes'"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("shard 1"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("boom"), std::string::npos) << msg;
+      if (threads > 1)
+        EXPECT_NE(msg.find("worker pool participant"), std::string::npos)
+            << msg;
+    }
+  }
+}
+
+TEST(Campaign, GradeEdgeCasesAcrossAllPolicies) {
+  // Empty target list, a single-fault list, and targets == exactly one
+  // full batch, under every scheduling policy: same detections, and the
+  // one-batch shapes really plan one shard.
+  CounterRig rig;
+  const FaultUniverse u(rig.nl);
+  ASSERT_GE(u.size(), 63u);
+  const CampaignTest test = make_rig_test(rig, u, rig.outputs, "all_bits");
+  std::vector<FaultId> batch63(63);
+  std::iota(batch63.begin(), batch63.end(), 0u);
+
+  const std::vector<std::shared_ptr<const BatchScheduler>> policies = {
+      nullptr, std::make_shared<const ConeScheduler>(u),
+      std::make_shared<const AdaptiveScheduler>()};
+  BitVec expect_single, expect_batch;
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    const CampaignEngine engine(u, {.threads = 2, .scheduler = policies[p]});
+
+    EXPECT_EQ(engine.grade({}, test).size(), 0u) << p;
+
+    std::vector<double> single_seconds;
+    const BitVec single = engine.grade(std::span(batch63).first(1), test, {},
+                                       &single_seconds);
+    EXPECT_EQ(single_seconds.size(), 1u) << p;
+
+    std::vector<double> batch_seconds;
+    const BitVec full = engine.grade(batch63, test, {}, &batch_seconds);
+    EXPECT_EQ(batch_seconds.size(), 1u) << p;  // 63 targets = one shard
+    EXPECT_EQ(full.get(0), single.get(0)) << p;
+
+    if (p == 0) {
+      expect_single = single;
+      expect_batch = full;
+      EXPECT_GT(full.count(), 0u);
+    } else {
+      EXPECT_EQ(single, expect_single) << p;
+      EXPECT_EQ(full, expect_batch) << p;
+    }
+  }
+}
+
+TEST(Campaign, TinyUniverseRunsIdenticallyUnderEveryPolicy) {
+  // A universe far smaller than one batch: run() must behave across all
+  // policies and thread counts (the degenerate end of the sharding
+  // spectrum, where every plan collapses to a single shard per test).
+  Netlist nl("t");
+  WordOps w(nl, "m");
+  const NetId a = nl.add_input("a");
+  const NetId en = nl.add_input("en");
+  nl.add_output("o", w.and2(a, en, "y"));
+  const FaultUniverse u(nl);
+  ASSERT_LT(u.size(), 63u);
+  std::vector<CampaignTest> tests;
+  tests.push_back(make_function_test(
+      "parity", [](std::span<const FaultId> faults) {
+        std::uint64_t mask = 0;
+        for (std::size_t i = 0; i < faults.size(); ++i)
+          if (faults[i] % 2) mask |= 1ULL << i;
+        return mask;
+      }));
+
+  CampaignResult first;
+  bool have_first = false;
+  for (const auto& policy :
+       {std::shared_ptr<const BatchScheduler>{},
+        std::shared_ptr<const BatchScheduler>{
+            std::make_shared<const ConeScheduler>(u)},
+        std::shared_ptr<const BatchScheduler>{
+            std::make_shared<const AdaptiveScheduler>()}}) {
+    for (const int threads : {1, 2}) {
+      FaultList fl(u);
+      const CampaignResult r =
+          CampaignEngine(u, {.threads = threads, .scheduler = policy})
+              .run(fl, tests);
+      EXPECT_EQ(r.tests.at(0).batches, 1u);
+      EXPECT_GT(r.total_new_detections, 0u);
+      if (!have_first) {
+        first = r;
+        have_first = true;
+      } else {
+        EXPECT_EQ(r, first);
+        EXPECT_EQ(r.detected, first.detected);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Worker protocol (campaign/executor.hpp)
+
+TEST(WorkerProtocol, RequestRoundTripsAndValidates) {
+  BatchPlan plan;
+  plan.order = {3, 2, 1, 0};
+  plan.batch_start = {0, 2, 4};
+  const std::vector<FaultId> targets{10, 11, 12, 13};
+  const std::vector<std::uint32_t> shards{1};
+  CampaignTest test;
+  test.name = "t";
+  test.spec = Json::object();
+  test.spec.set("marker", 42);
+  const ShardWork work{plan,  targets,  targets, shards,
+                       test,  FaultModel::kTransition, 99, {}};
+
+  const Json doc = shard_request_to_json(work);
+  const ShardRequest req = shard_request_from_json(doc);
+  EXPECT_EQ(req.test, "t");
+  EXPECT_EQ(req.fault_model, FaultModel::kTransition);
+  EXPECT_EQ(req.spec.at("marker").as_int(), 42);
+  EXPECT_EQ(req.plan.order, plan.order);
+  EXPECT_EQ(req.plan.batch_start, plan.batch_start);
+  EXPECT_EQ(req.targets, targets);
+  EXPECT_EQ(req.shards, shards);
+  // Gathered on import: planned[i] = targets[order[i]].
+  EXPECT_EQ(req.planned, (std::vector<FaultId>{13, 12, 11, 10}));
+
+  {  // protocol version mismatches are rejected, not guessed at
+    Json bad = doc;
+    bad.set("protocol", kWorkerProtocolVersion + 1);
+    EXPECT_THROW(shard_request_from_json(bad), JsonError);
+  }
+  {  // shard ids outside the plan are rejected
+    Json bad = doc;
+    Json ids = Json::array();
+    ids.push_back(std::size_t{7});
+    bad.set("shards", std::move(ids));
+    EXPECT_THROW(shard_request_from_json(bad), JsonError);
+  }
+  {  // a plan that does not cover the targets is rejected
+    Json bad = doc;
+    Json few = Json::array();
+    few.push_back(std::size_t{10});
+    bad.set("targets", std::move(few));
+    EXPECT_THROW(shard_request_from_json(bad), JsonError);
+  }
+}
+
+/// Grades "fault id is odd" and reports a fixed state fingerprint — just
+/// enough workload to drive serve_worker through memory streams.
+class ParityWorkload final : public WorkerWorkload {
+ public:
+  std::size_t universe_size() override { return 77; }
+  std::uint64_t run_batch(const ShardRequest&,
+                          std::span<const FaultId> faults) override {
+    std::uint64_t mask = 0;
+    for (std::size_t i = 0; i < faults.size(); ++i)
+      if (faults[i] % 2) mask |= 1ULL << i;
+    return mask;
+  }
+  std::uint64_t state_fingerprint(const ShardRequest&) override {
+    return 0xfeedface;
+  }
+};
+
+std::vector<Json> run_serve_worker(const std::string& input, int expect_exit) {
+  std::string in_buf = input;
+  std::FILE* in = fmemopen(in_buf.data(), in_buf.size(), "r");
+  char* out_buf = nullptr;
+  std::size_t out_len = 0;
+  std::FILE* out = open_memstream(&out_buf, &out_len);
+  ParityWorkload workload;
+  EXPECT_EQ(serve_worker(in, out, workload), expect_exit);
+  std::fclose(in);
+  std::fclose(out);
+  std::vector<Json> lines;
+  std::string text(out_buf, out_len);
+  std::free(out_buf);
+  for (std::size_t pos = 0; pos < text.size();) {
+    const std::size_t end = text.find('\n', pos);
+    lines.push_back(Json::parse(text.substr(pos, end - pos)));
+    pos = end + 1;
+  }
+  return lines;
+}
+
+TEST(WorkerProtocol, ServeWorkerGradesRequestedShardsOnly) {
+  BatchPlan plan = BatchPlan::fixed(10, 4);  // shards of 4/4/2
+  std::vector<FaultId> targets(10);
+  std::iota(targets.begin(), targets.end(), 100u);
+  const std::vector<std::uint32_t> shards{2, 0};  // shard 1 is not ours
+  CampaignTest test;
+  test.name = "parity";
+  test.spec = Json::object();
+  const ShardWork work{plan, targets, targets, shards,
+                       test, FaultModel::kStuckAt, 77, {}};
+
+  const std::vector<Json> lines =
+      run_serve_worker(shard_request_to_json(work).dump() + "\n", 0);
+  ASSERT_EQ(lines.size(), 4u);  // hello, 2 shards, done
+  EXPECT_EQ(lines[0].at("type").as_string(), "hello");
+  EXPECT_EQ(lines[0].at("protocol").as_int(), kWorkerProtocolVersion);
+  // Replies come in request order (2 then 0), slot-tagged by shard id.
+  EXPECT_EQ(lines[1].at("type").as_string(), "shard");
+  EXPECT_EQ(lines[1].at("shard").as_size(), 2u);
+  // Shard 2 grades targets {108, 109}: odd ids detect -> lane 1 only.
+  EXPECT_EQ(word_from_hex(lines[1].at("mask").as_string()), 0x2ull);
+  EXPECT_EQ(lines[2].at("shard").as_size(), 0u);
+  // Shard 0 grades {100..103}: odd lanes 1 and 3.
+  EXPECT_EQ(word_from_hex(lines[2].at("mask").as_string()), 0xAull);
+  EXPECT_EQ(lines[3].at("type").as_string(), "done");
+  EXPECT_EQ(lines[3].at("universe").as_size(), 77u);
+  EXPECT_EQ(word_from_hex(lines[3].at("state_fp").as_string()), 0xfeedfaceull);
+}
+
+TEST(WorkerProtocol, ServeWorkerAnswersMalformedRequestsWithError) {
+  const std::vector<Json> lines = run_serve_worker("{\"type\":\"grade\"}\n", 1);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].at("type").as_string(), "hello");
+  EXPECT_EQ(lines[1].at("type").as_string(), "error");
+  EXPECT_FALSE(lines[1].at("message").as_string().empty());
+}
+
+// ---------------------------------------------------------------------------
+// SubprocessExecutor
+
+TEST(SubprocessExecutor, RejectsTestsWithoutASpec) {
+  SubprocessExecutor exec({"/bin/true"}, 1);
+  const BatchPlan plan = BatchPlan::fixed(2, 2);
+  const std::vector<FaultId> targets{0, 1};
+  const std::vector<std::uint32_t> shards{0};
+  CampaignTest test;
+  test.name = "local_only";  // spec left null
+  const ShardWork work{plan, targets, targets, shards,
+                       test, FaultModel::kStuckAt, 2, {}};
+  try {
+    exec.execute(work);
+    FAIL() << "null-spec test must not reach a remote worker";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("local_only"), std::string::npos);
+  }
+}
+
+TEST(SubprocessExecutor, KilledWorkerIsDetectedAndReported) {
+  // A fake worker that greets correctly, then dies without answering its
+  // shards: the campaign must fail loudly, naming the worker, its exit,
+  // and the test — a lost shard is never silently dropped.
+  SubprocessExecutor exec(
+      {"/bin/sh", "-c",
+       "printf '{\"type\":\"hello\",\"protocol\":1}\\n'; read -r line; exit 7"},
+      1);
+  const BatchPlan plan = BatchPlan::fixed(4, 2);
+  const std::vector<FaultId> targets{0, 1, 2, 3};
+  const std::vector<std::uint32_t> shards{0, 1};
+  CampaignTest test;
+  test.name = "sbst_prog";
+  test.spec = Json::object();
+  const ShardWork work{plan, targets, targets, shards,
+                       test, FaultModel::kStuckAt, 4, {}};
+  try {
+    exec.execute(work);
+    FAIL() << "a dead worker's shards must throw";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("worker 0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("died"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("exited with status 7"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("sbst_prog"), std::string::npos) << msg;
+  }
+}
+
+TEST(SubprocessExecutor, WorkerWithoutHelloFailsTheHandshake) {
+  SubprocessExecutor exec({"/bin/true"}, 1);
+  const BatchPlan plan = BatchPlan::fixed(2, 2);
+  const std::vector<FaultId> targets{0, 1};
+  const std::vector<std::uint32_t> shards{0};
+  CampaignTest test;
+  test.name = "t";
+  test.spec = Json::object();
+  const ShardWork work{plan, targets, targets, shards,
+                       test, FaultModel::kStuckAt, 2, {}};
+  try {
+    exec.execute(work);
+    FAIL() << "helloless worker must fail the handshake";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("hello"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SubprocessExecutor, BitIdenticalToInProcessOnSbstWorkload) {
+  // The acceptance check: coordinator + subprocess workers produce the
+  // same detection BitVec and the same deterministic CampaignResult JSON
+  // as the in-process pool on the SBST workload, for 1 and 2 workers
+  // under the fixed and cone policies.
+  if (::access("./olfui_cli", X_OK) != 0)
+    GTEST_SKIP() << "./olfui_cli not in the working directory";
+  const std::vector<std::string> worker_cmd{"./olfui_cli", "--worker"};
+
+  auto soc = build_soc({});
+  auto suite = build_sbst_suite(soc->config);
+  suite.erase(suite.begin() + 2, suite.end());  // alu_arith + alu_logic
+  const FaultUniverse u(soc->netlist);
+  std::vector<CampaignTest> tests = build_sbst_campaign_tests(*soc, suite, u);
+  ASSERT_FALSE(tests[0].spec.is_null());
+
+  // A spread slice of the universe, wide enough for several shards.
+  std::vector<FaultId> slice;
+  for (FaultId f = 0; f < u.size() && slice.size() < 200; f += 301)
+    slice.push_back(f);
+
+  const auto exec1 = std::make_shared<SubprocessExecutor>(worker_cmd, 1);
+  const auto exec2 = std::make_shared<SubprocessExecutor>(worker_cmd, 2);
+  const std::vector<std::shared_ptr<const BatchScheduler>> policies = {
+      nullptr, std::make_shared<const ConeScheduler>(u),
+      std::make_shared<const AdaptiveScheduler>()};
+
+  for (const auto& policy : policies) {
+    // grade(): empty, single-fault, one-full-batch, and multi-shard
+    // target lists (the executor-side edge cases).
+    const CampaignEngine inproc(u, {.threads = 2, .scheduler = policy});
+    for (const std::size_t n : {std::size_t{0}, std::size_t{1},
+                                std::size_t{63}, slice.size()}) {
+      const auto targets = std::span(slice).first(n);
+      const BitVec expect = inproc.grade(targets, tests[0]);
+      for (const auto& exec : {exec1, exec2}) {
+        CampaignOptions o{.threads = 2, .scheduler = policy, .executor = exec};
+        const BitVec got = CampaignEngine(u, o).grade(targets, tests[0]);
+        EXPECT_EQ(got, expect)
+            << "policy " << (policy ? policy->name() : "fixed") << " workers "
+            << (exec == exec1 ? 1 : 2) << " n " << n;
+      }
+    }
+
+    // run(): the merged result (and its deterministic JSON form) must be
+    // byte-identical between executors.
+    CampaignOptions base{.threads = 2, .scheduler = policy,
+                         .target_limit = 200};
+    FaultList fl_in(u);
+    const CampaignResult r_in = CampaignEngine(u, base).run(fl_in, tests);
+    CampaignOptions sub = base;
+    sub.executor = exec2;
+    FaultList fl_sub(u);
+    const CampaignResult r_sub = CampaignEngine(u, sub).run(fl_sub, tests);
+    EXPECT_GT(r_in.total_new_detections, 0u);
+    EXPECT_EQ(r_in, r_sub);
+    EXPECT_EQ(r_in.detected, r_sub.detected);
+    EXPECT_EQ(campaign_result_to_json_string(r_in, 2, false),
+              campaign_result_to_json_string(r_sub, 2, false));
+    EXPECT_EQ(r_in.stats.executor, "inproc");
+    EXPECT_EQ(r_sub.stats.executor, "subprocess");
+    // Worker-reported shard timings land slot-indexed, one per batch.
+    // Shape and parse sanity only — no duration claims in the unit suite
+    // (wall-clock assertions live in bench_runtime).
+    EXPECT_EQ(r_sub.stats.shard_seconds.size(), r_sub.stats.batches);
+    for (double s : r_sub.stats.shard_seconds) EXPECT_GE(s, 0.0);
   }
 }
 

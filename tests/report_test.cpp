@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "campaign/report.hpp"
+#include "campaign/scheduler.hpp"
 #include "core/analyzer.hpp"
 #include "fault/report.hpp"
 #include "netlist/wordops.hpp"
@@ -91,6 +93,85 @@ TEST(ModuleBreakdown, TableIsAligned) {
   const std::string table = module_breakdown_table(*rig.fl);
   EXPECT_NE(table.find("module"), std::string::npos);
   EXPECT_NE(table.find("untestable"), std::string::npos);
+}
+
+TEST(BatchPlanJson, RoundTripsEveryPolicyShape) {
+  // A permuted, ragged plan (the cone/adaptive shape): order reversed,
+  // batches of 3/1/3.
+  BatchPlan plan;
+  plan.order = {6, 5, 4, 3, 2, 1, 0};
+  plan.batch_start = {0, 3, 4, 7};
+  plan.validate(7, 63);
+
+  const Json doc = batch_plan_to_json(plan, "cone");
+  EXPECT_EQ(doc.at("policy").as_string(), "cone");
+  const BatchPlan back = batch_plan_from_json(doc);
+  EXPECT_EQ(back.order, plan.order);
+  EXPECT_EQ(back.batch_start, plan.batch_start);
+
+  // The identity plan (fixed policy) and dump -> parse -> rebuild.
+  const BatchPlan fixed = BatchPlan::fixed(130, 63);
+  const BatchPlan fixed_back =
+      batch_plan_from_json(Json::parse(batch_plan_to_json(fixed, "fixed").dump()));
+  EXPECT_EQ(fixed_back.order, fixed.order);
+  EXPECT_EQ(fixed_back.batch_start, fixed.batch_start);
+
+  // The empty plan round-trips too (grade() never sends one, but the
+  // wire format must not choke on it).
+  BatchPlan empty;
+  empty.batch_start = {0};
+  EXPECT_EQ(batch_plan_from_json(batch_plan_to_json(empty, "fixed")).batches(),
+            0u);
+}
+
+TEST(BatchPlanJson, RejectsMalformedDocuments) {
+  const BatchPlan plan = BatchPlan::fixed(7, 3);
+  const Json good = batch_plan_to_json(plan, "fixed");
+
+  {  // a repeated order index is not a permutation
+    Json bad = good;
+    Json order = Json::array();
+    for (std::size_t i = 0; i < 7; ++i) order.push_back(std::size_t{0});
+    bad.set("order", std::move(order));
+    EXPECT_THROW(batch_plan_from_json(bad), JsonError);
+  }
+  {  // batch sizes that overrun the target count
+    Json bad = good;
+    Json sizes = Json::array();
+    sizes.push_back(std::size_t{100});
+    bad.set("batch_sizes", std::move(sizes));
+    bad.set("batches", std::size_t{1});
+    EXPECT_THROW(batch_plan_from_json(bad), JsonError);
+  }
+  {  // order length disagreeing with the declared target count
+    Json bad = good;
+    bad.set("targets", std::size_t{3});
+    EXPECT_THROW(batch_plan_from_json(bad), JsonError);
+  }
+  {  // batches field disagreeing with batch_sizes
+    Json bad = good;
+    bad.set("batches", std::size_t{1});
+    EXPECT_THROW(batch_plan_from_json(bad), JsonError);
+  }
+  // Missing keys are malformed, not defaulted.
+  EXPECT_THROW(batch_plan_from_json(Json::object()), JsonError);
+}
+
+TEST(SeqFsimOptionsJson, RoundTripsAndRejectsBadBudgets) {
+  SeqFsimOptions opts;
+  opts.max_cycles = 1234;
+  opts.early_exit = false;
+  opts.event_driven = false;
+  const SeqFsimOptions back =
+      seq_fsim_options_from_json(seq_fsim_options_to_json(opts));
+  EXPECT_EQ(back.max_cycles, 1234);
+  EXPECT_FALSE(back.early_exit);
+  EXPECT_FALSE(back.event_driven);
+
+  Json bad = seq_fsim_options_to_json(opts);
+  bad.set("max_cycles", 0);
+  EXPECT_THROW(seq_fsim_options_from_json(bad), JsonError);
+  EXPECT_THROW(seq_fsim_options_from_json(Json::object()), JsonError);
 }
 
 TEST(TransitionModel, StrictlyMorePruningThanStuckAt) {
