@@ -19,6 +19,9 @@
 //    bit-identical cross-check; skipped (and flagged in the JSON) when
 //    ./olfui_cli is not in the working directory. Runs on the default SoC
 //    configuration — the one workers rebuild — not the lean one.
+//  * tracing overhead — the same grade with observability off vs fully
+//    on (tracer + metrics), with the side-band cross-check (identical
+//    detections) and the overhead ratio recorded in the JSON.
 //  * full-universe scaling table — the original whole-suite campaign at
 //    1/2/4/8 threads; minutes of work, so it only runs with
 //    OLFUI_BENCH_FULL=1 (CI smoke skips it).
@@ -36,6 +39,8 @@
 #include "campaign/executor.hpp"
 #include "campaign/json.hpp"
 #include "campaign/scheduler.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sbst/sbst.hpp"
 
 namespace {
@@ -298,6 +303,56 @@ void run_executor_comparison(Json& doc) {
   doc.set("executor_detections_identical", identical);
 }
 
+/// Tracing overhead: the same inproc grade with observability off and
+/// fully on (tracer + metrics). The off run is the hot path shipped to
+/// users — its only cost is the enabled() branch — so the ratio should
+/// hover near 1.0; a regression here means an instrumentation site
+/// started doing work outside its enabled() guard.
+void run_tracing_overhead(const Soc& soc, const FaultUniverse& universe,
+                          Json& doc) {
+  auto suite = build_sbst_suite(soc.config);
+  suite.erase(suite.begin() + 1, suite.end());
+  const std::vector<CampaignTest> tests =
+      build_sbst_campaign_tests(soc, suite, universe);
+  const std::vector<FaultId> targets = fault_slice(universe, 1024, 7);
+  const CampaignEngine engine(universe, {.threads = 2});
+
+  std::printf("== tracing overhead: %zu faults, observability off vs on ====\n",
+              targets.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  const BitVec off = engine.grade(targets, tests[0]);
+  const double off_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  obs::tracer().set_enabled(true);
+  obs::metrics().set_enabled(true);
+  const auto t1 = std::chrono::steady_clock::now();
+  const BitVec on = engine.grade(targets, tests[0]);
+  const double on_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t1)
+          .count();
+  const std::size_t spans = obs::tracer().event_count();
+  obs::tracer().set_enabled(false);
+  obs::tracer().clear();
+  obs::metrics().set_enabled(false);
+  obs::metrics().reset_values();
+
+  const bool identical = off == on;
+  std::printf("%12s %10.3f s\n%12s %10.3f s (%zu spans recorded)\n",
+              "tracing off", off_seconds, "tracing on", on_seconds, spans);
+  std::printf("overhead %.2fx; detection BitVecs %s\n\n",
+              off_seconds > 0 ? on_seconds / off_seconds : 0.0,
+              identical ? "bit-identical" : "DIFFER — side-band violation!");
+  Json t = Json::object();
+  t.set("off_seconds", off_seconds);
+  t.set("on_seconds", on_seconds);
+  t.set("overhead_ratio", off_seconds > 0 ? on_seconds / off_seconds : 0.0);
+  t.set("spans_recorded", spans);
+  doc.set("tracing", std::move(t));
+  doc.set("tracing_detections_identical", identical);
+}
+
 /// The original whole-suite, whole-universe campaign at every thread
 /// count — minutes of simulation, gated out of the CI smoke run.
 void print_full_scaling_table() {
@@ -369,6 +424,7 @@ int main(int argc, char** argv) {
   run_thread_scaling(*soc, universe, doc);
   run_kernel_cross_check(*soc, universe, doc);
   run_executor_comparison(doc);
+  run_tracing_overhead(*soc, universe, doc);
   std::ofstream("BENCH_campaign.json") << doc.dump(2) << "\n";
   std::printf("BENCH_campaign.json written.\n\n");
   if (const char* full = std::getenv("OLFUI_BENCH_FULL"); full && *full == '1')

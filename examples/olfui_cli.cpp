@@ -17,6 +17,15 @@
 //       --json-no-stats FILE deterministic payload only — byte-identical
 //                            across executors/threads/workers, the file
 //                            the distributed smoke compares
+//       --trace FILE         Chrome/Perfetto trace_event JSON of the whole
+//                            campaign — coordinator spans plus, under
+//                            --executor subprocess, every worker's spans
+//                            on its own pid lane (side-band: the grading
+//                            payload is byte-identical with or without it)
+//       --metrics FILE       deterministic-ordered counters/gauges/
+//                            histograms JSON (obs/metrics.hpp catalogue)
+//       --progress           stderr heartbeat per shard batch: shards
+//                            done/estimated, faults graded, faults/s, ETA
 //
 //   olfui_cli --worker
 //     Runs one campaign worker speaking the JSON line protocol
@@ -45,11 +54,14 @@
 //     --dump-schedule FILE write the computed batch plan over the
 //                          testable universe (shard sizes, cone-overlap
 //                          stats) as JSON for offline inspection
+//     --trace FILE         campaign span trace (see --sbst above)
+//     --metrics FILE       campaign metrics export (see --sbst above)
 //
 // Example:
 //   olfui_cli periph.v --tie test_mode=0 --unobserve dbg_tap --csv out.csv
 //   olfui_cli core_scan.v --campaign --threads 8 --json coverage.json
 //   olfui_cli core_scan.v --schedule cone --dump-schedule plan.json
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -66,6 +78,8 @@
 #include "fault/report.hpp"
 #include "memmap/memmap.hpp"
 #include "netlist/sweep.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sbst/sbst.hpp"
 #include "scan/scan_atpg.hpp"
 #include "sta/sta.hpp"
@@ -81,11 +95,13 @@ using namespace olfui;
                "usage: %s <netlist.v> [--tie NET=0|1] [--unobserve PORT] "
                "[--memmap BASE:SIZE] [--model sa|tdf] [--csv FILE] "
                "[--json FILE] [--sweep] [--campaign] [--threads N] "
-               "[--schedule default|cone|adaptive] [--dump-schedule FILE]\n"
+               "[--schedule default|cone|adaptive] [--dump-schedule FILE] "
+               "[--trace FILE] [--metrics FILE]\n"
                "       %s --sbst [--executor inproc|subprocess] [--workers N] "
                "[--programs N] [--limit N] [--threads N] "
                "[--schedule default|cone|adaptive] [--model sa|tdf] "
-               "[--json FILE] [--json-no-stats FILE]\n"
+               "[--json FILE] [--json-no-stats FILE] [--trace FILE] "
+               "[--metrics FILE] [--progress]\n"
                "       %s --worker\n",
                argv0, argv0, argv0);
   std::exit(2);
@@ -175,13 +191,77 @@ int run_worker_mode() {
 }
 
 // ---------------------------------------------------------------------------
+// Observability surface shared by the campaign-running modes.
+
+/// Enables the process-wide tracer/metrics before a campaign runs (both
+/// are strictly side-band — the grading payload is byte-identical either
+/// way, asserted in tests and CI).
+void enable_observability(const std::string& trace_path,
+                          const std::string& metrics_path) {
+  if (!trace_path.empty()) {
+    obs::tracer().set_enabled(true);
+    obs::tracer().set_process_label(0, "coordinator");
+  }
+  if (!metrics_path.empty()) obs::metrics().set_enabled(true);
+}
+
+void write_observability(const std::string& trace_path,
+                         const std::string& metrics_path) {
+  if (!trace_path.empty())
+    write_file(trace_path, obs::tracer().to_json().dump() + "\n");
+  if (!metrics_path.empty())
+    write_file(metrics_path, obs::metrics().to_json().dump(2) + "\n");
+}
+
+/// Builds the opt-in stderr heartbeat: one throttled line per completed
+/// shard batch with shards done / a fixed-63-lane estimate of the total,
+/// faults graded, rate, and ETA. Progress callbacks arrive serialized
+/// (the engine holds a mutex), so the state needs no further locking.
+CampaignProgress make_progress_heartbeat() {
+  struct Heartbeat {
+    std::string test;
+    std::chrono::steady_clock::time_point t0, last;
+    std::size_t shards = 0;
+  };
+  auto hb = std::make_shared<Heartbeat>();
+  return [hb](const std::string& test, std::size_t graded,
+              std::size_t targeted) {
+    const auto now = std::chrono::steady_clock::now();
+    if (test != hb->test) {
+      hb->test = test;
+      hb->t0 = now;
+      hb->last = {};
+      hb->shards = 0;
+    }
+    ++hb->shards;
+    // Throttle to ~2 lines/s but always print a test's final shard.
+    if (graded < targeted &&
+        now - hb->last < std::chrono::milliseconds(500))
+      return;
+    hb->last = now;
+    const double elapsed = std::chrono::duration<double>(now - hb->t0).count();
+    const double rate =
+        elapsed > 0 ? static_cast<double>(graded) / elapsed : 0.0;
+    const double eta =
+        rate > 0 ? static_cast<double>(targeted - graded) / rate : 0.0;
+    const std::size_t est_shards = (targeted + 62) / 63;
+    std::fprintf(stderr,
+                 "[progress] %s: shard %zu/~%zu, %zu/%zu faults, "
+                 "%.0f faults/s, eta %.1fs\n",
+                 test.c_str(), hb->shards, est_shards, graded, targeted, rate,
+                 eta);
+  };
+}
+
+// ---------------------------------------------------------------------------
 // --sbst: campaign coordinator over the built-in SBST workload.
 
 int run_sbst_mode(int argc, char** argv) {
   std::size_t programs = 0, limit = 0;
   int threads = 0, workers = 2;
-  bool subprocess = false, transition = false;
+  bool subprocess = false, transition = false, progress = false;
   std::string schedule = "default", json_path, json_no_stats_path;
+  std::string trace_path, metrics_path;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -218,10 +298,17 @@ int run_sbst_mode(int argc, char** argv) {
       json_path = next();
     } else if (arg == "--json-no-stats") {
       json_no_stats_path = next();
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else if (arg == "--metrics") {
+      metrics_path = next();
+    } else if (arg == "--progress") {
+      progress = true;
     } else {
       usage(argv[0]);
     }
   }
+  enable_observability(trace_path, metrics_path);
 
   auto soc = build_soc({});
   auto suite = build_sbst_suite(soc->config);
@@ -252,7 +339,9 @@ int run_sbst_mode(int argc, char** argv) {
   if (subprocess) std::printf(" (%d workers)", workers);
   std::printf("\n");
 
-  const SbstCampaignResult result = run_sbst_campaign(*soc, suite, fl, {}, opts);
+  const SbstCampaignResult result = run_sbst_campaign(
+      *soc, suite, fl, progress ? make_progress_heartbeat() : CampaignProgress{},
+      opts);
   for (const auto& pp : result.programs)
     std::printf("  %-12s %6d cycles %8zu new detections\n", pp.name.c_str(),
                 pp.cycles, pp.new_detections);
@@ -270,6 +359,7 @@ int run_sbst_mode(int argc, char** argv) {
                campaign_result_to_json_string(result.campaign, 2,
                                               /*include_stats=*/false) +
                    "\n");
+  write_observability(trace_path, metrics_path);
   return 0;
 }
 
@@ -286,6 +376,7 @@ int main(int argc, char** argv) {
   bool use_memmap = false, sweep = false, transition = false, campaign = false;
   int threads = 0;
   std::string csv_path, json_path, schedule = "default", dump_schedule_path;
+  std::string trace_path, metrics_path;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -330,10 +421,15 @@ int main(int argc, char** argv) {
         usage(argv[0]);
     } else if (arg == "--dump-schedule") {
       dump_schedule_path = next();
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else if (arg == "--metrics") {
+      metrics_path = next();
     } else {
       usage(argv[0]);
     }
   }
+  enable_observability(trace_path, metrics_path);
 
   Netlist nl = [&] {
     try {
@@ -493,6 +589,7 @@ int main(int argc, char** argv) {
     manuf_json.set("detected_but_online_untestable", gap);
   }
 
+  write_observability(trace_path, metrics_path);
   if (!csv_path.empty()) write_file(csv_path, to_csv(faults, true));
   if (!json_path.empty()) {
     std::string summary = to_json_summary(faults);

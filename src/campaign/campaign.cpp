@@ -11,6 +11,7 @@
 #include "campaign/scheduler.hpp"
 #include "fault/tdf.hpp"
 #include "netlist/netlist.hpp"
+#include "obs/trace.hpp"
 
 namespace olfui {
 
@@ -102,6 +103,9 @@ BitVec CampaignEngine::grade(std::span<const FaultId> targets,
   // draws the batch boundaries; everything below (execution, merge,
   // timings) is plan-shaped. A malformed plan throws here rather than
   // silently dropping faults.
+  auto plan_span = obs::tracer().span("plan", "campaign");
+  plan_span.arg("test", Json(test.name));
+  plan_span.arg("targets", Json(targets.size()));
   const ScheduleContext ctx{static_cast<std::size_t>(opts_.batch_size),
                             test.name};
   const BatchPlan plan = scheduler().plan(targets, ctx);
@@ -111,6 +115,8 @@ BitVec CampaignEngine::grade(std::span<const FaultId> targets,
     planned[i] = targets[plan.order[i]];
   std::vector<std::uint32_t> shard_ids(plan.batches());
   std::iota(shard_ids.begin(), shard_ids.end(), 0u);
+  plan_span.arg("shards", Json(plan.batches()));
+  plan_span.end();
 
   // --- execute ------------------------------------------------------------
   // Where the shards run is the executor's (executor.hpp); a lost or
@@ -126,7 +132,11 @@ BitVec CampaignEngine::grade(std::span<const FaultId> targets,
       graded += n;
       progress(test.name, graded, targets.size());
     };
+  auto exec_span = obs::tracer().span("execute", "campaign");
+  exec_span.arg("test", Json(test.name));
+  exec_span.arg("shards", Json(plan.batches()));
   const std::vector<ShardResult> results = executor().execute(work);
+  exec_span.end();
 
   // --- merge --------------------------------------------------------------
   // Deterministic: shard order, then lane order within the shard, mapped
@@ -134,6 +144,8 @@ BitVec CampaignEngine::grade(std::span<const FaultId> targets,
   // run anywhere, yields the same detection flags in target order.
   // Timings stay slot-indexed by shard id (never completion order), so
   // the report's layout is thread- and placement-independent too.
+  auto merge_span = obs::tracer().span("merge", "campaign");
+  merge_span.arg("test", Json(test.name));
   for (std::size_t shard = 0; shard < plan.batches(); ++shard) {
     const std::size_t lo = plan.batch_start[shard];
     const std::size_t n = plan.batch_size(shard);
@@ -149,7 +161,6 @@ BitVec CampaignEngine::grade(std::span<const FaultId> targets,
 CampaignResult CampaignEngine::run(FaultList& fl,
                                    std::span<const CampaignTest> tests,
                                    const CampaignProgress& progress) const {
-  const auto t0 = std::chrono::steady_clock::now();
   CampaignResult result;
   result.universe = universe_->size();
   result.fault_model = opts_.fault_model;
@@ -167,8 +178,16 @@ CampaignResult CampaignEngine::run(FaultList& fl,
     // One timing slot lands per shard, so the scheduler's actual batch
     // count (policies may split or regroup) is the timing delta.
     const std::size_t shards_before = result.stats.shard_seconds.size();
+    // wall_seconds is the sum of per-grade() monotonic clock pairs — each
+    // bracket encloses exactly one plan/execute/merge pass, so every
+    // shard's timing slot nests inside one bracket and bookkeeping
+    // between tests (class tallies, fault-list updates) never leaks in.
+    const auto g0 = std::chrono::steady_clock::now();
     const BitVec det =
         grade(targets, test, progress, &result.stats.shard_seconds);
+    result.stats.wall_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - g0)
+            .count();
     pt.batches = result.stats.shard_seconds.size() - shards_before;
     for (std::size_t i = det.find_first(); i < det.size();
          i = det.find_next(i + 1)) {
@@ -219,9 +238,6 @@ CampaignResult CampaignEngine::run(FaultList& fl,
   for (auto& [key, row] : classes) result.classes.push_back(std::move(row));
 
   result.stats.threads = resolved_threads();
-  result.stats.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
   result.stats.faults_per_second =
       result.stats.wall_seconds > 0
           ? static_cast<double>(result.stats.faults_simulated) /

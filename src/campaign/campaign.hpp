@@ -135,6 +135,10 @@ struct CampaignResult {
   };
 
   struct RuntimeStats {
+    /// Sum of per-test grading time, each test measured by one monotonic
+    /// (steady_clock) pair bracketing its grade() call — per-test
+    /// bookkeeping and final class tallies are excluded, and every
+    /// shard_seconds slot nests inside one bracket.
     double wall_seconds = 0;
     /// The engine's configured in-process parallelism (resolved_threads).
     /// With a custom executor this is what the default backend would have

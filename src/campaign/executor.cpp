@@ -1,6 +1,7 @@
 #include "campaign/executor.hpp"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -16,6 +17,8 @@
 
 #include "campaign/report.hpp"
 #include "campaign/shard_queue.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace olfui {
 
@@ -92,6 +95,7 @@ std::vector<ShardResult> InProcessExecutor::execute(const ShardWork& work) {
   std::vector<ShardResult> results(work.shards.size());
   if (work.shards.empty()) return results;
 
+  const bool tracing = obs::tracer().enabled();
   const auto worker = [&](ShardQueue& queue, std::size_t w) {
     std::unique_ptr<FaultBatchRunner> runner;  // created on first shard
     std::size_t idx;
@@ -104,9 +108,29 @@ std::vector<ShardResult> InProcessExecutor::execute(const ShardWork& work) {
         // is the adaptive scheduler's profile input and must measure
         // grading cost, not one-time per-worker setup.
         if (!runner) runner = work.test.make_runner();
+        const std::int64_t s0 = tracing ? obs::tracer().now_us() : 0;
         const auto t0 = std::chrono::steady_clock::now();
         results[idx].mask = runner->run_batch(work.planned.subspan(lo, n));
         results[idx].seconds = seconds_since(t0);
+        if (obs::metrics().enabled())
+          obs::metrics()
+              .histogram("campaign.shard_seconds",
+                         {0.001, 0.01, 0.1, 1.0, 10.0})
+              .observe(results[idx].seconds);
+        if (tracing) {
+          // tid = participant index, so the trace lane matches the worker
+          // that actually ran the shard (steals included).
+          obs::TraceEvent ev;
+          ev.name = "shard";
+          ev.cat = "campaign";
+          ev.ts_us = s0;
+          ev.dur_us = obs::tracer().now_us() - s0;
+          ev.tid = static_cast<std::int64_t>(w);
+          ev.args.emplace_back("shard", Json(static_cast<std::size_t>(shard)));
+          ev.args.emplace_back("test", Json(work.test.name));
+          ev.args.emplace_back("faults", Json(n));
+          obs::tracer().record(std::move(ev));
+        }
       } catch (const std::exception& e) {
         // The runner knows neither which shard it was grading nor for
         // which test — attach both before the pool rethrows on the
@@ -164,6 +188,7 @@ ShardRequest shard_request_from_json(const Json& doc) {
     throw JsonError("shard request: protocol version mismatch", 0);
   ShardRequest req;
   req.test = doc.at("test").as_string();
+  req.telemetry = doc.contains("telemetry") && doc.at("telemetry").as_bool();
   req.fault_model = fault_model_from_name(doc.at("fault_model").as_string());
   req.spec = doc.at("spec");
   req.plan = batch_plan_from_json(doc.at("plan"));
@@ -201,6 +226,9 @@ int serve_worker(std::FILE* in, std::FILE* out, WorkerWorkload& workload) {
     Json hello = Json::object();
     hello.set("type", "hello");
     hello.set("protocol", kWorkerProtocolVersion);
+    // Our monotonic clock at hello time: the coordinator pairs it with its
+    // own to shift merged telemetry spans onto a common timeline.
+    hello.set("ts_us", static_cast<double>(obs::tracer().now_us()));
     if (!write_line(out, hello)) return 1;
   }
   std::string line;
@@ -208,14 +236,27 @@ int serve_worker(std::FILE* in, std::FILE* out, WorkerWorkload& workload) {
     if (line.find_first_not_of(" \t") == std::string::npos) continue;
     try {
       const ShardRequest req = shard_request_from_json(Json::parse(line));
+      // Telemetry is sticky once requested: state rebuilt during an
+      // instrumented campaign stays attributable.
+      if (req.telemetry) {
+        obs::tracer().set_enabled(true);
+        obs::metrics().set_enabled(true);
+      }
       // Fingerprinting first forces the workload's one-time state rebuild
       // (netlist, reference trace) before any shard is timed: the
       // per-shard seconds are the adaptive scheduler's profile input and
       // must measure grading, not setup.
+      auto rebuild_span = obs::tracer().span("rebuild_state", "worker");
+      rebuild_span.arg("test", Json(req.test));
       const std::uint64_t state_fp = workload.state_fingerprint(req);
+      rebuild_span.end();
       for (std::uint32_t shard : req.shards) {
         const std::size_t lo = req.plan.batch_start[shard];
         const std::size_t n = req.plan.batch_size(shard);
+        auto shard_span = obs::tracer().span("shard", "worker");
+        shard_span.arg("shard", Json(static_cast<std::size_t>(shard)));
+        shard_span.arg("test", Json(req.test));
+        shard_span.arg("faults", Json(n));
         const auto t0 = std::chrono::steady_clock::now();
         const std::uint64_t mask = workload.run_batch(
             req, std::span(req.planned).subspan(lo, n));
@@ -224,6 +265,7 @@ int serve_worker(std::FILE* in, std::FILE* out, WorkerWorkload& workload) {
         reply.set("shard", static_cast<std::size_t>(shard));
         reply.set("mask", word_to_hex(mask));
         reply.set("seconds", seconds_since(t0));
+        shard_span.end();
         if (!write_line(out, reply)) return 1;
       }
       Json done = Json::object();
@@ -231,6 +273,15 @@ int serve_worker(std::FILE* in, std::FILE* out, WorkerWorkload& workload) {
       done.set("test", req.test);
       done.set("universe", workload.universe_size());
       done.set("state_fp", word_to_hex(state_fp));
+      if (req.telemetry) {
+        // Ship this request's spans/counters as deltas and zero for the
+        // next one; the coordinator owns accumulation.
+        Json tel = Json::object();
+        tel.set("spans", obs::trace_events_to_json(obs::tracer().drain()));
+        tel.set("counters", obs::metrics().counters_to_json());
+        done.set("telemetry", std::move(tel));
+        obs::metrics().reset_values();
+      }
       if (!write_line(out, done)) return 1;
     } catch (const std::exception& e) {
       Json error = Json::object();
@@ -274,16 +325,50 @@ void SubprocessExecutor::shutdown_all() {
       int status = 0;
       ::waitpid(static_cast<pid_t>(w.pid), &status, 0);
     }
+    // Closed last: the wait above guarantees the child wrote its final
+    // words, and fail() reads the tail before calling here.
+    if (w.err) std::fclose(w.err);
+    w.err = nullptr;
   }
   procs_.clear();
 }
 
+std::string SubprocessExecutor::stderr_tail(std::size_t worker) const {
+  if (worker >= procs_.size() || !procs_[worker].err) return {};
+  const int fd = ::fileno(procs_[worker].err);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) return {};
+  // pread at an explicit offset: the file description (and its offset) is
+  // shared with the child, which may still be appending — don't disturb it.
+  constexpr off_t kTailBytes = 4096;
+  const off_t start = st.st_size > kTailBytes ? st.st_size - kTailBytes : 0;
+  std::string buf(static_cast<std::size_t>(st.st_size - start), '\0');
+  const ssize_t n = ::pread(fd, buf.data(), buf.size(), start);
+  if (n <= 0) return {};
+  buf.resize(static_cast<std::size_t>(n));
+  // Keep only the last few lines — the crash is at the end.
+  constexpr int kTailLines = 8;
+  std::size_t pos = buf.size();
+  for (int lines = 0; pos > 0; --pos) {
+    if (buf[pos - 1] == '\n' && ++lines > kTailLines) break;
+  }
+  std::string tail = buf.substr(pos);
+  while (!tail.empty() && (tail.back() == '\n' || tail.back() == '\r'))
+    tail.pop_back();
+  return tail;
+}
+
 void SubprocessExecutor::fail(std::size_t worker, const std::string& what) {
+  // Quote the child's own last words — the exception names the shard and
+  // test, but the diagnostics that explain *why* live on its stderr.
+  const std::string tail = stderr_tail(worker);
   // The protocol stream is no longer trustworthy; restart from scratch on
   // the next execute() rather than resynchronising.
   shutdown_all();
   throw std::runtime_error("subprocess executor: worker " +
-                           std::to_string(worker) + ": " + what);
+                           std::to_string(worker) + ": " + what +
+                           (tail.empty() ? std::string()
+                                         : "; worker stderr: " + tail));
 }
 
 void SubprocessExecutor::spawn_all() {
@@ -308,6 +393,13 @@ void SubprocessExecutor::spawn_all() {
       ::close(to_child[1]);
       fail(i, std::string("pipe: ") + std::strerror(err));
     }
+    // Unlinked temp file for the child's stderr (satellite of the crash
+    // diagnostics: see stderr_tail). Best-effort — a worker without one
+    // just loses the quoted tail. CLOEXEC in the parent copy only; the
+    // child's dup2 onto fd 2 clears it there.
+    procs_[i].err = std::tmpfile();
+    if (procs_[i].err)
+      ::fcntl(::fileno(procs_[i].err), F_SETFD, FD_CLOEXEC);
     const pid_t pid = ::fork();
     if (pid < 0) {
       const int err = errno;
@@ -320,6 +412,9 @@ void SubprocessExecutor::spawn_all() {
     if (pid == 0) {
       ::dup2(to_child[0], STDIN_FILENO);
       ::dup2(from_child[1], STDOUT_FILENO);
+      // Redirect stderr into the capture file so a crash report can quote
+      // it; the exec-failure message below lands there too.
+      if (procs_[i].err) ::dup2(::fileno(procs_[i].err), STDERR_FILENO);
       ::execvp(argv[0], argv.data());
       std::fprintf(stderr, "worker exec '%s': %s\n", argv[0],
                    std::strerror(errno));
@@ -360,9 +455,18 @@ void SubprocessExecutor::spawn_all() {
         fail(i, "handshake is not a hello document");
       if (hello.at("protocol").as_int() != kWorkerProtocolVersion)
         fail(i, "protocol version mismatch");
+      // Pair the worker's monotonic clock with ours at the same (well,
+      // one pipe transit later) instant; merged telemetry spans are
+      // shifted by this offset onto the coordinator timeline.
+      if (hello.contains("ts_us"))
+        procs_[i].clock_offset_us =
+            obs::tracer().now_us() -
+            static_cast<std::int64_t>(hello.at("ts_us").as_number());
     } catch (const JsonError& e) {
       fail(i, std::string("malformed hello: ") + e.what());
     }
+    obs::tracer().set_process_label(procs_[i].pid,
+                                    "worker " + std::to_string(i));
   }
 }
 
@@ -388,6 +492,11 @@ std::vector<ShardResult> SubprocessExecutor::execute(const ShardWork& work) {
   // place (Json::set overwrites) — the O(targets) payload is built once,
   // not cloned per worker.
   Json request = shard_request_to_json(work);
+  // Ask for side-band spans/counters only when someone is listening; the
+  // field's absence keeps the wire bytes identical to pre-telemetry runs.
+  const bool telemetry =
+      obs::tracer().enabled() || obs::metrics().enabled();
+  if (telemetry) request.set("telemetry", Json(true));
   const std::string context = " during test '" + work.test.name + "'";
   for (std::size_t w = 0; w < active; ++w) {
     Json shards = Json::array();
@@ -450,6 +559,14 @@ std::vector<ShardResult> SubprocessExecutor::execute(const ShardWork& work) {
           fail(w, "answered shard " + std::to_string(shard) +
                       " it was not asked (or twice)" + context);
         answered[it->second] = true;
+        // Worker histograms don't travel the wire (only counter deltas
+        // do); the coordinator observes the reported shard time instead,
+        // so the distribution covers both executors.
+        if (obs::metrics().enabled())
+          obs::metrics()
+              .histogram("campaign.shard_seconds",
+                         {0.001, 0.01, 0.1, 1.0, 10.0})
+              .observe(r.seconds);
         results[it->second] = r;
         --pending;
         if (work.progress) work.progress(work.plan.batch_size(shard));
@@ -477,6 +594,13 @@ std::vector<ShardResult> SubprocessExecutor::execute(const ShardWork& work) {
         else if (fp != done_fp)
           fail(w, "rebuilt state disagrees with a sibling worker (" + fp +
                       " vs " + done_fp + ")" + context);
+        if (reply.contains("telemetry")) {
+          try {
+            merge_worker_telemetry(w, reply.at("telemetry"));
+          } catch (const JsonError& e) {
+            fail(w, std::string("malformed telemetry: ") + e.what() + context);
+          }
+        }
         done = true;
       } else {
         fail(w, "unknown reply type '" + type + "'" + context);
@@ -484,6 +608,17 @@ std::vector<ShardResult> SubprocessExecutor::execute(const ShardWork& work) {
     }
   }
   return results;
+}
+
+void SubprocessExecutor::merge_worker_telemetry(std::size_t worker,
+                                                const Json& telemetry) {
+  const Worker& w = procs_[worker];
+  if (telemetry.contains("spans") && obs::tracer().enabled())
+    obs::tracer().merge_foreign(
+        obs::trace_events_from_json(telemetry.at("spans")), w.pid,
+        w.clock_offset_us);
+  if (telemetry.contains("counters") && obs::metrics().enabled())
+    obs::metrics().merge_counters(telemetry.at("counters"));
 }
 
 }  // namespace olfui

@@ -24,16 +24,27 @@
 // Wire protocol (one JSON document per line, both directions):
 //
 //   worker -> coordinator on spawn:
-//     {"type":"hello","protocol":1}
+//     {"type":"hello","protocol":1,"ts_us":T}
 //   coordinator -> worker, one per grade() call per worker:
 //     {"type":"grade","test":NAME,"fault_model":"stuck_at"|"transition",
 //      "spec":<CampaignTest::spec>,"plan":<batch_plan_to_json>,
-//      "targets":[fault ids in target order],"shards":[shard ids]}
+//      "targets":[fault ids in target order],"shards":[shard ids],
+//      "telemetry":true?}
 //   worker -> coordinator, one per requested shard, then a summary:
 //     {"type":"shard","shard":ID,"mask":"16-hex-word","seconds":S}
-//     {"type":"done","test":NAME,"universe":N,"state_fp":"16-hex-word"}
+//     {"type":"done","test":NAME,"universe":N,"state_fp":"16-hex-word",
+//      "telemetry":{"spans":[...],"counters":{...}}?}
 //   worker -> coordinator on any failure (the worker then exits 1):
 //     {"type":"error","message":TEXT}
+//
+// Fields marked "?" are optional and strictly side-band (obs/trace.hpp):
+// "ts_us" is the worker's monotonic clock at hello (the coordinator
+// derives a per-worker clock offset so merged spans share its timeline),
+// "telemetry" on a grade request asks the worker to attach its spans and
+// counters to the "done" line. Absent fields are fully compatible both
+// directions — the protocol version stays 1 — and none of them ever
+// influences grading, so the detection payload is bit-identical with
+// telemetry on or off.
 //
 // Determinism contract: a worker grades exactly the fault spans the plan
 // dictates (it re-gathers targets through batch_plan_from_json), lane
@@ -146,11 +157,22 @@ class SubprocessExecutor final : public ShardExecutor {
     long pid = -1;
     std::FILE* to = nullptr;    ///< worker's stdin
     std::FILE* from = nullptr;  ///< worker's stdout
+    /// The worker's stderr, captured to an unlinked temp file so a crash
+    /// report can quote the child's own diagnostics (stderr_tail).
+    std::FILE* err = nullptr;
+    /// Coordinator tracer time minus worker tracer time, measured at the
+    /// hello handshake; shifts merged worker spans onto our timeline.
+    std::int64_t clock_offset_us = 0;
   };
 
   void spawn_all();                     // under mu_
   void shutdown_all();                  // under mu_
   [[noreturn]] void fail(std::size_t worker, const std::string& what);
+  /// Last few lines the worker wrote to stderr ("" when silent/unknown).
+  std::string stderr_tail(std::size_t worker) const;
+  /// Folds a done reply's telemetry object into the process-wide tracer
+  /// and metrics registry (worker pid lane, clock-offset-shifted spans).
+  void merge_worker_telemetry(std::size_t worker, const Json& telemetry);
 
   std::vector<std::string> command_;
   int workers_;
@@ -172,6 +194,9 @@ struct ShardRequest {
   /// Targets gathered through the plan (filled by shard_request_from_json
   /// after validating the plan): planned[i] = targets[plan.order[i]].
   std::vector<FaultId> planned;
+  /// Coordinator asked for spans/counters on the done reply (side-band;
+  /// never influences grading).
+  bool telemetry = false;
 };
 
 Json shard_request_to_json(const ShardWork& work);

@@ -253,6 +253,18 @@ const Json& Json::at(std::size_t i) const {
   return arr_[i];
 }
 
+const std::string& Json::key(std::size_t i) const {
+  require(Kind::kObject);
+  if (i >= obj_.size()) throw JsonError("object index out of range", i);
+  return obj_[i].first;
+}
+
+const Json& Json::value(std::size_t i) const {
+  require(Kind::kObject);
+  if (i >= obj_.size()) throw JsonError("object index out of range", i);
+  return obj_[i].second;
+}
+
 const Json& Json::at(std::string_view key) const {
   require(Kind::kObject);
   for (const auto& [k, v] : obj_)

@@ -65,6 +65,10 @@ class Json {
   /// Object access (throws if the key is absent).
   const Json& at(std::string_view key) const;
   bool contains(std::string_view key) const;
+  /// Object member key by insertion index (throws on kind/range mismatch).
+  const std::string& key(std::size_t i) const;
+  /// Object member value by insertion index (throws on kind/range mismatch).
+  const Json& value(std::size_t i) const;
 
   /// Appends to an array (value must already be an array).
   void push_back(Json v);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "campaign/campaign.hpp"
+#include "obs/metrics.hpp"
 
 namespace olfui {
 
@@ -104,13 +105,18 @@ BatchPlan AdaptiveScheduler::plan(std::span<const FaultId> targets,
   const double median = sorted[sorted.size() / 2];
 
   std::vector<std::uint32_t> starts{0};
+  std::size_t splits = 0;
   for (std::size_t b = 0; b < plan.batches(); ++b) {
     const std::uint32_t lo = plan.batch_start[b];
     const std::uint32_t hi = plan.batch_start[b + 1];
-    if (seconds[b] > split_factor_ * median && hi - lo >= 2)
+    if (seconds[b] > split_factor_ * median && hi - lo >= 2) {
       starts.push_back(lo + (hi - lo) / 2);
+      ++splits;
+    }
     starts.push_back(hi);
   }
+  if (splits && obs::metrics().enabled())
+    obs::metrics().counter("scheduler.adaptive_splits").add(splits);
   plan.batch_start = std::move(starts);
   return plan;
 }

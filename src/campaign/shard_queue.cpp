@@ -1,6 +1,21 @@
 #include "campaign/shard_queue.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace olfui {
+
+/// Side-band depth/steal telemetry; one enabled() branch when metrics are
+/// off. Depth is the sum of the per-lane heuristic counts — approximate
+/// under concurrency, exact enough for a load profile.
+void ShardQueue::note_pop(bool stolen) const {
+  if (!obs::metrics().enabled()) return;
+  if (stolen) obs::metrics().counter("campaign.shard_steals").add();
+  std::size_t depth = 0;
+  for (const Lane& lane : lanes_)
+    depth += lane.count.load(std::memory_order_relaxed);
+  obs::metrics().gauge("campaign.queue_depth")
+      .set(static_cast<std::int64_t>(depth));
+}
 
 ShardQueue::ShardQueue(std::size_t shards, std::size_t workers)
     : lanes_(workers == 0 ? 1 : workers) {
@@ -18,6 +33,7 @@ bool ShardQueue::pop(std::size_t worker, std::size_t& shard) {
       shard = own.work.front();
       own.work.pop_front();
       own.count.store(own.work.size(), std::memory_order_relaxed);
+      note_pop(/*stolen=*/false);
       return true;
     }
   }
@@ -43,6 +59,7 @@ bool ShardQueue::pop(std::size_t worker, std::size_t& shard) {
     shard = lane.work.back();
     lane.work.pop_back();
     lane.count.store(lane.work.size(), std::memory_order_relaxed);
+    note_pop(/*stolen=*/true);
     return true;
   }
 }

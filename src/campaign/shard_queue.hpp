@@ -37,6 +37,10 @@ class ShardQueue {
     /// Lock-free view of work.size() for victim selection.
     std::atomic<std::size_t> count{0};
   };
+
+  /// Side-band steal/depth telemetry after a successful pop (obs).
+  void note_pop(bool stolen) const;
+
   std::vector<Lane> lanes_;
 };
 

@@ -4,6 +4,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace olfui {
 
 namespace {
@@ -42,6 +45,10 @@ WorkerPool::~WorkerPool() {
 }
 
 void WorkerPool::worker_main(std::size_t index) {
+  // Pin the trace lane to the participant index so spans recorded on this
+  // thread land on the row matching the dispatcher's worker numbering
+  // (the caller is participant 0 on its own lane).
+  obs::set_thread_lane(static_cast<int>(index));
   std::uint64_t seen = 0;
   for (;;) {
     const std::function<void(std::size_t)>* job = nullptr;
@@ -64,6 +71,10 @@ void WorkerPool::worker_main(std::size_t index) {
       if (error) errors_[index] = error;
       if (--active_ == 0) cv_done_.notify_one();
     }
+    // Side-band: one park per job completion (the thread is about to go
+    // back to the CV), profiling how often the pool cycles.
+    if (obs::metrics().enabled())
+      obs::metrics().counter("campaign.pool_parks").add();
   }
 }
 

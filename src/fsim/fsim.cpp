@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "fault/tdf.hpp"
+#include "obs/metrics.hpp"
 #include "util/bits.hpp"
 
 namespace olfui {
@@ -160,11 +161,16 @@ void SequentialFaultSimulator::prepare_trace(const ReferenceTrace* trace) {
   if (trace == prepared_trace_ &&
       (!trace || (trace->cycles == prepared_cycles_ &&
                   trace->num_nets == prepared_nets_ &&
-                  trace->run_count() == prepared_runs_)))
+                  trace->run_count() == prepared_runs_))) {
+    if (trace && obs::metrics().enabled())
+      obs::metrics().counter("fsim.trace_cache_hits").add();
     return;
+  }
   prepared_trace_ = trace;
   observed_history_.clear();
   if (!trace) return;
+  if (obs::metrics().enabled())
+    obs::metrics().counter("fsim.trace_cache_misses").add();
   prepared_cycles_ = trace->cycles;
   prepared_nets_ = trace->num_nets;
   prepared_runs_ = trace->run_count();
@@ -227,6 +233,7 @@ std::uint64_t SequentialFaultSimulator::run_batch(std::span<const FaultId> fault
     if (opts_.early_exit && diverged == fault_lanes) break;
     sim_.clock();
   }
+  publish_activity();
   return unpack_detected(diverged, faults.size());
 }
 
@@ -309,7 +316,29 @@ std::uint64_t SequentialFaultSimulator::run_tdf_batch(
     if (opts_.early_exit && diverged == fault_lanes) break;
     sim_.clock();
   }
+  publish_activity();
   return unpack_detected(diverged, faults.size());
+}
+
+void SequentialFaultSimulator::publish_activity() {
+  if (!obs::metrics().enabled()) return;
+  const PackedActivity& a = sim_.activity();
+  PackedActivity& base = published_activity_;
+  // A caller-side sim().reset_activity() rewinds the counters; restart the
+  // delta base rather than wrapping the unsigned subtraction.
+  if (a.evals < base.evals) base = {};
+  obs::metrics().counter("kernel.evals").add(a.evals - base.evals);
+  obs::metrics().counter("kernel.full_sweeps")
+      .add(a.full_sweeps - base.full_sweeps);
+  obs::metrics().counter("kernel.cells_evaluated")
+      .add(a.cells_evaluated - base.cells_evaluated);
+  obs::metrics().counter("kernel.events_drained")
+      .add(a.events_drained - base.events_drained);
+  obs::metrics().counter("kernel.levels_touched")
+      .add(a.levels_touched - base.levels_touched);
+  obs::metrics().counter("kernel.quiet_cells")
+      .add(a.quiet_cells - base.quiet_cells);
+  base = a;
 }
 
 std::size_t SequentialFaultSimulator::run_campaign(

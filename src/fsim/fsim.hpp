@@ -195,6 +195,10 @@ class SequentialFaultSimulator {
   /// trace (cached on the pointer), so observe_divergence is a packed-bit
   /// read per output instead of a per-cycle run scan.
   void prepare_trace(const ReferenceTrace* trace);
+  /// Side-band metrics bridge (obs): publishes the PackedSim activity
+  /// accumulated since the last publish as kernel.* counter deltas. Called
+  /// once per batch (cold path); a branch when metrics are disabled.
+  void publish_activity();
 
   const Netlist* nl_;
   const FaultUniverse* universe_;
@@ -210,6 +214,8 @@ class SequentialFaultSimulator {
   std::size_t prepared_nets_ = 0;
   std::size_t prepared_runs_ = 0;
   std::vector<std::vector<std::uint64_t>> observed_history_;
+  /// Activity already published to the metrics registry (delta base).
+  PackedActivity published_activity_;
 };
 
 /// Parallel-pattern single-fault combinational simulation: returns true if

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "campaign/report.hpp"
+#include "obs/trace.hpp"
 
 namespace olfui {
 
@@ -376,8 +377,11 @@ SbstCampaignTest make_sbst_campaign_test(const Soc& soc, SbstProgram& program,
   SocFsimEnvironment trace_env(soc, *flash, opts.max_cycles);
   SequentialFaultSimulator tracer(soc.netlist, universe, opts, topo);
   tracer.set_observed(soc.cpu.bus_output_cells);
+  auto trace_span = obs::tracer().span("record_trace", "campaign");
+  trace_span.arg("program", Json(program.name));
   auto trace = std::make_shared<const ReferenceTrace>(
       tracer.record_reference_trace(trace_env));
+  trace_span.end();
 
   SbstCampaignTest out;
   out.trace = trace;

@@ -361,8 +361,10 @@ void PackedSim::run_event_sweep() {
   // increases the level, so a cell processed here cannot be re-scheduled
   // within the same eval, and a bucket cannot grow while it drains.
   std::uint64_t touched = 0;
+  std::uint64_t quiet = 0;
   for (std::uint32_t lvl = 1; lvl < t.num_levels; ++lvl) {
     std::vector<std::uint32_t>& bucket = buckets_[lvl];
+    if (!bucket.empty()) ++activity_.levels_touched;
     for (std::size_t i = 0; i < bucket.size(); ++i) {
       const std::uint32_t k = bucket[i];
       in_queue_[k] = 0;
@@ -371,12 +373,16 @@ void PackedSim::run_event_sweep() {
       if (out != values_[fc.out]) {
         values_[fc.out] = out;
         schedule_readers(fc.out);
+      } else {
+        ++quiet;
       }
     }
     touched += bucket.size();
     bucket.clear();
   }
   activity_.cells_evaluated += touched;
+  activity_.events_drained += touched;
+  activity_.quiet_cells += quiet;
 }
 
 void PackedSim::eval() {

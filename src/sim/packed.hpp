@@ -102,12 +102,19 @@ enum class PackedEvalMode : std::uint8_t {
   kFullSweep,    ///< levelized sweep over every cell (the oracle/baseline)
 };
 
-/// Work counters for the activity benches: how much of the netlist the
-/// kernel actually touched.
+/// Work counters for the activity benches and the obs metrics bridge
+/// (fsim publishes per-batch deltas as kernel.* counters): how much of
+/// the netlist the kernel actually touched. Plain counters, no locks —
+/// the kernel itself stays observability-free.
 struct PackedActivity {
   std::uint64_t evals = 0;            ///< eval() calls
   std::uint64_t full_sweeps = 0;      ///< evals resolved by a full sweep
   std::uint64_t cells_evaluated = 0;  ///< combinational cells computed
+  std::uint64_t events_drained = 0;   ///< cells drained from event buckets
+  std::uint64_t levels_touched = 0;   ///< non-empty level buckets drained
+  /// Drained cells whose output word was unchanged — their fanout was
+  /// never scheduled (the event path's work-skipping payoff).
+  std::uint64_t quiet_cells = 0;
 };
 
 class PackedSim {

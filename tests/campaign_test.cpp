@@ -21,6 +21,8 @@
 #include "fault/universe.hpp"
 #include "fsim/fsim.hpp"
 #include "netlist/wordops.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sbst/sbst.hpp"
 
 namespace olfui {
@@ -585,6 +587,76 @@ TEST(Campaign, ShardTimingsCoverEveryShardAtEveryThreadCount) {
   }
 }
 
+/// Enables the global tracer + metrics for one scope and restores the
+/// disabled-and-empty state on exit (pass or fail), so observability
+/// tests can never leak state into the rest of the suite.
+struct ScopedObservability {
+  ScopedObservability() {
+    obs::tracer().set_enabled(true);
+    obs::metrics().set_enabled(true);
+  }
+  ~ScopedObservability() {
+    obs::tracer().set_enabled(false);
+    obs::tracer().clear();
+    obs::metrics().set_enabled(false);
+    obs::metrics().reset_values();
+  }
+};
+
+TEST(Campaign, WallSecondsBoundsTheShardTimes) {
+  // RuntimeStats.wall_seconds is a sum of per-test monotonic clock pairs
+  // bracketing grade(); every shard window nests inside one of those
+  // pairs, so with one thread the shard times are disjoint sub-intervals
+  // and can never sum past the wall time. This is a structural nesting
+  // invariant, not a duration claim — it holds at any machine load.
+  CounterRig rig;
+  const FaultUniverse u(rig.nl);
+  const std::vector<CampaignTest> tests = make_rig_suite(rig, u);
+  FaultList fl(u);
+  const CampaignResult r = CampaignEngine(u, {.threads = 1}).run(fl, tests);
+  EXPECT_GT(r.stats.wall_seconds, 0.0);
+  std::size_t shards = 0;
+  for (const auto& pt : r.tests) shards += pt.batches;
+  ASSERT_EQ(r.stats.shard_seconds.size(), shards);
+  double sum = 0.0;
+  for (double s : r.stats.shard_seconds) {
+    EXPECT_GE(s, 0.0);
+    sum += s;
+  }
+  EXPECT_LE(sum, r.stats.wall_seconds + 1e-9);
+}
+
+TEST(Campaign, TracingOnLeavesResultsByteIdentical) {
+  // The observability contract: telemetry is strictly side-band. The
+  // same campaign with tracing + metrics enabled must produce the same
+  // CampaignResult and the same deterministic JSON document (modulo the
+  // stats section, which carries wall times) as a silent run.
+  CounterRig rig;
+  const FaultUniverse u(rig.nl);
+  const std::vector<CampaignTest> tests = make_rig_suite(rig, u);
+
+  FaultList fl_off(u);
+  const CampaignResult off =
+      CampaignEngine(u, {.threads = 2}).run(fl_off, tests);
+  const std::string off_json = campaign_result_to_json_string(off, 2, false);
+
+  CampaignResult on;
+  std::string on_json;
+  {
+    ScopedObservability guard;
+    FaultList fl_on(u);
+    on = CampaignEngine(u, {.threads = 2}).run(fl_on, tests);
+    on_json = campaign_result_to_json_string(on, 2, false);
+    // The run was actually observed, not silently skipped.
+    EXPECT_GT(obs::tracer().event_count(), 0u);
+    EXPECT_GT(obs::metrics().counter("kernel.evals").value(), 0u);
+    EXPECT_GT(obs::metrics().counter("fsim.trace_cache_hits").value(), 0u);
+  }
+  EXPECT_EQ(on, off);
+  EXPECT_EQ(on.detected, off.detected);
+  EXPECT_EQ(on_json, off_json);
+}
+
 TEST(Campaign, ExceptionsCarryTestAndShardContext) {
   // A runner failure must name the work item that died, not just rethrow
   // the bare error: the caller sees test name + shard id (and, through a
@@ -875,6 +947,40 @@ TEST(SubprocessExecutor, KilledWorkerIsDetectedAndReported) {
   }
 }
 
+TEST(SubprocessExecutor, CrashedWorkerStderrLandsInTheError) {
+  // A worker that prints a diagnostic to stderr and then dies: the thrown
+  // error must carry the worker's last stderr lines, so the operator sees
+  // the child's own words (assert text, exception message, sanitizer
+  // report) instead of just an exit status.
+  SubprocessExecutor exec(
+      {"/bin/sh", "-c",
+       "printf '{\"type\":\"hello\",\"protocol\":1}\\n';"
+       " echo 'scratch line' >&2;"
+       " echo 'fatal: reference trace fingerprint torched' >&2;"
+       " read -r line; exit 9"},
+      1);
+  const BatchPlan plan = BatchPlan::fixed(4, 2);
+  const std::vector<FaultId> targets{0, 1, 2, 3};
+  const std::vector<std::uint32_t> shards{0, 1};
+  CampaignTest test;
+  test.name = "sbst_prog";
+  test.spec = Json::object();
+  const ShardWork work{plan, targets, targets, shards,
+                       test, FaultModel::kStuckAt, 4, {}};
+  try {
+    exec.execute(work);
+    FAIL() << "a dead worker's shards must throw";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("exited with status 9"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("worker stderr"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("reference trace fingerprint torched"),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("scratch line"), std::string::npos) << msg;
+  }
+}
+
 TEST(SubprocessExecutor, WorkerWithoutHelloFailsTheHandshake) {
   SubprocessExecutor exec({"/bin/true"}, 1);
   const BatchPlan plan = BatchPlan::fixed(2, 2);
@@ -961,6 +1067,66 @@ TEST(SubprocessExecutor, BitIdenticalToInProcessOnSbstWorkload) {
     EXPECT_EQ(r_sub.stats.shard_seconds.size(), r_sub.stats.batches);
     for (double s : r_sub.stats.shard_seconds) EXPECT_GE(s, 0.0);
   }
+}
+
+TEST(SubprocessExecutor, TracedRunMergesWorkerLanesWithoutPerturbingPayload) {
+  // The distributed half of the side-band contract: a traced 2-worker
+  // subprocess grade returns the exact detection mask of an untraced one,
+  // while the coordinator trace gains per-shard spans from both worker
+  // processes on their own pid lanes (clock-shifted by the hello
+  // handshake) and the merged counters include worker kernel activity.
+  if (::access("./olfui_cli", X_OK) != 0)
+    GTEST_SKIP() << "./olfui_cli not in the working directory";
+
+  auto soc = build_soc({});
+  auto suite = build_sbst_suite(soc->config);
+  suite.erase(suite.begin() + 1, suite.end());  // alu_arith only
+  const FaultUniverse u(soc->netlist);
+  std::vector<CampaignTest> tests = build_sbst_campaign_tests(*soc, suite, u);
+  std::vector<FaultId> slice;
+  for (FaultId f = 0; f < u.size() && slice.size() < 200; f += 301)
+    slice.push_back(f);
+
+  const auto exec =
+      std::make_shared<SubprocessExecutor>(
+          std::vector<std::string>{"./olfui_cli", "--worker"}, 2);
+  const CampaignEngine engine(u, {.threads = 2, .executor = exec});
+  const BitVec off = engine.grade(slice, tests[0]);
+
+  BitVec on;
+  Json trace;
+  std::uint64_t worker_evals = 0;
+  {
+    ScopedObservability guard;
+    on = engine.grade(slice, tests[0]);
+    trace = obs::tracer().to_json();
+    worker_evals = obs::metrics().counter("kernel.evals").value();
+  }
+  EXPECT_EQ(on, off);
+
+  // 200 targets = 4 shards, striped shard i -> worker i mod 2: both
+  // workers grade, so the trace shows exactly three pid lanes —
+  // coordinator + two workers — and worker-side shard spans.
+  std::set<int> pids;
+  bool worker_shard_span = false;
+  const Json& events = trace.at("traceEvents");
+  ASSERT_GT(events.size(), 0u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Json& e = events.at(i);
+    if (e.at("ph").as_string() != "X") continue;
+    pids.insert(e.at("pid").as_int());
+    if (e.at("name").as_string() == "shard" &&
+        e.at("pid").as_int() != ::getpid())
+      worker_shard_span = true;
+    EXPECT_GE(e.at("ts").as_number(), 0.0) << i;
+    EXPECT_GE(e.at("dur").as_number(), 0.0) << i;
+  }
+  EXPECT_EQ(pids.size(), 3u);
+  EXPECT_EQ(pids.count(::getpid()), 1u);
+  EXPECT_TRUE(worker_shard_span);
+  // The coordinator graded nothing itself: every kernel eval it reports
+  // was merged out of worker telemetry.
+  EXPECT_GT(worker_evals, 0u);
 }
 
 TEST(Campaign, GradeMatchesLegacySequentialCampaign) {

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace olfui::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tracer
+//
+// These tests use standalone Tracer/MetricsRegistry instances, not the
+// process-wide singletons, so they cannot pollute (or be polluted by) the
+// campaign tests that exercise the global instrumentation path.
+
+TEST(Tracer, DisabledTracerRecordsNothing) {
+  Tracer t;
+  ASSERT_FALSE(t.enabled());
+  {
+    Tracer::Span s = t.span("work", "test");
+    s.arg("k", Json(1));
+  }
+  t.complete("manual", "test", 0);
+  EXPECT_EQ(t.event_count(), 0u);
+  const Json doc = t.to_json();
+  ASSERT_TRUE(doc.contains("traceEvents"));
+  EXPECT_EQ(doc.at("traceEvents").size(), 0u);
+}
+
+TEST(Tracer, SpansBecomeWellFormedCompleteEvents) {
+  Tracer t;
+  t.set_enabled(true);
+  {
+    Tracer::Span s = t.span("outer", "test");
+    s.arg("shard", Json(std::size_t{7}));
+    Tracer::Span inner = t.span("inner", "test");
+    inner.end();
+    inner.end();  // idempotent
+  }
+  ASSERT_EQ(t.event_count(), 2u);
+
+  const Json doc = t.to_json();
+  const Json& events = doc.at("traceEvents");
+  ASSERT_EQ(events.size(), 2u);
+  // Spans close inner-first; every X event carries the full field set.
+  EXPECT_EQ(events.at(0).at("name").as_string(), "inner");
+  EXPECT_EQ(events.at(1).at("name").as_string(), "outer");
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Json& e = events.at(i);
+    EXPECT_EQ(e.at("ph").as_string(), "X") << i;
+    EXPECT_EQ(e.at("cat").as_string(), "test") << i;
+    EXPECT_GE(e.at("ts").as_number(), 0.0) << i;
+    EXPECT_GE(e.at("dur").as_number(), 0.0) << i;
+    // pid 0 is replaced by the exporting process's id.
+    EXPECT_EQ(e.at("pid").as_int(), ::getpid()) << i;
+    EXPECT_TRUE(e.contains("tid")) << i;
+  }
+  // The outer span's arg survives as an args member.
+  EXPECT_EQ(events.at(1).at("args").at("shard").as_size(), 7u);
+  // Spans nest on the timeline: inner starts at or after outer.
+  EXPECT_GE(events.at(0).at("ts").as_number(), events.at(1).at("ts").as_number());
+}
+
+TEST(Tracer, ThreadsGetStableDistinctLanes) {
+  Tracer t;
+  t.set_enabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kSpans = 8;
+  std::vector<std::thread> pool;
+  for (int i = 0; i < kThreads; ++i)
+    pool.emplace_back([&t] {
+      for (int s = 0; s < kSpans; ++s) t.span("tick", "test");
+    });
+  for (auto& th : pool) th.join();
+  ASSERT_EQ(t.event_count(), std::size_t{kThreads} * kSpans);
+
+  // Each thread's events share one lane, and lanes don't collide: the
+  // per-(tid) event counts must come out exactly kSpans each.
+  std::map<std::int64_t, int> per_lane;
+  const Json events = t.to_json().at("traceEvents");
+  for (std::size_t i = 0; i < events.size(); ++i)
+    ++per_lane[static_cast<std::int64_t>(events.at(i).at("tid").as_number())];
+  ASSERT_EQ(per_lane.size(), std::size_t{kThreads});
+  for (const auto& [lane, n] : per_lane) EXPECT_EQ(n, kSpans) << lane;
+}
+
+TEST(Tracer, MergeForeignShiftsClockAndStampsPid) {
+  Tracer t;
+  t.set_enabled(true);
+  std::vector<TraceEvent> foreign;
+  foreign.push_back({"w", "worker", 1000, 50, 0, 3, {}});
+  foreign.push_back({"early", "worker", 10, 5, 0, 0, {}});
+  t.set_process_label(4242, "worker 0");
+  t.merge_foreign(std::move(foreign), 4242, 500);
+
+  const Json events = t.to_json().at("traceEvents");
+  // Label first (ph:"M" process_name), then the two shifted events.
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events.at(0).at("ph").as_string(), "M");
+  EXPECT_EQ(events.at(0).at("name").as_string(), "process_name");
+  EXPECT_EQ(events.at(0).at("pid").as_int(), 4242);
+  EXPECT_EQ(events.at(0).at("args").at("name").as_string(), "worker 0");
+  EXPECT_EQ(events.at(1).at("pid").as_int(), 4242);
+  EXPECT_EQ(events.at(1).at("ts").as_number(), 1500.0);
+  // A negative offset can never push a timestamp before the epoch.
+  Tracer t2;
+  t2.set_enabled(true);
+  t2.merge_foreign({{"w", "worker", 10, 5, 0, 0, {}}}, 7, -100);
+  EXPECT_EQ(t2.to_json().at("traceEvents").at(0).at("ts").as_number(), 0.0);
+}
+
+TEST(Tracer, WireRoundTripPreservesEvents) {
+  std::vector<TraceEvent> events;
+  events.push_back({"shard", "worker", 123, 45, 0, 2, {{"shard", Json(std::size_t{9})}}});
+  events.push_back({"rebuild_state", "worker", 7, 1, 0, 0, {}});
+  const Json wire = trace_events_to_json(events);
+  const std::vector<TraceEvent> back =
+      trace_events_from_json(Json::parse(wire.dump()));
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].name, "shard");
+  EXPECT_EQ(back[0].cat, "worker");
+  EXPECT_EQ(back[0].ts_us, 123);
+  EXPECT_EQ(back[0].dur_us, 45);
+  EXPECT_EQ(back[0].tid, 2);
+  ASSERT_EQ(back[0].args.size(), 1u);
+  EXPECT_EQ(back[0].args[0].first, "shard");
+  EXPECT_EQ(back[0].args[0].second.as_size(), 9u);
+  EXPECT_EQ(back[1].name, "rebuild_state");
+}
+
+TEST(Tracer, DrainMovesEventsButKeepsLabels) {
+  Tracer t;
+  t.set_enabled(true);
+  t.set_process_label(0, "coordinator");
+  t.span("a", "test");
+  const std::vector<TraceEvent> drained = t.drain();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].name, "a");
+  EXPECT_EQ(t.event_count(), 0u);
+  // The label still exports after the drain (workers drain per request).
+  const Json events = t.to_json().at("traceEvents");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events.at(0).at("name").as_string(), "process_name");
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+TEST(Metrics, ConcurrentUpdatesLoseNothing) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kAdds = 20000;
+  std::vector<std::thread> pool;
+  for (int i = 0; i < kThreads; ++i)
+    pool.emplace_back([&reg, i] {
+      // Half the threads cache the reference (the hot-loop idiom), half
+      // re-look it up each time (the casual idiom): totals must be exact
+      // either way.
+      if (i % 2 == 0) {
+        Counter& c = reg.counter("test.hits");
+        Histogram& h = reg.histogram("test.lat", {1.0, 10.0});
+        for (std::uint64_t n = 0; n < kAdds; ++n) {
+          c.add();
+          h.observe(static_cast<double>(n % 20));
+        }
+      } else {
+        for (std::uint64_t n = 0; n < kAdds; ++n) {
+          reg.counter("test.hits").add();
+          reg.histogram("test.lat", {1.0, 10.0}).observe(
+              static_cast<double>(n % 20));
+        }
+      }
+    });
+  for (auto& th : pool) th.join();
+
+  EXPECT_EQ(reg.counter("test.hits").value(), kThreads * kAdds);
+  Histogram& h = reg.histogram("test.lat", {1.0, 10.0});
+  EXPECT_EQ(h.count(), kThreads * kAdds);
+  // Per thread, n%20 sums to 190 per 20 observations.
+  EXPECT_DOUBLE_EQ(h.sum(), kThreads * (kAdds / 20.0) * 190.0);
+  // n%20 in [0,1] -> bucket 0 (2 of 20), (1,10] -> bucket 1 (9 of 20),
+  // rest overflow.
+  EXPECT_EQ(h.bucket_count(0), kThreads * kAdds * 2 / 20);
+  EXPECT_EQ(h.bucket_count(1), kThreads * kAdds * 9 / 20);
+  EXPECT_EQ(h.bucket_count(2), kThreads * kAdds * 9 / 20);
+}
+
+TEST(Metrics, ExportIsSortedAndDeterministic) {
+  MetricsRegistry reg;
+  // Register deliberately out of name order.
+  reg.counter("z.last").add(3);
+  reg.counter("a.first").add(1);
+  reg.gauge("m.depth").set(5);
+  reg.gauge("m.depth").set(2);
+  reg.histogram("h.lat", {1.0}).observe(0.5);
+
+  const Json doc = reg.to_json();
+  const Json& counters = doc.at("counters");
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters.key(0), "a.first");
+  EXPECT_EQ(counters.key(1), "z.last");
+  EXPECT_EQ(counters.value(1).as_size(), 3u);
+  const Json& g = doc.at("gauges").at("m.depth");
+  EXPECT_EQ(g.at("value").as_int(), 2);
+  EXPECT_EQ(g.at("high_water").as_int(), 5);
+  const Json& h = doc.at("histograms").at("h.lat");
+  EXPECT_EQ(h.at("count").as_size(), 1u);
+  EXPECT_EQ(h.at("buckets").at(0).as_size(), 1u);
+  EXPECT_EQ(h.at("buckets").at(1).as_size(), 0u);
+  // Same registrations, same values -> byte-identical documents.
+  EXPECT_EQ(reg.to_json().dump(2), doc.dump(2));
+}
+
+TEST(Metrics, MergeCountersAddsWorkerDeltas) {
+  MetricsRegistry reg;
+  reg.counter("kernel.evals").add(10);
+  MetricsRegistry worker;
+  worker.counter("kernel.evals").add(5);
+  worker.counter("fsim.trace_cache_hits").add(2);
+  reg.merge_counters(worker.counters_to_json());
+  EXPECT_EQ(reg.counter("kernel.evals").value(), 15u);
+  EXPECT_EQ(reg.counter("fsim.trace_cache_hits").value(), 2u);
+}
+
+TEST(Metrics, ResetValuesKeepsRegistrationsValid) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("test.n");
+  c.add(9);
+  Gauge& g = reg.gauge("test.g");
+  g.set(4);
+  Histogram& h = reg.histogram("test.h", {1.0});
+  h.observe(0.5);
+  reg.reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.high_water(), 0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bucket_count(0), 0u);
+  // The instruments survive: the cached references keep working.
+  c.add(1);
+  EXPECT_EQ(reg.counter("test.n").value(), 1u);
+}
+
+}  // namespace
+}  // namespace olfui::obs
