@@ -19,6 +19,9 @@
 //    bit-identical cross-check; skipped (and flagged in the JSON) when
 //    ./olfui_cli is not in the working directory. Runs on the default SoC
 //    configuration — the one workers rebuild — not the lean one.
+//  * chaos recovery — the same campaign with deterministically crashing
+//    workers (--chaos); recovery must converge to byte-identical
+//    deterministic JSON, and the wall-time gap is the recovery overhead.
 //  * tracing overhead — the same grade with observability off vs fully
 //    on (tracer + metrics), with the side-band cross-check (identical
 //    detections) and the overhead ratio recorded in the JSON.
@@ -38,6 +41,7 @@
 #include "campaign/campaign.hpp"
 #include "campaign/executor.hpp"
 #include "campaign/json.hpp"
+#include "campaign/report.hpp"
 #include "campaign/scheduler.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -303,6 +307,70 @@ void run_executor_comparison(Json& doc) {
   doc.set("executor_detections_identical", identical);
 }
 
+/// Chaos recovery check: the same campaign run with deterministically
+/// crashing workers (every worker SIGKILLs itself on its second shard;
+/// respawns recover) must converge to the byte-identical deterministic
+/// result. The wall-time gap is the price of one worker generation lost
+/// and rebuilt — the recovery overhead a deployment should budget for.
+void run_chaos_comparison(Json& doc) {
+  if (access("./olfui_cli", X_OK) != 0) {
+    std::printf("== chaos recovery skipped (./olfui_cli not here) ==========\n\n");
+    doc.set("chaos_skipped", true);
+    return;
+  }
+  const auto soc = build_soc({});
+  const FaultUniverse universe(soc->netlist);
+  auto suite = build_sbst_suite(soc->config);
+  suite.erase(suite.begin() + 1, suite.end());
+  const std::vector<CampaignTest> tests =
+      build_sbst_campaign_tests(*soc, suite, universe);
+  const CampaignOptions base{.threads = 2, .target_limit = 1024};
+
+  std::printf("== chaos recovery: crashing workers vs clean campaign ======\n");
+  FaultList fl_clean(universe);
+  const auto t0 = std::chrono::steady_clock::now();
+  const CampaignResult clean =
+      CampaignEngine(universe, base).run(fl_clean, tests);
+  const double clean_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  FleetOptions fleet;
+  fleet.workers = 2;
+  fleet.backoff_base = 0.01;
+  CampaignOptions chaos = base;
+  chaos.executor = std::make_shared<SubprocessExecutor>(
+      std::vector<std::string>{"./olfui_cli", "--worker", "--chaos",
+                               "11:crash@2"},
+      fleet);
+  FaultList fl_chaos(universe);
+  const auto t1 = std::chrono::steady_clock::now();
+  const CampaignResult recovered =
+      CampaignEngine(universe, chaos).run(fl_chaos, tests);
+  const double chaos_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t1)
+          .count();
+
+  const bool identical =
+      recovered == clean &&
+      campaign_result_to_json_string(recovered, 2, false) ==
+          campaign_result_to_json_string(clean, 2, false);
+  std::printf("%12s %10.3f s\n%12s %10.3f s (%zu respawns, %zu shards "
+              "reissued)\n",
+              "clean", clean_seconds, "chaos", chaos_seconds,
+              recovered.stats.respawns, recovered.stats.shard_reissues);
+  std::printf("deterministic JSON %s after recovery\n\n",
+              identical ? "byte-identical" : "DIFFERS — recovery bug!");
+  Json c = Json::object();
+  c.set("clean_seconds", clean_seconds);
+  c.set("chaos_seconds", chaos_seconds);
+  c.set("respawns", recovered.stats.respawns);
+  c.set("shard_reissues", recovered.stats.shard_reissues);
+  c.set("degraded_shards", recovered.stats.degraded_shards);
+  doc.set("chaos", std::move(c));
+  doc.set("chaos_detections_identical", identical);
+}
+
 /// Tracing overhead: the same inproc grade with observability off and
 /// fully on (tracer + metrics). The off run is the hot path shipped to
 /// users — its only cost is the enabled() branch — so the ratio should
@@ -424,6 +492,7 @@ int main(int argc, char** argv) {
   run_thread_scaling(*soc, universe, doc);
   run_kernel_cross_check(*soc, universe, doc);
   run_executor_comparison(doc);
+  run_chaos_comparison(doc);
   run_tracing_overhead(*soc, universe, doc);
   std::ofstream("BENCH_campaign.json") << doc.dump(2) << "\n";
   std::printf("BENCH_campaign.json written.\n\n");

@@ -7,6 +7,17 @@
 //     shard executor:
 //       --executor inproc|subprocess   shard backend (default inproc)
 //       --workers N          subprocess worker processes (default 2)
+//       --shard-timeout S    per-shard liveness deadline in seconds for
+//                            the subprocess fleet (0 = derive from
+//                            profiled shard times with a generous floor)
+//       --max-respawns N     fleet-wide respawn budget for crashed
+//                            workers (default 8)
+//       --min-workers N      degrade to in-process grading when fewer
+//                            workers remain live or respawnable
+//                            (default 1)
+//       --chaos SPEC         forward a deterministic fault-injection spec
+//                            (<seed>:crash|stall|trunc[@N][:all]) to the
+//                            spawned workers — the recovery-path smoke
 //       --programs N         grade only the first N suite programs
 //       --limit N            grade only the first N eligible faults per
 //                            test (the CI smoke slice; 0 = all)
@@ -27,11 +38,13 @@
 //       --progress           stderr heartbeat per shard batch: shards
 //                            done/estimated, faults graded, faults/s, ETA
 //
-//   olfui_cli --worker
+//   olfui_cli --worker [--chaos SPEC]
 //     Runs one campaign worker speaking the JSON line protocol
 //     (campaign/executor.hpp) on stdin/stdout; spawned by
 //     --executor subprocess, rebuilds grading state from each request's
-//     CampaignTest::spec. Not meant for interactive use.
+//     CampaignTest::spec. Not meant for interactive use. --chaos (or the
+//     OLFUI_CHAOS environment variable) injects deterministic failures
+//     for recovery testing.
 //
 //   olfui_cli <netlist.v> [options]
 //     --tie NET=0|1        mission-constant net (repeatable)
@@ -98,11 +111,12 @@ using namespace olfui;
                "[--schedule default|cone|adaptive] [--dump-schedule FILE] "
                "[--trace FILE] [--metrics FILE]\n"
                "       %s --sbst [--executor inproc|subprocess] [--workers N] "
-               "[--programs N] [--limit N] [--threads N] "
+               "[--shard-timeout S] [--max-respawns N] [--min-workers N] "
+               "[--chaos SPEC] [--programs N] [--limit N] [--threads N] "
                "[--schedule default|cone|adaptive] [--model sa|tdf] "
                "[--json FILE] [--json-no-stats FILE] [--trace FILE] "
                "[--metrics FILE] [--progress]\n"
-               "       %s --worker\n",
+               "       %s --worker [--chaos SPEC]\n",
                argv0, argv0, argv0);
   std::exit(2);
 }
@@ -185,9 +199,29 @@ class SbstWorkerWorkload final : public WorkerWorkload {
   std::map<std::string, Entry> cache_;
 };
 
-int run_worker_mode() {
+int run_worker_mode(int argc, char** argv) {
+  // --chaos SPEC injects deterministic failures (see ChaosSpec); the
+  // OLFUI_CHAOS environment variable reaches workers the coordinator
+  // spawns without any argv plumbing, so the flag is mostly for driving
+  // one worker by hand.
+  ChaosSpec chaos;
+  bool chaos_given = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--chaos" && i + 1 < argc) {
+      try {
+        chaos = chaos_spec_from_string(argv[++i]);
+        chaos_given = true;
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
+    } else {
+      usage(argv[0]);
+    }
+  }
   SbstWorkerWorkload workload;
-  return serve_worker(stdin, stdout, workload);
+  return serve_worker(stdin, stdout, workload, chaos_given ? &chaos : nullptr);
 }
 
 // ---------------------------------------------------------------------------
@@ -259,9 +293,11 @@ CampaignProgress make_progress_heartbeat() {
 int run_sbst_mode(int argc, char** argv) {
   std::size_t programs = 0, limit = 0;
   int threads = 0, workers = 2;
+  FleetOptions fleet;
+  double shard_timeout = 0;
   bool subprocess = false, transition = false, progress = false;
   std::string schedule = "default", json_path, json_no_stats_path;
-  std::string trace_path, metrics_path;
+  std::string trace_path, metrics_path, chaos_spec;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -280,6 +316,24 @@ int run_sbst_mode(int argc, char** argv) {
       else if (kind != "inproc") usage(argv[0]);
     } else if (arg == "--workers") {
       workers = static_cast<int>(next_uint());
+    } else if (arg == "--shard-timeout") {
+      char* end = nullptr;
+      const std::string text = next();
+      shard_timeout = std::strtod(text.c_str(), &end);
+      if (end != text.c_str() + text.size() || shard_timeout < 0)
+        usage(argv[0]);
+    } else if (arg == "--max-respawns") {
+      fleet.max_respawns = static_cast<int>(next_uint());
+    } else if (arg == "--min-workers") {
+      fleet.min_workers = static_cast<int>(next_uint());
+    } else if (arg == "--chaos") {
+      chaos_spec = next();
+      try {
+        chaos_spec_from_string(chaos_spec);  // validate before spawning
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
     } else if (arg == "--programs") {
       programs = next_uint();
     } else if (arg == "--limit") {
@@ -323,13 +377,21 @@ int run_sbst_mode(int argc, char** argv) {
   opts.fault_model =
       transition ? FaultModel::kTransition : FaultModel::kStuckAt;
   opts.target_limit = limit;
+  opts.shard_timeout = shard_timeout;
   if (schedule == "cone")
     opts.scheduler = std::make_shared<const ConeScheduler>(universe);
   else if (schedule == "adaptive")
     opts.scheduler = std::make_shared<const AdaptiveScheduler>();
-  if (subprocess)
-    opts.executor = std::make_shared<SubprocessExecutor>(
-        std::vector<std::string>{argv[0], "--worker"}, workers);
+  if (subprocess) {
+    fleet.workers = workers;
+    std::vector<std::string> worker_cmd{argv[0], "--worker"};
+    if (!chaos_spec.empty()) {
+      worker_cmd.push_back("--chaos");
+      worker_cmd.push_back(chaos_spec);
+    }
+    opts.executor =
+        std::make_shared<SubprocessExecutor>(std::move(worker_cmd), fleet);
+  }
 
   std::printf("sbst campaign: %zu programs, %zu faults%s, model %s,\n"
               "  schedule %s, executor %s",
@@ -350,6 +412,13 @@ int run_sbst_mode(int argc, char** argv) {
               "%zu batches, %.2f s, %.0f faults/sec\n",
               result.campaign.total_new_detections, stats.faults_simulated,
               stats.batches, stats.wall_seconds, stats.faults_per_second);
+  if (stats.respawns || stats.shard_reissues || stats.timeouts ||
+      stats.degraded_shards)
+    std::printf("recovery: %zu respawn(s), %zu shard reissue(s), "
+                "%zu timeout(s), %zu shard(s) graded by the in-process "
+                "fallback\n",
+                stats.respawns, stats.shard_reissues, stats.timeouts,
+                stats.degraded_shards);
 
   if (!json_path.empty())
     write_file(json_path,
@@ -367,7 +436,8 @@ int run_sbst_mode(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   if (argc < 2) usage(argv[0]);
-  if (std::strcmp(argv[1], "--worker") == 0) return run_worker_mode();
+  if (std::strcmp(argv[1], "--worker") == 0)
+    return run_worker_mode(argc, argv);
   if (std::strcmp(argv[1], "--sbst") == 0) return run_sbst_mode(argc, argv);
   std::string input = argv[1];
   std::vector<std::pair<std::string, bool>> ties;

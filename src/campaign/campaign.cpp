@@ -125,7 +125,8 @@ BitVec CampaignEngine::grade(std::span<const FaultId> targets,
   std::size_t graded = 0;
   ShardWork work{plan,       targets,           planned,
                  shard_ids,  test,              opts_.fault_model,
-                 universe_->size(),             {}};
+                 universe_->size(),             {},
+                 opts_.shard_timeout};
   if (progress)
     work.progress = [&](std::size_t n) {
       std::lock_guard lock(progress_mu);
@@ -166,6 +167,9 @@ CampaignResult CampaignEngine::run(FaultList& fl,
   result.fault_model = opts_.fault_model;
   result.stats.schedule_policy = std::string(scheduler().name());
   result.stats.executor = std::string(executor().name());
+  // Recovery counters are cumulative on the executor (it outlives runs);
+  // the run reports its own delta.
+  const ExecutorHealth health0 = executor().health();
 
   for (const CampaignTest& test : tests) {
     const std::vector<FaultId> targets =
@@ -236,6 +240,13 @@ CampaignResult CampaignEngine::run(FaultList& fl,
   }
   result.classes.reserve(classes.size());
   for (auto& [key, row] : classes) result.classes.push_back(std::move(row));
+
+  const ExecutorHealth health1 = executor().health();
+  result.stats.respawns = health1.respawns - health0.respawns;
+  result.stats.shard_reissues = health1.shard_reissues - health0.shard_reissues;
+  result.stats.timeouts = health1.timeouts - health0.timeouts;
+  result.stats.degraded_shards =
+      health1.degraded_shards - health0.degraded_shards;
 
   result.stats.threads = resolved_threads();
   result.stats.faults_per_second =

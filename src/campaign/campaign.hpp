@@ -104,6 +104,13 @@ struct CampaignOptions {
   /// id-ordered target list — but coverage figures then describe the
   /// slice, not the universe.
   std::size_t target_limit = 0;
+  /// Per-shard liveness deadline in seconds for distributed executors
+  /// (forwarded as ShardWork::shard_timeout): a worker that neither
+  /// replies nor heartbeats for this long is declared dead and its
+  /// in-flight shards are re-issued. 0 derives a deadline from profiled
+  /// shard times with a generous floor. Purely a liveness knob — the
+  /// detection payload is identical whichever deadline fires.
+  double shard_timeout = 0;
 };
 
 /// Campaign-wide outcome. Everything except `stats` is a pure function of
@@ -156,6 +163,13 @@ struct CampaignResult {
     /// exit skews shard cost, so this is the profile input for
     /// AdaptiveScheduler's hot-shard splitting (scheduler.hpp).
     std::vector<double> shard_seconds;
+    // Executor recovery odometer for this run (ExecutorHealth delta
+    // around run()): how the result was obtained, never what it is — all
+    // zero on an undisturbed campaign.
+    std::size_t respawns = 0;        ///< worker processes relaunched
+    std::size_t shard_reissues = 0;  ///< shards re-queued off dead workers
+    std::size_t timeouts = 0;        ///< deadline/progress-rule expiries
+    std::size_t degraded_shards = 0; ///< shards graded by the fallback
   };
 
   std::size_t universe = 0;

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <chrono>
 #include <csignal>
 #include <cstdlib>
@@ -19,6 +20,8 @@
 #include "campaign/shard_queue.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/posix.hpp"
+#include "util/rng.hpp"
 
 namespace olfui {
 
@@ -29,12 +32,27 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
-/// One '\n'-terminated line from `in` (terminator stripped); false on EOF.
+std::chrono::steady_clock::duration duration_from_seconds(double s) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(s));
+}
+
+/// One '\n'-terminated line from `in` (terminator stripped); false on EOF
+/// or a non-EINTR read error. A signal interrupting the underlying read
+/// sets the stream's error flag — cleared and retried, never reported as
+/// a dead peer.
 bool read_line(std::FILE* in, std::string& line) {
   char* buf = nullptr;
   std::size_t cap = 0;
-  const ssize_t n = ::getline(&buf, &cap, in);
-  if (n < 0) {
+  ssize_t n;
+  for (;;) {
+    errno = 0;
+    n = ::getline(&buf, &cap, in);
+    if (n >= 0) break;
+    if (errno == EINTR) {
+      std::clearerr(in);
+      continue;
+    }
     std::free(buf);
     return false;
   }
@@ -54,13 +72,26 @@ bool write_line(std::FILE* out, const Json& doc) {
   return std::fflush(out) == 0;
 }
 
+/// Extracts the first complete line from a coordinator-side read buffer
+/// (terminators stripped); false when no full line has arrived yet.
+bool take_line(std::string& rbuf, std::string& line) {
+  const std::size_t nl = rbuf.find('\n');
+  if (nl == std::string::npos) return false;
+  line.assign(rbuf, 0, nl);
+  rbuf.erase(0, nl + 1);
+  while (!line.empty() && line.back() == '\r') line.pop_back();
+  return true;
+}
+
 std::string_view fault_model_name(FaultModel m) { return to_string(m); }
 
-FaultModel fault_model_from_name(const std::string& name) {
+FaultModel fault_model_from_name(const Json& node) {
+  const std::string& name = node.as_string();
   if (name == to_string(FaultModel::kStuckAt)) return FaultModel::kStuckAt;
   if (name == to_string(FaultModel::kTransition))
     return FaultModel::kTransition;
-  throw JsonError("shard request: unknown fault_model '" + name + "'", 0);
+  throw JsonError("shard request: unknown fault_model '" + name + "'",
+                  node.source_offset());
 }
 
 std::string describe_exit(int status) {
@@ -69,6 +100,28 @@ std::string describe_exit(int status) {
   if (WIFSIGNALED(status))
     return "killed by signal " + std::to_string(WTERMSIG(status));
   return "ended with wait status " + std::to_string(status);
+}
+
+/// Last few lines of a stderr capture file (the crash is at the end).
+/// pread at explicit offsets: the file description (and its offset) is
+/// shared with the child, which may still be appending — don't disturb it.
+std::string file_tail(int fd, off_t size) {
+  if (size <= 0) return {};
+  constexpr off_t kTailBytes = 4096;
+  const off_t start = size > kTailBytes ? size - kTailBytes : 0;
+  std::string buf(static_cast<std::size_t>(size - start), '\0');
+  const ssize_t n = ::pread(fd, buf.data(), buf.size(), start);
+  if (n <= 0) return {};
+  buf.resize(static_cast<std::size_t>(n));
+  constexpr int kTailLines = 8;
+  std::size_t pos = buf.size();
+  for (int lines = 0; pos > 0; --pos) {
+    if (buf[pos - 1] == '\n' && ++lines > kTailLines) break;
+  }
+  std::string tail = buf.substr(pos);
+  while (!tail.empty() && (tail.back() == '\n' || tail.back() == '\r'))
+    tail.pop_back();
+  return tail;
 }
 
 }  // namespace
@@ -183,31 +236,40 @@ Json shard_request_to_json(const ShardWork& work) {
 
 ShardRequest shard_request_from_json(const Json& doc) {
   if (doc.at("type").as_string() != "grade")
-    throw JsonError("shard request: not a grade document", 0);
+    throw JsonError("shard request: not a grade document",
+                    doc.at("type").source_offset());
   if (doc.at("protocol").as_int() != kWorkerProtocolVersion)
-    throw JsonError("shard request: protocol version mismatch", 0);
+    throw JsonError("shard request: protocol version mismatch",
+                    doc.at("protocol").source_offset());
   ShardRequest req;
   req.test = doc.at("test").as_string();
   req.telemetry = doc.contains("telemetry") && doc.at("telemetry").as_bool();
-  req.fault_model = fault_model_from_name(doc.at("fault_model").as_string());
+  req.dynamic = doc.contains("dynamic") && doc.at("dynamic").as_bool();
+  req.heartbeat = doc.contains("heartbeat") && doc.at("heartbeat").as_bool();
+  req.fault_model = fault_model_from_name(doc.at("fault_model"));
   req.spec = doc.at("spec");
   req.plan = batch_plan_from_json(doc.at("plan"));
   const Json& targets = doc.at("targets");
   req.targets.reserve(targets.size());
   for (std::size_t i = 0; i < targets.size(); ++i) {
-    const std::size_t f = targets.at(i).as_size();
+    const Json& node = targets.at(i);
+    const std::size_t f = node.as_size();
     if (f > 0xFFFFFFFFull)
-      throw JsonError("shard request: fault id overflows", 0);
+      throw JsonError("shard request: fault id overflows",
+                      node.source_offset());
     req.targets.push_back(static_cast<FaultId>(f));
   }
   if (req.plan.order.size() != req.targets.size())
-    throw JsonError("shard request: plan does not cover the targets", 0);
+    throw JsonError("shard request: plan does not cover the targets",
+                    doc.at("plan").source_offset());
   const Json& shards = doc.at("shards");
   req.shards.reserve(shards.size());
   for (std::size_t i = 0; i < shards.size(); ++i) {
-    const std::size_t s = shards.at(i).as_size();
+    const Json& node = shards.at(i);
+    const std::size_t s = node.as_size();
     if (s >= req.plan.batches())
-      throw JsonError("shard request: shard id out of plan range", 0);
+      throw JsonError("shard request: shard id out of plan range",
+                      node.source_offset());
     req.shards.push_back(static_cast<std::uint32_t>(s));
   }
   // Gather once here (the plan is validated above, inside
@@ -219,9 +281,84 @@ ShardRequest shard_request_from_json(const Json& doc) {
 }
 
 // ---------------------------------------------------------------------------
+// Deterministic chaos
+
+ChaosSpec chaos_spec_from_string(std::string_view text) {
+  ChaosSpec spec;
+  if (text.empty()) return spec;
+  const auto bad = [&](const std::string& why) -> ChaosSpec& {
+    throw std::invalid_argument("chaos spec '" + std::string(text) +
+                                "': " + why +
+                                " (expected <seed>:<mode>[@N][:all])");
+  };
+  const std::size_t colon = text.find(':');
+  if (colon == std::string_view::npos || colon == 0) bad("missing ':'");
+  std::uint64_t seed = 0;
+  for (char c : text.substr(0, colon)) {
+    if (c < '0' || c > '9') bad("seed is not a number");
+    seed = seed * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  std::string_view rest = text.substr(colon + 1);
+  if (rest.ends_with(":all")) {
+    spec.all_incarnations = true;
+    rest.remove_suffix(4);
+  }
+  int shard = 0;
+  const std::size_t at = rest.find('@');
+  if (at != std::string_view::npos) {
+    const std::string_view digits = rest.substr(at + 1);
+    if (digits.empty()) bad("empty shard index");
+    for (char c : digits) {
+      if (c < '0' || c > '9') bad("shard index is not a number");
+      shard = shard * 10 + (c - '0');
+    }
+    if (shard < 1) bad("shard index is 1-based");
+    rest = rest.substr(0, at);
+  }
+  if (rest == "crash") spec.mode = ChaosSpec::Mode::kCrash;
+  else if (rest == "stall") spec.mode = ChaosSpec::Mode::kStall;
+  else if (rest == "trunc") spec.mode = ChaosSpec::Mode::kTrunc;
+  else bad("unknown mode '" + std::string(rest) + "'");
+  spec.seed = seed;
+  // No explicit index: draw one from the seeded RNG, so "7:crash" names a
+  // single reproducible failure point just like "7:crash@3".
+  spec.shard = shard ? shard : 1 + static_cast<int>(Rng(seed).next_below(4));
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
 // Worker side
 
-int serve_worker(std::FILE* in, std::FILE* out, WorkerWorkload& workload) {
+int serve_worker(std::FILE* in, std::FILE* out, WorkerWorkload& workload,
+                 const ChaosSpec* chaos) {
+  const auto report = [&](const std::string& message) {
+    Json error = Json::object();
+    error.set("type", "error");
+    error.set("message", message);
+    write_line(out, error);
+    return 1;
+  };
+
+  ChaosSpec env_chaos;
+  if (!chaos) {
+    const char* env = std::getenv("OLFUI_CHAOS");
+    try {
+      env_chaos = chaos_spec_from_string(env ? env : "");
+    } catch (const std::invalid_argument& e) {
+      return report(e.what());
+    }
+    chaos = &env_chaos;
+  }
+  // Chaos normally arms only in a process's first incarnation (the
+  // coordinator stamps respawns with OLFUI_WORKER_INCARNATION >= 1), so a
+  // respawned worker recovers and the campaign completes; ":all" keeps it
+  // armed and drives the fleet down the degradation ladder.
+  const char* inc_env = std::getenv("OLFUI_WORKER_INCARNATION");
+  const int incarnation = inc_env ? std::atoi(inc_env) : 0;
+  const bool chaos_armed = chaos->mode != ChaosSpec::Mode::kNone &&
+                           (chaos->all_incarnations || incarnation == 0);
+  int shards_started = 0;
+
   {
     Json hello = Json::object();
     hello.set("type", "hello");
@@ -231,6 +368,63 @@ int serve_worker(std::FILE* in, std::FILE* out, WorkerWorkload& workload) {
     hello.set("ts_us", static_cast<double>(obs::tracer().now_us()));
     if (!write_line(out, hello)) return 1;
   }
+
+  // Grades one granted shard and writes its reply; false on a dead pipe.
+  // The chaos check sits between the announcement and the grade — a
+  // crashing/stalling worker has already told the coordinator which shard
+  // it owes, which is exactly the in-flight state recovery must re-queue.
+  const auto grade_one = [&](const ShardRequest& req,
+                             std::uint32_t shard) -> bool {
+    if (req.heartbeat) {
+      Json hb = Json::object();
+      hb.set("type", "heartbeat");
+      hb.set("shard", static_cast<std::size_t>(shard));
+      if (!write_line(out, hb)) return false;
+    }
+    ++shards_started;
+    if (chaos_armed && shards_started == chaos->shard) {
+      switch (chaos->mode) {
+        case ChaosSpec::Mode::kCrash:
+          ::kill(::getpid(), SIGKILL);  // the mid-campaign worker death
+          break;
+        case ChaosSpec::Mode::kStall:
+          // Wedge well past any deadline; the coordinator's SIGKILL ends
+          // the nap. If it never comes (deadline disabled) we wake and
+          // grade normally — chaos must never corrupt a surviving run.
+          std::this_thread::sleep_for(
+              duration_from_seconds(chaos->stall_seconds));
+          break;
+        case ChaosSpec::Mode::kTrunc: {
+          // Half a reply line, then a "clean" exit: the corrupted-stream
+          // scenario (EOF with an unterminated line in the buffer).
+          const std::string partial =
+              "{\"type\":\"shard\",\"shard\":" + std::to_string(shard);
+          std::fwrite(partial.data(), 1, partial.size(), out);
+          std::fflush(out);
+          ::_exit(0);
+        }
+        case ChaosSpec::Mode::kNone:
+          break;
+      }
+    }
+    const std::size_t lo = req.plan.batch_start[shard];
+    const std::size_t n = req.plan.batch_size(shard);
+    auto shard_span = obs::tracer().span("shard", "worker");
+    shard_span.arg("shard", Json(static_cast<std::size_t>(shard)));
+    shard_span.arg("test", Json(req.test));
+    shard_span.arg("faults", Json(n));
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t mask =
+        workload.run_batch(req, std::span(req.planned).subspan(lo, n));
+    Json reply = Json::object();
+    reply.set("type", "shard");
+    reply.set("shard", static_cast<std::size_t>(shard));
+    reply.set("mask", word_to_hex(mask));
+    reply.set("seconds", seconds_since(t0));
+    shard_span.end();
+    return write_line(out, reply);
+  };
+
   std::string line;
   while (read_line(in, line)) {
     if (line.find_first_not_of(" \t") == std::string::npos) continue;
@@ -250,23 +444,32 @@ int serve_worker(std::FILE* in, std::FILE* out, WorkerWorkload& workload) {
       rebuild_span.arg("test", Json(req.test));
       const std::uint64_t state_fp = workload.state_fingerprint(req);
       rebuild_span.end();
-      for (std::uint32_t shard : req.shards) {
-        const std::size_t lo = req.plan.batch_start[shard];
-        const std::size_t n = req.plan.batch_size(shard);
-        auto shard_span = obs::tracer().span("shard", "worker");
-        shard_span.arg("shard", Json(static_cast<std::size_t>(shard)));
-        shard_span.arg("test", Json(req.test));
-        shard_span.arg("faults", Json(n));
-        const auto t0 = std::chrono::steady_clock::now();
-        const std::uint64_t mask = workload.run_batch(
-            req, std::span(req.planned).subspan(lo, n));
-        Json reply = Json::object();
-        reply.set("type", "shard");
-        reply.set("shard", static_cast<std::size_t>(shard));
-        reply.set("mask", word_to_hex(mask));
-        reply.set("seconds", seconds_since(t0));
-        shard_span.end();
-        if (!write_line(out, reply)) return 1;
+      for (std::uint32_t shard : req.shards)
+        if (!grade_one(req, shard)) return 1;
+      if (req.dynamic) {
+        // Pull dispatch: keep draining grant lines until the final one.
+        // EOF here is a coordinator gone mid-request — clean shutdown,
+        // same as EOF between requests.
+        bool final_grant = false;
+        while (!final_grant) {
+          if (!read_line(in, line)) return 0;
+          if (line.find_first_not_of(" \t") == std::string::npos) continue;
+          const Json grant = Json::parse(line);
+          const std::string gtype = grant.at("type").as_string();
+          if (gtype != "grant")
+            throw JsonError("worker: expected a grant, got '" + gtype + "'",
+                            grant.at("type").source_offset());
+          const Json& granted = grant.at("shards");
+          for (std::size_t i = 0; i < granted.size(); ++i) {
+            const Json& node = granted.at(i);
+            const std::size_t s = node.as_size();
+            if (s >= req.plan.batches())
+              throw JsonError("grant: shard id out of plan range",
+                              node.source_offset());
+            if (!grade_one(req, static_cast<std::uint32_t>(s))) return 1;
+          }
+          final_grant = grant.contains("final") && grant.at("final").as_bool();
+        }
       }
       Json done = Json::object();
       done.set("type", "done");
@@ -284,11 +487,7 @@ int serve_worker(std::FILE* in, std::FILE* out, WorkerWorkload& workload) {
       }
       if (!write_line(out, done)) return 1;
     } catch (const std::exception& e) {
-      Json error = Json::object();
-      error.set("type", "error");
-      error.set("message", std::string(e.what()));
-      write_line(out, error);
-      return 1;
+      return report(e.what());
     }
   }
   return 0;
@@ -298,12 +497,20 @@ int serve_worker(std::FILE* in, std::FILE* out, WorkerWorkload& workload) {
 // SubprocessExecutor
 
 SubprocessExecutor::SubprocessExecutor(std::vector<std::string> worker_command,
-                                       int workers)
-    : command_(std::move(worker_command)), workers_(std::max(1, workers)) {
+                                       FleetOptions opts)
+    : command_(std::move(worker_command)), opts_(opts) {
   if (command_.empty())
     throw std::invalid_argument("SubprocessExecutor: empty worker command");
+  opts_.workers = std::max(1, opts_.workers);
+  opts_.max_respawns = std::max(0, opts_.max_respawns);
+  opts_.min_workers = std::clamp(opts_.min_workers, 1, opts_.workers);
+  if (opts_.hello_timeout <= 0) opts_.hello_timeout = 10.0;
+  if (opts_.backoff_base < 0) opts_.backoff_base = 0;
+  if (opts_.backoff_cap < opts_.backoff_base)
+    opts_.backoff_cap = opts_.backoff_base;
+  respawns_left_ = opts_.max_respawns;
   // A worker that dies mid-protocol must surface as an EPIPE write error
-  // (reported with context below), not kill the coordinator — but never
+  // (handled by the supervisor), not kill the coordinator — but never
   // clobber a handler the embedding application installed.
   const auto prev = std::signal(SIGPIPE, SIG_IGN);
   if (prev != SIG_DFL && prev != SIG_IGN) std::signal(SIGPIPE, prev);
@@ -314,56 +521,222 @@ SubprocessExecutor::~SubprocessExecutor() {
   shutdown_all();
 }
 
-void SubprocessExecutor::shutdown_all() {
-  for (Worker& w : procs_) {
-    // Closing stdin is the shutdown signal (serve_worker returns on EOF);
-    // closing stdout unblocks a worker mid-write via EPIPE.
-    if (w.to) std::fclose(w.to);
-    if (w.from) std::fclose(w.from);
-    w.to = w.from = nullptr;
-    if (w.pid > 0) {
-      int status = 0;
-      ::waitpid(static_cast<pid_t>(w.pid), &status, 0);
+ExecutorHealth SubprocessExecutor::health() const {
+  std::lock_guard lock(mu_);
+  return health_;
+}
+
+double SubprocessExecutor::effective_timeout(const ShardWork& work) const {
+  // Strictly a liveness knob: whichever deadline fires, recovery re-runs
+  // the same shards and the merge is placement-independent.
+  constexpr double kFloorSeconds = 30.0;
+  if (work.shard_timeout > 0) return work.shard_timeout;
+  if (observed_max_seconds_ > 0)
+    return std::max(kFloorSeconds, 50.0 * observed_max_seconds_);
+  return kFloorSeconds;
+}
+
+bool SubprocessExecutor::spawn_worker(std::size_t i) {
+  Worker& w = procs_[i];
+  w.respawn_scheduled = false;
+  const bool is_respawn = w.incarnation > 0;
+
+  std::vector<char*> argv;
+  argv.reserve(command_.size() + 1);
+  for (const std::string& arg : command_)
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  argv.push_back(nullptr);
+
+  // On any syscall failure the slot goes kDead and (budget permitting) a
+  // respawn is scheduled — spawning is supervised like everything else.
+  const auto spawn_failed = [&](const std::string& what) {
+    std::fprintf(stderr,
+                 "olfui: subprocess executor: worker %zu: spawn failed: %s\n",
+                 i, what.c_str());
+    last_failure_ = "worker " + std::to_string(i) + ": spawn failed: " + what;
+    if (w.err) {
+      std::fclose(w.err);
+      w.err = nullptr;
     }
-    // Closed last: the wait above guarantees the child wrote its final
-    // words, and fail() reads the tail before calling here.
-    if (w.err) std::fclose(w.err);
+    w.state = Worker::State::kDead;
+    ++w.failures;
+    if (respawns_left_ > 0) {
+      --respawns_left_;
+      const double delay =
+          std::min(opts_.backoff_cap,
+                   opts_.backoff_base *
+                       std::ldexp(1.0, std::min(w.failures - 1, 20)));
+      w.respawn_at = Clock::now() + duration_from_seconds(delay);
+      w.respawn_scheduled = true;
+    }
+    return false;
+  };
+
+  int to_child[2], from_child[2];
+  // CLOEXEC so a later sibling's exec doesn't inherit (and hold open)
+  // this worker's pipe ends; dup2 below clears it on the two fds the
+  // child actually uses.
+  if (::pipe2(to_child, O_CLOEXEC) != 0)
+    return spawn_failed(std::string("pipe: ") + std::strerror(errno));
+  if (::pipe2(from_child, O_CLOEXEC) != 0) {
+    const int err = errno;
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    return spawn_failed(std::string("pipe: ") + std::strerror(err));
+  }
+  // Unlinked temp file for the child's stderr, one per incarnation, so
+  // failure reports can quote the child's own diagnostics (stderr_tail).
+  // Best-effort — a worker without one just loses the quoted tail.
+  // CLOEXEC in the parent copy only; the child's dup2 onto fd 2 clears it.
+  w.err = std::tmpfile();
+  if (w.err) ::fcntl(::fileno(w.err), F_SETFD, FD_CLOEXEC);
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    const int err = errno;
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    return spawn_failed(std::string("fork: ") + std::strerror(err));
+  }
+  if (pid == 0) {
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    // Redirect stderr into the capture file so a crash report can quote
+    // it; the exec-failure message below lands there too.
+    if (w.err) ::dup2(::fileno(w.err), STDERR_FILENO);
+    // Respawned incarnations announce themselves so worker-side chaos can
+    // disarm (see ChaosSpec) — recovery must recover, not re-crash.
+    char inc[16];
+    std::snprintf(inc, sizeof inc, "%d", w.incarnation);
+    ::setenv("OLFUI_WORKER_INCARNATION", inc, 1);
+    ::execvp(argv[0], argv.data());
+    std::fprintf(stderr, "worker exec '%s': %s\n", argv[0],
+                 std::strerror(errno));
+    ::_exit(127);
+  }
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  // The reply stream is drained from a poll loop; reads must never block
+  // behind a worker that has sent nothing.
+  ::fcntl(from_child[0], F_SETFL, O_NONBLOCK);
+  w.pid = pid;
+  w.to_fd = to_child[1];
+  w.from_fd = from_child[0];
+  w.state = Worker::State::kHello;
+  w.rbuf.clear();
+  w.inflight.clear();
+  w.preamble_sent = w.done_received = w.final_sent = false;
+  w.deadline = Clock::now() + duration_from_seconds(opts_.hello_timeout);
+  w.deadline_armed = true;
+  ++w.incarnation;
+  if (is_respawn) {
+    ++health_.respawns;
+    if (obs::metrics().enabled()) obs::metrics().counter("executor.respawns").add();
+    std::fprintf(stderr,
+                 "olfui: subprocess executor: respawned worker %zu "
+                 "(incarnation %d, pid %ld)\n",
+                 i, w.incarnation - 1, static_cast<long>(w.pid));
+  }
+  return true;
+}
+
+void SubprocessExecutor::reap(Worker& w, int* status) {
+  *status = 0;
+  if (w.pid > 0) posix::waitpid_retry(static_cast<pid_t>(w.pid), status, 0);
+  w.pid = -1;
+}
+
+void SubprocessExecutor::bound_stderr(Worker& w) {
+  if (!w.err) return;
+  const int fd = ::fileno(w.err);
+  struct stat st{};
+  constexpr off_t kMaxBytes = 128 * 1024;
+  if (::fstat(fd, &st) != 0 || st.st_size <= kMaxBytes) return;
+  // Keep the pre-truncation tail, then rewind: the file description (and
+  // its offset) is shared with the child, so the lseek lands its next
+  // write at the start of the now-empty file. A line written between the
+  // pread and the truncate is lost — bounded capture beats perfect
+  // capture for a file that only exists to be quoted in failure reports.
+  w.saved_tail = file_tail(fd, st.st_size);
+  ::ftruncate(fd, 0);
+  ::lseek(fd, 0, SEEK_SET);
+}
+
+std::string SubprocessExecutor::stderr_tail(std::size_t worker) {
+  if (worker >= procs_.size()) return {};
+  Worker& w = procs_[worker];
+  std::string current;
+  if (w.err) {
+    const int fd = ::fileno(w.err);
+    struct stat st{};
+    if (::fstat(fd, &st) == 0) current = file_tail(fd, st.st_size);
+  }
+  if (w.saved_tail.empty()) return current;
+  if (current.empty()) return w.saved_tail;
+  return w.saved_tail + "\n" + current;
+}
+
+void SubprocessExecutor::fail_worker(std::size_t i, const std::string& what,
+                                     bool timed_out,
+                                     std::deque<std::uint32_t>& pending) {
+  Worker& w = procs_[i];
+  // SIGKILL before reaping: harmless on an already-dead child (waitpid
+  // still returns the real exit status), decisive on a wedged one.
+  if (w.pid > 0) ::kill(static_cast<pid_t>(w.pid), SIGKILL);
+  int status = 0;
+  reap(w, &status);
+  // Quote the child's own last words — the supervisor's message says what
+  // rule fired, the diagnostics that explain *why* live on its stderr.
+  const std::string tail = stderr_tail(i);
+  std::string msg = "worker " + std::to_string(i) + ": " + what + " (" +
+                    describe_exit(status) + ")";
+  if (!tail.empty()) msg += "; worker stderr: " + tail;
+  last_failure_ = msg;
+
+  const std::size_t reissued = w.inflight.size();
+  for (std::uint32_t s : w.inflight) pending.push_back(s);
+  health_.shard_reissues += reissued;
+  if (timed_out) ++health_.timeouts;
+  if (obs::metrics().enabled()) {
+    if (reissued)
+      obs::metrics().counter("executor.shard_reissues").add(reissued);
+    if (timed_out) obs::metrics().counter("executor.timeouts").add();
+  }
+  std::fprintf(stderr,
+               "olfui: subprocess executor: %s; re-queueing %zu shard(s)\n",
+               msg.c_str(), reissued);
+
+  if (w.to_fd >= 0) ::close(w.to_fd);
+  if (w.from_fd >= 0) ::close(w.from_fd);
+  w.to_fd = w.from_fd = -1;
+  if (w.err) {
+    std::fclose(w.err);
     w.err = nullptr;
   }
-  procs_.clear();
-}
-
-std::string SubprocessExecutor::stderr_tail(std::size_t worker) const {
-  if (worker >= procs_.size() || !procs_[worker].err) return {};
-  const int fd = ::fileno(procs_[worker].err);
-  struct stat st{};
-  if (::fstat(fd, &st) != 0 || st.st_size <= 0) return {};
-  // pread at an explicit offset: the file description (and its offset) is
-  // shared with the child, which may still be appending — don't disturb it.
-  constexpr off_t kTailBytes = 4096;
-  const off_t start = st.st_size > kTailBytes ? st.st_size - kTailBytes : 0;
-  std::string buf(static_cast<std::size_t>(st.st_size - start), '\0');
-  const ssize_t n = ::pread(fd, buf.data(), buf.size(), start);
-  if (n <= 0) return {};
-  buf.resize(static_cast<std::size_t>(n));
-  // Keep only the last few lines — the crash is at the end.
-  constexpr int kTailLines = 8;
-  std::size_t pos = buf.size();
-  for (int lines = 0; pos > 0; --pos) {
-    if (buf[pos - 1] == '\n' && ++lines > kTailLines) break;
+  w.saved_tail.clear();
+  w.state = Worker::State::kDead;
+  w.rbuf.clear();
+  w.inflight.clear();
+  w.preamble_sent = w.done_received = w.final_sent = false;
+  w.deadline_armed = false;
+  ++w.failures;
+  if (respawns_left_ > 0) {
+    --respawns_left_;
+    const double delay = std::min(
+        opts_.backoff_cap,
+        opts_.backoff_base * std::ldexp(1.0, std::min(w.failures - 1, 20)));
+    w.respawn_at = Clock::now() + duration_from_seconds(delay);
+    w.respawn_scheduled = true;
   }
-  std::string tail = buf.substr(pos);
-  while (!tail.empty() && (tail.back() == '\n' || tail.back() == '\r'))
-    tail.pop_back();
-  return tail;
 }
 
-void SubprocessExecutor::fail(std::size_t worker, const std::string& what) {
-  // Quote the child's own last words — the exception names the shard and
-  // test, but the diagnostics that explain *why* live on its stderr.
-  const std::string tail = stderr_tail(worker);
-  // The protocol stream is no longer trustworthy; restart from scratch on
-  // the next execute() rather than resynchronising.
+void SubprocessExecutor::fatal(std::size_t worker, const std::string& what) {
+  // Deterministic misconfiguration (wrong binary, drifted state, a
+  // worker's own error reply): retrying would fail identically, so this
+  // path keeps v1's semantics — tear down and throw.
+  const std::string tail =
+      worker < procs_.size() ? stderr_tail(worker) : std::string();
   shutdown_all();
   throw std::runtime_error("subprocess executor: worker " +
                            std::to_string(worker) + ": " + what +
@@ -371,103 +744,38 @@ void SubprocessExecutor::fail(std::size_t worker, const std::string& what) {
                                          : "; worker stderr: " + tail));
 }
 
-void SubprocessExecutor::spawn_all() {
-  procs_.resize(static_cast<std::size_t>(workers_));
-  std::vector<char*> argv;
-  argv.reserve(command_.size() + 1);
-  for (const std::string& arg : command_)
-    argv.push_back(const_cast<char*>(arg.c_str()));
-  argv.push_back(nullptr);
-
-  for (std::size_t i = 0; i < procs_.size(); ++i) {
-    int to_child[2], from_child[2];
-    // CLOEXEC so a later sibling's exec doesn't inherit (and hold open)
-    // this worker's pipe ends; dup2 below clears it on the two fds the
-    // child actually uses. Error paths close every fd not yet owned by
-    // procs_[i] — fail() only cleans up what is recorded there.
-    if (::pipe2(to_child, O_CLOEXEC) != 0)
-      fail(i, std::string("pipe: ") + std::strerror(errno));
-    if (::pipe2(from_child, O_CLOEXEC) != 0) {
-      const int err = errno;
-      ::close(to_child[0]);
-      ::close(to_child[1]);
-      fail(i, std::string("pipe: ") + std::strerror(err));
-    }
-    // Unlinked temp file for the child's stderr (satellite of the crash
-    // diagnostics: see stderr_tail). Best-effort — a worker without one
-    // just loses the quoted tail. CLOEXEC in the parent copy only; the
-    // child's dup2 onto fd 2 clears it there.
-    procs_[i].err = std::tmpfile();
-    if (procs_[i].err)
-      ::fcntl(::fileno(procs_[i].err), F_SETFD, FD_CLOEXEC);
-    const pid_t pid = ::fork();
-    if (pid < 0) {
-      const int err = errno;
-      ::close(to_child[0]);
-      ::close(to_child[1]);
-      ::close(from_child[0]);
-      ::close(from_child[1]);
-      fail(i, std::string("fork: ") + std::strerror(err));
-    }
-    if (pid == 0) {
-      ::dup2(to_child[0], STDIN_FILENO);
-      ::dup2(from_child[1], STDOUT_FILENO);
-      // Redirect stderr into the capture file so a crash report can quote
-      // it; the exec-failure message below lands there too.
-      if (procs_[i].err) ::dup2(::fileno(procs_[i].err), STDERR_FILENO);
-      ::execvp(argv[0], argv.data());
-      std::fprintf(stderr, "worker exec '%s': %s\n", argv[0],
-                   std::strerror(errno));
-      ::_exit(127);
-    }
-    ::close(to_child[0]);
-    ::close(from_child[1]);
-    procs_[i].pid = pid;
-    procs_[i].to = ::fdopen(to_child[1], "w");
-    if (!procs_[i].to) {
-      // Closing the write end is the child's EOF, so shutdown_all's
-      // waitpid (via fail) cannot hang on it.
-      ::close(to_child[1]);
-      ::close(from_child[0]);
-      fail(i, "fdopen failed");
-    }
-    procs_[i].from = ::fdopen(from_child[0], "r");
-    if (!procs_[i].from) {
-      ::close(from_child[0]);
-      fail(i, "fdopen failed");
-    }
+void SubprocessExecutor::shutdown_all() {
+  // Closing stdin is the shutdown signal (serve_worker returns on EOF).
+  for (Worker& w : procs_) {
+    if (w.to_fd >= 0) ::close(w.to_fd);
+    if (w.from_fd >= 0) ::close(w.from_fd);
+    w.to_fd = w.from_fd = -1;
   }
-
-  // Handshake: every worker must greet with a matching protocol version
-  // before any work is dispatched (catches wrong binaries and immediate
-  // crashes at spawn time, not mid-campaign).
-  std::string line;
-  for (std::size_t i = 0; i < procs_.size(); ++i) {
-    if (!read_line(procs_[i].from, line)) {
+  // Grace period for the EOF to land, then SIGKILL: a wedged (stalled)
+  // worker never sees the EOF and would hang a blocking wait forever.
+  const auto t0 = Clock::now();
+  for (Worker& w : procs_) {
+    while (w.pid > 0) {
       int status = 0;
-      ::waitpid(static_cast<pid_t>(procs_[i].pid), &status, 0);
-      procs_[i].pid = -1;
-      fail(i, "no hello (" + describe_exit(status) + ")");
+      const pid_t r = posix::waitpid_retry(static_cast<pid_t>(w.pid), &status,
+                                           WNOHANG);
+      if (r != 0) {
+        w.pid = -1;
+        break;
+      }
+      if (seconds_since(t0) > 0.5) {
+        ::kill(static_cast<pid_t>(w.pid), SIGKILL);
+        posix::waitpid_retry(static_cast<pid_t>(w.pid), &status, 0);
+        w.pid = -1;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
     }
-    try {
-      const Json hello = Json::parse(line);
-      if (hello.at("type").as_string() != "hello")
-        fail(i, "handshake is not a hello document");
-      if (hello.at("protocol").as_int() != kWorkerProtocolVersion)
-        fail(i, "protocol version mismatch");
-      // Pair the worker's monotonic clock with ours at the same (well,
-      // one pipe transit later) instant; merged telemetry spans are
-      // shifted by this offset onto the coordinator timeline.
-      if (hello.contains("ts_us"))
-        procs_[i].clock_offset_us =
-            obs::tracer().now_us() -
-            static_cast<std::int64_t>(hello.at("ts_us").as_number());
-    } catch (const JsonError& e) {
-      fail(i, std::string("malformed hello: ") + e.what());
-    }
-    obs::tracer().set_process_label(procs_[i].pid,
-                                    "worker " + std::to_string(i));
+    // Closed after the wait: the child has written its final words.
+    if (w.err) std::fclose(w.err);
+    w.err = nullptr;
   }
+  procs_.clear();
 }
 
 std::vector<ShardResult> SubprocessExecutor::execute(const ShardWork& work) {
@@ -477,137 +785,425 @@ std::vector<ShardResult> SubprocessExecutor::execute(const ShardWork& work) {
   if (work.test.spec.is_null())
     throw std::runtime_error("subprocess executor: test '" + work.test.name +
                              "' has no spec — it cannot be rebuilt remotely");
-  if (procs_.empty()) spawn_all();
 
-  // Deterministic striping: shard i goes to worker i mod active. Which
-  // worker runs a shard never matters for the result — replies are
-  // slot-indexed by shard id — so this is purely load spreading.
-  const std::size_t active = std::min(procs_.size(), work.shards.size());
+  const double timeout = effective_timeout(work);
+  const std::string context = " during test '" + work.test.name + "'";
+  /// Grants held per worker: 1 grading + 1 queued hides the grant round
+  /// trip without letting a slow worker hoard work.
+  constexpr std::size_t kGrantWindow = 2;
+
+  if (procs_.empty()) {
+    procs_.resize(static_cast<std::size_t>(opts_.workers));
+    for (std::size_t i = 0; i < procs_.size(); ++i) spawn_worker(i);
+  }
+  // Reset per-execute() protocol state (workers persist across calls).
+  for (Worker& w : procs_) {
+    w.preamble_sent = w.done_received = w.final_sent = false;
+    w.inflight.clear();
+    w.rbuf.clear();
+    if (w.state == Worker::State::kReady) w.deadline_armed = false;
+  }
+
   std::unordered_map<std::uint32_t, std::size_t> slot;  // shard id -> index
   slot.reserve(work.shards.size());
   for (std::size_t i = 0; i < work.shards.size(); ++i)
     slot.emplace(work.shards[i], i);
+  std::deque<std::uint32_t> pending(work.shards.begin(), work.shards.end());
+  std::vector<char> answered(work.shards.size(), 0);
+  std::size_t unanswered = work.shards.size();
 
-  // One request document, its per-worker "shards" field rewritten in
-  // place (Json::set overwrites) — the O(targets) payload is built once,
-  // not cloned per worker.
+  // One preamble per worker per execute(): the full O(targets) request
+  // with an empty initial grant — all work flows through grant lines.
   Json request = shard_request_to_json(work);
-  // Ask for side-band spans/counters only when someone is listening; the
-  // field's absence keeps the wire bytes identical to pre-telemetry runs.
-  const bool telemetry =
-      obs::tracer().enabled() || obs::metrics().enabled();
-  if (telemetry) request.set("telemetry", Json(true));
-  const std::string context = " during test '" + work.test.name + "'";
-  for (std::size_t w = 0; w < active; ++w) {
-    Json shards = Json::array();
-    for (std::size_t i = w; i < work.shards.size(); i += active)
-      shards.push_back(static_cast<std::size_t>(work.shards[i]));
-    request.set("shards", std::move(shards));
-    if (!write_line(procs_[w].to, request))
-      fail(w, "request write failed (worker gone?)" + context);
-  }
-
-  // Workers grade concurrently; replies are drained worker by worker (the
-  // pipes buffer). Every assigned shard must be answered exactly once and
-  // the stream must end in a matching "done" — anything else, including
-  // EOF from a crashed or killed worker, fails the campaign loudly.
-  std::string line;
+  request.set("shards", Json::array());
+  request.set("dynamic", Json(true));
+  request.set("heartbeat", Json(true));
+  // Side-band spans/counters only when someone is listening; the field's
+  // absence keeps the wire bytes identical to pre-telemetry runs.
+  if (obs::tracer().enabled() || obs::metrics().enabled())
+    request.set("telemetry", Json(true));
+  const std::string preamble = request.dump() + "\n";
   std::string done_fp;  // first worker's state_fp; siblings must agree
-  for (std::size_t w = 0; w < active; ++w) {
-    std::size_t pending = 0;
-    for (std::size_t i = w; i < work.shards.size(); i += active) ++pending;
-    std::vector<bool> answered(work.shards.size(), false);
-    const std::size_t assigned = pending;
-    bool done = false;
-    while (!done) {
-      if (!read_line(procs_[w].from, line)) {
-        int status = 0;
-        ::waitpid(static_cast<pid_t>(procs_[w].pid), &status, 0);
-        procs_[w].pid = -1;
-        fail(w, "died (" + describe_exit(status) + ") after " +
-                    std::to_string(assigned - pending) + "/" +
-                    std::to_string(assigned) + " shards" + context);
+
+  const auto send_text = [&](Worker& w, const std::string& text) {
+    return posix::write_all(w.to_fd, text.data(), text.size());
+  };
+  // Every greeted worker gets the preamble, granted work or not: it
+  // rebuilds state and replies done, so fingerprint cross-checks (and
+  // telemetry lanes) cover the whole fleet exactly as v1's static
+  // striping did.
+  const auto send_preamble = [&](std::size_t i) {
+    Worker& w = procs_[i];
+    if (w.preamble_sent) return true;
+    if (!send_text(w, preamble)) {
+      fail_worker(i, "died rejecting the grade request (write failed)" +
+                         context,
+                  false, pending);
+      return false;
+    }
+    w.preamble_sent = true;
+    return true;
+  };
+
+  // Processes one complete reply line from worker i. May fail_worker
+  // (recoverable) or fatal (throws).
+  const auto handle_line = [&](std::size_t i, const std::string& line) {
+    Worker& w = procs_[i];
+    if (line.find_first_not_of(" \t") == std::string::npos) return;
+    Json reply;
+    std::string type;
+    try {
+      reply = Json::parse(line);
+      type = reply.at("type").as_string();
+    } catch (const JsonError& e) {
+      fail_worker(i, std::string("malformed reply: ") + e.what() + context,
+                  false, pending);
+      return;
+    }
+    if (w.state == Worker::State::kHello) {
+      if (type != "hello") {
+        fail_worker(i, "handshake is not a hello document" + context, false,
+                    pending);
+        return;
       }
-      Json reply;
-      std::string type;
       try {
-        reply = Json::parse(line);
-        type = reply.at("type").as_string();
+        if (reply.at("protocol").as_int() != kWorkerProtocolVersion)
+          fatal(i, "protocol version mismatch");
+        // Pair the worker's monotonic clock with ours at the same (well,
+        // one pipe transit later) instant; merged telemetry spans are
+        // shifted by this offset onto the coordinator timeline.
+        if (reply.contains("ts_us"))
+          w.clock_offset_us =
+              obs::tracer().now_us() -
+              static_cast<std::int64_t>(reply.at("ts_us").as_number());
       } catch (const JsonError& e) {
-        fail(w, std::string("malformed reply: ") + e.what() + context);
+        fail_worker(i, std::string("malformed hello: ") + e.what(), false,
+                    pending);
+        return;
       }
-      if (type == "error") {
-        std::string message = "(error reply without a message)";
+      obs::tracer().set_process_label(w.pid, "worker " + std::to_string(i));
+      w.state = Worker::State::kReady;
+      w.deadline_armed = false;
+      send_preamble(i);
+      return;
+    }
+    if (type == "heartbeat") {
+      // The progress rule: a worker that announces a shard is alive and
+      // earns a fresh deadline for grading it.
+      w.deadline = Clock::now() + duration_from_seconds(timeout);
+      return;
+    }
+    if (type == "shard") {
+      std::uint32_t shard = 0;
+      ShardResult r;
+      try {
+        shard = static_cast<std::uint32_t>(reply.at("shard").as_size());
+        r.mask = word_from_hex(reply.at("mask").as_string());
+        r.seconds = reply.at("seconds").as_number();
+      } catch (const JsonError& e) {
+        fail_worker(i, std::string("malformed shard reply: ") + e.what() +
+                           context,
+                    false, pending);
+        return;
+      }
+      const auto granted =
+          std::find(w.inflight.begin(), w.inflight.end(), shard);
+      const auto it = slot.find(shard);
+      if (granted == w.inflight.end() || it == slot.end() ||
+          answered[it->second]) {
+        fail_worker(i, "answered shard " + std::to_string(shard) +
+                           " it was not granted (or twice)" + context,
+                    false, pending);
+        return;
+      }
+      w.inflight.erase(granted);
+      answered[it->second] = 1;
+      results[it->second] = r;
+      --unanswered;
+      observed_max_seconds_ = std::max(observed_max_seconds_, r.seconds);
+      // Worker histograms don't travel the wire (only counter deltas do);
+      // the coordinator observes the reported shard time instead, so the
+      // distribution covers both executors.
+      if (obs::metrics().enabled())
+        obs::metrics()
+            .histogram("campaign.shard_seconds", {0.001, 0.01, 0.1, 1.0, 10.0})
+            .observe(r.seconds);
+      // Progress resets the deadline; an idle worker (pending final
+      // grant) has no clock running against it.
+      if (w.inflight.empty())
+        w.deadline_armed = false;
+      else
+        w.deadline = Clock::now() + duration_from_seconds(timeout);
+      if (work.progress) work.progress(work.plan.batch_size(shard));
+      return;
+    }
+    if (type == "done") {
+      if (!w.final_sent) {
+        fail_worker(i, "sent done before the final grant" + context, false,
+                    pending);
+        return;
+      }
+      std::string fp;
+      try {
+        if (reply.at("universe").as_size() != work.universe)
+          fatal(i, "rebuilt a different universe (" +
+                       std::to_string(reply.at("universe").as_size()) +
+                       " faults, coordinator has " +
+                       std::to_string(work.universe) + ")" + context);
+        fp = reply.at("state_fp").as_string();
+      } catch (const JsonError& e) {
+        fail_worker(i, std::string("malformed done reply: ") + e.what() +
+                           context,
+                    false, pending);
+        return;
+      }
+      // Siblings rebuilt the same test from the same spec; disagreeing
+      // fingerprints mean at least one graded against drifted state (the
+      // worker-side spec.state_fp check is the strong guard, but it is
+      // opt-in — this one costs nothing and is not).
+      if (done_fp.empty())
+        done_fp = fp;
+      else if (fp != done_fp)
+        fatal(i, "rebuilt state disagrees with a sibling worker (" + fp +
+                     " vs " + done_fp + ")" + context);
+      if (reply.contains("telemetry")) {
         try {
-          message = reply.at("message").as_string();
-        } catch (const JsonError&) {
-        }
-        fail(w, "reported: " + message + context);
-      } else if (type == "shard") {
-        std::uint32_t shard = 0;
-        ShardResult r;
-        try {
-          shard = static_cast<std::uint32_t>(reply.at("shard").as_size());
-          r.mask = word_from_hex(reply.at("mask").as_string());
-          r.seconds = reply.at("seconds").as_number();
+          merge_worker_telemetry(i, reply.at("telemetry"));
         } catch (const JsonError& e) {
-          fail(w, std::string("malformed shard reply: ") + e.what() + context);
+          fail_worker(i, std::string("malformed telemetry: ") + e.what() +
+                             context,
+                      false, pending);
+          return;
         }
-        const auto it = slot.find(shard);
-        if (it == slot.end() || it->second % active != w ||
-            answered[it->second])
-          fail(w, "answered shard " + std::to_string(shard) +
-                      " it was not asked (or twice)" + context);
-        answered[it->second] = true;
-        // Worker histograms don't travel the wire (only counter deltas
-        // do); the coordinator observes the reported shard time instead,
-        // so the distribution covers both executors.
-        if (obs::metrics().enabled())
-          obs::metrics()
-              .histogram("campaign.shard_seconds",
-                         {0.001, 0.01, 0.1, 1.0, 10.0})
-              .observe(r.seconds);
-        results[it->second] = r;
-        --pending;
-        if (work.progress) work.progress(work.plan.batch_size(shard));
-      } else if (type == "done") {
-        if (pending != 0)
-          fail(w, "finished with " + std::to_string(pending) +
-                      " unanswered shards" + context);
-        std::string fp;
-        try {
-          if (reply.at("universe").as_size() != work.universe)
-            fail(w, "rebuilt a different universe (" +
-                        std::to_string(reply.at("universe").as_size()) +
-                        " faults, coordinator has " +
-                        std::to_string(work.universe) + ")" + context);
-          fp = reply.at("state_fp").as_string();
-        } catch (const JsonError& e) {
-          fail(w, std::string("malformed done reply: ") + e.what() + context);
-        }
-        // Siblings rebuilt the same test from the same spec; disagreeing
-        // fingerprints mean at least one graded against drifted state
-        // (the worker-side spec.state_fp check is the strong guard, but
-        // it is opt-in — this one costs nothing and is not).
-        if (done_fp.empty())
-          done_fp = fp;
-        else if (fp != done_fp)
-          fail(w, "rebuilt state disagrees with a sibling worker (" + fp +
-                      " vs " + done_fp + ")" + context);
-        if (reply.contains("telemetry")) {
-          try {
-            merge_worker_telemetry(w, reply.at("telemetry"));
-          } catch (const JsonError& e) {
-            fail(w, std::string("malformed telemetry: ") + e.what() + context);
+      }
+      w.done_received = true;
+      w.deadline_armed = false;
+      return;
+    }
+    if (type == "error") {
+      std::string message = "(error reply without a message)";
+      try {
+        message = reply.at("message").as_string();
+      } catch (const JsonError&) {
+      }
+      fatal(i, "reported: " + message + context);
+    }
+    fail_worker(i, "unknown reply type '" + type + "'" + context, false,
+                pending);
+  };
+
+  // Drains worker i's pipe without blocking, processes complete lines,
+  // and handles EOF (the crash/exit detection path).
+  const auto drain_worker = [&](std::size_t i) {
+    Worker& w = procs_[i];
+    bool eof = false;
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = posix::read_retry(w.from_fd, buf, sizeof buf);
+      if (n > 0) {
+        w.rbuf.append(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      eof = true;  // 0 = EOF; any other error means the pipe is dead too
+      break;
+    }
+    std::string line;
+    while (w.state != Worker::State::kDead && take_line(w.rbuf, line))
+      handle_line(i, line);
+    if (w.state == Worker::State::kDead || !eof) return;
+    std::string what =
+        w.state == Worker::State::kHello ? "died without a hello" : "died";
+    // Bytes without a terminator: the worker was cut off mid-line, so the
+    // stream is corrupt as well as closed.
+    if (!w.rbuf.empty()) what += " mid-reply (truncated line)";
+    if (w.state != Worker::State::kHello) {
+      what += " with " + std::to_string(w.inflight.size()) +
+              " shard(s) in flight";
+    }
+    fail_worker(i, what + context, false, pending);
+  };
+
+  for (;;) {
+    auto now = Clock::now();
+
+    // Due respawns first: a recovered slot can absorb grants this round.
+    for (std::size_t i = 0; i < procs_.size(); ++i)
+      if (procs_[i].respawn_scheduled && now >= procs_[i].respawn_at)
+        spawn_worker(i);
+
+    // Degradation ladder: when fewer workers are live or pending respawn
+    // than the floor, stop supervising and finish the work here.
+    std::size_t capable = 0;
+    for (const Worker& w : procs_)
+      if (w.state != Worker::State::kDead || w.respawn_scheduled) ++capable;
+    if (capable < static_cast<std::size_t>(opts_.min_workers)) {
+      for (Worker& w : procs_) {
+        if (w.inflight.empty()) continue;
+        for (std::uint32_t s : w.inflight) pending.push_back(s);
+        health_.shard_reissues += w.inflight.size();
+        w.inflight.clear();
+      }
+      shutdown_all();
+      const std::string why =
+          "worker fleet collapsed below min_workers=" +
+          std::to_string(opts_.min_workers) +
+          " with the respawn budget exhausted" + context +
+          (last_failure_.empty() ? std::string()
+                                 : "; last failure: " + last_failure_);
+      if (!work.test.make_runner)
+        throw std::runtime_error(
+            "subprocess executor: " + why +
+            " — no in-process fallback is available for this test");
+      std::vector<std::uint32_t> remaining;
+      remaining.reserve(unanswered);
+      for (std::size_t k = 0; k < work.shards.size(); ++k)
+        if (!answered[k]) remaining.push_back(work.shards[k]);
+      std::fprintf(stderr,
+                   "olfui: subprocess executor: %s — degrading to in-process "
+                   "grading for %zu remaining shard(s)\n",
+                   why.c_str(), remaining.size());
+      auto span = obs::tracer().span("degrade", "executor");
+      span.arg("shards", Json(remaining.size()));
+      if (!fallback_) fallback_ = std::make_unique<InProcessExecutor>(0);
+      const ShardWork sub{work.plan,
+                          work.targets,
+                          work.planned,
+                          std::span<const std::uint32_t>(remaining),
+                          work.test,
+                          work.fault_model,
+                          work.universe,
+                          work.progress,
+                          work.shard_timeout};
+      const std::vector<ShardResult> sub_results = fallback_->execute(sub);
+      for (std::size_t k = 0; k < remaining.size(); ++k) {
+        const std::size_t idx = slot.at(remaining[k]);
+        results[idx] = sub_results[k];
+        answered[idx] = 1;
+      }
+      unanswered -= remaining.size();
+      health_.degraded_shards += remaining.size();
+      if (obs::metrics().enabled())
+        obs::metrics().counter("executor.degraded").add(remaining.size());
+      span.end();
+      return results;
+    }
+
+    if (unanswered == 0) {
+      // Finalize: ask each engaged worker for its done (universe and
+      // fingerprint cross-checks, telemetry). Exit once none is owed.
+      bool waiting = false;
+      for (std::size_t i = 0; i < procs_.size(); ++i) {
+        Worker& w = procs_[i];
+        if (!w.preamble_sent || w.done_received ||
+            w.state != Worker::State::kReady)
+          continue;
+        if (!w.final_sent) {
+          Json grant = Json::object();
+          grant.set("type", "grant");
+          grant.set("shards", Json::array());
+          grant.set("final", Json(true));
+          if (!send_text(w, grant.dump() + "\n")) {
+            fail_worker(i, "died rejecting the final grant (write failed)" +
+                               context,
+                        false, pending);
+            continue;
           }
+          w.final_sent = true;
+          w.deadline = now + duration_from_seconds(timeout);
+          w.deadline_armed = true;
         }
-        done = true;
+        waiting = true;
+      }
+      if (!waiting) return results;
+    } else {
+      // Breadth-first pull dispatch: one shard per pass per worker with
+      // window room, so every live worker engages before any one of them
+      // stacks up a queue — slow workers absorb less work.
+      bool granted_any = true;
+      while (granted_any && !pending.empty()) {
+        granted_any = false;
+        for (std::size_t i = 0; i < procs_.size() && !pending.empty(); ++i) {
+          Worker& w = procs_[i];
+          if (w.state != Worker::State::kReady ||
+              w.inflight.size() >= kGrantWindow)
+            continue;
+          if (!send_preamble(i)) continue;
+          const std::uint32_t s = pending.front();
+          Json grant = Json::object();
+          grant.set("type", "grant");
+          Json arr = Json::array();
+          arr.push_back(static_cast<std::size_t>(s));
+          grant.set("shards", std::move(arr));
+          if (!send_text(w, grant.dump() + "\n")) {
+            fail_worker(i, "died rejecting a grant (write failed)" + context,
+                        false, pending);
+            continue;
+          }
+          pending.pop_front();
+          w.inflight.push_back(s);
+          if (!w.deadline_armed) {
+            w.deadline = now + duration_from_seconds(timeout);
+            w.deadline_armed = true;
+          }
+          granted_any = true;
+        }
+      }
+    }
+
+    // Sleep until the next reply, deadline, or scheduled respawn.
+    int timeout_ms = 1000;
+    const auto consider = [&](Clock::time_point t) {
+      const auto ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(t - now)
+              .count();
+      timeout_ms = std::clamp(static_cast<int>(std::max<long long>(ms, 0)),
+                              0, timeout_ms);
+    };
+    std::vector<struct pollfd> fds;
+    std::vector<std::size_t> fd_worker;
+    for (std::size_t i = 0; i < procs_.size(); ++i) {
+      Worker& w = procs_[i];
+      if (w.state == Worker::State::kDead) {
+        if (w.respawn_scheduled) consider(w.respawn_at);
+        continue;
+      }
+      bound_stderr(w);
+      if (w.deadline_armed) consider(w.deadline);
+      fds.push_back({w.from_fd, POLLIN, 0});
+      fd_worker.push_back(i);
+    }
+    // poll with zero fds is a plain sleep — the fleet may be entirely
+    // between incarnations, waiting on backoff.
+    posix::poll_retry(fds.empty() ? nullptr : fds.data(), fds.size(),
+                      timeout_ms);
+    now = Clock::now();
+
+    for (std::size_t k = 0; k < fds.size(); ++k)
+      if (fds[k].revents & (POLLIN | POLLHUP | POLLERR))
+        if (procs_[fd_worker[k]].state != Worker::State::kDead)
+          drain_worker(fd_worker[k]);
+
+    // Deadline sweep last, after any progress that poll surfaced.
+    for (std::size_t i = 0; i < procs_.size(); ++i) {
+      Worker& w = procs_[i];
+      if (w.state == Worker::State::kDead || !w.deadline_armed ||
+          now < w.deadline)
+        continue;
+      if (w.state == Worker::State::kHello) {
+        fail_worker(i, "no hello within " +
+                           std::to_string(opts_.hello_timeout) +
+                           "s (handshake deadline expired)",
+                    true, pending);
       } else {
-        fail(w, "unknown reply type '" + type + "'" + context);
+        fail_worker(i, "no progress within " + std::to_string(timeout) +
+                           "s (shard deadline expired) with " +
+                           std::to_string(w.inflight.size()) +
+                           " shard(s) in flight" + context,
+                    true, pending);
       }
     }
   }
-  return results;
 }
 
 void SubprocessExecutor::merge_worker_telemetry(std::size_t worker,

@@ -54,9 +54,14 @@ void dump_number(std::string& out, double v) {
   }
 }
 
-class Parser {
+}  // namespace
+
+/// Named (not anonymous-namespace) so Json can befriend it: parsed values
+/// are stamped with their byte offset in the source document, which
+/// semantic errors (at(), as_*()) report instead of offset 0.
+class JsonParser {
  public:
-  explicit Parser(std::string_view text) : text_(text) {}
+  explicit JsonParser(std::string_view text) : text_(text) {}
 
   Json run() {
     Json v = value();
@@ -98,6 +103,13 @@ class Parser {
 
   Json value() {
     skip_ws();
+    const std::size_t at = pos_;
+    Json v = value_inner();
+    v.src_offset_ = at;
+    return v;
+  }
+
+  Json value_inner() {
     const char c = peek();
     if (c == '{' || c == '[') {
       // Bound recursion: a corrupt/hostile document of nested brackets
@@ -217,19 +229,17 @@ class Parser {
   int depth_ = 0;
 };
 
-}  // namespace
-
 std::size_t Json::as_size() const {
   const double v = as_number();
   if (!(v >= 0 && v <= 9007199254740992.0) || v != std::floor(v))
-    throw JsonError("expected a non-negative integer", 0);
+    throw JsonError("expected a non-negative integer", src_offset_);
   return static_cast<std::size_t>(v);
 }
 
 int Json::as_int() const {
   const double v = as_number();
   if (!(v >= -2147483648.0 && v <= 2147483647.0) || v != std::floor(v))
-    throw JsonError("expected an int-range integer", 0);
+    throw JsonError("expected an int-range integer", src_offset_);
   return static_cast<int>(v);
 }
 
@@ -237,7 +247,7 @@ void Json::require(Kind k) const {
   if (kind_ != k)
     throw JsonError(std::string("expected ") + kind_name(k) + ", got " +
                         kind_name(kind_),
-                    0);
+                    src_offset_);
 }
 
 std::size_t Json::size() const {
@@ -249,19 +259,21 @@ std::size_t Json::size() const {
 
 const Json& Json::at(std::size_t i) const {
   require(Kind::kArray);
-  if (i >= arr_.size()) throw JsonError("array index out of range", i);
+  if (i >= arr_.size()) throw JsonError("array index out of range", src_offset_);
   return arr_[i];
 }
 
 const std::string& Json::key(std::size_t i) const {
   require(Kind::kObject);
-  if (i >= obj_.size()) throw JsonError("object index out of range", i);
+  if (i >= obj_.size())
+    throw JsonError("object index out of range", src_offset_);
   return obj_[i].first;
 }
 
 const Json& Json::value(std::size_t i) const {
   require(Kind::kObject);
-  if (i >= obj_.size()) throw JsonError("object index out of range", i);
+  if (i >= obj_.size())
+    throw JsonError("object index out of range", src_offset_);
   return obj_[i].second;
 }
 
@@ -269,7 +281,7 @@ const Json& Json::at(std::string_view key) const {
   require(Kind::kObject);
   for (const auto& [k, v] : obj_)
     if (k == key) return v;
-  throw JsonError("missing key '" + std::string(key) + "'", 0);
+  throw JsonError("missing key '" + std::string(key) + "'", src_offset_);
 }
 
 bool Json::contains(std::string_view key) const {
@@ -339,6 +351,6 @@ std::string Json::dump(int indent) const {
   return out;
 }
 
-Json Json::parse(std::string_view text) { return Parser(text).run(); }
+Json Json::parse(std::string_view text) { return JsonParser(text).run(); }
 
 }  // namespace olfui

@@ -81,11 +81,20 @@ class Json {
   /// Parses a complete document (trailing garbage is an error).
   static Json parse(std::string_view text);
 
+  /// Byte offset of this value in the document it was parsed from (0 for
+  /// programmatically built values). Semantic errors raised through
+  /// at()/as_*() carry it, so a protocol validator rejecting one field of
+  /// a long wire line points at the offending bytes, not offset 0.
+  std::size_t source_offset() const { return src_offset_; }
+
  private:
+  friend class JsonParser;
+
   void require(Kind k) const;
   void dump_to(std::string& out, int indent, int depth) const;
 
   Kind kind_;
+  std::size_t src_offset_ = 0;
   bool bool_ = false;
   double num_ = 0;
   std::string str_;

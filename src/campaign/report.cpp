@@ -125,6 +125,10 @@ Json campaign_result_to_json(const CampaignResult& result,
     stats.set("faults_per_second", result.stats.faults_per_second);
     stats.set("schedule_policy", result.stats.schedule_policy);
     stats.set("executor", result.stats.executor);
+    stats.set("respawns", result.stats.respawns);
+    stats.set("shard_reissues", result.stats.shard_reissues);
+    stats.set("timeouts", result.stats.timeouts);
+    stats.set("degraded_shards", result.stats.degraded_shards);
     Json shard_seconds = Json::array();
     for (double s : result.stats.shard_seconds) shard_seconds.push_back(s);
     stats.set("shard_seconds", std::move(shard_seconds));
@@ -186,6 +190,15 @@ CampaignResult campaign_result_from_json(const Json& doc) {
       result.stats.schedule_policy = stats.at("schedule_policy").as_string();
     if (stats.contains("executor"))  // absent in pre-executor dumps
       result.stats.executor = stats.at("executor").as_string();
+    // Recovery counters: absent in pre-supervision dumps.
+    if (stats.contains("respawns"))
+      result.stats.respawns = stats.at("respawns").as_size();
+    if (stats.contains("shard_reissues"))
+      result.stats.shard_reissues = stats.at("shard_reissues").as_size();
+    if (stats.contains("timeouts"))
+      result.stats.timeouts = stats.at("timeouts").as_size();
+    if (stats.contains("degraded_shards"))
+      result.stats.degraded_shards = stats.at("degraded_shards").as_size();
     if (stats.contains("shard_seconds")) {  // absent in pre-shard-stat dumps
       const Json& shard_seconds = stats.at("shard_seconds");
       for (std::size_t i = 0; i < shard_seconds.size(); ++i)

@@ -1,0 +1,66 @@
+// olfui/util: EINTR-hardened POSIX wrappers.
+//
+// The distributed executor talks to its worker fleet over pipes and reaps
+// children with waitpid; any of those calls can be interrupted by a stray
+// signal (a profiler's SIGPROF, a debugger attach, SIGCHLD from an
+// unrelated child). Before these wrappers a signal delivered during a
+// long grade surfaced as a spurious "short read" crash error and failed
+// the whole campaign. Every worker-pipe read/write and every wait goes
+// through here instead: EINTR means "retry", never "worker died".
+#pragma once
+
+#include <poll.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+
+namespace olfui::posix {
+
+/// read(2), retried on EINTR. Returns the usual read result otherwise
+/// (0 = EOF, -1 = error with errno set, e.g. EAGAIN on a nonblocking fd).
+inline ssize_t read_retry(int fd, void* buf, std::size_t count) {
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, count);
+    if (n >= 0 || errno != EINTR) return n;
+  }
+}
+
+/// Writes the whole buffer, retrying on EINTR and resuming after partial
+/// writes. Returns false on any other error (errno set; EPIPE = the
+/// worker on the far end is gone).
+inline bool write_all(int fd, const void* buf, std::size_t count) {
+  const char* p = static_cast<const char*>(buf);
+  while (count > 0) {
+    const ssize_t n = ::write(fd, p, count);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    count -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// waitpid(2), retried on EINTR (SIGCHLD itself can interrupt the wait).
+inline pid_t waitpid_retry(pid_t pid, int* status, int options) {
+  for (;;) {
+    const pid_t r = ::waitpid(pid, status, options);
+    if (r >= 0 || errno != EINTR) return r;
+  }
+}
+
+/// poll(2), retried on EINTR. The timeout is not recomputed across
+/// retries — callers run poll inside a deadline loop and re-derive the
+/// timeout themselves, so the worst case is one early wakeup.
+inline int poll_retry(struct pollfd* fds, nfds_t nfds, int timeout_ms) {
+  for (;;) {
+    const int r = ::poll(fds, nfds, timeout_ms);
+    if (r >= 0 || errno != EINTR) return r;
+  }
+}
+
+}  // namespace olfui::posix

@@ -921,12 +921,14 @@ TEST(SubprocessExecutor, RejectsTestsWithoutASpec) {
 
 TEST(SubprocessExecutor, KilledWorkerIsDetectedAndReported) {
   // A fake worker that greets correctly, then dies without answering its
-  // shards: the campaign must fail loudly, naming the worker, its exit,
-  // and the test — a lost shard is never silently dropped.
+  // shards. With no respawn budget and no in-process fallback (the test
+  // has no make_runner) the fleet collapses, and the thrown error must
+  // name the worker, its exit, and the test — a lost shard is never
+  // silently dropped.
   SubprocessExecutor exec(
       {"/bin/sh", "-c",
-       "printf '{\"type\":\"hello\",\"protocol\":1}\\n'; read -r line; exit 7"},
-      1);
+       "printf '{\"type\":\"hello\",\"protocol\":2}\\n'; read -r line; exit 7"},
+      FleetOptions{.workers = 1, .max_respawns = 0});
   const BatchPlan plan = BatchPlan::fixed(4, 2);
   const std::vector<FaultId> targets{0, 1, 2, 3};
   const std::vector<std::uint32_t> shards{0, 1};
@@ -954,11 +956,11 @@ TEST(SubprocessExecutor, CrashedWorkerStderrLandsInTheError) {
   // report) instead of just an exit status.
   SubprocessExecutor exec(
       {"/bin/sh", "-c",
-       "printf '{\"type\":\"hello\",\"protocol\":1}\\n';"
+       "printf '{\"type\":\"hello\",\"protocol\":2}\\n';"
        " echo 'scratch line' >&2;"
        " echo 'fatal: reference trace fingerprint torched' >&2;"
        " read -r line; exit 9"},
-      1);
+      FleetOptions{.workers = 1, .max_respawns = 0});
   const BatchPlan plan = BatchPlan::fixed(4, 2);
   const std::vector<FaultId> targets{0, 1, 2, 3};
   const std::vector<std::uint32_t> shards{0, 1};
@@ -982,7 +984,8 @@ TEST(SubprocessExecutor, CrashedWorkerStderrLandsInTheError) {
 }
 
 TEST(SubprocessExecutor, WorkerWithoutHelloFailsTheHandshake) {
-  SubprocessExecutor exec({"/bin/true"}, 1);
+  SubprocessExecutor exec({"/bin/true"},
+                          FleetOptions{.workers = 1, .max_respawns = 0});
   const BatchPlan plan = BatchPlan::fixed(2, 2);
   const std::vector<FaultId> targets{0, 1};
   const std::vector<std::uint32_t> shards{0};
