@@ -42,26 +42,27 @@ struct KernelRun {
   double wall_seconds = 0;
   double cycles_per_second = 0;
   double activity_ratio = 0;  ///< cells evaluated / sweep-equivalent cells
-  std::vector<std::uint64_t> detections;  ///< per-batch masks (cross-check)
+  std::vector<bool> detections;  ///< per-target flags (cross-check)
 };
 
-/// Grades `targets` in 63-fault batches with one kernel on one thread.
-KernelRun run_kernel(const Soc& soc, const FaultUniverse& universe,
-                     SbstProgram& program, int good_cycles,
-                     std::span<const FaultId> targets, bool event_driven) {
+/// Grades `targets` in (W-1)-fault batches with one kernel on one thread.
+template <int W>
+KernelRun run_kernel_w(const Soc& soc, const FaultUniverse& universe,
+                       SbstProgram& program, int good_cycles,
+                       std::span<const FaultId> targets, bool event_driven) {
   const int max_cycles = good_cycles + 8;
   FlashImage flash(soc.config.flash_base, soc.config.flash_size);
   flash.load(program.program.base(), program.program.words());
 
-  SocFsimEnvironment trace_env(soc, flash, max_cycles);
-  SequentialFaultSimulator tracer(
+  SocFsimEnvironmentT<W> trace_env(soc, flash, max_cycles);
+  SequentialFaultSimulatorT<W> tracer(
       soc.netlist, universe,
       {.max_cycles = max_cycles, .event_driven = event_driven});
   tracer.set_observed(soc.cpu.bus_output_cells);
   const ReferenceTrace trace = tracer.record_reference_trace(trace_env);
 
-  SocFsimEnvironment env(soc, flash, max_cycles);
-  SequentialFaultSimulator fsim(
+  SocFsimEnvironmentT<W> env(soc, flash, max_cycles);
+  SequentialFaultSimulatorT<W> fsim(
       soc.netlist, universe,
       {.max_cycles = max_cycles, .event_driven = event_driven});
   fsim.set_observed(soc.cpu.bus_output_cells);
@@ -70,9 +71,12 @@ KernelRun run_kernel(const Soc& soc, const FaultUniverse& universe,
   fsim.sim().reset_activity();
   const auto t0 = std::chrono::steady_clock::now();
   std::uint64_t batch_cycles = 0;
-  for (std::size_t i = 0; i < targets.size(); i += 63) {
-    const std::size_t n = std::min<std::size_t>(63, targets.size() - i);
-    run.detections.push_back(fsim.run_batch(targets.subspan(i, n), env, &trace));
+  constexpr std::size_t kBatch = W - 1;
+  for (std::size_t i = 0; i < targets.size(); i += kBatch) {
+    const std::size_t n = std::min(kBatch, targets.size() - i);
+    const LaneMask det = fsim.run_batch(targets.subspan(i, n), env, &trace);
+    for (std::size_t j = 0; j < n; ++j)
+      run.detections.push_back(det.bit(static_cast<int>(j)));
     batch_cycles += static_cast<std::uint64_t>(trace.cycles);
   }
   run.wall_seconds =
@@ -89,6 +93,25 @@ KernelRun run_kernel(const Soc& soc, const FaultUniverse& universe,
                               ? static_cast<double>(batch_cycles) / run.wall_seconds
                               : 0.0;
   return run;
+}
+
+/// Runtime-width front end; `lanes` must be a supported width
+/// (lane_width_supported).
+KernelRun run_kernel(const Soc& soc, const FaultUniverse& universe,
+                     SbstProgram& program, int good_cycles,
+                     std::span<const FaultId> targets, bool event_driven,
+                     int lanes = 64) {
+#if OLFUI_HAS_WIDE_LANES
+  if (lanes == 128)
+    return run_kernel_w<128>(soc, universe, program, good_cycles, targets,
+                             event_driven);
+  if (lanes == 256)
+    return run_kernel_w<256>(soc, universe, program, good_cycles, targets,
+                             event_driven);
+#endif
+  (void)lanes;
+  return run_kernel_w<64>(soc, universe, program, good_cycles, targets,
+                          event_driven);
 }
 
 void run_activity_table() {
@@ -150,12 +173,54 @@ void run_activity_table() {
     programs.push_back(std::move(p));
   }
 
+  // Per-width throughput: the same slice through every instantiated
+  // packed width (event-driven kernel, program 0), detections
+  // cross-checked bit-identical against the 64-lane baseline. Widths the
+  // build did not instantiate are reported as skipped, not silently
+  // dropped.
+  std::printf("\n%12s %12s %14s %10s %9s\n", "lane width", "kernel",
+              "cycles/sec", "wall [s]", "vs 64");
+  Json widths = Json::array();
+  std::vector<bool> baseline;
+  double base_wall = 0;
+  for (const int lanes : {64, 128, 256}) {
+    Json wj = Json::object();
+    wj.set("lanes", lanes);
+    if (!lane_width_supported(lanes)) {
+      std::printf("%12d %12s\n", lanes, "(not built)");
+      wj.set("supported", false);
+      widths.push_back(std::move(wj));
+      continue;
+    }
+    const KernelRun r =
+        run_kernel(*soc, universe, suite[0], cycles[0], targets, true, lanes);
+    if (lanes == 64) {
+      baseline = r.detections;
+      base_wall = r.wall_seconds;
+    }
+    const bool identical = r.detections == baseline;
+    all_identical &= identical;
+    const double vs64 = base_wall > 0 && r.wall_seconds > 0
+                            ? base_wall / r.wall_seconds
+                            : 0.0;
+    std::printf("%12d %12s %14.0f %10.3f %8.2fx  %s\n", lanes, "event",
+                r.cycles_per_second, r.wall_seconds, vs64,
+                identical ? "[detections identical]" : "[MISMATCH!]");
+    wj.set("supported", true);
+    wj.set("cycles_per_second", r.cycles_per_second);
+    wj.set("wall_seconds", r.wall_seconds);
+    wj.set("speedup_vs_64", vs64);
+    wj.set("detections_identical", identical);
+    widths.push_back(std::move(wj));
+  }
+
   Json doc = Json::object();
   doc.set("bench", "kernel_activity");
   doc.set("cells", soc->netlist.num_cells());
   doc.set("universe", universe.size());
   doc.set("fault_slice", targets.size());
   doc.set("programs", std::move(programs));
+  doc.set("lane_widths", std::move(widths));
   doc.set("all_detections_identical", all_identical);
   std::ofstream("BENCH_kernel.json") << doc.dump(2) << "\n";
 

@@ -137,7 +137,7 @@ void print_trace_sharing() {
     SequentialFaultSimulator fsim(soc->netlist, universe,
                                   {.max_cycles = max_cycles});
     fsim.set_observed(soc->cpu.bus_output_cells);
-    std::vector<std::uint64_t> detections;
+    std::vector<LaneMask> detections;
     const auto t0 = std::chrono::steady_clock::now();
     for (std::size_t i = 0; i < targets.size(); i += 63) {
       const std::size_t n = std::min<std::size_t>(63, targets.size() - i);

@@ -34,21 +34,21 @@ std::vector<FaultId> campaign_targets(const FaultList& fl, bool drop_detected,
 class FunctionBatchRunner final : public FaultBatchRunner {
  public:
   explicit FunctionBatchRunner(
-      std::function<std::uint64_t(std::span<const FaultId>)> kernel)
+      std::function<LaneMask(std::span<const FaultId>)> kernel)
       : kernel_(std::move(kernel)) {}
-  std::uint64_t run_batch(std::span<const FaultId> faults) override {
+  LaneMask run_batch(std::span<const FaultId> faults) override {
     return kernel_(faults);
   }
 
  private:
-  std::function<std::uint64_t(std::span<const FaultId>)> kernel_;
+  std::function<LaneMask(std::span<const FaultId>)> kernel_;
 };
 
 }  // namespace
 
 CampaignTest make_function_test(
     std::string name,
-    std::function<std::uint64_t(std::span<const FaultId>)> kernel,
+    std::function<LaneMask(std::span<const FaultId>)> kernel,
     int good_cycles) {
   CampaignTest test;
   test.name = std::move(name);
@@ -69,7 +69,15 @@ bool CampaignResult::operator==(const CampaignResult& o) const {
 CampaignEngine::CampaignEngine(const FaultUniverse& universe,
                                CampaignOptions opts)
     : universe_(&universe), opts_(opts) {
-  opts_.batch_size = std::clamp(opts_.batch_size, 1, 63);
+  // Unsupported widths fall back to the scalar 64-lane kernel, and the
+  // batch size is bounded by the resolved width (lane 0 is the good
+  // machine, so a W-lane pass grades at most W-1 faults). batch_size == 0
+  // asks for the width's natural maximum.
+  opts_.lane_width = resolve_lane_width(opts_.lane_width);
+  const int max_batch = opts_.lane_width - 1;
+  opts_.batch_size = opts_.batch_size == 0
+                         ? max_batch
+                         : std::clamp(opts_.batch_size, 1, max_batch);
 }
 
 int CampaignEngine::resolved_threads() const {
@@ -109,7 +117,8 @@ BitVec CampaignEngine::grade(std::span<const FaultId> targets,
   const ScheduleContext ctx{static_cast<std::size_t>(opts_.batch_size),
                             test.name};
   const BatchPlan plan = scheduler().plan(targets, ctx);
-  plan.validate(targets.size(), 63);
+  plan.validate(targets.size(),
+                static_cast<std::size_t>(opts_.lane_width - 1));
   std::vector<FaultId> planned(targets.size());
   for (std::size_t i = 0; i < targets.size(); ++i)
     planned[i] = targets[plan.order[i]];
@@ -126,7 +135,7 @@ BitVec CampaignEngine::grade(std::span<const FaultId> targets,
   ShardWork work{plan,       targets,           planned,
                  shard_ids,  test,              opts_.fault_model,
                  universe_->size(),             {},
-                 opts_.shard_timeout};
+                 opts_.shard_timeout,           opts_.lane_width};
   if (progress)
     work.progress = [&](std::size_t n) {
       std::lock_guard lock(progress_mu);
@@ -151,7 +160,7 @@ BitVec CampaignEngine::grade(std::span<const FaultId> targets,
     const std::size_t lo = plan.batch_start[shard];
     const std::size_t n = plan.batch_size(shard);
     for (std::size_t j = 0; j < n; ++j)
-      if (results[shard].mask & (1ULL << j))
+      if (results[shard].mask.bit(static_cast<int>(j)))
         detected.set(plan.order[lo + j], true);
   }
   if (shard_seconds)

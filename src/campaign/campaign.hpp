@@ -8,8 +8,9 @@
 // over 63-fault batches; this engine is the single entry point for all of
 // them:
 //
-//  * scheduling — the target fault list is cut into up-to-63-lane batches
-//    (one parallel-fault simulator pass each) by a pluggable
+//  * scheduling — the target fault list is cut into up-to-(lanes-1)-fault
+//    batches (one parallel-fault simulator pass each; 63 at the default
+//    64-lane width) by a pluggable
 //    BatchScheduler (scheduler.hpp: fixed spans by default, cone-aware
 //    grouping, profile-guided adaptive splitting);
 //  * execution — the planned shards run on a pluggable ShardExecutor
@@ -44,6 +45,7 @@
 #include "campaign/json.hpp"
 #include "fault/fault_list.hpp"
 #include "util/bitvec.hpp"
+#include "util/lanes.hpp"
 
 namespace olfui {
 
@@ -56,8 +58,10 @@ class ShardExecutor;   // campaign/executor.hpp
 class FaultBatchRunner {
  public:
   virtual ~FaultBatchRunner() = default;
-  /// Grades up to 63 faults; bit i of the result = faults[i] detected.
-  virtual std::uint64_t run_batch(std::span<const FaultId> faults) = 0;
+  /// Grades up to lanes-1 faults; bit i of the result = faults[i]
+  /// detected. The mask type holds kMaxLaneWidth-1 faults regardless of
+  /// the runner's actual width.
+  virtual LaneMask run_batch(std::span<const FaultId> faults) = 0;
 };
 
 /// One test in a campaign: a name for reporting plus a thread-safe factory
@@ -79,8 +83,13 @@ struct CampaignTest {
 struct CampaignOptions {
   /// Worker threads; 0 picks std::thread::hardware_concurrency().
   int threads = 0;
-  /// Faults per shard; clamped to [1, 63] (lane 0 is the good machine).
-  int batch_size = 63;
+  /// Packed kernel width (64/128/256); unsupported requests fall back to
+  /// 64 (resolve_lane_width). Pure throughput knob: detection sets are
+  /// bit-identical at every width.
+  int lane_width = 64;
+  /// Faults per shard; clamped to [1, lane_width - 1] (lane 0 is the good
+  /// machine). The default tracks the resolved width: lanes - 1.
+  int batch_size = 0;
   /// Detected faults leave the target queue before the next test. Off, every
   /// test grades the full testable universe (the regression baseline).
   bool fault_dropping = true;
@@ -194,7 +203,7 @@ struct CampaignResult {
 /// campaign.
 CampaignTest make_function_test(
     std::string name,
-    std::function<std::uint64_t(std::span<const FaultId>)> kernel,
+    std::function<LaneMask(std::span<const FaultId>)> kernel,
     int good_cycles = 0);
 
 /// Progress callback: (test name, faults graded so far, faults targeted).

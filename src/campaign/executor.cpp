@@ -222,6 +222,9 @@ Json shard_request_to_json(const ShardWork& work) {
   doc.set("test", work.test.name);
   doc.set("fault_model", std::string(fault_model_name(work.fault_model)));
   doc.set("spec", work.test.spec);
+  // The default width stays implicit so width-64 requests are readable by
+  // pre-width workers unchanged.
+  if (work.lane_width != 64) doc.set("lanes", work.lane_width);
   doc.set("plan", batch_plan_to_json(work.plan, "wire"));
   Json targets = Json::array();
   for (FaultId f : work.targets)
@@ -248,7 +251,25 @@ ShardRequest shard_request_from_json(const Json& doc) {
   req.heartbeat = doc.contains("heartbeat") && doc.at("heartbeat").as_bool();
   req.fault_model = fault_model_from_name(doc.at("fault_model"));
   req.spec = doc.at("spec");
-  req.plan = batch_plan_from_json(doc.at("plan"));
+  if (doc.contains("lanes")) {  // absent = 64, the pre-width protocol
+    const Json& lanes = doc.at("lanes");
+    req.lanes = lanes.as_int();
+    if (req.lanes != 64 && req.lanes != 128 && req.lanes != 256)
+      throw JsonError("shard request: lanes must be 64, 128 or 256",
+                      lanes.source_offset());
+    // A request wider than this build instantiates is deterministic
+    // misconfiguration — refuse it before touching the plan, mirroring
+    // the coordinator-side max_lanes check at hello.
+    if (!lane_width_supported(req.lanes))
+      throw JsonError("shard request: lanes exceed this worker's widest "
+                      "kernel (" + std::to_string(kMaxLaneWidth) + ")",
+                      lanes.source_offset());
+  }
+  // The plan is validated against the request's width: a batch over
+  // lanes - 1 faults cannot be graded in one pass and must be refused,
+  // never truncated.
+  req.plan = batch_plan_from_json(
+      doc.at("plan"), static_cast<std::size_t>(req.lanes - 1));
   const Json& targets = doc.at("targets");
   req.targets.reserve(targets.size());
   for (std::size_t i = 0; i < targets.size(); ++i) {
@@ -366,6 +387,10 @@ int serve_worker(std::FILE* in, std::FILE* out, WorkerWorkload& workload,
     // Our monotonic clock at hello time: the coordinator pairs it with its
     // own to shift merged telemetry spans onto a common timeline.
     hello.set("ts_us", static_cast<double>(obs::tracer().now_us()));
+    // Widest packed kernel this binary instantiates; the coordinator
+    // rejects us for campaigns wider than this (misconfiguration, like a
+    // universe mismatch — never retried).
+    hello.set("max_lanes", kMaxLaneWidth);
     if (!write_line(out, hello)) return 1;
   }
 
@@ -414,12 +439,12 @@ int serve_worker(std::FILE* in, std::FILE* out, WorkerWorkload& workload,
     shard_span.arg("test", Json(req.test));
     shard_span.arg("faults", Json(n));
     const auto t0 = std::chrono::steady_clock::now();
-    const std::uint64_t mask =
+    const LaneMask mask =
         workload.run_batch(req, std::span(req.planned).subspan(lo, n));
     Json reply = Json::object();
     reply.set("type", "shard");
     reply.set("shard", static_cast<std::size_t>(shard));
-    reply.set("mask", word_to_hex(mask));
+    reply.set("mask", lane_mask_to_json(mask));
     reply.set("seconds", seconds_since(t0));
     shard_span.end();
     return write_line(out, reply);
@@ -876,6 +901,18 @@ std::vector<ShardResult> SubprocessExecutor::execute(const ShardWork& work) {
           w.clock_offset_us =
               obs::tracer().now_us() -
               static_cast<std::int64_t>(reply.at("ts_us").as_number());
+        // Widest kernel the worker binary instantiates (absent = 64, the
+        // pre-width protocol). A worker too narrow for this campaign's
+        // lane width is deterministic misconfiguration — every respawn
+        // of the same binary would fail the same way, so reject the
+        // fleet now, exactly like a universe-size mismatch.
+        w.max_lanes = reply.contains("max_lanes")
+                          ? reply.at("max_lanes").as_int()
+                          : 64;
+        if (w.max_lanes < work.lane_width)
+          fatal(i, "instantiates at most " + std::to_string(w.max_lanes) +
+                       " lanes, campaign needs " +
+                       std::to_string(work.lane_width) + context);
       } catch (const JsonError& e) {
         fail_worker(i, std::string("malformed hello: ") + e.what(), false,
                     pending);
@@ -898,7 +935,7 @@ std::vector<ShardResult> SubprocessExecutor::execute(const ShardWork& work) {
       ShardResult r;
       try {
         shard = static_cast<std::uint32_t>(reply.at("shard").as_size());
-        r.mask = word_from_hex(reply.at("mask").as_string());
+        r.mask = lane_mask_from_json(reply.at("mask"));
         r.seconds = reply.at("seconds").as_number();
       } catch (const JsonError& e) {
         fail_worker(i, std::string("malformed shard reply: ") + e.what() +
@@ -1074,7 +1111,8 @@ std::vector<ShardResult> SubprocessExecutor::execute(const ShardWork& work) {
                           work.fault_model,
                           work.universe,
                           work.progress,
-                          work.shard_timeout};
+                          work.shard_timeout,
+                          work.lane_width};
       const std::vector<ShardResult> sub_results = fallback_->execute(sub);
       for (std::size_t k = 0; k < remaining.size(); ++k) {
         const std::size_t idx = slot.at(remaining[k]);

@@ -5,9 +5,10 @@
 // policy behind one interface, the same move the scheduler made for batch
 // formation. The engine plans (BatchScheduler), hands the validated plan
 // plus shard ids to a ShardExecutor, and merges the returned per-shard
-// 64-bit masks back to target order — the merge is slot-indexed by shard
-// id, so the result is bit-identical no matter where (or in what order)
-// the shards actually ran.
+// detection masks (LaneMask — up to kMaxLaneWidth-1 faults per shard)
+// back to target order — the merge is slot-indexed by shard id, so the
+// result is bit-identical no matter where (or in what order) the shards
+// actually ran.
 //
 // Two executors ship:
 //  * InProcessExecutor — the pre-seam behaviour: a persistent CV-parked
@@ -35,18 +36,18 @@
 // Wire protocol v2 (one JSON document per line, both directions):
 //
 //   worker -> coordinator on spawn:
-//     {"type":"hello","protocol":2,"ts_us":T}
+//     {"type":"hello","protocol":2,"ts_us":T,"max_lanes":W?}
 //   coordinator -> worker, once per grade() call per worker:
 //     {"type":"grade","test":NAME,"fault_model":"stuck_at"|"transition",
 //      "spec":<CampaignTest::spec>,"plan":<batch_plan_to_json>,
 //      "targets":[fault ids in target order],"shards":[initial grant],
-//      "dynamic":true?,"heartbeat":true?,"telemetry":true?}
+//      "lanes":W?,"dynamic":true?,"heartbeat":true?,"telemetry":true?}
 //   coordinator -> worker while dynamic (pull dispatch):
 //     {"type":"grant","shards":[shard ids]}        more work
 //     {"type":"grant","shards":[],"final":true}    no more work -> reply done
 //   worker -> coordinator per granted shard (heartbeat first when asked):
 //     {"type":"heartbeat","shard":ID}
-//     {"type":"shard","shard":ID,"mask":"16-hex-word","seconds":S}
+//     {"type":"shard","shard":ID,"mask":["16-hex-word",...],"seconds":S}
 //   worker -> coordinator once per grade request, after the final grant
 //   (immediately, in non-dynamic mode):
 //     {"type":"done","test":NAME,"universe":N,"state_fp":"16-hex-word",
@@ -54,7 +55,16 @@
 //   worker -> coordinator on any failure (the worker then exits 1):
 //     {"type":"error","message":TEXT}
 //
-// Fields marked "?" are optional. "dynamic" switches the request to
+// Fields marked "?" are optional. "max_lanes" is the widest packed kernel
+// the worker binary instantiates (absent = 64, the pre-width build);
+// "lanes" is the width the coordinator graded its plan for (absent = 64) —
+// a coordinator rejects, as deterministic misconfiguration, any worker
+// whose max_lanes is below the campaign's lane width, exactly like a
+// universe-size mismatch, and a worker rejects a request whose lanes
+// exceed what it instantiates or whose plan carries batches over lanes-1
+// faults. "mask" is a fixed-order array of 16-hex-digit words, least
+// significant word first, LaneMask::kWords long (a lone string is
+// accepted on parse for pre-width senders). "dynamic" switches the request to
 // grant-driven dispatch; absent, the request is self-contained v1 style
 // (grade the listed shards, reply done) — tests and one-shot tools keep
 // that simpler shape. "heartbeat" asks the worker to announce each shard
@@ -104,7 +114,7 @@ inline constexpr int kWorkerProtocolVersion = 2;
 /// One shard's outcome: detection mask (bit i = i-th fault of the batch
 /// detected) plus the grading wall time (the adaptive-profile input).
 struct ShardResult {
-  std::uint64_t mask = 0;
+  LaneMask mask;
   double seconds = 0;
 };
 
@@ -128,6 +138,10 @@ struct ShardWork {
   /// SubprocessExecutor. Strictly a liveness knob: results are
   /// bit-identical whatever deadline fires.
   double shard_timeout = 0;
+  /// Packed kernel width the plan was formed for (CampaignOptions::
+  /// lane_width, already resolved). Bounds batch sizes at lane_width - 1
+  /// and is forwarded to remote workers as the request's "lanes" field.
+  int lane_width = 64;
 };
 
 /// Recovery-path odometer, cumulative over an executor's lifetime. The
@@ -274,6 +288,10 @@ class SubprocessExecutor final : public ShardExecutor {
     int failures = 0;        ///< consecutive failures (backoff exponent)
     Clock::time_point respawn_at{};
     bool respawn_scheduled = false;
+    /// Widest packed kernel the worker announced at hello (absent = 64).
+    /// A worker narrower than the campaign's lane width is rejected as
+    /// deterministic misconfiguration before any grant.
+    int max_lanes = 64;
   };
 
   // All private methods below run under mu_ (execute() holds it).
@@ -336,6 +354,10 @@ struct ShardRequest {
   bool dynamic = false;
   /// Announce each shard with a heartbeat line before grading it.
   bool heartbeat = false;
+  /// Packed width the coordinator graded its plan for (absent = 64). The
+  /// parse rejects requests wider than this build instantiates and plans
+  /// whose batches exceed lanes - 1 faults.
+  int lanes = 64;
 };
 
 Json shard_request_to_json(const ShardWork& work);
@@ -394,8 +416,8 @@ class WorkerWorkload {
   /// Grades one batch of the request's test; bit i = faults[i] detected.
   /// Batches arrive gathered in plan order. Implementations should cache
   /// per-test state across requests — workers are persistent.
-  virtual std::uint64_t run_batch(const ShardRequest& request,
-                                  std::span<const FaultId> faults) = 0;
+  virtual LaneMask run_batch(const ShardRequest& request,
+                             std::span<const FaultId> faults) = 0;
   /// Fingerprint of the rebuilt per-test state (e.g.
   /// ReferenceTrace::fingerprint()); cross-checked against the spec's
   /// state_fp when present. 0 opts out.

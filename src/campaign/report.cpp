@@ -84,6 +84,43 @@ std::uint64_t word_from_hex(std::string_view text) {
   return w;
 }
 
+Json lane_mask_to_json(const LaneMask& mask) {
+  Json arr = Json::array();
+  for (int k = 0; k < LaneMask::kWords; ++k)
+    arr.push_back(word_to_hex(mask.word(k)));
+  return arr;
+}
+
+LaneMask lane_mask_from_json(const Json& doc) {
+  LaneMask mask;
+  if (doc.kind() == Json::Kind::kString) {
+    // Legacy single-word form: the low word only (a 63-fault shard).
+    const std::string& text = doc.as_string();
+    if (text.size() != 16)
+      throw JsonError("lane mask: bad word length", doc.source_offset());
+    std::uint64_t w = 0;
+    for (std::size_t i = 0; i < text.size(); ++i)
+      w = (w << 4) | hex_nibble(text[i], doc.source_offset() + i);
+    mask.set_word(0, w);
+    return mask;
+  }
+  if (doc.size() != static_cast<std::size_t>(LaneMask::kWords))
+    throw JsonError("lane mask: expected " +
+                        std::to_string(LaneMask::kWords) + " hex words",
+                    doc.source_offset());
+  for (int k = 0; k < LaneMask::kWords; ++k) {
+    const Json& wdoc = doc.at(static_cast<std::size_t>(k));
+    const std::string& text = wdoc.as_string();
+    if (text.size() != 16)
+      throw JsonError("lane mask: bad word length", wdoc.source_offset());
+    std::uint64_t w = 0;
+    for (std::size_t i = 0; i < text.size(); ++i)
+      w = (w << 4) | hex_nibble(text[i], wdoc.source_offset() + i);
+    mask.set_word(k, w);
+  }
+  return mask;
+}
+
 Json campaign_result_to_json(const CampaignResult& result,
                              bool include_stats) {
   Json doc = Json::object();
@@ -300,7 +337,7 @@ Json batch_plan_to_json(const BatchPlan& plan, std::string_view policy,
   return doc;
 }
 
-BatchPlan batch_plan_from_json(const Json& doc) {
+BatchPlan batch_plan_from_json(const Json& doc, std::size_t max_batch) {
   BatchPlan plan;
   const Json& order = doc.at("order");
   const std::size_t targets = doc.at("targets").as_size();
@@ -324,9 +361,11 @@ BatchPlan batch_plan_from_json(const Json& doc) {
     plan.batch_start.push_back(static_cast<std::uint32_t>(pos));
   }
   try {
-    // Structural validation (full permutation, batches of [1, 63] tiling
-    // the targets) — a malformed plan must never reach a grading loop.
-    plan.validate(targets, 63);
+    // Structural validation (full permutation, batches of [1, max_batch]
+    // tiling the targets) — a malformed plan must never reach a grading
+    // loop, and a plan sized for more lanes than the reader has must be
+    // refused, not truncated.
+    plan.validate(targets, max_batch);
   } catch (const std::invalid_argument& e) {
     throw JsonError(std::string("batch_plan: ") + e.what(), 0);
   }
@@ -338,6 +377,9 @@ Json seq_fsim_options_to_json(const SeqFsimOptions& opts) {
   doc.set("max_cycles", opts.max_cycles);
   doc.set("early_exit", opts.early_exit);
   doc.set("event_driven", opts.event_driven);
+  // The default width is left implicit so pre-width readers keep
+  // accepting specs from width-64 campaigns unchanged.
+  if (opts.lanes != 64) doc.set("lanes", opts.lanes);
   return doc;
 }
 
@@ -348,6 +390,12 @@ SeqFsimOptions seq_fsim_options_from_json(const Json& doc) {
     throw JsonError("fsim options: max_cycles must be positive", 0);
   opts.early_exit = doc.at("early_exit").as_bool();
   opts.event_driven = doc.at("event_driven").as_bool();
+  if (doc.contains("lanes")) {  // absent in pre-width specs: 64
+    opts.lanes = doc.at("lanes").as_int();
+    if (opts.lanes != 64 && opts.lanes != 128 && opts.lanes != 256)
+      throw JsonError("fsim options: lanes must be 64, 128 or 256",
+                      doc.at("lanes").source_offset());
+  }
   return opts;
 }
 

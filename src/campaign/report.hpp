@@ -43,9 +43,20 @@ BitVec bitvec_from_hex(std::string_view text);
 
 /// Fixed-width (16 char) lowercase hex of one 64-bit word, and its strict
 /// inverse (throws JsonError on any other shape) — the wire form of
-/// detection masks and fingerprints throughout the campaign JSON.
+/// fingerprints (and of legacy single-word masks) throughout the campaign
+/// JSON.
 std::string word_to_hex(std::uint64_t w);
 std::uint64_t word_from_hex(std::string_view text);
+
+/// Wire form of a shard detection mask: a fixed-order array of
+/// LaneMask::kWords 16-hex-digit words, least significant first —
+/// width-agnostic, so a 63-fault and a 255-fault shard serialize the same
+/// shape. The strict inverse accepts a lone hex string as the legacy
+/// single-word form (pre-width senders) and throws JsonError anchored at
+/// the malformed word's byte offset otherwise: wrong array length, wrong
+/// digit count, non-hex digits.
+Json lane_mask_to_json(const LaneMask& mask);
+LaneMask lane_mask_from_json(const Json& doc);
 
 /// Reference-trace checkpoint exchange: each 64-net column's RLE runs
 /// travel as (start cycle, hex word) pairs, so a million-cycle checkpoint
@@ -66,9 +77,11 @@ Json batch_plan_to_json(const BatchPlan& plan, std::string_view policy,
 
 /// Inverse of batch_plan_to_json: rebuilds the plan from "order" +
 /// "batch_sizes" and validates it (full permutation, batches tiling the
-/// targets in [1, 63]). Throws JsonError on malformed or inconsistent
-/// documents — a worker must refuse a plan that would drop faults.
-BatchPlan batch_plan_from_json(const Json& doc);
+/// targets in [1, max_batch] — lanes - 1 for the width the plan rides
+/// with; the default is the scalar 64-lane bound). Throws JsonError on
+/// malformed or inconsistent documents — a worker must refuse a plan that
+/// would drop faults or overflow its lanes.
+BatchPlan batch_plan_from_json(const Json& doc, std::size_t max_batch = 63);
 
 /// Simulator-option exchange (the fsim half of a CampaignTest::spec):
 /// subprocess workers rebuild their grading kernels from the netlist plus

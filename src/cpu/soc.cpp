@@ -123,16 +123,10 @@ std::uint32_t SocSimulator::ram_word(std::uint64_t addr) const {
   return it == ram_.end() ? 0u : it->second;
 }
 
-std::array<std::uint64_t, 64> read_observed_bus_lanes(
-    const PackedSim& sim, const std::vector<CellId>& cells) {
-  std::array<std::uint64_t, 64> m{};
-  for (std::size_t b = 0; b < cells.size(); ++b) m[b] = sim.observed(cells[b]);
-  transpose64(m.data());
-  return m;
-}
-
-SocFsimEnvironment::SocFsimEnvironment(const Soc& soc, const FlashImage& flash,
-                                       int run_cycles)
+template <int W>
+SocFsimEnvironmentT<W>::SocFsimEnvironmentT(const Soc& soc,
+                                            const FlashImage& flash,
+                                            int run_cycles)
     : soc_(&soc), flash_(&flash), run_cycles_(run_cycles) {
   const Netlist& nl = soc.netlist;
   for (int i = 0; i < 32; ++i) {
@@ -145,7 +139,9 @@ SocFsimEnvironment::SocFsimEnvironment(const Soc& soc, const FlashImage& flash,
   halted_cell_ = nl.find_output("halted_o");
 }
 
-void SocFsimEnvironment::drive_mission_inputs(PackedSim& sim, bool rstn_value) {
+template <int W>
+void SocFsimEnvironmentT<W>::drive_mission_inputs(PackedSimT<W>& sim,
+                                                  bool rstn_value) {
   sim.set_input_all(soc_->cpu.rstn, rstn_value);
   if (soc_->config.with_scan) {
     sim.set_input_all(soc_->scan.se_net, soc_->scan.se_functional_value);
@@ -159,13 +155,16 @@ void SocFsimEnvironment::drive_mission_inputs(PackedSim& sim, bool rstn_value) {
   }
 }
 
-std::uint64_t SocFsimEnvironment::mem_read(int lane, std::uint64_t addr) const {
+template <int W>
+std::uint64_t SocFsimEnvironmentT<W>::mem_read(int lane,
+                                               std::uint64_t addr) const {
   const auto it = ram_[static_cast<std::size_t>(lane)].find(addr & ~3ULL);
   if (it != ram_[static_cast<std::size_t>(lane)].end()) return it->second;
   return flash_->read(addr);
 }
 
-void SocFsimEnvironment::reset(PackedSim& sim) {
+template <int W>
+void SocFsimEnvironmentT<W>::reset(PackedSimT<W>& sim) {
   for (auto& r : ram_) r.clear();
   halt_seen_ = false;
   drive_mission_inputs(sim, false);
@@ -176,36 +175,44 @@ void SocFsimEnvironment::reset(PackedSim& sim) {
   sim.clock();
 }
 
-bool SocFsimEnvironment::step(PackedSim& sim, int cycle) {
+template <int W>
+bool SocFsimEnvironmentT<W>::step(PackedSimT<W>& sim, int cycle) {
+  using Word = LaneWord<W>;
   if (cycle >= run_cycles_ || halt_seen_) return false;
   drive_mission_inputs(sim, true);
   sim.eval();
   // Per-lane instruction fetch: a faulty machine that wanders to a wrong
   // address fetches whatever the flash holds there (NOP outside).
   const auto iaddr = read_observed_bus_lanes(sim, iaddr_cells_);
-  std::array<std::uint64_t, 64> instr{};
-  for (int l = 0; l < 64; ++l) instr[l] = flash_->read(iaddr[l]);
+  std::array<std::uint64_t, W> instr{};
+  for (int l = 0; l < W; ++l) instr[l] = flash_->read(iaddr[l]);
   drive_bus_lanes(sim, soc_->cpu.instr_in, instr);
   sim.eval();
   // Bus transactions, per lane.
   const auto baddr = read_observed_bus_lanes(sim, baddr_cells_);
   const auto bwdata = read_observed_bus_lanes(sim, bwdata_cells_);
-  const std::uint64_t wr = sim.observed(bwr_cell_);
-  const std::uint64_t rd = sim.observed(brd_cell_);
-  std::array<std::uint64_t, 64> rdata{};
-  for (int l = 0; l < 64; ++l) {
-    if ((wr >> l) & 1ULL) {
+  const Word wr = sim.observed(bwr_cell_);
+  const Word rd = sim.observed(brd_cell_);
+  std::array<std::uint64_t, W> rdata{};
+  for (int l = 0; l < W; ++l) {
+    if (lane_test(wr, l)) {
       if (soc_->map.contains(baddr[l]))
         ram_[static_cast<std::size_t>(l)][baddr[l] & ~3ULL] =
             static_cast<std::uint32_t>(bwdata[l]);
     }
-    if ((rd >> l) & 1ULL) rdata[l] = mem_read(l, baddr[l]);
+    if (lane_test(rd, l)) rdata[l] = mem_read(l, baddr[l]);
   }
   drive_bus_lanes(sim, soc_->cpu.rdata_in, rdata);
   sim.eval();
   // Let the comparison see the halting cycle, then stop on the next one.
-  if (sim.observed(halted_cell_) & 1ULL) halt_seen_ = true;
+  if (lane_test(sim.observed(halted_cell_), 0)) halt_seen_ = true;
   return true;
 }
+
+template class SocFsimEnvironmentT<64>;
+#if OLFUI_HAS_WIDE_LANES
+template class SocFsimEnvironmentT<128>;
+template class SocFsimEnvironmentT<256>;
+#endif
 
 }  // namespace olfui

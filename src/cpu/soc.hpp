@@ -11,9 +11,10 @@
 // Two execution environments drive the netlist:
 //  * SocSimulator — 4-valued single-machine functional runner (program
 //    bring-up, architectural tests, toggle-activity recording);
-//  * SocFsimEnvironment — the packed 64-lane environment for the fault
-//    simulator, with per-lane RAM so faulty machines that stray to wrong
-//    addresses read what real silicon would read.
+//  * SocFsimEnvironment — the packed W-lane environment for the fault
+//    simulator (64 scalar by default, 128/256 over vector extensions),
+//    with per-lane RAM so faulty machines that stray to wrong addresses
+//    read what real silicon would read.
 #pragma once
 
 #include <array>
@@ -102,29 +103,46 @@ class SocSimulator {
 };
 
 /// Packed fault-simulation environment with per-lane data memory.
-class SocFsimEnvironment : public FsimEnvironment {
+template <int W>
+class SocFsimEnvironmentT : public FsimEnvironmentT<W> {
  public:
-  SocFsimEnvironment(const Soc& soc, const FlashImage& flash, int run_cycles);
+  SocFsimEnvironmentT(const Soc& soc, const FlashImage& flash, int run_cycles);
 
-  void reset(PackedSim& sim) override;
-  bool step(PackedSim& sim, int cycle) override;
+  void reset(PackedSimT<W>& sim) override;
+  bool step(PackedSimT<W>& sim, int cycle) override;
 
  private:
-  void drive_mission_inputs(PackedSim& sim, bool rstn_value);
+  void drive_mission_inputs(PackedSimT<W>& sim, bool rstn_value);
   std::uint64_t mem_read(int lane, std::uint64_t addr) const;
 
   const Soc* soc_;
   const FlashImage* flash_;
   int run_cycles_;
   bool halt_seen_ = false;
-  std::array<std::unordered_map<std::uint64_t, std::uint32_t>, 64> ram_;
+  std::array<std::unordered_map<std::uint64_t, std::uint32_t>, W> ram_;
   // Cached port-cell groups for observed reads.
   std::vector<CellId> iaddr_cells_, baddr_cells_, bwdata_cells_;
   CellId bwr_cell_, brd_cell_, halted_cell_;
 };
 
+/// The scalar 64-lane environment every pre-width-parametric caller uses.
+using SocFsimEnvironment = SocFsimEnvironmentT<64>;
+
 /// Per-lane observed read of a port-cell bus (applies PO-pin injections).
-std::array<std::uint64_t, 64> read_observed_bus_lanes(
-    const PackedSim& sim, const std::vector<CellId>& cells);
+template <int W>
+std::array<std::uint64_t, W> read_observed_bus_lanes(
+    const PackedSimT<W>& sim, const std::vector<CellId>& cells) {
+  constexpr int K = W / 64;
+  using Word = LaneWord<W>;
+  std::array<std::uint64_t, static_cast<std::size_t>(W) * K> m{};
+  for (std::size_t b = 0; b < cells.size(); ++b) {
+    const Word v = sim.observed(cells[b]);
+    for (int k = 0; k < K; ++k) m[b * K + k] = word_of(v, k);
+  }
+  transpose_bits<W>(m.data());
+  std::array<std::uint64_t, W> out{};
+  for (int l = 0; l < W; ++l) out[l] = m[static_cast<std::size_t>(l) * K];
+  return out;
+}
 
 }  // namespace olfui

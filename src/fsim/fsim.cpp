@@ -99,23 +99,8 @@ std::uint64_t ReferenceTrace::fingerprint() const {
   return h;
 }
 
-void drive_bus_lanes(PackedSim& sim, const Bus& bus,
-                     const std::array<std::uint64_t, 64>& lane_values) {
-  // Row l = lane l's value; after the transpose row b bit l = lane l's
-  // bit b, i.e. exactly the per-bit lane word.
-  std::array<std::uint64_t, 64> m = lane_values;
-  transpose64(m.data());
-  for (std::size_t b = 0; b < bus.size(); ++b) sim.set_input_lanes(bus[b], m[b]);
-}
-
-std::array<std::uint64_t, 64> read_bus_lanes(const PackedSim& sim, const Bus& bus) {
-  std::array<std::uint64_t, 64> m{};
-  for (std::size_t b = 0; b < bus.size(); ++b) m[b] = sim.value(bus[b]);
-  transpose64(m.data());
-  return m;
-}
-
-SequentialFaultSimulator::SequentialFaultSimulator(
+template <int W>
+SequentialFaultSimulatorT<W>::SequentialFaultSimulatorT(
     const Netlist& nl, const FaultUniverse& universe, SeqFsimOptions opts,
     std::shared_ptr<const PackedTopology> topo)
     : nl_(&nl),
@@ -132,13 +117,15 @@ SequentialFaultSimulator::SequentialFaultSimulator(
   observed_ = nl.output_cells();
 }
 
-void SequentialFaultSimulator::set_observed(std::vector<CellId> output_cells) {
+template <int W>
+void SequentialFaultSimulatorT<W>::set_observed(std::vector<CellId> output_cells) {
   observed_ = std::move(output_cells);
   prepared_trace_ = nullptr;  // cached columns follow the observed set
 }
 
-ReferenceTrace SequentialFaultSimulator::record_reference_trace(
-    FsimEnvironment& env) {
+template <int W>
+ReferenceTrace SequentialFaultSimulatorT<W>::record_reference_trace(
+    Environment& env) {
   ReferenceTrace trace;
   const std::size_t nets = nl_->num_nets();
   trace.reset(nets);
@@ -150,14 +137,15 @@ ReferenceTrace SequentialFaultSimulator::record_reference_trace(
     if (!env.step(sim_, cycle)) break;
     std::fill(words.begin(), words.end(), 0);
     for (NetId n = 0; n < nets; ++n)
-      words[n / 64] |= (sim_.value(n) & 1ULL) << (n % 64);
+      words[n / 64] |= (word_of(sim_.value(n), 0) & 1ULL) << (n % 64);
     trace.append_cycle(words.data());
     sim_.clock();
   }
   return trace;
 }
 
-void SequentialFaultSimulator::prepare_trace(const ReferenceTrace* trace) {
+template <int W>
+void SequentialFaultSimulatorT<W>::prepare_trace(const ReferenceTrace* trace) {
   if (trace == prepared_trace_ &&
       (!trace || (trace->cycles == prepared_cycles_ &&
                   trace->num_nets == prepared_nets_ &&
@@ -183,41 +171,45 @@ void SequentialFaultSimulator::prepare_trace(const ReferenceTrace* trace) {
   }
 }
 
-std::uint64_t SequentialFaultSimulator::observe_divergence(
+template <int W>
+typename SequentialFaultSimulatorT<W>::Word
+SequentialFaultSimulatorT<W>::observe_divergence(
     int cycle, const ReferenceTrace* trace) const {
-  std::uint64_t diverged = 0;
+  Word diverged{};
   const std::size_t c = static_cast<std::size_t>(cycle);
   for (std::size_t k = 0; k < observed_.size(); ++k) {
-    const std::uint64_t w = sim_.observed(observed_[k]);
+    const Word w = sim_.observed(observed_[k]);
     // Reference value: the checkpoint column if we have one, else a
     // broadcast of the good machine's (lane 0) bit.
     const bool good_bit =
         trace ? ((observed_history_[k][c / 64] >> (c % 64)) & 1ULL) != 0
-              : (w & 1ULL) != 0;
-    const std::uint64_t good = good_bit ? ~0ULL : 0ULL;
+              : (word_of(w, 0) & 1ULL) != 0;
+    const Word good = lane_broadcast<Word>(good_bit);
     diverged |= (w ^ good);
   }
   return diverged;
 }
 
-std::uint64_t SequentialFaultSimulator::unpack_detected(std::uint64_t diverged,
-                                                        std::size_t n) {
-  std::uint64_t detected = 0;
+template <int W>
+LaneMask SequentialFaultSimulatorT<W>::unpack_detected(const Word& diverged,
+                                                       std::size_t n) {
+  LaneMask detected;
   for (std::size_t i = 0; i < n; ++i)
-    if (diverged & (1ULL << (i + 1))) detected |= 1ULL << i;
+    if (lane_test(diverged, static_cast<int>(i) + 1)) detected.set_bit(i);
   return detected;
 }
 
-std::uint64_t SequentialFaultSimulator::run_batch(std::span<const FaultId> faults,
-                                                  FsimEnvironment& env,
-                                                  const ReferenceTrace* trace) {
-  assert(faults.size() <= 63);
+template <int W>
+LaneMask SequentialFaultSimulatorT<W>::run_batch(std::span<const FaultId> faults,
+                                                 Environment& env,
+                                                 const ReferenceTrace* trace) {
+  assert(faults.size() < static_cast<std::size_t>(W));
   prepare_trace(trace);
   sim_.clear_injections();
-  std::uint64_t fault_lanes = 0;
+  Word fault_lanes{};
   for (std::size_t i = 0; i < faults.size(); ++i) {
     const Fault& f = universe_->fault(faults[i]);
-    const std::uint64_t lane = 1ULL << (i + 1);
+    const Word lane = lane_bit<Word>(static_cast<int>(i) + 1);
     fault_lanes |= lane;
     sim_.add_injection({f.pin.cell, f.pin.pin, f.sa1, lane});
   }
@@ -226,30 +218,31 @@ std::uint64_t SequentialFaultSimulator::run_batch(std::span<const FaultId> fault
   env.reset(sim_);
 
   const int bound = trace ? trace->cycles : opts_.max_cycles;
-  std::uint64_t diverged = 0;
+  Word diverged{};
   for (int cycle = 0; cycle < bound; ++cycle) {
     if (!env.step(sim_, cycle)) break;
     diverged = (diverged | observe_divergence(cycle, trace)) & fault_lanes;
-    if (opts_.early_exit && diverged == fault_lanes) break;
+    if (opts_.early_exit && !lane_neq(diverged, fault_lanes)) break;
     sim_.clock();
   }
   publish_activity();
   return unpack_detected(diverged, faults.size());
 }
 
-std::uint64_t SequentialFaultSimulator::run_tdf_batch(
-    std::span<const FaultId> faults, FsimEnvironment& env,
+template <int W>
+LaneMask SequentialFaultSimulatorT<W>::run_tdf_batch(
+    std::span<const FaultId> faults, Environment& env,
     const ReferenceTrace* trace) {
-  assert(faults.size() <= 63);
+  assert(faults.size() < static_cast<std::size_t>(W));
   prepare_trace(trace);
   const int bound = trace ? trace->cycles : opts_.max_cycles;
 
   std::vector<NetId> site(faults.size());
-  std::uint64_t rise = 0;  // bit i: faults[i] is slow-to-rise
+  LaneMask rise;  // bit i: faults[i] is slow-to-rise
   for (std::size_t i = 0; i < faults.size(); ++i) {
     const Fault& f = universe_->fault(faults[i]);
     site[i] = tdf_site_net(*nl_, f);
-    if (tdf_slow_to_rise(f)) rise |= 1ULL << i;
+    if (tdf_slow_to_rise(f)) rise.set_bit(i);
   }
 
   // Launch schedules — bit i of site_good[c] is faults[i]'s site value
@@ -258,15 +251,15 @@ std::uint64_t SequentialFaultSimulator::run_tdf_batch(
   // pass 1 replays the good machine and records them (lane 0 carries the
   // good machine; no injections exist). Both paths read the identical
   // values, so detection cannot depend on which one ran.
-  std::vector<std::uint64_t> site_good;
+  std::vector<LaneMask> site_good;
   if (trace) {
-    site_good.assign(static_cast<std::size_t>(std::max(bound, 0)), 0);
+    site_good.assign(static_cast<std::size_t>(std::max(bound, 0)), LaneMask{});
     std::vector<std::uint64_t> hist;
     for (std::size_t i = 0; i < faults.size(); ++i) {
       trace->net_history(site[i], hist);
       for (int c = 0; c < bound; ++c)
-        site_good[static_cast<std::size_t>(c)] |=
-            ((hist[static_cast<std::size_t>(c) / 64] >> (c % 64)) & 1ULL) << i;
+        if ((hist[static_cast<std::size_t>(c) / 64] >> (c % 64)) & 1ULL)
+          site_good[static_cast<std::size_t>(c)].set_bit(i);
     }
   } else {
     sim_.clear_injections();
@@ -275,9 +268,9 @@ std::uint64_t SequentialFaultSimulator::run_tdf_batch(
     site_good.reserve(static_cast<std::size_t>(std::max(bound, 0)));
     for (int cycle = 0; cycle < bound; ++cycle) {
       if (!env.step(sim_, cycle)) break;
-      std::uint64_t w = 0;
+      LaneMask w;
       for (std::size_t i = 0; i < faults.size(); ++i)
-        w |= (sim_.value(site[i]) & 1ULL) << i;
+        if (word_of(sim_.value(site[i]), 0) & 1ULL) w.set_bit(i);
       site_good.push_back(w);
       sim_.clock();
     }
@@ -289,38 +282,39 @@ std::uint64_t SequentialFaultSimulator::run_tdf_batch(
   // polarity (slow-to-rise holds the site at 0), so the injection record
   // is the stuck-at one with a cycle-varying lane mask.
   sim_.clear_injections();
-  std::uint64_t fault_lanes = 0;
+  Word fault_lanes{};
   for (std::size_t i = 0; i < faults.size(); ++i) {
     const Fault& f = universe_->fault(faults[i]);
-    fault_lanes |= 1ULL << (i + 1);
-    sim_.add_injection({f.pin.cell, f.pin.pin, f.sa1, 0});
+    fault_lanes |= lane_bit<Word>(static_cast<int>(i) + 1);
+    sim_.add_injection({f.pin.cell, f.pin.pin, f.sa1, Word{}});
   }
   sim_.power_on();
   env.reset(sim_);
 
-  std::uint64_t diverged = 0;
+  Word diverged{};
   for (int cycle = 0; cycle < cycles; ++cycle) {
     // Launch detection needs a previous clocked cycle, so cycle 0 never
     // captures; afterwards fault i is live iff its site made the
     // transition across the edge into this cycle.
-    const std::uint64_t cur = site_good[static_cast<std::size_t>(cycle)];
-    const std::uint64_t prev =
+    const LaneMask cur = site_good[static_cast<std::size_t>(cycle)];
+    const LaneMask prev =
         cycle > 0 ? site_good[static_cast<std::size_t>(cycle) - 1] : cur;
-    const std::uint64_t launched =
+    const LaneMask launched =
         ((~prev & cur) & rise) | ((prev & ~cur) & ~rise);
     for (std::size_t i = 0; i < faults.size(); ++i)
       sim_.set_injection_lanes(
-          i, (launched >> i) & 1ULL ? (1ULL << (i + 1)) : 0);
+          i, launched.bit(i) ? lane_bit<Word>(static_cast<int>(i) + 1) : Word{});
     if (!env.step(sim_, cycle)) break;
     diverged = (diverged | observe_divergence(cycle, trace)) & fault_lanes;
-    if (opts_.early_exit && diverged == fault_lanes) break;
+    if (opts_.early_exit && !lane_neq(diverged, fault_lanes)) break;
     sim_.clock();
   }
   publish_activity();
   return unpack_detected(diverged, faults.size());
 }
 
-void SequentialFaultSimulator::publish_activity() {
+template <int W>
+void SequentialFaultSimulatorT<W>::publish_activity() {
   if (!obs::metrics().enabled()) return;
   const PackedActivity& a = sim_.activity();
   PackedActivity& base = published_activity_;
@@ -341,8 +335,9 @@ void SequentialFaultSimulator::publish_activity() {
   base = a;
 }
 
-std::size_t SequentialFaultSimulator::run_campaign(
-    FaultList& fl, FsimEnvironment& env,
+template <int W>
+std::size_t SequentialFaultSimulatorT<W>::run_campaign(
+    FaultList& fl, Environment& env,
     std::function<void(std::size_t, std::size_t)> progress) {
   std::vector<FaultId> targets;
   for (FaultId f = 0; f < fl.size(); ++f) {
@@ -350,13 +345,13 @@ std::size_t SequentialFaultSimulator::run_campaign(
         fl.untestable_kind(f) == UntestableKind::kNone)
       targets.push_back(f);
   }
+  constexpr std::size_t kBatch = W - 1;
   std::size_t new_detections = 0;
-  for (std::size_t i = 0; i < targets.size(); i += 63) {
-    const std::size_t n = std::min<std::size_t>(63, targets.size() - i);
-    const std::uint64_t det =
-        run_batch(std::span(targets).subspan(i, n), env);
+  for (std::size_t i = 0; i < targets.size(); i += kBatch) {
+    const std::size_t n = std::min<std::size_t>(kBatch, targets.size() - i);
+    const LaneMask det = run_batch(std::span(targets).subspan(i, n), env);
     for (std::size_t j = 0; j < n; ++j) {
-      if (det & (1ULL << j)) {
+      if (det.bit(j)) {
         fl.set_detected(targets[i + j]);
         ++new_detections;
       }
@@ -365,6 +360,12 @@ std::size_t SequentialFaultSimulator::run_campaign(
   }
   return new_detections;
 }
+
+template class SequentialFaultSimulatorT<64>;
+#if OLFUI_HAS_WIDE_LANES
+template class SequentialFaultSimulatorT<128>;
+template class SequentialFaultSimulatorT<256>;
+#endif
 
 bool comb_detects(const Netlist& nl, const FaultUniverse& universe, FaultId fault,
                   std::span<const std::vector<std::pair<NetId, bool>>> patterns,

@@ -1,9 +1,10 @@
 // olfui/fsim: stuck-at fault simulation.
 //
-// Two engines share the 64-lane packed kernel:
+// Two engines share the W-lane packed kernel (W = 64 scalar by default;
+// 128/256 over vector extensions — see util/lanes.hpp):
 //
 //  * SequentialFaultSimulator — parallel-fault: lane 0 runs the good
-//    machine, lanes 1..63 run faulty machines, the whole test program is
+//    machine, lanes 1..W-1 run faulty machines, the whole test program is
 //    simulated cycle by cycle, and a fault counts as DETECTED only when a
 //    faulty lane diverges from the good lane on one of the *observed*
 //    outputs. Matching the paper's rule, the SBST flow observes only the
@@ -28,28 +29,65 @@
 #include "fault/universe.hpp"
 #include "netlist/netlist.hpp"
 #include "sim/packed.hpp"
+#include "util/bits.hpp"
 #include "util/bitvec.hpp"
+#include "util/lanes.hpp"
 
 namespace olfui {
 
 /// Drives the design-under-test's inputs each cycle. Implementations may
 /// call sim.eval() internally (e.g. to serve combinational memory reads
 /// that depend on freshly computed addresses).
-class FsimEnvironment {
+template <int W>
+class FsimEnvironmentT {
  public:
-  virtual ~FsimEnvironment() = default;
+  virtual ~FsimEnvironmentT() = default;
   /// Called once per batch after power_on(); applies the reset sequence.
-  virtual void reset(PackedSim& sim) = 0;
+  virtual void reset(PackedSimT<W>& sim) = 0;
   /// Drives inputs for one cycle and settles the logic. Returns false to
   /// end the run early (e.g. the good machine executed HALT).
-  virtual bool step(PackedSim& sim, int cycle) = 0;
+  virtual bool step(PackedSimT<W>& sim, int cycle) = 0;
 };
 
-/// Transposes 64 per-lane values onto the per-bit lane words of a bus.
-void drive_bus_lanes(PackedSim& sim, const Bus& bus,
-                     const std::array<std::uint64_t, 64>& lane_values);
+/// The scalar 64-lane environment interface (the pre-width-parametric name).
+using FsimEnvironment = FsimEnvironmentT<64>;
+
+/// Transposes W per-lane values (buses are at most 64 bits wide) onto the
+/// per-bit lane words of a bus.
+template <int W>
+void drive_bus_lanes(
+    PackedSimT<W>& sim, const Bus& bus,
+    const std::array<std::uint64_t, static_cast<std::size_t>(W)>& lane_values) {
+  // Row l = lane l's value; after the transpose row b bit l = lane l's
+  // bit b, i.e. exactly the per-bit lane word.
+  constexpr int K = W / 64;
+  using Word = LaneWord<W>;
+  std::array<std::uint64_t, static_cast<std::size_t>(W) * K> m{};
+  for (int l = 0; l < W; ++l) m[static_cast<std::size_t>(l) * K] = lane_values[l];
+  transpose_bits<W>(m.data());
+  for (std::size_t b = 0; b < bus.size(); ++b) {
+    Word w{};
+    for (int k = 0; k < K; ++k) set_word_of(w, k, m[b * K + k]);
+    sim.set_input_lanes(bus[b], w);
+  }
+}
+
 /// Reads a bus back into per-lane values.
-std::array<std::uint64_t, 64> read_bus_lanes(const PackedSim& sim, const Bus& bus);
+template <int W>
+std::array<std::uint64_t, W> read_bus_lanes(const PackedSimT<W>& sim,
+                                            const Bus& bus) {
+  constexpr int K = W / 64;
+  using Word = LaneWord<W>;
+  std::array<std::uint64_t, static_cast<std::size_t>(W) * K> m{};
+  for (std::size_t b = 0; b < bus.size(); ++b) {
+    const Word v = sim.value(bus[b]);
+    for (int k = 0; k < K; ++k) m[b * K + k] = word_of(v, k);
+  }
+  transpose_bits<W>(m.data());
+  std::array<std::uint64_t, W> out{};
+  for (int l = 0; l < W; ++l) out[l] = m[static_cast<std::size_t>(l) * K];
+  return out;
+}
 
 struct SeqFsimOptions {
   int max_cycles = 100000;
@@ -58,6 +96,12 @@ struct SeqFsimOptions {
   /// Use the event-driven packed kernel; false forces the levelized
   /// full-sweep oracle. Both produce bit-identical results.
   bool event_driven = true;
+  /// Requested packed width (64/128/256). The simulator's width is its
+  /// template parameter; this field lets width travel with the options
+  /// through specs and CLI plumbing (resolve_lane_width applies the
+  /// build's fallback rule). Detection sets are bit-identical at every
+  /// width.
+  int lanes = 64;
 };
 
 /// Checkpoint of one fault-free run: the executed cycle count plus the
@@ -117,14 +161,19 @@ struct ReferenceTrace {
   std::uint64_t fingerprint() const;
 };
 
-class SequentialFaultSimulator {
+template <int W>
+class SequentialFaultSimulatorT {
  public:
+  using Word = LaneWord<W>;
+  using Environment = FsimEnvironmentT<W>;
+  static constexpr int kLanes = W;
+
   /// `topo`, if given, must be a PackedTopology over `nl`; campaign
   /// workers pass a shared one so per-worker construction stops re-running
   /// levelization and fanout-graph building.
-  SequentialFaultSimulator(const Netlist& nl, const FaultUniverse& universe,
-                           SeqFsimOptions opts = {},
-                           std::shared_ptr<const PackedTopology> topo = nullptr);
+  SequentialFaultSimulatorT(const Netlist& nl, const FaultUniverse& universe,
+                            SeqFsimOptions opts = {},
+                            std::shared_ptr<const PackedTopology> topo = nullptr);
 
   /// Observed output ports (system bus). Detection compares these only.
   void set_observed(std::vector<CellId> output_cells);
@@ -133,17 +182,18 @@ class SequentialFaultSimulator {
   /// each cycle. The returned checkpoint is tied to `env`'s stimulus (not
   /// to the observed set — it carries all nets, so one recording serves
   /// stuck-at references, TDF launch schedules, and future re-grades).
-  ReferenceTrace record_reference_trace(FsimEnvironment& env);
+  /// Lane-0-only, so checkpoints are identical across widths.
+  ReferenceTrace record_reference_trace(Environment& env);
 
-  /// Simulates one batch of up to 63 faults against the good machine.
+  /// Simulates one batch of up to W-1 faults against the good machine.
   /// Returns a bit per batch entry: detected or not. With `trace`, the
   /// reference values come from the checkpoint (recorded by
   /// record_reference_trace) instead of lane 0, and the run is bounded by
   /// the checkpoint's cycle count. The trace must stay alive (and
   /// unmodified) across the batches that pass it: the simulator caches
   /// per-observed-output history columns keyed on the trace pointer.
-  std::uint64_t run_batch(std::span<const FaultId> faults, FsimEnvironment& env,
-                          const ReferenceTrace* trace = nullptr);
+  LaneMask run_batch(std::span<const FaultId> faults, Environment& env,
+                     const ReferenceTrace* trace = nullptr);
 
   /// Transition-delay batch (the TDF reading of the same fault ids — see
   /// fault/tdf.hpp): launch/capture over the test program. The launch
@@ -164,9 +214,8 @@ class SequentialFaultSimulator {
   /// trace; the env must replay identical stimulus across passes (true of
   /// every FsimEnvironment whose reset() fully rewinds it, which reuse
   /// across batches already requires).
-  std::uint64_t run_tdf_batch(std::span<const FaultId> faults,
-                              FsimEnvironment& env,
-                              const ReferenceTrace* trace = nullptr);
+  LaneMask run_tdf_batch(std::span<const FaultId> faults, Environment& env,
+                         const ReferenceTrace* trace = nullptr);
 
   /// Runs all faults of `fl` that are neither detected nor untestable,
   /// marking newly detected faults. Returns the number of new detections.
@@ -174,23 +223,23 @@ class SequentialFaultSimulator {
   /// This is the single-threaded kernel-level loop; campaign-shaped
   /// workloads should go through campaign::CampaignEngine, which shards
   /// batches across a worker pool with identical results.
-  std::size_t run_campaign(FaultList& fl, FsimEnvironment& env,
+  std::size_t run_campaign(FaultList& fl, Environment& env,
                            std::function<void(std::size_t, std::size_t)> progress = {});
 
   const SeqFsimOptions& options() const { return opts_; }
 
   /// The underlying packed simulator (activity counters, eval-mode probes).
-  PackedSim& sim() { return sim_; }
-  const PackedSim& sim() const { return sim_; }
+  PackedSimT<W>& sim() { return sim_; }
+  const PackedSimT<W>& sim() const { return sim_; }
 
  private:
   /// One cycle's observed-output divergence word against the reference
   /// (checkpoint bit when `trace` is given, else a lane-0 broadcast).
   /// Shared by the stuck-at and TDF batch loops so the two models can
   /// never drift on observation semantics.
-  std::uint64_t observe_divergence(int cycle, const ReferenceTrace* trace) const;
+  Word observe_divergence(int cycle, const ReferenceTrace* trace) const;
   /// Repacks per-lane divergence (lane i+1 = faults[i]) into per-fault bits.
-  static std::uint64_t unpack_detected(std::uint64_t diverged, std::size_t n);
+  static LaneMask unpack_detected(const Word& diverged, std::size_t n);
   /// Extracts each observed output's history column from `trace` once per
   /// trace (cached on the pointer), so observe_divergence is a packed-bit
   /// read per output instead of a per-cycle run scan.
@@ -203,7 +252,7 @@ class SequentialFaultSimulator {
   const Netlist* nl_;
   const FaultUniverse* universe_;
   SeqFsimOptions opts_;
-  PackedSim sim_;
+  PackedSimT<W> sim_;
   std::vector<CellId> observed_;
   /// prepare_trace cache: per observed output, cycle-packed good bits.
   /// Keyed on the trace pointer plus a shape fingerprint (cycles, nets,
@@ -217,6 +266,11 @@ class SequentialFaultSimulator {
   /// Activity already published to the metrics registry (delta base).
   PackedActivity published_activity_;
 };
+
+/// The scalar 64-lane fault simulator — the default, and the only width
+/// guaranteed on every compiler. Wider instantiations (128/256) exist when
+/// OLFUI_HAS_WIDE_LANES is set; see resolve_lane_width().
+using SequentialFaultSimulator = SequentialFaultSimulatorT<64>;
 
 /// Parallel-pattern single-fault combinational simulation: returns true if
 /// any of the patterns (one per lane, values keyed by controllable net)

@@ -66,54 +66,4 @@ std::string_view pin_name(CellType t, int pin) {
   }
 }
 
-std::uint64_t eval_packed(CellType t, const std::uint64_t* in, int n) {
-  switch (t) {
-    case CellType::kTie0:
-      return 0;
-    case CellType::kTie1:
-      return ~0ULL;
-    case CellType::kBuf:
-      return in[0];
-    case CellType::kNot:
-      return ~in[0];
-    case CellType::kAnd2:
-    case CellType::kAnd3:
-    case CellType::kAnd4: {
-      std::uint64_t v = in[0];
-      for (int i = 1; i < n; ++i) v &= in[i];
-      return v;
-    }
-    case CellType::kOr2:
-    case CellType::kOr3:
-    case CellType::kOr4: {
-      std::uint64_t v = in[0];
-      for (int i = 1; i < n; ++i) v |= in[i];
-      return v;
-    }
-    case CellType::kNand2:
-    case CellType::kNand3:
-    case CellType::kNand4: {
-      std::uint64_t v = in[0];
-      for (int i = 1; i < n; ++i) v &= in[i];
-      return ~v;
-    }
-    case CellType::kNor2:
-    case CellType::kNor3:
-    case CellType::kNor4: {
-      std::uint64_t v = in[0];
-      for (int i = 1; i < n; ++i) v |= in[i];
-      return ~v;
-    }
-    case CellType::kXor2:
-      return in[0] ^ in[1];
-    case CellType::kXnor2:
-      return ~(in[0] ^ in[1]);
-    case CellType::kMux2:
-      return (in[kMuxS] & in[kMuxB]) | (~in[kMuxS] & in[kMuxA]);
-    default:
-      assert(false && "eval_packed called on non-combinational cell");
-      return 0;
-  }
-}
-
 }  // namespace olfui

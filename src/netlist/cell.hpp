@@ -7,6 +7,7 @@
 // an active-low reset (Fig. 5), and pseudo-cells for top-level ports.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <string_view>
 
@@ -74,11 +75,6 @@ bool type_from_name(std::string_view name, CellType& out);
 /// e.g. MUX2 pins are "Y", "A", "B", "S"; DFFR pins are "Q", "D", "RSTN".
 std::string_view pin_name(CellType t, int pin);
 
-/// Two-valued evaluation of a combinational cell given packed input words:
-/// each std::uint64_t carries 64 independent simulation lanes.
-/// Not valid for sequential/port cells.
-std::uint64_t eval_packed(CellType t, const std::uint64_t* in, int n);
-
 /// MUX2 input pin indices (within the `ins` array, i.e. 0-based data order).
 inline constexpr int kMuxA = 0;
 inline constexpr int kMuxB = 1;
@@ -86,5 +82,61 @@ inline constexpr int kMuxS = 2;
 /// DFF/DFFR input pin indices.
 inline constexpr int kDffD = 0;
 inline constexpr int kDffRstn = 1;
+
+/// Two-valued evaluation of a combinational cell given packed input words.
+/// `Word` is a lane word (util/lanes.hpp): std::uint64_t carries 64
+/// independent simulation lanes, the vector-extension words carry 128 or
+/// 256. Pure bitwise logic, so one definition serves every width.
+/// Not valid for sequential/port cells.
+template <class Word>
+Word eval_packed(CellType t, const Word* in, int n) {
+  switch (t) {
+    case CellType::kTie0:
+      return Word{};
+    case CellType::kTie1:
+      return ~Word{};
+    case CellType::kBuf:
+      return in[0];
+    case CellType::kNot:
+      return ~in[0];
+    case CellType::kAnd2:
+    case CellType::kAnd3:
+    case CellType::kAnd4: {
+      Word v = in[0];
+      for (int i = 1; i < n; ++i) v &= in[i];
+      return v;
+    }
+    case CellType::kOr2:
+    case CellType::kOr3:
+    case CellType::kOr4: {
+      Word v = in[0];
+      for (int i = 1; i < n; ++i) v |= in[i];
+      return v;
+    }
+    case CellType::kNand2:
+    case CellType::kNand3:
+    case CellType::kNand4: {
+      Word v = in[0];
+      for (int i = 1; i < n; ++i) v &= in[i];
+      return ~v;
+    }
+    case CellType::kNor2:
+    case CellType::kNor3:
+    case CellType::kNor4: {
+      Word v = in[0];
+      for (int i = 1; i < n; ++i) v |= in[i];
+      return ~v;
+    }
+    case CellType::kXor2:
+      return in[0] ^ in[1];
+    case CellType::kXnor2:
+      return ~(in[0] ^ in[1]);
+    case CellType::kMux2:
+      return (in[kMuxS] & in[kMuxB]) | (~in[kMuxS] & in[kMuxA]);
+    default:
+      assert(false && "eval_packed called on non-combinational cell");
+      return Word{};
+  }
+}
 
 }  // namespace olfui

@@ -321,14 +321,17 @@ namespace {
 /// One worker's private kernel: a packed simulator plus a per-lane memory
 /// environment, grading batches against the program's good-trace
 /// checkpoint. Shared immutable state (flash image, checkpoint) rides on
-/// shared_ptrs so every worker's runner references one copy.
-class SbstBatchRunner final : public FaultBatchRunner {
+/// shared_ptrs so every worker's runner references one copy. The width
+/// parameter picks the packed word (64 = scalar, 128/256 = vector
+/// extensions); the checkpoint is lane-0-only and so width-independent.
+template <int W>
+class SbstBatchRunnerT final : public FaultBatchRunner {
  public:
-  SbstBatchRunner(const Soc& soc, const FaultUniverse& universe,
-                  std::shared_ptr<const FlashImage> flash,
-                  std::shared_ptr<const ReferenceTrace> trace,
-                  std::shared_ptr<const PackedTopology> topo, int max_cycles,
-                  bool event_driven, FaultModel fault_model)
+  SbstBatchRunnerT(const Soc& soc, const FaultUniverse& universe,
+                   std::shared_ptr<const FlashImage> flash,
+                   std::shared_ptr<const ReferenceTrace> trace,
+                   std::shared_ptr<const PackedTopology> topo, int max_cycles,
+                   bool event_driven, FaultModel fault_model)
       : flash_(std::move(flash)),
         trace_(std::move(trace)),
         env_(soc, *flash_, max_cycles),
@@ -339,7 +342,7 @@ class SbstBatchRunner final : public FaultBatchRunner {
     fsim_.set_observed(soc.cpu.bus_output_cells);
   }
 
-  std::uint64_t run_batch(std::span<const FaultId> faults) override {
+  LaneMask run_batch(std::span<const FaultId> faults) override {
     return fault_model_ == FaultModel::kTransition
                ? fsim_.run_tdf_batch(faults, env_, trace_.get())
                : fsim_.run_batch(faults, env_, trace_.get());
@@ -348,14 +351,28 @@ class SbstBatchRunner final : public FaultBatchRunner {
  private:
   std::shared_ptr<const FlashImage> flash_;
   std::shared_ptr<const ReferenceTrace> trace_;
-  SocFsimEnvironment env_;
-  SequentialFaultSimulator fsim_;
+  SocFsimEnvironmentT<W> env_;
+  SequentialFaultSimulatorT<W> fsim_;
   FaultModel fault_model_;
 };
 
 }  // namespace
 
 namespace {
+
+/// Constructs one width instantiation of the runner (the compile-time
+/// half of the opts.lanes dispatch below).
+template <int W>
+std::unique_ptr<FaultBatchRunner> make_sbst_runner(
+    const Soc& soc, const FaultUniverse& universe,
+    const std::shared_ptr<const FlashImage>& flash,
+    const std::shared_ptr<const ReferenceTrace>& trace,
+    const std::shared_ptr<const PackedTopology>& topo,
+    const SeqFsimOptions& opts, FaultModel fault_model) {
+  return std::make_unique<SbstBatchRunnerT<W>>(soc, universe, flash, trace,
+                                               topo, opts.max_cycles,
+                                               opts.event_driven, fault_model);
+}
 
 /// The shared trailing half of build/rebuild: checkpoint the good machine
 /// under `opts` and wrap the grading kernel in per-worker runners. The
@@ -367,13 +384,17 @@ SbstCampaignTest make_sbst_campaign_test(const Soc& soc, SbstProgram& program,
                                          std::shared_ptr<const PackedTopology> topo,
                                          SeqFsimOptions opts, int good_cycles,
                                          FaultModel fault_model) {
+  // Resolve the width before it lands in the spec, so a worker rebuilds
+  // at exactly the width the coordinator graded with.
+  opts.lanes = resolve_lane_width(opts.lanes);
   auto flash = std::make_shared<FlashImage>(soc.config.flash_base,
                                             soc.config.flash_size);
   flash->load(program.program.base(), program.program.words());
 
   // Checkpoint the good machine once; every batch of every worker then
   // replays this trace as its reference (and, under the TDF model, reads
-  // its launch schedules from it instead of re-running a good pass).
+  // its launch schedules from it instead of re-running a good pass). The
+  // trace only sees lane 0, so the scalar tracer serves every width.
   SocFsimEnvironment trace_env(soc, *flash, opts.max_cycles);
   SequentialFaultSimulator tracer(soc.netlist, universe, opts, topo);
   tracer.set_observed(soc.cpu.bus_output_cells);
@@ -395,9 +416,16 @@ SbstCampaignTest make_sbst_campaign_test(const Soc& soc, SbstProgram& program,
   out.test.spec = std::move(spec);
   out.test.make_runner = [&soc, &universe, flash = std::move(flash), trace,
                           topo = std::move(topo), opts, fault_model]() {
-    return std::make_unique<SbstBatchRunner>(soc, universe, flash, trace, topo,
-                                             opts.max_cycles,
-                                             opts.event_driven, fault_model);
+#if OLFUI_HAS_WIDE_LANES
+    if (opts.lanes == 128)
+      return make_sbst_runner<128>(soc, universe, flash, trace, topo, opts,
+                                   fault_model);
+    if (opts.lanes == 256)
+      return make_sbst_runner<256>(soc, universe, flash, trace, topo, opts,
+                                   fault_model);
+#endif
+    return make_sbst_runner<64>(soc, universe, flash, trace, topo, opts,
+                                fault_model);
   };
   return out;
 }
@@ -407,7 +435,7 @@ SbstCampaignTest make_sbst_campaign_test(const Soc& soc, SbstProgram& program,
 SbstCampaignTest build_sbst_campaign_test(
     const Soc& soc, SbstProgram& program, const FaultUniverse& universe,
     std::shared_ptr<const PackedTopology> topo, int margin, bool event_driven,
-    FaultModel fault_model) {
+    FaultModel fault_model, int lanes) {
   SocSimulator runner(soc);
   runner.load_program(program.program);
   const int cycles = runner.run(kSbstFunctionalCycleCap);
@@ -415,7 +443,8 @@ SbstCampaignTest build_sbst_campaign_test(
   // diverge on the halted pin; the budget travels in the spec as a plain
   // max_cycles so a worker needs no functional pre-run of its own.
   const SeqFsimOptions opts{.max_cycles = cycles + margin,
-                            .event_driven = event_driven};
+                            .event_driven = event_driven,
+                            .lanes = lanes};
   return make_sbst_campaign_test(soc, program, universe, std::move(topo), opts,
                                  cycles, fault_model);
 }
@@ -450,7 +479,7 @@ SbstCampaignTest rebuild_sbst_campaign_test(
 std::vector<CampaignTest> build_sbst_campaign_tests(
     const Soc& soc, std::vector<SbstProgram>& suite,
     const FaultUniverse& universe, int margin, bool event_driven,
-    FaultModel fault_model) {
+    FaultModel fault_model, int lanes) {
   // One topology (levelized order + fanout CSR) serves every tracer and
   // every worker's simulator across the whole suite.
   const auto topo = PackedTopology::build(soc.netlist);
@@ -458,7 +487,7 @@ std::vector<CampaignTest> build_sbst_campaign_tests(
   tests.reserve(suite.size());
   for (SbstProgram& sp : suite)
     tests.push_back(build_sbst_campaign_test(soc, sp, universe, topo, margin,
-                                             event_driven, fault_model)
+                                             event_driven, fault_model, lanes)
                         .test);
   return tests;
 }
@@ -468,10 +497,11 @@ SbstCampaignResult run_sbst_campaign(
     std::function<void(const std::string&, std::size_t, std::size_t)> progress,
     const CampaignOptions& opts) {
   // Always the event kernel here (the fast path; the full-sweep oracle is
-  // reachable through build_sbst_campaign_tests for cross-checks).
+  // reachable through build_sbst_campaign_tests for cross-checks). The
+  // engine resolves the same width below, so kernel and batch bound agree.
   const std::vector<CampaignTest> tests = build_sbst_campaign_tests(
       soc, suite, fl.universe(), kSbstCampaignMargin, /*event_driven=*/true,
-      opts.fault_model);
+      opts.fault_model, resolve_lane_width(opts.lane_width));
   const CampaignEngine engine(fl.universe(), opts);
   SbstCampaignResult result;
   result.campaign = engine.run(fl, tests, progress);

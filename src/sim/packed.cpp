@@ -117,21 +117,25 @@ ConeAnalysis ConeAnalysis::build(const PackedTopology& topo) {
   return ca;
 }
 
-PackedSim::PackedSim(const Netlist& nl) : PackedSim(PackedTopology::build(nl)) {}
+template <int W>
+PackedSimT<W>::PackedSimT(const Netlist& nl)
+    : PackedSimT(PackedTopology::build(nl)) {}
 
-PackedSim::PackedSim(std::shared_ptr<const PackedTopology> topo)
+template <int W>
+PackedSimT<W>::PackedSimT(std::shared_ptr<const PackedTopology> topo)
     : topo_(std::move(topo)) {
   const Netlist& nl = *topo_->nl;
-  values_.assign(nl.num_nets(), 0);
-  flop_state_.assign(nl.num_cells(), 0);
-  input_hold_.assign(nl.num_cells(), 0);
+  values_.assign(nl.num_nets(), Word{});
+  flop_state_.assign(nl.num_cells(), Word{});
+  input_hold_.assign(nl.num_cells(), Word{});
   inj_start_.assign(nl.num_cells(), 0);
   has_inj_.assign(nl.num_cells(), 0);
   buckets_.resize(topo_->num_levels);
   in_queue_.assign(topo_->order.size(), 0);
 }
 
-void PackedSim::clear_injections() {
+template <int W>
+void PackedSimT<W>::clear_injections() {
   inj_flat_.clear();
   inj_pos_.clear();
   active_comb_.clear();
@@ -140,17 +144,19 @@ void PackedSim::clear_injections() {
   needs_full_ = true;
 }
 
-void PackedSim::add_injection(const PackedInjection& inj) {
+template <int W>
+void PackedSimT<W>::add_injection(const Injection& inj) {
   inj_pos_.push_back(static_cast<std::uint32_t>(inj_flat_.size()));
   inj_flat_.push_back(inj);
   inj_dirty_ = true;
   needs_full_ = true;
 }
 
-void PackedSim::set_injection_lanes(std::size_t index, std::uint64_t lanes) {
+template <int W>
+void PackedSimT<W>::set_injection_lanes(std::size_t index, Word lanes) {
   assert(index < inj_pos_.size());
-  PackedInjection& inj = inj_flat_[inj_pos_[index]];
-  if (inj.lanes == lanes) return;
+  Injection& inj = inj_flat_[inj_pos_[index]];
+  if (!lane_neq(inj.lanes, lanes)) return;
   inj.lanes = lanes;
   // A pending full sweep (or full-sweep mode) re-applies every injection
   // from scratch, so nothing is stale.
@@ -170,9 +176,9 @@ void PackedSim::set_injection_lanes(std::size_t index, std::uint64_t lanes) {
     // D/reset-pin faults apply at the next clock(); a Q-pin fault changes
     // the exposed value mid-cycle, so mirror clock()'s pass 2 for this one
     // flop: re-apply injections over the latched state and seed fanout.
-    std::uint64_t v = flop_state_[inj.cell];
+    Word v = flop_state_[inj.cell];
     v = apply_inj(inj.cell, nullptr, v, true);
-    if (v != values_[c.out]) {
+    if (lane_neq(v, values_[c.out])) {
       values_[c.out] = v;
       schedule_readers(c.out);
     }
@@ -183,7 +189,8 @@ void PackedSim::set_injection_lanes(std::size_t index, std::uint64_t lanes) {
   needs_full_ = true;
 }
 
-void PackedSim::prepare_injections() {
+template <int W>
+void PackedSimT<W>::prepare_injections() {
   // Group by cell; stable so per-cell application order stays insertion
   // order (masking is order-sensitive when lanes overlap). The permutation
   // is tracked so set_injection_lanes handles survive the sort.
@@ -193,7 +200,7 @@ void PackedSim::prepare_injections() {
                    [this](std::uint32_t a, std::uint32_t b) {
                      return inj_flat_[a].cell < inj_flat_[b].cell;
                    });
-  std::vector<PackedInjection> sorted;
+  std::vector<Injection> sorted;
   sorted.reserve(inj_flat_.size());
   std::vector<std::uint32_t> inverse(inj_flat_.size());
   for (std::uint32_t k = 0; k < perm.size(); ++k) {
@@ -218,54 +225,60 @@ void PackedSim::prepare_injections() {
   inj_dirty_ = false;
 }
 
-void PackedSim::power_on() {
-  std::fill(values_.begin(), values_.end(), 0);
-  std::fill(flop_state_.begin(), flop_state_.end(), 0);
-  std::fill(input_hold_.begin(), input_hold_.end(), 0);
+template <int W>
+void PackedSimT<W>::power_on() {
+  std::fill(values_.begin(), values_.end(), Word{});
+  std::fill(flop_state_.begin(), flop_state_.end(), Word{});
+  std::fill(input_hold_.begin(), input_hold_.end(), Word{});
   needs_full_ = true;
 }
 
-void PackedSim::set_input_all(NetId net, bool v) {
+template <int W>
+void PackedSimT<W>::set_input_all(NetId net, bool v) {
   const CellId drv = topo_->nl->net(net).driver;
   assert(drv != kInvalidId && topo_->nl->cell(drv).type == CellType::kInput);
-  input_hold_[drv] = v ? ~0ULL : 0;
+  input_hold_[drv] = lane_broadcast<Word>(v);
 }
 
-void PackedSim::set_input_lanes(NetId net, std::uint64_t lanes) {
+template <int W>
+void PackedSimT<W>::set_input_lanes(NetId net, Word lanes) {
   const CellId drv = topo_->nl->net(net).driver;
   assert(drv != kInvalidId && topo_->nl->cell(drv).type == CellType::kInput);
   input_hold_[drv] = lanes;
 }
 
-void PackedSim::set_input_word(const Bus& bus, std::uint64_t value) {
+template <int W>
+void PackedSimT<W>::set_input_word(const Bus& bus, std::uint64_t value) {
   for (std::size_t i = 0; i < bus.size(); ++i)
     set_input_all(bus[i], (value >> i) & 1);
 }
 
-std::uint64_t PackedSim::apply_inj(CellId id, std::uint64_t* tmp,
-                                   std::uint64_t out_val,
-                                   bool apply_output) const {
-  const PackedInjection* j = inj_flat_.data() + inj_start_[id];
-  const PackedInjection* const end = j + has_inj_[id];
+template <int W>
+typename PackedSimT<W>::Word PackedSimT<W>::apply_inj(
+    CellId id, Word* tmp, Word out_val, bool apply_output) const {
+  const Injection* j = inj_flat_.data() + inj_start_[id];
+  const Injection* const end = j + has_inj_[id];
   for (; j != end; ++j) {
     if (j->pin == 0) {
       if (apply_output)
         out_val = j->sa1 ? (out_val | j->lanes) : (out_val & ~j->lanes);
     } else if (tmp != nullptr) {
-      std::uint64_t& w = tmp[j->pin - 1];
+      Word& w = tmp[j->pin - 1];
       w = j->sa1 ? (w | j->lanes) : (w & ~j->lanes);
     }
   }
   return out_val;
 }
 
-std::uint64_t PackedSim::compute_cell(const PackedTopology::FlatCell& fc) const {
-  const std::uint64_t* vals = values_.data();
+template <int W>
+typename PackedSimT<W>::Word PackedSimT<W>::compute_cell(
+    const PackedTopology::FlatCell& fc) const {
+  const Word* vals = values_.data();
   if (__builtin_expect(has_inj_[fc.id], 0)) {
-    std::uint64_t tmp[4];
+    Word tmp[4];
     for (int i = 0; i < fc.n; ++i) tmp[i] = vals[fc.in[i]];
-    apply_inj(fc.id, tmp, 0, false);
-    const std::uint64_t out = eval_packed(fc.type, tmp, fc.n);
+    apply_inj(fc.id, tmp, Word{}, false);
+    const Word out = eval_packed(fc.type, tmp, fc.n);
     return apply_inj(fc.id, nullptr, out, true);
   }
   // Hot path: inline the common gates, fall back for the rest.
@@ -277,7 +290,7 @@ std::uint64_t PackedSim::compute_cell(const PackedTopology::FlatCell& fc) const 
     case CellType::kXor2:
       return vals[fc.in[0]] ^ vals[fc.in[1]];
     case CellType::kMux2: {
-      const std::uint64_t s = vals[fc.in[kMuxS]];
+      const Word s = vals[fc.in[kMuxS]];
       return (s & vals[fc.in[kMuxB]]) | (~s & vals[fc.in[kMuxA]]);
     }
     case CellType::kNot:
@@ -285,14 +298,15 @@ std::uint64_t PackedSim::compute_cell(const PackedTopology::FlatCell& fc) const 
     case CellType::kBuf:
       return vals[fc.in[0]];
     default: {
-      std::uint64_t tmp[4];
+      Word tmp[4];
       for (int i = 0; i < fc.n; ++i) tmp[i] = vals[fc.in[i]];
       return eval_packed(fc.type, tmp, fc.n);
     }
   }
 }
 
-void PackedSim::schedule_readers(NetId net) {
+template <int W>
+void PackedSimT<W>::schedule_readers(NetId net) {
   const PackedTopology& t = *topo_;
   for (std::uint32_t j = t.fanout_start[net]; j < t.fanout_start[net + 1]; ++j) {
     const std::uint32_t k = t.fanout[j];
@@ -303,20 +317,21 @@ void PackedSim::schedule_readers(NetId net) {
   }
 }
 
-void PackedSim::run_full_sweep() {
+template <int W>
+void PackedSimT<W>::run_full_sweep() {
   const PackedTopology& t = *topo_;
   // Sources: primary inputs hold their driven value; ties their constant.
   for (CellId id : t.source_cells) {
     const Cell& c = t.nl->cell(id);
-    std::uint64_t v = c.type == CellType::kTie1   ? ~0ULL
-                      : c.type == CellType::kTie0 ? 0
-                                                  : input_hold_[id];
+    Word v = c.type == CellType::kTie1   ? ~Word{}
+             : c.type == CellType::kTie0 ? Word{}
+                                         : input_hold_[id];
     if (has_inj_[id]) v = apply_inj(id, nullptr, v, true);
     values_[c.out] = v;
   }
   // Expose flop state (with Q-pin faults).
   for (CellId id : t.flop_cells) {
-    std::uint64_t v = flop_state_[id];
+    Word v = flop_state_[id];
     if (has_inj_[id]) v = apply_inj(id, nullptr, v, true);
     values_[t.nl->cell(id).out] = v;
   }
@@ -335,16 +350,17 @@ void PackedSim::run_full_sweep() {
   activity_.cells_evaluated += t.order.size();
 }
 
-void PackedSim::run_event_sweep() {
+template <int W>
+void PackedSimT<W>::run_event_sweep() {
   const PackedTopology& t = *topo_;
   // Seed: primary inputs whose held word changed since the last eval.
   // (Ties are constant and flop Qs are seeded by clock(), so neither needs
   // a per-eval scan.)
   for (CellId id : t.input_cells) {
-    std::uint64_t v = input_hold_[id];
+    Word v = input_hold_[id];
     if (has_inj_[id]) v = apply_inj(id, nullptr, v, true);
     const NetId out = t.nl->cell(id).out;
-    if (v != values_[out]) {
+    if (lane_neq(v, values_[out])) {
       values_[out] = v;
       schedule_readers(out);
     }
@@ -369,8 +385,8 @@ void PackedSim::run_event_sweep() {
       const std::uint32_t k = bucket[i];
       in_queue_[k] = 0;
       const PackedTopology::FlatCell& fc = t.order[k];
-      const std::uint64_t out = compute_cell(fc);
-      if (out != values_[fc.out]) {
+      const Word out = compute_cell(fc);
+      if (lane_neq(out, values_[fc.out])) {
         values_[fc.out] = out;
         schedule_readers(fc.out);
       } else {
@@ -385,7 +401,8 @@ void PackedSim::run_event_sweep() {
   activity_.quiet_cells += quiet;
 }
 
-void PackedSim::eval() {
+template <int W>
+void PackedSimT<W>::eval() {
   ++activity_.evals;
   if (inj_dirty_) prepare_injections();
   if (mode_ == PackedEvalMode::kFullSweep || needs_full_) {
@@ -395,23 +412,25 @@ void PackedSim::eval() {
   run_event_sweep();
 }
 
-void PackedSim::full_eval() {
+template <int W>
+void PackedSimT<W>::full_eval() {
   ++activity_.evals;
   if (inj_dirty_) prepare_injections();
   run_full_sweep();
 }
 
-void PackedSim::clock() {
+template <int W>
+void PackedSimT<W>::clock() {
   if (inj_dirty_) prepare_injections();
   const PackedTopology& t = *topo_;
-  std::uint64_t tmp[4];
+  Word tmp[4];
   // Pass 1: latch every flop from the settled net values. flop_state_ is
   // never read here, so flop-to-flop paths latch pre-edge values.
   for (CellId id : t.flop_cells) {
     const Cell& c = t.nl->cell(id);
     const int n = static_cast<int>(c.ins.size());
     for (int i = 0; i < n; ++i) tmp[i] = values_[c.ins[i]];
-    if (has_inj_[id]) apply_inj(id, tmp, 0, false);
+    if (has_inj_[id]) apply_inj(id, tmp, Word{}, false);
     // DFF: q' = d. DFFR (active-low reset to 0): q' = d & rstn.
     flop_state_[id] =
         c.type == CellType::kDff ? tmp[kDffD] : (tmp[kDffD] & tmp[kDffRstn]);
@@ -420,10 +439,10 @@ void PackedSim::clock() {
   // seed their fanout, replacing the per-eval scan over every flop.
   if (mode_ == PackedEvalMode::kEventDriven && !needs_full_) {
     for (CellId id : t.flop_cells) {
-      std::uint64_t v = flop_state_[id];
+      Word v = flop_state_[id];
       if (has_inj_[id]) v = apply_inj(id, nullptr, v, true);
       const NetId out = t.nl->cell(id).out;
-      if (v != values_[out]) {
+      if (lane_neq(v, values_[out])) {
         values_[out] = v;
         schedule_readers(out);
       }
@@ -432,16 +451,18 @@ void PackedSim::clock() {
   eval();
 }
 
-std::uint64_t PackedSim::observed(CellId output_cell) const {
+template <int W>
+typename PackedSimT<W>::Word PackedSimT<W>::observed(
+    CellId output_cell) const {
   const Cell& c = topo_->nl->cell(output_cell);
   assert(c.type == CellType::kOutput);
   // Injections are grouped lazily; observing between add_injection() and
   // the next eval()/clock() would silently miss port faults.
   assert(!inj_dirty_ && "call eval() after changing injections");
-  std::uint64_t v = values_[c.ins[0]];
+  Word v = values_[c.ins[0]];
   if (has_inj_[output_cell]) {
-    const PackedInjection* j = inj_flat_.data() + inj_start_[output_cell];
-    const PackedInjection* const end = j + has_inj_[output_cell];
+    const Injection* j = inj_flat_.data() + inj_start_[output_cell];
+    const Injection* const end = j + has_inj_[output_cell];
     for (; j != end; ++j) {
       if (j->pin != 1) continue;
       v = j->sa1 ? (v | j->lanes) : (v & ~j->lanes);
@@ -449,5 +470,13 @@ std::uint64_t PackedSim::observed(CellId output_cell) const {
   }
   return v;
 }
+
+// The scalar kernel exists everywhere; the wide kernels ride vector
+// extensions and exist only where the compiler provides them.
+template class PackedSimT<64>;
+#if OLFUI_HAS_WIDE_LANES
+template class PackedSimT<128>;
+template class PackedSimT<256>;
+#endif
 
 }  // namespace olfui

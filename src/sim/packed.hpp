@@ -1,10 +1,13 @@
-// olfui/sim: 64-lane bit-parallel 2-valued simulation kernel.
+// olfui/sim: W-lane bit-parallel 2-valued simulation kernel.
 //
-// Each net carries one 64-bit word = 64 independent machines. The fault
-// simulator (olfui_fsim) packs a good machine plus up to 63 faulty machines
-// per pass and injects stuck-at values at (cell, pin) sites per lane — the
-// classic parallel-fault scheme. Simulation is 2-valued: callers must
-// apply an explicit reset sequence so that no X state matters.
+// Each net carries one packed lane word (util/lanes.hpp) = W independent
+// machines; W is a compile-time parameter instantiated at 64 (scalar
+// uint64_t, the default) and — where the compiler has vector extensions —
+// 128 and 256. The fault simulator (olfui_fsim) packs a good machine plus
+// up to W-1 faulty machines per pass and injects stuck-at values at
+// (cell, pin) sites per lane — the classic parallel-fault scheme.
+// Simulation is 2-valued: callers must apply an explicit reset sequence
+// so that no X state matters.
 //
 // Evaluation is event-driven: the netlist is flattened once into a
 // PackedTopology (levelized cells, per-cell levels, CSR fanout graph) and
@@ -24,16 +27,22 @@
 
 #include "netlist/netlist.hpp"
 #include "netlist/wordops.hpp"
+#include "util/lanes.hpp"
 
 namespace olfui {
 
 /// A stuck-at value injected at a pin for a subset of lanes.
-struct PackedInjection {
+template <int W>
+struct PackedInjectionT {
+  using Word = LaneWord<W>;
   CellId cell = kInvalidId;
   std::uint8_t pin = 0;  ///< 0 = output pin, 1.. = input pins
   bool sa1 = false;
-  std::uint64_t lanes = 0;  ///< lane mask where the fault is active
+  Word lanes{};  ///< lane mask where the fault is active
 };
+
+/// The scalar 64-lane injection every pre-width-parametric caller uses.
+using PackedInjection = PackedInjectionT<64>;
 
 /// Immutable evaluation structures shared by every PackedSim over the same
 /// netlist: the flattened levelized cell array, per-cell logic levels, and
@@ -117,15 +126,20 @@ struct PackedActivity {
   std::uint64_t quiet_cells = 0;
 };
 
-class PackedSim {
+template <int W>
+class PackedSimT {
  public:
-  explicit PackedSim(const Netlist& nl);
+  using Word = LaneWord<W>;
+  using Injection = PackedInjectionT<W>;
+  static constexpr int kLanes = W;
+
+  explicit PackedSimT(const Netlist& nl);
   /// Shares a prebuilt topology (cheap: only per-net/per-cell state is
   /// allocated). The netlist behind `topo` must outlive the simulator.
-  explicit PackedSim(std::shared_ptr<const PackedTopology> topo);
+  explicit PackedSimT(std::shared_ptr<const PackedTopology> topo);
 
   void clear_injections();
-  void add_injection(const PackedInjection& inj);
+  void add_injection(const Injection& inj);
   /// Rewrites the lane mask of an existing injection; `index` is the
   /// insertion order of add_injection calls since the last
   /// clear_injections(). Unlike add_injection this does NOT invalidate the
@@ -135,16 +149,16 @@ class PackedSim {
   /// faults apply at clock() — only a flop Q fault needs (and gets) an
   /// explicit re-expose. This is the per-cycle arming primitive of the
   /// transition-delay flow, where a fault is live only on capture cycles.
-  void set_injection_lanes(std::size_t index, std::uint64_t lanes);
+  void set_injection_lanes(std::size_t index, Word lanes);
 
   /// Zeroes all state (flops and nets). 2-valued power-on; drive a reset
   /// sequence afterwards for circuits that need one.
   void power_on();
 
-  /// Drives the same value on all 64 lanes of a primary input.
+  /// Drives the same value on all W lanes of a primary input.
   void set_input_all(NetId net, bool v);
   /// Drives an explicit per-lane word on a primary input.
-  void set_input_lanes(NetId net, std::uint64_t lanes);
+  void set_input_lanes(NetId net, Word lanes);
   /// Drives bit i of `value` on all lanes of bus[i].
   void set_input_word(const Bus& bus, std::uint64_t value);
 
@@ -164,35 +178,34 @@ class PackedSim {
   void reset_activity() { activity_ = {}; }
   std::size_t comb_cell_count() const { return topo_->order.size(); }
 
-  std::uint64_t value(NetId net) const { return values_[net]; }
+  Word value(NetId net) const { return values_[net]; }
   /// Value seen by a top-level output port, including any injection on the
   /// port cell's input pin (PO stuck-at faults).
-  std::uint64_t observed(CellId output_cell) const;
+  Word observed(CellId output_cell) const;
 
   const Netlist& netlist() const { return *topo_->nl; }
   const PackedTopology& topology() const { return *topo_; }
 
  private:
-  std::uint64_t apply_inj(CellId id, std::uint64_t* tmp, std::uint64_t out_val,
-                          bool apply_output) const;
+  Word apply_inj(CellId id, Word* tmp, Word out_val, bool apply_output) const;
   void prepare_injections();
   void run_full_sweep();
   void run_event_sweep();
   void schedule_readers(NetId net);
-  std::uint64_t compute_cell(const PackedTopology::FlatCell& fc) const;
+  Word compute_cell(const PackedTopology::FlatCell& fc) const;
 
   std::shared_ptr<const PackedTopology> topo_;
   PackedEvalMode mode_ = PackedEvalMode::kEventDriven;
-  std::vector<std::uint64_t> values_;       // per net
-  std::vector<std::uint64_t> flop_state_;   // per cell (flop entries only)
-  std::vector<std::uint64_t> input_hold_;   // per cell: driven PI value
+  std::vector<Word> values_;       // per net
+  std::vector<Word> flop_state_;   // per cell (flop entries only)
+  std::vector<Word> input_hold_;   // per cell: driven PI value
 
   // Flat injection storage: inj_flat_ grouped by cell; cell c owns
   // inj_flat_[inj_start_[c] .. inj_start_[c] + has_inj_[c]). Rebuilt
   // lazily (inj_dirty_) by a stable sort, so per-cell application order
   // matches insertion order. inj_pos_[i] tracks where insertion i landed
   // after grouping (the set_injection_lanes handle).
-  std::vector<PackedInjection> inj_flat_;
+  std::vector<Injection> inj_flat_;
   std::vector<std::uint32_t> inj_pos_;
   std::vector<std::uint32_t> inj_start_;  // per cell
   std::vector<std::uint8_t> has_inj_;     // per cell: injection count
@@ -208,5 +221,10 @@ class PackedSim {
 
   PackedActivity activity_;
 };
+
+/// The scalar 64-lane simulator — the default, and the only width
+/// guaranteed on every compiler. Wider instantiations (128/256) exist
+/// when OLFUI_HAS_WIDE_LANES is set; see resolve_lane_width().
+using PackedSim = PackedSimT<64>;
 
 }  // namespace olfui

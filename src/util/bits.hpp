@@ -23,4 +23,39 @@ inline void transpose64(std::uint64_t a[64]) {
   }
 }
 
+/// In-place W x W bit-matrix transpose, stored row-major as W rows of
+/// W/64 words each: column c of row r is bit c%64 of a[r * (W/64) + c/64]
+/// (same LSB-first convention as transpose64, which is the W == 64 case).
+/// Wider widths decompose into 64x64 tiles: tile (J,I) of the result is
+/// the transpose of tile (I,J) of the input, so diagonal tiles transpose
+/// in place and off-diagonal pairs transpose-and-swap — K*K runs of
+/// transpose64 instead of a W*W single-bit loop.
+template <int W>
+inline void transpose_bits(std::uint64_t* a) {
+  static_assert(W > 0 && W % 64 == 0, "lane widths are multiples of 64");
+  constexpr int K = W / 64;
+  if constexpr (K == 1) {
+    transpose64(a);
+  } else {
+    std::uint64_t ti[64], tj[64];
+    for (int I = 0; I < K; ++I) {
+      for (int r = 0; r < 64; ++r) ti[r] = a[(I * 64 + r) * K + I];
+      transpose64(ti);
+      for (int r = 0; r < 64; ++r) a[(I * 64 + r) * K + I] = ti[r];
+      for (int J = I + 1; J < K; ++J) {
+        for (int r = 0; r < 64; ++r) {
+          ti[r] = a[(I * 64 + r) * K + J];
+          tj[r] = a[(J * 64 + r) * K + I];
+        }
+        transpose64(ti);
+        transpose64(tj);
+        for (int r = 0; r < 64; ++r) {
+          a[(I * 64 + r) * K + J] = tj[r];
+          a[(J * 64 + r) * K + I] = ti[r];
+        }
+      }
+    }
+  }
+}
+
 }  // namespace olfui

@@ -84,7 +84,7 @@ class RigBatchRunner final : public FaultBatchRunner {
         model_(model) {
     fsim_.set_observed(std::move(observed));
   }
-  std::uint64_t run_batch(std::span<const FaultId> faults) override {
+  LaneMask run_batch(std::span<const FaultId> faults) override {
     return model_ == FaultModel::kTransition
                ? fsim_.run_tdf_batch(faults, env_, trace_.get())
                : fsim_.run_batch(faults, env_, trace_.get());
@@ -829,8 +829,8 @@ TEST(WorkerProtocol, RequestRoundTripsAndValidates) {
 class ParityWorkload final : public WorkerWorkload {
  public:
   std::size_t universe_size() override { return 77; }
-  std::uint64_t run_batch(const ShardRequest&,
-                          std::span<const FaultId> faults) override {
+  LaneMask run_batch(const ShardRequest&,
+                     std::span<const FaultId> faults) override {
     std::uint64_t mask = 0;
     for (std::size_t i = 0; i < faults.size(); ++i)
       if (faults[i] % 2) mask |= 1ULL << i;
@@ -882,10 +882,10 @@ TEST(WorkerProtocol, ServeWorkerGradesRequestedShardsOnly) {
   EXPECT_EQ(lines[1].at("type").as_string(), "shard");
   EXPECT_EQ(lines[1].at("shard").as_size(), 2u);
   // Shard 2 grades targets {108, 109}: odd ids detect -> lane 1 only.
-  EXPECT_EQ(word_from_hex(lines[1].at("mask").as_string()), 0x2ull);
+  EXPECT_EQ(lane_mask_from_json(lines[1].at("mask")), LaneMask(0x2ull));
   EXPECT_EQ(lines[2].at("shard").as_size(), 0u);
   // Shard 0 grades {100..103}: odd lanes 1 and 3.
-  EXPECT_EQ(word_from_hex(lines[2].at("mask").as_string()), 0xAull);
+  EXPECT_EQ(lane_mask_from_json(lines[2].at("mask")), LaneMask(0xAull));
   EXPECT_EQ(lines[3].at("type").as_string(), "done");
   EXPECT_EQ(lines[3].at("universe").as_size(), 77u);
   EXPECT_EQ(word_from_hex(lines[3].at("state_fp").as_string()), 0xfeedfaceull);

@@ -303,15 +303,15 @@ TEST(TdfSim, BatchMatchesNaiveTwoCycleOracle) {
       std::vector<FaultId> batch(n);
       std::iota(batch.begin(), batch.end(), base);
 
-      const std::uint64_t det_evt = evt.run_tdf_batch(batch, env);
-      const std::uint64_t det_sweep = sweep.run_tdf_batch(batch, env);
-      const std::uint64_t det_traced = evt.run_tdf_batch(batch, env, &trace);
+      const LaneMask det_evt = evt.run_tdf_batch(batch, env);
+      const LaneMask det_sweep = sweep.run_tdf_batch(batch, env);
+      const LaneMask det_traced = evt.run_tdf_batch(batch, env, &trace);
       ASSERT_EQ(det_evt, det_sweep) << "seed " << seed << " base " << base;
       ASSERT_EQ(det_evt, det_traced) << "seed " << seed << " base " << base;
 
       for (std::size_t i = 0; i < n; ++i) {
         const bool oracle = naive_tdf_detects(d, u, batch[i], words);
-        ASSERT_EQ((det_evt >> i) & 1ULL, oracle ? 1ULL : 0ULL)
+        ASSERT_EQ(det_evt.bit(static_cast<int>(i)), oracle)
             << "seed " << seed << " " << tdf_fault_name(u, batch[i]);
       }
     }
@@ -372,7 +372,7 @@ class RigBatchRunner final : public FaultBatchRunner {
         model_(model) {
     fsim_.set_observed(rig.outputs);
   }
-  std::uint64_t run_batch(std::span<const FaultId> faults) override {
+  LaneMask run_batch(std::span<const FaultId> faults) override {
     return model_ == FaultModel::kTransition
                ? fsim_.run_tdf_batch(faults, env_, trace_.get())
                : fsim_.run_batch(faults, env_, trace_.get());

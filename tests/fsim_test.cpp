@@ -67,7 +67,7 @@ TEST(SeqFsim, DetectsStuckCounterBit) {
   CounterEnv env(rig.en);
   // s-a-0 on counter bit 1 output: wrong count value after a few cycles.
   const FaultId f = u.id_of({rig.cnt.flops[1], 0}, false);
-  const std::uint64_t det = fsim.run_batch(std::span(&f, 1), env);
+  const LaneMask det = fsim.run_batch(std::span(&f, 1), env);
   EXPECT_EQ(det, 1u);
 }
 
@@ -80,7 +80,7 @@ TEST(SeqFsim, MissesFaultWhenOutputsNotObserved) {
   // A stuck bit-3 never shows on bit 0 within 20 cycles... bit3 influences
   // nothing else in this circuit, so it must go undetected.
   const FaultId f = u.id_of({rig.cnt.flops[3], 0}, false);
-  const std::uint64_t det = fsim.run_batch(std::span(&f, 1), env);
+  const LaneMask det = fsim.run_batch(std::span(&f, 1), env);
   EXPECT_EQ(det, 0u);
 }
 
@@ -97,7 +97,7 @@ TEST(SeqFsim, BatchesAreIndependent) {
     faults.push_back(u.id_of({rig.cnt.flops[b], 0}, false));
     faults.push_back(u.id_of({rig.cnt.flops[b], 0}, true));
   }
-  const std::uint64_t det = fsim.run_batch(faults, env);
+  const LaneMask det = fsim.run_batch(faults, env);
   EXPECT_EQ(det, (1ULL << faults.size()) - 1);
 }
 

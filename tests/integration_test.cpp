@@ -50,10 +50,10 @@ class IntegrationFixture : public ::testing::Test {
       fsim.set_observed(soc_->cpu.bus_output_cells);
       for (std::size_t i = 0; i < faults.size(); i += 63) {
         const std::size_t n = std::min<std::size_t>(63, faults.size() - i);
-        const std::uint64_t det =
+        const LaneMask det =
             fsim.run_batch(std::span(faults).subspan(i, n), env);
         for (std::size_t j = 0; j < n; ++j)
-          if (det & (1ULL << j)) detected[i + j] = true;
+          if (det.bit(static_cast<int>(j))) detected[i + j] = true;
       }
     }
     return detected;

@@ -1,0 +1,318 @@
+// Width-parametric kernel equivalence suite.
+//
+// The 128/256-lane packed words are pure throughput: for any netlist,
+// stimulus, fault model, kernel, and trace mode, every width must grade
+// every fault exactly as the scalar 64-lane kernel does — lane count only
+// changes how many faulty machines ride in one pass. These tests drive
+// randomized sequential netlists through every instantiated width and
+// compare the per-fault verdict vectors bit for bit, against both the
+// 64-lane baseline and the full-sweep oracle, then push wide widths
+// through the campaign orchestrator across thread counts and scheduling
+// policies.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "campaign/scheduler.hpp"
+#include "fault/fault_list.hpp"
+#include "fault/universe.hpp"
+#include "fsim/fsim.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/packed.hpp"
+#include "util/lanes.hpp"
+#include "util/rng.hpp"
+
+namespace olfui {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Random netlist generation (the eventsim_test recipe): inputs and
+// declared flops first so feedback paths exist, then a DAG of random
+// gates, then outputs and the flop D connections.
+
+struct RandomDesign {
+  Netlist nl{"rand"};
+  std::vector<NetId> input_nets;
+  std::vector<CellId> output_cells;
+};
+
+RandomDesign random_design(Rng& rng, int n_inputs, int n_flops, int n_gates) {
+  RandomDesign d;
+  std::vector<NetId> nets;
+  for (int i = 0; i < n_inputs; ++i) {
+    const NetId n = d.nl.add_input("in" + std::to_string(i));
+    d.input_nets.push_back(n);
+    nets.push_back(n);
+  }
+  nets.push_back(d.nl.add_cell(CellType::kTie0, "u_t0", d.nl.add_net("t0"), {}));
+  nets.push_back(d.nl.add_cell(CellType::kTie1, "u_t1", d.nl.add_net("t1"), {}));
+  const NetId rstn = d.input_nets[0];
+
+  std::vector<CellId> flops;
+  for (int f = 0; f < n_flops; ++f) {
+    const NetId q = d.nl.add_net("q" + std::to_string(f));
+    const CellId cell =
+        rng.next_bool()
+            ? d.nl.add_cell(CellType::kDffR, "u_ff" + std::to_string(f), q,
+                            {kInvalidId, rstn})
+            : d.nl.add_cell(CellType::kDff, "u_ff" + std::to_string(f), q,
+                            {kInvalidId});
+    flops.push_back(cell);
+    nets.push_back(q);
+  }
+
+  const CellType kGateTypes[] = {
+      CellType::kBuf,   CellType::kNot,   CellType::kAnd2,  CellType::kAnd3,
+      CellType::kOr2,   CellType::kOr3,   CellType::kNand2, CellType::kNor2,
+      CellType::kXor2,  CellType::kXnor2, CellType::kMux2};
+  for (int g = 0; g < n_gates; ++g) {
+    const CellType t =
+        kGateTypes[rng.next_below(sizeof kGateTypes / sizeof kGateTypes[0])];
+    std::vector<NetId> ins(static_cast<std::size_t>(num_inputs(t)));
+    for (NetId& in : ins) in = nets[rng.next_below(nets.size())];
+    const NetId out = d.nl.add_net("g" + std::to_string(g));
+    d.nl.add_cell(t, "u_g" + std::to_string(g), out, std::move(ins));
+    nets.push_back(out);
+  }
+  for (CellId f : flops)
+    d.nl.connect_input(f, 0, nets[rng.next_below(nets.size())]);
+  for (int o = 0; o < 8; ++o)
+    d.output_cells.push_back(d.nl.add_output(
+        "out" + std::to_string(o), nets[rng.next_below(nets.size())]));
+
+  EXPECT_TRUE(d.nl.validate().empty());
+  return d;
+}
+
+/// Replays a fixed per-cycle stimulus (identical on all lanes) at any
+/// width, so every pass of every engine sees the same test "program".
+template <int W>
+class ScriptedEnvT : public FsimEnvironmentT<W> {
+ public:
+  ScriptedEnvT(const std::vector<NetId>& inputs,
+               const std::vector<std::vector<bool>>& words)
+      : inputs_(&inputs), words_(&words) {}
+  void reset(PackedSimT<W>& sim) override {
+    for (NetId in : *inputs_) sim.set_input_all(in, false);
+    sim.eval();
+  }
+  bool step(PackedSimT<W>& sim, int cycle) override {
+    if (cycle >= static_cast<int>(words_->size())) return false;
+    const std::vector<bool>& w = (*words_)[static_cast<std::size_t>(cycle)];
+    for (std::size_t i = 0; i < inputs_->size(); ++i)
+      sim.set_input_all((*inputs_)[i], w[i]);
+    sim.eval();
+    return true;
+  }
+
+ private:
+  const std::vector<NetId>* inputs_;
+  const std::vector<std::vector<bool>>* words_;
+};
+
+struct GradeConfig {
+  bool event_driven = true;
+  bool tdf = false;
+  bool traced = false;
+};
+
+std::string describe(const GradeConfig& c) {
+  return std::string(c.tdf ? "tdf" : "sa") +
+         (c.event_driven ? "/event" : "/sweep") +
+         (c.traced ? "/traced" : "/untraced");
+}
+
+/// Grades the whole universe in (W-1)-fault batches and flattens the
+/// masks into one per-fault verdict vector.
+template <int W>
+std::vector<bool> grade_all(const RandomDesign& d, const FaultUniverse& u,
+                            const std::vector<std::vector<bool>>& words,
+                            const GradeConfig& cfg) {
+  SequentialFaultSimulatorT<W> fsim(
+      d.nl, u,
+      {.max_cycles = static_cast<int>(words.size()),
+       .event_driven = cfg.event_driven});
+  fsim.set_observed(d.output_cells);
+  ScriptedEnvT<W> env(d.input_nets, words);
+  ReferenceTrace trace;
+  if (cfg.traced) trace = fsim.record_reference_trace(env);
+  const ReferenceTrace* tp = cfg.traced ? &trace : nullptr;
+
+  std::vector<bool> verdicts;
+  verdicts.reserve(u.size());
+  constexpr std::size_t kBatch = W - 1;
+  for (FaultId base = 0; base < u.size();
+       base += static_cast<FaultId>(kBatch)) {
+    const std::size_t n = std::min<std::size_t>(kBatch, u.size() - base);
+    std::vector<FaultId> batch(n);
+    std::iota(batch.begin(), batch.end(), base);
+    const LaneMask det = cfg.tdf ? fsim.run_tdf_batch(batch, env, tp)
+                                 : fsim.run_batch(batch, env, tp);
+    for (std::size_t i = 0; i < n; ++i)
+      verdicts.push_back(det.bit(static_cast<int>(i)));
+  }
+  return verdicts;
+}
+
+TEST(LaneWidth, AllWidthsMatchScalarBaselineAndSweepOracle) {
+  for (std::uint64_t seed = 31; seed <= 33; ++seed) {
+    Rng rng(seed);
+    RandomDesign d = random_design(rng, 6, 10, 70);
+    const FaultUniverse u(d.nl);
+
+    const int cycles = 24;
+    std::vector<std::vector<bool>> words(static_cast<std::size_t>(cycles));
+    for (auto& w : words) {
+      w.resize(d.input_nets.size());
+      for (std::size_t i = 0; i < w.size(); ++i) w[i] = rng.next_bool();
+    }
+
+    for (const bool tdf : {false, true}) {
+      // The scalar event kernel is the baseline every (width, kernel,
+      // trace) combination must reproduce; the full-sweep oracle guards
+      // the baseline itself.
+      const std::vector<bool> baseline = grade_all<64>(
+          d, u, words, {.event_driven = true, .tdf = tdf, .traced = false});
+      for (const bool event_driven : {true, false}) {
+        for (const bool traced : {false, true}) {
+          const GradeConfig cfg{event_driven, tdf, traced};
+          EXPECT_EQ(grade_all<64>(d, u, words, cfg), baseline)
+              << "seed " << seed << " W=64 " << describe(cfg);
+#if OLFUI_HAS_WIDE_LANES
+          EXPECT_EQ(grade_all<128>(d, u, words, cfg), baseline)
+              << "seed " << seed << " W=128 " << describe(cfg);
+          EXPECT_EQ(grade_all<256>(d, u, words, cfg), baseline)
+              << "seed " << seed << " W=256 " << describe(cfg);
+#endif
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Campaign-level width equivalence: wide batches flow through the
+// scheduler's plan, the executor, and the multi-word mask merge. The
+// shard count legitimately shrinks with width, so the comparison is the
+// detection state and coverage, not the per-test batch totals.
+
+template <int W>
+class DesignBatchRunner final : public FaultBatchRunner {
+ public:
+  DesignBatchRunner(const RandomDesign& d, const FaultUniverse& u,
+                    const std::vector<std::vector<bool>>& words)
+      : env_(d.input_nets, words),
+        fsim_(d.nl, u, {.max_cycles = static_cast<int>(words.size())}) {
+    fsim_.set_observed(d.output_cells);
+  }
+  LaneMask run_batch(std::span<const FaultId> faults) override {
+    return fsim_.run_batch(faults, env_);
+  }
+
+ private:
+  ScriptedEnvT<W> env_;
+  SequentialFaultSimulatorT<W> fsim_;
+};
+
+CampaignTest make_design_test(const RandomDesign& d, const FaultUniverse& u,
+                              const std::vector<std::vector<bool>>& words,
+                              int lanes) {
+  CampaignTest test;
+  test.name = "rand";
+  test.good_cycles = static_cast<int>(words.size());
+  test.make_runner = [&d, &u, &words,
+                      lanes]() -> std::unique_ptr<FaultBatchRunner> {
+#if OLFUI_HAS_WIDE_LANES
+    if (lanes == 128)
+      return std::make_unique<DesignBatchRunner<128>>(d, u, words);
+    if (lanes == 256)
+      return std::make_unique<DesignBatchRunner<256>>(d, u, words);
+#endif
+    return std::make_unique<DesignBatchRunner<64>>(d, u, words);
+  };
+  return test;
+}
+
+TEST(LaneWidth, CampaignDetectionsInvariantAcrossWidthsThreadsAndPolicies) {
+  Rng rng(41);
+  RandomDesign d = random_design(rng, 6, 12, 90);
+  const FaultUniverse u(d.nl);
+  const int cycles = 20;
+  std::vector<std::vector<bool>> words(static_cast<std::size_t>(cycles));
+  for (auto& w : words) {
+    w.resize(d.input_nets.size());
+    for (std::size_t i = 0; i < w.size(); ++i) w[i] = rng.next_bool();
+  }
+
+  BitVec expect_detected;
+  bool have_expect = false;
+  for (const int lanes : {64, 128, 256}) {
+    if (!lane_width_supported(lanes)) continue;
+    std::vector<CampaignTest> tests{make_design_test(d, u, words, lanes)};
+    for (const auto& policy :
+         {std::shared_ptr<const BatchScheduler>{},
+          std::shared_ptr<const BatchScheduler>{
+              std::make_shared<const ConeScheduler>(u)}}) {
+      for (const int threads : {1, 4}) {
+        FaultList fl(u);
+        const CampaignOptions opts{
+            .threads = threads, .lane_width = lanes, .scheduler = policy};
+        const CampaignResult r = CampaignEngine(u, opts).run(fl, tests);
+        if (!have_expect) {
+          expect_detected = r.detected;
+          have_expect = true;
+          EXPECT_GT(r.total_new_detections, 0u);
+        }
+        EXPECT_EQ(r.detected, expect_detected)
+            << lanes << " lanes, " << threads << " threads, "
+            << (policy ? policy->name() : "default");
+        // One wide shard holds what several scalar shards held.
+        if (lanes > 64 && u.size() > 63)
+          EXPECT_LT(r.tests.at(0).batches, (u.size() + 62) / 63);
+      }
+    }
+  }
+}
+
+TEST(LaneWidth, ResolveFallsBackToScalar) {
+  EXPECT_EQ(resolve_lane_width(64), 64);
+  EXPECT_EQ(resolve_lane_width(0), 64);
+  EXPECT_EQ(resolve_lane_width(63), 64);
+#if OLFUI_HAS_WIDE_LANES
+  EXPECT_EQ(resolve_lane_width(128), 128);
+  EXPECT_EQ(resolve_lane_width(256), 256);
+  EXPECT_EQ(kMaxLaneWidth, 256);
+#else
+  EXPECT_EQ(resolve_lane_width(128), 64);
+  EXPECT_EQ(resolve_lane_width(256), 64);
+  EXPECT_EQ(kMaxLaneWidth, 64);
+#endif
+  EXPECT_EQ(resolve_lane_width(512), 64);
+}
+
+TEST(LaneWidth, EngineDerivesBatchSizeFromWidth) {
+  // batch_size == 0 asks for the width's natural maximum (lanes - 1);
+  // explicit values clamp into [1, lanes - 1].
+  Rng rng(47);
+  RandomDesign d = random_design(rng, 4, 6, 30);
+  const FaultUniverse u(d.nl);
+  const std::vector<std::vector<bool>> words(
+      8, std::vector<bool>(d.input_nets.size(), true));
+
+  for (const int lanes : {64, 128, 256}) {
+    if (!lane_width_supported(lanes)) continue;
+    std::vector<CampaignTest> tests{make_design_test(d, u, words, lanes)};
+    FaultList fl(u);
+    const CampaignResult r =
+        CampaignEngine(u, {.lane_width = lanes}).run(fl, tests);
+    const std::size_t batch = static_cast<std::size_t>(lanes) - 1;
+    EXPECT_EQ(r.tests.at(0).batches, (u.size() + batch - 1) / batch) << lanes;
+  }
+}
+
+}  // namespace
+}  // namespace olfui

@@ -56,8 +56,8 @@ TEST(CellLibrary, EvalPackedTruthTables) {
   std::uint64_t in3[] = {a, b, 0b0101};
   EXPECT_EQ(eval_packed(CellType::kMux2, in3, 3) & 0xF,
             ((0b0101u & b) | (~0b0101u & a)) & 0xF);
-  EXPECT_EQ(eval_packed(CellType::kTie0, nullptr, 0), 0u);
-  EXPECT_EQ(eval_packed(CellType::kTie1, nullptr, 0), ~0ULL);
+  EXPECT_EQ(eval_packed<std::uint64_t>(CellType::kTie0, nullptr, 0), 0u);
+  EXPECT_EQ(eval_packed<std::uint64_t>(CellType::kTie1, nullptr, 0), ~0ULL);
 }
 
 TEST(Netlist, BuildAndQuery) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "campaign/executor.hpp"
 #include "campaign/report.hpp"
 #include "campaign/scheduler.hpp"
 #include "core/analyzer.hpp"
@@ -172,6 +173,142 @@ TEST(SeqFsimOptionsJson, RoundTripsAndRejectsBadBudgets) {
   bad.set("max_cycles", 0);
   EXPECT_THROW(seq_fsim_options_from_json(bad), JsonError);
   EXPECT_THROW(seq_fsim_options_from_json(Json::object()), JsonError);
+}
+
+TEST(LaneMaskJson, RoundTripsArrayAndLegacyString) {
+  LaneMask mask;
+  mask.set_word(0, 0x0123456789ABCDEFull);
+  mask.set_word(1, 0xFEDCBA9876543210ull);
+  mask.set_word(2, 0x00000000DEADBEEFull);
+  mask.set_word(3, 0x8000000000000001ull);
+  // Dump -> parse -> decode, the full wire path.
+  const Json doc = Json::parse(lane_mask_to_json(mask).dump());
+  EXPECT_EQ(lane_mask_from_json(doc), mask);
+  // The wire form is a fixed-order array of kWords 16-digit hex words,
+  // least-significant word first.
+  ASSERT_EQ(doc.size(), static_cast<std::size_t>(LaneMask::kWords));
+  for (int k = 0; k < LaneMask::kWords; ++k)
+    EXPECT_EQ(doc.at(static_cast<std::size_t>(k)).as_string().size(), 16u);
+  EXPECT_EQ(doc.at(std::size_t{0}).as_string(), "0123456789abcdef");
+
+  // The legacy lone-string form (a pre-width 63-fault shard) still
+  // decodes as the low word.
+  EXPECT_EQ(lane_mask_from_json(Json::parse("\"000000000000000a\"")),
+            LaneMask(0xAull));
+}
+
+TEST(LaneMaskJson, RejectsMalformedWordsWithSourceOffsets) {
+  // Wrong array length: a 3-word mask is a protocol error, not a short
+  // read to zero-fill.
+  EXPECT_THROW(lane_mask_from_json(Json::parse(
+                   "[\"0000000000000000\", \"0000000000000000\", "
+                   "\"0000000000000000\"]")),
+               JsonError);
+  {  // a 15-digit word
+    const std::string text =
+        "[\"0000000000000001\", \"000000000000002\", "
+        "\"0000000000000000\", \"0000000000000000\"]";
+    try {
+      lane_mask_from_json(Json::parse(text));
+      FAIL() << "15-digit word accepted";
+    } catch (const JsonError& e) {
+      EXPECT_GT(e.offset(), 0u);
+      EXPECT_LT(e.offset(), text.size());
+    }
+  }
+  {  // a non-hex digit: the offset points at the offending character
+    const std::string text =
+        "[\"0000000000000001\", \"00000000000000g0\", "
+        "\"0000000000000000\", \"0000000000000000\"]";
+    const std::size_t gpos = text.find('g');
+    try {
+      lane_mask_from_json(Json::parse(text));
+      FAIL() << "non-hex digit accepted";
+    } catch (const JsonError& e) {
+      EXPECT_GE(e.offset() + 1, gpos);
+      EXPECT_LE(e.offset(), gpos + 1);
+    }
+  }
+  // Legacy string form gets the same digit-count strictness.
+  EXPECT_THROW(lane_mask_from_json(Json::parse("\"abc\"")), JsonError);
+}
+
+TEST(BatchPlanJson, MaxBatchFollowsNegotiatedWidth) {
+  // A 100-fault batch is over the 64-lane limit (63) but fits 128 lanes
+  // (127): the same document parses or is refused depending on the
+  // max_batch the caller negotiated.
+  const Json doc = batch_plan_to_json(BatchPlan::fixed(200, 100), "fixed");
+  const BatchPlan wide = batch_plan_from_json(doc, /*max_batch=*/127);
+  EXPECT_EQ(wide.batches(), 2u);
+  EXPECT_THROW(batch_plan_from_json(doc), JsonError);  // default: 63
+}
+
+/// Minimal well-formed grade request document for the guard tests.
+Json make_grade_doc(std::size_t targets, std::size_t batch) {
+  Json doc = Json::object();
+  doc.set("type", "grade");
+  doc.set("protocol", kWorkerProtocolVersion);
+  doc.set("test", "t");
+  doc.set("fault_model", std::string(to_string(FaultModel::kStuckAt)));
+  doc.set("spec", Json::object());
+  doc.set("plan", batch_plan_to_json(BatchPlan::fixed(targets, batch), "fixed"));
+  Json tg = Json::array();
+  for (std::size_t i = 0; i < targets; ++i) tg.push_back(i);
+  doc.set("targets", std::move(tg));
+  Json sh = Json::array();
+  sh.push_back(std::size_t{0});
+  doc.set("shards", std::move(sh));
+  return doc;
+}
+
+TEST(ShardRequestJson, LanesGateThePlanWidth) {
+  // Absent "lanes" means the pre-width protocol: 64 lanes, 63-fault cap.
+  EXPECT_EQ(shard_request_from_json(make_grade_doc(60, 60)).lanes, 64);
+  EXPECT_THROW(shard_request_from_json(make_grade_doc(100, 100)), JsonError);
+
+  if (lane_width_supported(128)) {
+    Json doc = make_grade_doc(100, 100);
+    doc.set("lanes", 128);
+    const ShardRequest req = shard_request_from_json(doc);
+    EXPECT_EQ(req.lanes, 128);
+    EXPECT_EQ(req.plan.batches(), 1u);
+    // ... but 128 lanes still refuse a batch over 127 faults.
+    Json over = make_grade_doc(140, 140);
+    over.set("lanes", 128);
+    EXPECT_THROW(shard_request_from_json(over), JsonError);
+  }
+
+  // A width outside {64, 128, 256} is a protocol error.
+  Json odd = make_grade_doc(10, 10);
+  odd.set("lanes", 96);
+  EXPECT_THROW(shard_request_from_json(odd), JsonError);
+
+  // A width this build does not instantiate is refused at parse time,
+  // mirroring the coordinator's max_lanes check at hello.
+  if (!lane_width_supported(256)) {
+    Json wide = make_grade_doc(10, 10);
+    wide.set("lanes", 256);
+    EXPECT_THROW(shard_request_from_json(wide), JsonError);
+  }
+}
+
+TEST(SeqFsimOptionsJson, LanesRoundTripAndValidation) {
+  SeqFsimOptions opts;
+  opts.max_cycles = 99;
+  opts.lanes = 128;
+  const Json doc = seq_fsim_options_to_json(opts);
+  EXPECT_EQ(doc.at("lanes").as_int(), 128);
+  EXPECT_EQ(seq_fsim_options_from_json(doc).lanes, 128);
+
+  // 64 is the wire default and stays off the wire entirely.
+  opts.lanes = 64;
+  const Json plain = seq_fsim_options_to_json(opts);
+  EXPECT_FALSE(plain.contains("lanes"));
+  EXPECT_EQ(seq_fsim_options_from_json(plain).lanes, 64);
+
+  Json bad = seq_fsim_options_to_json(opts);
+  bad.set("lanes", 96);
+  EXPECT_THROW(seq_fsim_options_from_json(bad), JsonError);
 }
 
 TEST(TransitionModel, StrictlyMorePruningThanStuckAt) {

@@ -296,7 +296,7 @@ class RigBatchRunner final : public FaultBatchRunner {
         trace_(std::move(trace)) {
     fsim_.set_observed(rig.outputs);
   }
-  std::uint64_t run_batch(std::span<const FaultId> faults) override {
+  LaneMask run_batch(std::span<const FaultId> faults) override {
     return fsim_.run_batch(faults, env_, trace_.get());
   }
 
