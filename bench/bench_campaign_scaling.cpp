@@ -9,6 +9,9 @@
 //    the event-driven kernel (smaller active sets, more uniform early
 //    exit). Runs single-thread so the comparison measures batch quality,
 //    not scheduling luck.
+//  * cone packing — greedy union-popcount clustering vs the raw
+//    signature sort, with per-batch cone-overlap stats (mean/max union
+//    popcount) and the bit-identical detection cross-check.
 //  * thread scaling — the slice graded at 1/2/4/8 worker threads with the
 //    determinism cross-check (every thread count must produce the same
 //    detections). NOTE: on a 1-core container every speedup degenerates
@@ -31,6 +34,8 @@
 #include <benchmark/benchmark.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -167,6 +172,73 @@ void run_scheduler_comparison(const Soc& soc, const FaultUniverse& universe,
           cone.seconds > 0 ? fixed.seconds / cone.seconds : 0.0);
   // "No slower than default" with a 5% measurement-noise allowance.
   doc.set("cone_no_slower", cone.seconds <= fixed.seconds * 1.05);
+}
+
+/// Greedy union-popcount cone packing vs the raw signature sort it
+/// replaced. Wall time shows whether tighter batches pay on the event
+/// kernel; the per-batch union-popcount stats (mean/max bits set in the
+/// OR of a batch's cone signatures — lower = the batch shares cones) are
+/// the direct measure of packing quality, independent of timing noise.
+/// Both packings must grade the bit-identical detection set.
+void run_packing_comparison(const Soc& soc, const FaultUniverse& universe,
+                            Json& doc) {
+  auto suite = build_sbst_suite(soc.config);
+  suite.erase(suite.begin() + 2, suite.end());  // alu_arith + alu_logic
+  const std::vector<CampaignTest> tests =
+      build_sbst_campaign_tests(soc, suite, universe);
+  const std::vector<FaultId> targets = fault_slice(universe, 2048, 5);
+
+  const auto greedy = std::make_shared<const ConeScheduler>(universe);
+  const auto raw = std::make_shared<const ConeScheduler>(
+      universe, nullptr, ConePacking::kRawSort);
+
+  std::printf("== cone packing: greedy union-popcount vs raw sort ==========\n");
+  std::printf("%10s %10s %10s %12s %10s\n", "packing", "wall [s]", "batches",
+              "mean union", "max union");
+
+  const PolicyRun greedy_run = grade_policy(universe, tests, targets, greedy, 1);
+  const PolicyRun raw_run = grade_policy(universe, tests, targets, raw, 1);
+  const bool identical = greedy_run.detected == raw_run.detected;
+
+  // Overlap stats straight off each packing's plan (the same numbers
+  // --dump-schedule reports): per batch, popcount of the OR of its
+  // members' cone signatures.
+  const std::vector<std::uint64_t> sigs = greedy->signatures(targets);
+  const auto overlap_stats = [&](const ConeScheduler& s, const PolicyRun& run,
+                                 const char* label) {
+    const BatchPlan plan =
+        s.plan(targets, {.batch_size = 63, .test_name = "bench"});
+    double mean = 0;
+    int max = 0;
+    for (std::size_t b = 0; b < plan.batches(); ++b) {
+      std::uint64_t u = 0;
+      for (std::uint32_t i = plan.batch_start[b]; i < plan.batch_start[b + 1];
+           ++i)
+        u |= sigs[plan.order[i]];
+      const int bits = std::popcount(u);
+      mean += bits;
+      max = std::max(max, bits);
+    }
+    if (plan.batches()) mean /= static_cast<double>(plan.batches());
+    std::printf("%10s %10.3f %10zu %12.1f %10d\n", label, run.seconds,
+                run.batches, mean, max);
+    Json p = Json::object();
+    p.set("wall_seconds", run.seconds);
+    p.set("batches", run.batches);
+    p.set("mean_union_popcount", mean);
+    p.set("max_union_popcount", max);
+    return p;
+  };
+  Json packing = Json::object();
+  packing.set("greedy", overlap_stats(*greedy, greedy_run, "greedy"));
+  packing.set("raw_sort", overlap_stats(*raw, raw_run, "raw-sort"));
+  packing.set("greedy_speedup_vs_raw",
+              greedy_run.seconds > 0 ? raw_run.seconds / greedy_run.seconds
+                                     : 0.0);
+  std::printf("detection sets %s across packings\n\n",
+              identical ? "bit-identical" : "DIFFER — packing bug!");
+  doc.set("packing", std::move(packing));
+  doc.set("packing_detections_identical", identical);
 }
 
 void run_thread_scaling(const Soc& soc, const FaultUniverse& universe,
@@ -489,6 +561,7 @@ int main(int argc, char** argv) {
   Json doc = Json::object();
   doc.set("bench", "campaign_scaling");
   run_scheduler_comparison(*soc, universe, doc);
+  run_packing_comparison(*soc, universe, doc);
   run_thread_scaling(*soc, universe, doc);
   run_kernel_cross_check(*soc, universe, doc);
   run_executor_comparison(doc);

@@ -42,6 +42,12 @@ struct KernelRun {
   double wall_seconds = 0;
   double cycles_per_second = 0;
   double activity_ratio = 0;  ///< cells evaluated / sweep-equivalent cells
+  /// Scheduler-overhead counters for the graded slice (PackedActivity):
+  /// how much bookkeeping the event arena and the dirty-D clock did.
+  std::uint64_t events_drained = 0;
+  std::uint64_t sched_pushes = 0;
+  std::uint64_t flops_latched = 0;
+  std::uint64_t flops_skipped = 0;
   std::vector<bool> detections;  ///< per-target flags (cross-check)
 };
 
@@ -49,7 +55,8 @@ struct KernelRun {
 template <int W>
 KernelRun run_kernel_w(const Soc& soc, const FaultUniverse& universe,
                        SbstProgram& program, int good_cycles,
-                       std::span<const FaultId> targets, bool event_driven) {
+                       std::span<const FaultId> targets, bool event_driven,
+                       bool incremental) {
   const int max_cycles = good_cycles + 8;
   FlashImage flash(soc.config.flash_base, soc.config.flash_size);
   flash.load(program.program.base(), program.program.words());
@@ -57,14 +64,18 @@ KernelRun run_kernel_w(const Soc& soc, const FaultUniverse& universe,
   SocFsimEnvironmentT<W> trace_env(soc, flash, max_cycles);
   SequentialFaultSimulatorT<W> tracer(
       soc.netlist, universe,
-      {.max_cycles = max_cycles, .event_driven = event_driven});
+      {.max_cycles = max_cycles,
+       .event_driven = event_driven,
+       .incremental_clocking = incremental});
   tracer.set_observed(soc.cpu.bus_output_cells);
   const ReferenceTrace trace = tracer.record_reference_trace(trace_env);
 
   SocFsimEnvironmentT<W> env(soc, flash, max_cycles);
   SequentialFaultSimulatorT<W> fsim(
       soc.netlist, universe,
-      {.max_cycles = max_cycles, .event_driven = event_driven});
+      {.max_cycles = max_cycles,
+       .event_driven = event_driven,
+       .incremental_clocking = incremental});
   fsim.set_observed(soc.cpu.bus_output_cells);
 
   KernelRun run;
@@ -89,6 +100,10 @@ KernelRun run_kernel_w(const Soc& soc, const FaultUniverse& universe,
       sweep_equivalent > 0
           ? static_cast<double>(act.cells_evaluated) / sweep_equivalent
           : 0.0;
+  run.events_drained = act.events_drained;
+  run.sched_pushes = act.sched_pushes;
+  run.flops_latched = act.flops_latched;
+  run.flops_skipped = act.flops_skipped;
   run.cycles_per_second = run.wall_seconds > 0
                               ? static_cast<double>(batch_cycles) / run.wall_seconds
                               : 0.0;
@@ -100,18 +115,18 @@ KernelRun run_kernel_w(const Soc& soc, const FaultUniverse& universe,
 KernelRun run_kernel(const Soc& soc, const FaultUniverse& universe,
                      SbstProgram& program, int good_cycles,
                      std::span<const FaultId> targets, bool event_driven,
-                     int lanes = 64) {
+                     bool incremental = true, int lanes = 64) {
 #if OLFUI_HAS_WIDE_LANES
   if (lanes == 128)
     return run_kernel_w<128>(soc, universe, program, good_cycles, targets,
-                             event_driven);
+                             event_driven, incremental);
   if (lanes == 256)
     return run_kernel_w<256>(soc, universe, program, good_cycles, targets,
-                             event_driven);
+                             event_driven, incremental);
 #endif
   (void)lanes;
   return run_kernel_w<64>(soc, universe, program, good_cycles, targets,
-                          event_driven);
+                          event_driven, incremental);
 }
 
 void run_activity_table() {
@@ -173,13 +188,16 @@ void run_activity_table() {
     programs.push_back(std::move(p));
   }
 
-  // Per-width throughput: the same slice through every instantiated
-  // packed width (event-driven kernel, program 0), detections
-  // cross-checked bit-identical against the 64-lane baseline. Widths the
-  // build did not instantiate are reported as skipped, not silently
-  // dropped.
-  std::printf("\n%12s %12s %14s %10s %9s\n", "lane width", "kernel",
-              "cycles/sec", "wall [s]", "vs 64");
+  // Per-width throughput + scheduler overhead: the same slice through
+  // every instantiated packed width (event-driven kernel, program 0),
+  // detections cross-checked bit-identical against the 64-lane baseline.
+  // The overhead counters (events drained, arena pushes, flops latched /
+  // skipped) track the per-cell bookkeeping that dominates at the wide
+  // widths — the ROADMAP bottleneck claim — across PRs. Widths the build
+  // did not instantiate are reported as skipped, not silently dropped.
+  std::printf("\n%6s %12s %9s %7s %11s %11s %9s %9s\n", "width",
+              "cycles/sec", "wall [s]", "vs 64", "drained", "pushes",
+              "latched", "skipped");
   Json widths = Json::array();
   std::vector<bool> baseline;
   double base_wall = 0;
@@ -187,13 +205,13 @@ void run_activity_table() {
     Json wj = Json::object();
     wj.set("lanes", lanes);
     if (!lane_width_supported(lanes)) {
-      std::printf("%12d %12s\n", lanes, "(not built)");
+      std::printf("%6d %12s\n", lanes, "(not built)");
       wj.set("supported", false);
       widths.push_back(std::move(wj));
       continue;
     }
-    const KernelRun r =
-        run_kernel(*soc, universe, suite[0], cycles[0], targets, true, lanes);
+    const KernelRun r = run_kernel(*soc, universe, suite[0], cycles[0],
+                                   targets, true, true, lanes);
     if (lanes == 64) {
       baseline = r.detections;
       base_wall = r.wall_seconds;
@@ -203,16 +221,67 @@ void run_activity_table() {
     const double vs64 = base_wall > 0 && r.wall_seconds > 0
                             ? base_wall / r.wall_seconds
                             : 0.0;
-    std::printf("%12d %12s %14.0f %10.3f %8.2fx  %s\n", lanes, "event",
-                r.cycles_per_second, r.wall_seconds, vs64,
+    std::printf("%6d %12.0f %9.3f %6.2fx %11llu %11llu %9llu %9llu  %s\n",
+                lanes, r.cycles_per_second, r.wall_seconds, vs64,
+                static_cast<unsigned long long>(r.events_drained),
+                static_cast<unsigned long long>(r.sched_pushes),
+                static_cast<unsigned long long>(r.flops_latched),
+                static_cast<unsigned long long>(r.flops_skipped),
                 identical ? "[detections identical]" : "[MISMATCH!]");
     wj.set("supported", true);
     wj.set("cycles_per_second", r.cycles_per_second);
     wj.set("wall_seconds", r.wall_seconds);
     wj.set("speedup_vs_64", vs64);
+    wj.set("events_drained", r.events_drained);
+    wj.set("sched_pushes", r.sched_pushes);
+    wj.set("flops_latched", r.flops_latched);
+    wj.set("flops_skipped", r.flops_skipped);
     wj.set("detections_identical", identical);
     widths.push_back(std::move(wj));
   }
+
+  // Clocking modes: the full-sweep oracle vs the event kernel with the
+  // full two-pass latch vs the shipped default (event + dirty-D
+  // incremental clocking), all on the same slice. The three detection
+  // vectors must be bit-identical — CI greps the flag.
+  std::printf("\n%24s %14s %10s %9s %9s\n", "clocking", "cycles/sec",
+              "wall [s]", "latched", "skipped");
+  const KernelRun ck_sweep =
+      run_kernel(*soc, universe, suite[0], cycles[0], targets, false, false);
+  const KernelRun ck_full =
+      run_kernel(*soc, universe, suite[0], cycles[0], targets, true, false);
+  const KernelRun ck_incr =
+      run_kernel(*soc, universe, suite[0], cycles[0], targets, true, true);
+  const bool clocking_identical = ck_full.detections == ck_sweep.detections &&
+                                  ck_incr.detections == ck_sweep.detections;
+  all_identical &= clocking_identical;
+  const auto print_clocking = [](const char* label, const KernelRun& r) {
+    std::printf("%24s %14.0f %10.3f %9llu %9llu\n", label,
+                r.cycles_per_second, r.wall_seconds,
+                static_cast<unsigned long long>(r.flops_latched),
+                static_cast<unsigned long long>(r.flops_skipped));
+  };
+  print_clocking("sweep oracle", ck_sweep);
+  print_clocking("event + full latch", ck_full);
+  print_clocking("event + incremental", ck_incr);
+  std::printf("%24s %s\n", "",
+              clocking_identical ? "[detections identical]" : "[MISMATCH!]");
+  const auto clocking_json = [](const KernelRun& r) {
+    Json cj = Json::object();
+    cj.set("cycles_per_second", r.cycles_per_second);
+    cj.set("wall_seconds", r.wall_seconds);
+    cj.set("flops_latched", r.flops_latched);
+    cj.set("flops_skipped", r.flops_skipped);
+    return cj;
+  };
+  Json clocking = Json::object();
+  clocking.set("sweep", clocking_json(ck_sweep));
+  clocking.set("event_full_latch", clocking_json(ck_full));
+  clocking.set("event_incremental", clocking_json(ck_incr));
+  clocking.set("incremental_speedup",
+               ck_incr.wall_seconds > 0
+                   ? ck_full.wall_seconds / ck_incr.wall_seconds
+                   : 0.0);
 
   Json doc = Json::object();
   doc.set("bench", "kernel_activity");
@@ -221,6 +290,8 @@ void run_activity_table() {
   doc.set("fault_slice", targets.size());
   doc.set("programs", std::move(programs));
   doc.set("lane_widths", std::move(widths));
+  doc.set("clocking", std::move(clocking));
+  doc.set("clocking_detections_identical", clocking_identical);
   doc.set("all_detections_identical", all_identical);
   std::ofstream("BENCH_kernel.json") << doc.dump(2) << "\n";
 

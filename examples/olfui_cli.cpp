@@ -27,6 +27,13 @@
 //                            support fall back to 64. Pure throughput
 //                            knob: the graded JSON is identical at every
 //                            width
+//       --clocking M         full | incremental (default incremental) —
+//                            the packed kernel's clock() path; full is the
+//                            every-flop two-pass latch oracle. Pure
+//                            work-skipping knob: the graded JSON is
+//                            identical in both modes, and the choice rides
+//                            each test's wire spec so subprocess fleets
+//                            grade with the coordinator's mode
 //       --schedule P         default | cone | adaptive
 //       --model sa|tdf       fault model (default sa)
 //       --json FILE          full CampaignResult (runtime stats included)
@@ -118,7 +125,7 @@ using namespace olfui;
                "       %s --sbst [--executor inproc|subprocess] [--workers N] "
                "[--shard-timeout S] [--max-respawns N] [--min-workers N] "
                "[--chaos SPEC] [--programs N] [--limit N] [--threads N] "
-               "[--lanes 64|128|256] "
+               "[--lanes 64|128|256] [--clocking full|incremental] "
                "[--schedule default|cone|adaptive] [--model sa|tdf] "
                "[--json FILE] [--json-no-stats FILE] [--trace FILE] "
                "[--metrics FILE] [--progress]\n"
@@ -304,6 +311,7 @@ int run_sbst_mode(int argc, char** argv) {
   FleetOptions fleet;
   double shard_timeout = 0;
   bool subprocess = false, transition = false, progress = false;
+  bool incremental_clocking = true;
   std::string schedule = "default", json_path, json_no_stats_path;
   std::string trace_path, metrics_path, chaos_spec;
 
@@ -351,6 +359,10 @@ int run_sbst_mode(int argc, char** argv) {
     } else if (arg == "--lanes") {
       lanes = static_cast<int>(next_uint());
       if (lanes != 64 && lanes != 128 && lanes != 256) usage(argv[0]);
+    } else if (arg == "--clocking") {
+      const std::string mode = next();
+      if (mode != "full" && mode != "incremental") usage(argv[0]);
+      incremental_clocking = mode == "incremental";
     } else if (arg == "--schedule") {
       schedule = next();
       if (schedule != "default" && schedule != "cone" && schedule != "adaptive")
@@ -390,6 +402,7 @@ int run_sbst_mode(int argc, char** argv) {
   opts.target_limit = limit;
   opts.shard_timeout = shard_timeout;
   opts.lane_width = lanes;
+  opts.incremental_clocking = incremental_clocking;
   if (resolve_lane_width(lanes) != lanes)
     std::fprintf(stderr,
                  "note: this build has no %d-lane kernel; grading with the "
@@ -411,10 +424,11 @@ int run_sbst_mode(int argc, char** argv) {
   }
 
   std::printf("sbst campaign: %zu programs, %zu faults%s, model %s,\n"
-              "  %d lanes, schedule %s, executor %s",
+              "  %d lanes, %s clocking, schedule %s, executor %s",
               suite.size(), universe.size(), limit ? " (sliced)" : "",
               transition ? "tdf" : "sa", resolve_lane_width(lanes),
-              schedule.c_str(), subprocess ? "subprocess" : "inproc");
+              incremental_clocking ? "incremental" : "full", schedule.c_str(),
+              subprocess ? "subprocess" : "inproc");
   if (subprocess) std::printf(" (%d workers)", workers);
   std::printf("\n");
 
@@ -600,11 +614,11 @@ int main(int argc, char** argv) {
     const BatchScheduler& policy = scheduler ? *scheduler : fixed;
     const BatchPlan plan =
         policy.plan(targets, {.batch_size = 63, .test_name = "dump"});
+    // The dump reads signatures out of the scheduler's own ConeAnalysis
+    // (built once at construction) — recomputing them here could silently
+    // disagree with the plan it annotates.
     std::vector<std::uint64_t> sigs;
-    if (cone_scheduler) {
-      sigs.reserve(targets.size());
-      for (FaultId f : targets) sigs.push_back(cone_scheduler->signature(f));
-    }
+    if (cone_scheduler) sigs = cone_scheduler->signatures(targets);
     Json doc = batch_plan_to_json(plan, policy.name(), sigs);
     write_file(dump_schedule_path, doc.dump(2) + "\n");
   }

@@ -87,6 +87,10 @@ struct CampaignOptions {
   /// 64 (resolve_lane_width). Pure throughput knob: detection sets are
   /// bit-identical at every width.
   int lane_width = 64;
+  /// Dirty-D incremental clocking in the packed kernel (false = full
+  /// two-pass latch oracle). Pure work-skipping knob: detection sets are
+  /// bit-identical in both modes.
+  bool incremental_clocking = true;
   /// Faults per shard; clamped to [1, lane_width - 1] (lane 0 is the good
   /// machine). The default tracks the resolved width: lanes - 1.
   int batch_size = 0;

@@ -380,6 +380,9 @@ Json seq_fsim_options_to_json(const SeqFsimOptions& opts) {
   // The default width is left implicit so pre-width readers keep
   // accepting specs from width-64 campaigns unchanged.
   if (opts.lanes != 64) doc.set("lanes", opts.lanes);
+  // Same back-compat rule: the default (incremental) is left implicit so
+  // pre-clocking readers keep accepting default-mode specs.
+  if (!opts.incremental_clocking) doc.set("clocking", "full");
   return doc;
 }
 
@@ -395,6 +398,14 @@ SeqFsimOptions seq_fsim_options_from_json(const Json& doc) {
     if (opts.lanes != 64 && opts.lanes != 128 && opts.lanes != 256)
       throw JsonError("fsim options: lanes must be 64, 128 or 256",
                       doc.at("lanes").source_offset());
+  }
+  if (doc.contains("clocking")) {  // absent in pre-clocking specs: incremental
+    const std::string& mode = doc.at("clocking").as_string();
+    if (mode == "full")
+      opts.incremental_clocking = false;
+    else if (mode != "incremental")
+      throw JsonError("fsim options: clocking must be full or incremental",
+                      doc.at("clocking").source_offset());
   }
   return opts;
 }

@@ -1,8 +1,10 @@
 #include "campaign/scheduler.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <numeric>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "campaign/campaign.hpp"
 #include "obs/metrics.hpp"
@@ -45,8 +47,9 @@ BatchPlan FixedScheduler::plan(std::span<const FaultId> targets,
 }
 
 ConeScheduler::ConeScheduler(const FaultUniverse& universe,
-                             std::shared_ptr<const PackedTopology> topo)
-    : universe_(&universe) {
+                             std::shared_ptr<const PackedTopology> topo,
+                             ConePacking packing)
+    : universe_(&universe), packing_(packing) {
   if (topo && topo->nl != &universe.netlist())
     throw std::invalid_argument(
         "ConeScheduler: topology is for a different netlist");
@@ -59,18 +62,99 @@ std::uint64_t ConeScheduler::signature(FaultId f) const {
   return net == kInvalidId ? 0 : cones_.net_sig[net];
 }
 
-BatchPlan ConeScheduler::plan(std::span<const FaultId> targets,
-                              const ScheduleContext& ctx) const {
+std::vector<std::uint64_t> ConeScheduler::signatures(
+    std::span<const FaultId> targets) const {
   std::vector<std::uint64_t> sigs(targets.size());
   for (std::size_t i = 0; i < targets.size(); ++i)
     sigs[i] = signature(targets[i]);
+  return sigs;
+}
+
+BatchPlan ConeScheduler::plan(std::span<const FaultId> targets,
+                              const ScheduleContext& ctx) const {
+  const std::vector<std::uint64_t> sigs = signatures(targets);
+  // Every batch fills to the cap, so the fixed boundaries (ceil(n/cap)
+  // batches) are kept and only the order is rewritten.
   BatchPlan plan = BatchPlan::fixed(targets.size(), ctx.batch_size);
-  // Stable: equal signatures keep target (= fault id) order, so the plan
-  // is a pure function of the target list.
-  std::stable_sort(plan.order.begin(), plan.order.end(),
-                   [&](std::uint32_t a, std::uint32_t b) {
-                     return sigs[a] < sigs[b];
-                   });
+  if (packing_ == ConePacking::kRawSort) {
+    // Stable: equal signatures keep target (= fault id) order, so the plan
+    // is a pure function of the target list.
+    std::stable_sort(plan.order.begin(), plan.order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return sigs[a] < sigs[b];
+                     });
+    return plan;
+  }
+
+  // Greedy union-popcount clustering. Targets are first grouped by exact
+  // signature (groups numbered by first occurrence, members in target
+  // order); batches are then built group-at-a-time: seed with the group
+  // holding the most unclaimed faults, and repeatedly add the group whose
+  // signature shares the most bits with the batch's running union.
+  // Groups split across a batch boundary when the cap fills — the
+  // remainder seeds later batches. Every choice ties off deterministically
+  // (remaining count, then group number), so the plan stays a pure
+  // function of the target list.
+  struct Group {
+    std::uint64_t sig = 0;
+    std::vector<std::uint32_t> members;  // target indices, in target order
+    std::uint32_t taken = 0;             // members already placed
+  };
+  std::vector<Group> groups;
+  std::unordered_map<std::uint64_t, std::uint32_t> group_of;
+  for (std::size_t i = 0; i < sigs.size(); ++i) {
+    const auto [it, inserted] =
+        group_of.try_emplace(sigs[i], static_cast<std::uint32_t>(groups.size()));
+    if (inserted) groups.push_back({sigs[i], {}, 0});
+    groups[it->second].members.push_back(static_cast<std::uint32_t>(i));
+  }
+
+  const auto remaining = [&](std::uint32_t g) {
+    return groups[g].members.size() - groups[g].taken;
+  };
+  std::vector<std::uint32_t> live(groups.size());
+  std::iota(live.begin(), live.end(), 0u);
+  plan.order.clear();
+  while (!live.empty()) {
+    // Seed: most unclaimed members; tie → lowest group number.
+    std::size_t pick = 0;
+    for (std::size_t k = 1; k < live.size(); ++k)
+      if (remaining(live[k]) > remaining(live[pick]) ||
+          (remaining(live[k]) == remaining(live[pick]) &&
+           live[k] < live[pick]))
+        pick = k;
+    std::uint64_t batch_union = 0;
+    std::size_t fill = 0;
+    while (fill < ctx.batch_size) {
+      Group& g = groups[live[pick]];
+      batch_union |= g.sig;
+      const std::size_t take =
+          std::min(ctx.batch_size - fill, g.members.size() - g.taken);
+      for (std::size_t j = 0; j < take; ++j)
+        plan.order.push_back(g.members[g.taken++]);
+      fill += take;
+      if (g.taken == g.members.size()) {
+        live[pick] = live.back();  // selection keys on group number, so
+        live.pop_back();           // swap-remove order never shows through
+      }
+      if (live.empty() || fill == ctx.batch_size) break;
+      // Next: max signature overlap with the union; tie → most unclaimed
+      // members, then lowest group number.
+      pick = 0;
+      int best_overlap = std::popcount(groups[live[0]].sig & batch_union);
+      for (std::size_t k = 1; k < live.size(); ++k) {
+        const int overlap = std::popcount(groups[live[k]].sig & batch_union);
+        if (overlap > best_overlap ||
+            (overlap == best_overlap &&
+             (remaining(live[k]) > remaining(live[pick]) ||
+              (remaining(live[k]) == remaining(live[pick]) &&
+               live[k] < live[pick])))) {
+          pick = k;
+          best_overlap = overlap;
+        }
+      }
+    }
+  }
   return plan;
 }
 

@@ -95,10 +95,25 @@ class FixedScheduler final : public BatchScheduler {
                  const ScheduleContext& ctx) const override;
 };
 
-/// Cone-aware grouping: stable-sorts targets by their effect net's cone
-/// signature (equal cones end up adjacent, ties keep target order), then
-/// cuts fixed-size batches. Construction runs the static cone analysis
-/// once per universe; plan() is a sort.
+/// How the cone policy turns signatures into batches.
+enum class ConePacking : std::uint8_t {
+  /// Greedy union-popcount clustering: seed each batch with the
+  /// most-populous unclaimed signature group, then repeatedly add the
+  /// group whose signature overlaps the batch's running union the most.
+  /// Batches share fanout cones for real, so the event drain touches
+  /// fewer levels per shard. The default.
+  kGreedyUnion,
+  /// Stable sort by raw 64-bit signature value (the pre-greedy
+  /// behaviour, kept as the comparison baseline for benches).
+  kRawSort,
+};
+
+/// Cone-aware grouping: batches faults whose effect-net cone signatures
+/// overlap (ConePacking selects the clustering), so cone-mates share a
+/// simulator pass — they activate the same region of the event-driven
+/// kernel and tend to diverge on the same cycles. Construction runs the
+/// static cone analysis once per universe; plan() is a pure function of
+/// the target list.
 class ConeScheduler final : public BatchScheduler {
  public:
   /// `topo`, if given, must be a PackedTopology over the universe's
@@ -106,18 +121,27 @@ class ConeScheduler final : public BatchScheduler {
   /// runners — pass it to skip a rebuild); throws std::invalid_argument
   /// on a mismatch. Without one, a topology is built and discarded.
   explicit ConeScheduler(const FaultUniverse& universe,
-                         std::shared_ptr<const PackedTopology> topo = nullptr);
-  std::string_view name() const override { return "cone"; }
+                         std::shared_ptr<const PackedTopology> topo = nullptr,
+                         ConePacking packing = ConePacking::kGreedyUnion);
+  std::string_view name() const override {
+    return packing_ == ConePacking::kRawSort ? "cone-raw" : "cone";
+  }
   BatchPlan plan(std::span<const FaultId> targets,
                  const ScheduleContext& ctx) const override;
 
   /// The grouping key of one fault (exposed for plan dumps and tests).
   std::uint64_t signature(FaultId f) const;
+  /// Bulk signature lookup — the dump path reads the scheduler's own
+  /// analysis through this instead of rebuilding one, so dump stats and
+  /// the plan can never disagree on signatures.
+  std::vector<std::uint64_t> signatures(std::span<const FaultId> targets) const;
   const ConeAnalysis& cones() const { return cones_; }
+  ConePacking packing() const { return packing_; }
 
  private:
   const FaultUniverse* universe_;
   ConeAnalysis cones_;
+  ConePacking packing_ = ConePacking::kGreedyUnion;
 };
 
 /// Profile-guided shard splitting: starts from the fixed plan and halves

@@ -113,6 +113,8 @@ SequentialFaultSimulatorT<W>::SequentialFaultSimulatorT(
     throw std::invalid_argument(
         "SequentialFaultSimulator: topology is for a different netlist");
   if (!opts_.event_driven) sim_.set_eval_mode(PackedEvalMode::kFullSweep);
+  if (!opts_.incremental_clocking)
+    sim_.set_clock_mode(PackedClockMode::kFullLatch);
   // Default: observe every top-level output.
   observed_ = nl.output_cells();
 }
@@ -332,6 +334,12 @@ void SequentialFaultSimulatorT<W>::publish_activity() {
       .add(a.levels_touched - base.levels_touched);
   obs::metrics().counter("kernel.quiet_cells")
       .add(a.quiet_cells - base.quiet_cells);
+  obs::metrics().counter("kernel.sched_pushes")
+      .add(a.sched_pushes - base.sched_pushes);
+  obs::metrics().counter("kernel.flops_latched")
+      .add(a.flops_latched - base.flops_latched);
+  obs::metrics().counter("kernel.flops_skipped")
+      .add(a.flops_skipped - base.flops_skipped);
   base = a;
 }
 

@@ -96,6 +96,10 @@ struct SeqFsimOptions {
   /// Use the event-driven packed kernel; false forces the levelized
   /// full-sweep oracle. Both produce bit-identical results.
   bool event_driven = true;
+  /// Use dirty-D incremental clocking (latch only flops whose D input
+  /// changed since their last edge); false forces the full two-pass latch
+  /// oracle. Both produce bit-identical results.
+  bool incremental_clocking = true;
   /// Requested packed width (64/128/256). The simulator's width is its
   /// template parameter; this field lets width travel with the options
   /// through specs and CLI plumbing (resolve_lane_width applies the

@@ -330,14 +330,12 @@ class SbstBatchRunnerT final : public FaultBatchRunner {
   SbstBatchRunnerT(const Soc& soc, const FaultUniverse& universe,
                    std::shared_ptr<const FlashImage> flash,
                    std::shared_ptr<const ReferenceTrace> trace,
-                   std::shared_ptr<const PackedTopology> topo, int max_cycles,
-                   bool event_driven, FaultModel fault_model)
+                   std::shared_ptr<const PackedTopology> topo,
+                   const SeqFsimOptions& opts, FaultModel fault_model)
       : flash_(std::move(flash)),
         trace_(std::move(trace)),
-        env_(soc, *flash_, max_cycles),
-        fsim_(soc.netlist, universe,
-              {.max_cycles = max_cycles, .event_driven = event_driven},
-              std::move(topo)),
+        env_(soc, *flash_, opts.max_cycles),
+        fsim_(soc.netlist, universe, opts, std::move(topo)),
         fault_model_(fault_model) {
     fsim_.set_observed(soc.cpu.bus_output_cells);
   }
@@ -370,8 +368,7 @@ std::unique_ptr<FaultBatchRunner> make_sbst_runner(
     const std::shared_ptr<const PackedTopology>& topo,
     const SeqFsimOptions& opts, FaultModel fault_model) {
   return std::make_unique<SbstBatchRunnerT<W>>(soc, universe, flash, trace,
-                                               topo, opts.max_cycles,
-                                               opts.event_driven, fault_model);
+                                               topo, opts, fault_model);
 }
 
 /// The shared trailing half of build/rebuild: checkpoint the good machine
@@ -435,7 +432,7 @@ SbstCampaignTest make_sbst_campaign_test(const Soc& soc, SbstProgram& program,
 SbstCampaignTest build_sbst_campaign_test(
     const Soc& soc, SbstProgram& program, const FaultUniverse& universe,
     std::shared_ptr<const PackedTopology> topo, int margin, bool event_driven,
-    FaultModel fault_model, int lanes) {
+    FaultModel fault_model, int lanes, bool incremental_clocking) {
   SocSimulator runner(soc);
   runner.load_program(program.program);
   const int cycles = runner.run(kSbstFunctionalCycleCap);
@@ -444,6 +441,7 @@ SbstCampaignTest build_sbst_campaign_test(
   // max_cycles so a worker needs no functional pre-run of its own.
   const SeqFsimOptions opts{.max_cycles = cycles + margin,
                             .event_driven = event_driven,
+                            .incremental_clocking = incremental_clocking,
                             .lanes = lanes};
   return make_sbst_campaign_test(soc, program, universe, std::move(topo), opts,
                                  cycles, fault_model);
@@ -479,7 +477,7 @@ SbstCampaignTest rebuild_sbst_campaign_test(
 std::vector<CampaignTest> build_sbst_campaign_tests(
     const Soc& soc, std::vector<SbstProgram>& suite,
     const FaultUniverse& universe, int margin, bool event_driven,
-    FaultModel fault_model, int lanes) {
+    FaultModel fault_model, int lanes, bool incremental_clocking) {
   // One topology (levelized order + fanout CSR) serves every tracer and
   // every worker's simulator across the whole suite.
   const auto topo = PackedTopology::build(soc.netlist);
@@ -487,7 +485,8 @@ std::vector<CampaignTest> build_sbst_campaign_tests(
   tests.reserve(suite.size());
   for (SbstProgram& sp : suite)
     tests.push_back(build_sbst_campaign_test(soc, sp, universe, topo, margin,
-                                             event_driven, fault_model, lanes)
+                                             event_driven, fault_model, lanes,
+                                             incremental_clocking)
                         .test);
   return tests;
 }
@@ -501,7 +500,8 @@ SbstCampaignResult run_sbst_campaign(
   // engine resolves the same width below, so kernel and batch bound agree.
   const std::vector<CampaignTest> tests = build_sbst_campaign_tests(
       soc, suite, fl.universe(), kSbstCampaignMargin, /*event_driven=*/true,
-      opts.fault_model, resolve_lane_width(opts.lane_width));
+      opts.fault_model, resolve_lane_width(opts.lane_width),
+      opts.incremental_clocking);
   const CampaignEngine engine(fl.universe(), opts);
   SbstCampaignResult result;
   result.campaign = engine.run(fl, tests, progress);

@@ -71,6 +71,8 @@ struct SbstCampaignResult {
 /// same fault ids (fault/tdf.hpp). `lanes` selects the packed kernel
 /// width (64/128/256; unsupported widths fall back to 64) — a pure
 /// throughput knob, detection sets are bit-identical at every width.
+/// `incremental_clocking` selects the dirty-D clock path (false = full
+/// two-pass latch oracle; bit-identical either way).
 /// Margin default shared by build_sbst_campaign_tests' declaration and
 /// run_sbst_campaign's explicit call, so the two paths cannot drift.
 inline constexpr int kSbstCampaignMargin = 8;
@@ -79,7 +81,7 @@ std::vector<CampaignTest> build_sbst_campaign_tests(
     const Soc& soc, std::vector<SbstProgram>& suite,
     const FaultUniverse& universe, int margin = kSbstCampaignMargin,
     bool event_driven = true, FaultModel fault_model = FaultModel::kStuckAt,
-    int lanes = 64);
+    int lanes = 64, bool incremental_clocking = true);
 
 /// One program's campaign test plus the recorded good-machine checkpoint
 /// (exposed so subprocess workers can fingerprint their rebuilt state —
@@ -102,7 +104,8 @@ SbstCampaignTest build_sbst_campaign_test(
     const Soc& soc, SbstProgram& program, const FaultUniverse& universe,
     std::shared_ptr<const PackedTopology> topo,
     int margin = kSbstCampaignMargin, bool event_driven = true,
-    FaultModel fault_model = FaultModel::kStuckAt, int lanes = 64);
+    FaultModel fault_model = FaultModel::kStuckAt, int lanes = 64,
+    bool incremental_clocking = true);
 
 /// The worker half: reconstructs the campaign test a spec (produced by
 /// build_sbst_campaign_test on the coordinator) describes, over the

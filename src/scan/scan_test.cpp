@@ -66,8 +66,12 @@ std::uint64_t ScanTestRunner::run_pattern(std::span<const FaultId> faults,
   sim.power_on();
   drive_quiet_inputs(sim);
 
+  // Lanes 1..n carry faults; a full 63-fault batch needs all of ~1ULL,
+  // which (1 << 64) - 2 cannot express without UB on the shift.
   const std::uint64_t fault_lanes =
-      faults.empty() ? 0 : ((1ULL << (faults.size() + 1)) - 2);
+      faults.empty()       ? 0
+      : faults.size() < 63 ? ((1ULL << (faults.size() + 1)) - 2)
+                           : ~1ULL;
   std::uint64_t diverged = 0;
 
   // Shift-in: SE active, serial data such that after max_len cycles each
@@ -133,7 +137,9 @@ std::uint64_t ScanTestRunner::run_chain_test(std::span<const FaultId> faults,
   sim.power_on();
   drive_quiet_inputs(sim);
   const std::uint64_t fault_lanes =
-      faults.empty() ? 0 : ((1ULL << (faults.size() + 1)) - 2);
+      faults.empty()       ? 0
+      : faults.size() < 63 ? ((1ULL << (faults.size() + 1)) - 2)
+                           : ~1ULL;  // see run_pattern: shift-by-64 is UB
   std::uint64_t diverged = 0;
 
   const bool scan_value = !chains_->se_functional_value;

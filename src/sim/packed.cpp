@@ -45,6 +45,13 @@ std::shared_ptr<const PackedTopology> PackedTopology::build(const Netlist& nl) {
   }
   topo->num_levels = max_level + 1;
 
+  // Flat event-arena offsets: a cell is pending at most once, so each
+  // level's segment capacity is exactly its population.
+  topo->level_start.assign(topo->num_levels + 1, 0);
+  for (const std::uint32_t lvl : topo->level) ++topo->level_start[lvl + 1];
+  for (std::uint32_t l = 0; l < topo->num_levels; ++l)
+    topo->level_start[l + 1] += topo->level_start[l];
+
   // CSR fanout graph: for each net, the order indexes of its combinational
   // readers (kOutput ports are read through observed(), flops at clock()).
   topo->fanout_start.assign(nl.num_nets() + 1, 0);
@@ -61,9 +68,11 @@ std::shared_ptr<const PackedTopology> PackedTopology::build(const Netlist& nl) {
       topo->fanout[cursor[fc.in[k]]++] = static_cast<std::uint32_t>(i);
   }
 
+  topo->flop_index.assign(nl.num_cells(), kInvalidId);
   for (CellId id = 0; id < nl.num_cells(); ++id) {
     const CellType t = nl.cell(id).type;
     if (is_sequential(t)) {
+      topo->flop_index[id] = static_cast<std::uint32_t>(topo->flop_cells.size());
       topo->flop_cells.push_back(id);
     } else if (t == CellType::kInput) {
       topo->source_cells.push_back(id);
@@ -72,6 +81,22 @@ std::shared_ptr<const PackedTopology> PackedTopology::build(const Netlist& nl) {
       topo->source_cells.push_back(id);
     }
   }
+
+  // CSR flop fanout: for each net, the flop_cells indexes of the flops
+  // reading it (D or reset pin) — the dirty-D marking map of incremental
+  // clocking. A flop reading one net on two pins appears twice; the mark
+  // is idempotent.
+  topo->flop_fanout_start.assign(nl.num_nets() + 1, 0);
+  for (const CellId id : topo->flop_cells)
+    for (const NetId in : nl.cell(id).ins) ++topo->flop_fanout_start[in + 1];
+  for (std::size_t n = 0; n < nl.num_nets(); ++n)
+    topo->flop_fanout_start[n + 1] += topo->flop_fanout_start[n];
+  topo->flop_fanout.resize(topo->flop_fanout_start.back());
+  std::vector<std::uint32_t> fcursor(topo->flop_fanout_start.begin(),
+                                     topo->flop_fanout_start.end() - 1);
+  for (std::size_t fi = 0; fi < topo->flop_cells.size(); ++fi)
+    for (const NetId in : nl.cell(topo->flop_cells[fi]).ins)
+      topo->flop_fanout[fcursor[in]++] = static_cast<std::uint32_t>(fi);
   return topo;
 }
 
@@ -130,8 +155,10 @@ PackedSimT<W>::PackedSimT(std::shared_ptr<const PackedTopology> topo)
   input_hold_.assign(nl.num_cells(), Word{});
   inj_start_.assign(nl.num_cells(), 0);
   has_inj_.assign(nl.num_cells(), 0);
-  buckets_.resize(topo_->num_levels);
-  in_queue_.assign(topo_->order.size(), 0);
+  arena_.assign(topo_->order.size(), 0);
+  level_count_.assign(topo_->num_levels, 0);
+  event_stamp_.assign(topo_->order.size(), 0);
+  flop_stamp_.assign(topo_->flop_cells.size(), 0);
 }
 
 template <int W>
@@ -139,6 +166,7 @@ void PackedSimT<W>::clear_injections() {
   inj_flat_.clear();
   inj_pos_.clear();
   active_comb_.clear();
+  active_flops_.clear();
   std::fill(has_inj_.begin(), has_inj_.end(), 0);
   inj_dirty_ = false;
   needs_full_ = true;
@@ -180,7 +208,7 @@ void PackedSimT<W>::set_injection_lanes(std::size_t index, Word lanes) {
     v = apply_inj(inj.cell, nullptr, v, true);
     if (lane_neq(v, values_[c.out])) {
       values_[c.out] = v;
-      schedule_readers(c.out);
+      propagate_change(c.out);
     }
     return;
   }
@@ -210,6 +238,7 @@ void PackedSimT<W>::prepare_injections() {
   inj_flat_ = std::move(sorted);
   for (std::uint32_t& pos : inj_pos_) pos = inverse[pos];
   active_comb_.clear();
+  active_flops_.clear();
   for (std::size_t i = 0; i < inj_flat_.size();) {
     const CellId c = inj_flat_[i].cell;
     std::size_t j = i;
@@ -220,6 +249,8 @@ void PackedSimT<W>::prepare_injections() {
     has_inj_[c] = static_cast<std::uint8_t>(j - i);
     const std::uint32_t oi = topo_->order_index[c];
     if (oi != kInvalidId) active_comb_.push_back(oi);
+    const std::uint32_t fi = topo_->flop_index[c];
+    if (fi != kInvalidId) active_flops_.push_back(fi);
     i = j;
   }
   inj_dirty_ = false;
@@ -231,6 +262,7 @@ void PackedSimT<W>::power_on() {
   std::fill(flop_state_.begin(), flop_state_.end(), Word{});
   std::fill(input_hold_.begin(), input_hold_.end(), Word{});
   needs_full_ = true;
+  all_flops_dirty_ = true;
 }
 
 template <int W>
@@ -306,14 +338,44 @@ typename PackedSimT<W>::Word PackedSimT<W>::compute_cell(
 }
 
 template <int W>
-void PackedSimT<W>::schedule_readers(NetId net) {
+void PackedSimT<W>::push_event(std::uint32_t order_idx) {
+  if (event_stamp_[order_idx] == event_epoch_) return;
+  event_stamp_[order_idx] = event_epoch_;
+  const std::uint32_t lvl = topo_->level[order_idx];
+  arena_[topo_->level_start[lvl] + level_count_[lvl]++] = order_idx;
+  ++activity_.sched_pushes;
+}
+
+template <int W>
+void PackedSimT<W>::mark_flop_dirty(std::uint32_t flop_idx) {
+  if (flop_stamp_[flop_idx] == flop_epoch_) return;
+  flop_stamp_[flop_idx] = flop_epoch_;
+  dirty_flops_.push_back(flop_idx);
+}
+
+template <int W>
+void PackedSimT<W>::propagate_change(NetId net) {
   const PackedTopology& t = *topo_;
-  for (std::uint32_t j = t.fanout_start[net]; j < t.fanout_start[net + 1]; ++j) {
-    const std::uint32_t k = t.fanout[j];
-    if (!in_queue_[k]) {
-      in_queue_[k] = 1;
-      buckets_[t.level[k]].push_back(k);
-    }
+  for (std::uint32_t j = t.fanout_start[net]; j < t.fanout_start[net + 1]; ++j)
+    push_event(t.fanout[j]);
+  for (std::uint32_t j = t.flop_fanout_start[net];
+       j < t.flop_fanout_start[net + 1]; ++j)
+    mark_flop_dirty(t.flop_fanout[j]);
+}
+
+template <int W>
+void PackedSimT<W>::bump_event_epoch() {
+  if (++event_epoch_ == 0) {  // wrap: stale stamps from the old era alias
+    std::fill(event_stamp_.begin(), event_stamp_.end(), 0u);
+    event_epoch_ = 1;
+  }
+}
+
+template <int W>
+void PackedSimT<W>::bump_flop_epoch() {
+  if (++flop_epoch_ == 0) {
+    std::fill(flop_stamp_.begin(), flop_stamp_.end(), 0u);
+    flop_epoch_ = 1;
   }
 }
 
@@ -340,11 +402,14 @@ void PackedSimT<W>::run_full_sweep() {
   // diverge on gate semantics.
   for (const PackedTopology::FlatCell& fc : t.order)
     values_[fc.out] = compute_cell(fc);
-  // The sweep recomputed everything; pending events are now satisfied.
-  for (std::vector<std::uint32_t>& bucket : buckets_) {
-    for (std::uint32_t k : bucket) in_queue_[k] = 0;
-    bucket.clear();
-  }
+  // The sweep recomputed everything: retire pending arena entries by
+  // zeroing the per-level counts and bumping the membership epoch. The
+  // writes above were untracked, so dirty-D state is invalid — the next
+  // edge must latch every flop before incremental clocking can resume.
+  std::fill(level_count_.begin(), level_count_.end(), 0u);
+  bump_event_epoch();
+  dirty_flops_.clear();
+  all_flops_dirty_ = true;
   needs_full_ = false;
   ++activity_.full_sweeps;
   activity_.cells_evaluated += t.order.size();
@@ -362,40 +427,39 @@ void PackedSimT<W>::run_event_sweep() {
     const NetId out = t.nl->cell(id).out;
     if (lane_neq(v, values_[out])) {
       values_[out] = v;
-      schedule_readers(out);
+      propagate_change(out);
     }
   }
   // Injected cells are permanently active, so fault effects propagate even
   // when no input event reaches them this eval.
-  for (std::uint32_t k : active_comb_) {
-    if (!in_queue_[k]) {
-      in_queue_[k] = 1;
-      buckets_[t.level[k]].push_back(k);
-    }
-  }
-  // Drain level buckets in ascending order. Every fanout edge strictly
-  // increases the level, so a cell processed here cannot be re-scheduled
-  // within the same eval, and a bucket cannot grow while it drains.
+  for (std::uint32_t k : active_comb_) push_event(k);
+  // Drain the arena's level segments in ascending order. Every fanout edge
+  // strictly increases the level, so a cell processed here cannot be
+  // re-scheduled within the same eval, and a segment cannot grow while it
+  // drains.
   std::uint64_t touched = 0;
   std::uint64_t quiet = 0;
   for (std::uint32_t lvl = 1; lvl < t.num_levels; ++lvl) {
-    std::vector<std::uint32_t>& bucket = buckets_[lvl];
-    if (!bucket.empty()) ++activity_.levels_touched;
-    for (std::size_t i = 0; i < bucket.size(); ++i) {
-      const std::uint32_t k = bucket[i];
-      in_queue_[k] = 0;
+    const std::uint32_t n = level_count_[lvl];
+    if (n == 0) continue;
+    ++activity_.levels_touched;
+    const std::uint32_t* seg = arena_.data() + t.level_start[lvl];
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint32_t k = seg[i];
       const PackedTopology::FlatCell& fc = t.order[k];
       const Word out = compute_cell(fc);
       if (lane_neq(out, values_[fc.out])) {
         values_[fc.out] = out;
-        schedule_readers(fc.out);
+        propagate_change(fc.out);
       } else {
         ++quiet;
       }
     }
-    touched += bucket.size();
-    bucket.clear();
+    level_count_[lvl] = 0;
+    touched += n;
   }
+  // Retire membership stamps so the next eval's pushes start clean.
+  bump_event_epoch();
   activity_.cells_evaluated += touched;
   activity_.events_drained += touched;
   activity_.quiet_cells += quiet;
@@ -424,6 +488,58 @@ void PackedSimT<W>::clock() {
   if (inj_dirty_) prepare_injections();
   const PackedTopology& t = *topo_;
   Word tmp[4];
+  const bool incremental = clock_mode_ == PackedClockMode::kIncremental &&
+                           mode_ == PackedEvalMode::kEventDriven &&
+                           !needs_full_ && !all_flops_dirty_;
+  if (incremental) {
+    // Injected flops always latch: set_injection_lanes re-arms D/reset
+    // faults without touching any net, so the latched value can change
+    // even when the D input was provably quiet.
+    for (const std::uint32_t fi : active_flops_) mark_flop_dirty(fi);
+    dirty_scratch_.swap(dirty_flops_);
+    dirty_flops_.clear();
+    // Bump BEFORE pass 2 so its change marks seed the NEXT edge.
+    bump_flop_epoch();
+    // Pass 1: latch only the dirty flops. flop_state_ is never read here,
+    // so flop-to-flop paths latch pre-edge values; a skipped flop's D
+    // (and reset) words are unchanged since its last latch, so re-latching
+    // it would be a no-op.
+    for (const std::uint32_t fi : dirty_scratch_) {
+      const CellId id = t.flop_cells[fi];
+      const Cell& c = t.nl->cell(id);
+      const int n = static_cast<int>(c.ins.size());
+      for (int i = 0; i < n; ++i) tmp[i] = values_[c.ins[i]];
+      if (has_inj_[id]) apply_inj(id, tmp, Word{}, false);
+      // DFF: q' = d. DFFR (active-low reset to 0): q' = d & rstn.
+      flop_state_[id] =
+          c.type == CellType::kDff ? tmp[kDffD] : (tmp[kDffD] & tmp[kDffRstn]);
+    }
+    activity_.flops_latched += dirty_scratch_.size();
+    activity_.flops_skipped += t.flop_cells.size() - dirty_scratch_.size();
+    // Pass 2: expose changed Qs of the latched flops only — a skipped
+    // flop's state is unchanged, so its exposed Q (a fixed Q-pin fault
+    // over an unchanged word) is unchanged too.
+    for (const std::uint32_t fi : dirty_scratch_) {
+      const CellId id = t.flop_cells[fi];
+      Word v = flop_state_[id];
+      if (has_inj_[id]) v = apply_inj(id, nullptr, v, true);
+      const NetId out = t.nl->cell(id).out;
+      if (lane_neq(v, values_[out])) {
+        values_[out] = v;
+        propagate_change(out);
+      }
+    }
+    eval();
+    return;
+  }
+  // Full latch: the oracle path, and the re-arming edge after any
+  // untracked state (full sweep, power-on, injection change).
+  dirty_flops_.clear();
+  bump_flop_epoch();
+  // Re-arm dirty-D tracking before eval(): pass 2 and the event drain
+  // below mark against the fresh epoch; if eval() falls back to a full
+  // sweep it re-invalidates, keeping this edge's writes conservative.
+  all_flops_dirty_ = false;
   // Pass 1: latch every flop from the settled net values. flop_state_ is
   // never read here, so flop-to-flop paths latch pre-edge values.
   for (CellId id : t.flop_cells) {
@@ -435,6 +551,7 @@ void PackedSimT<W>::clock() {
     flop_state_[id] =
         c.type == CellType::kDff ? tmp[kDffD] : (tmp[kDffD] & tmp[kDffRstn]);
   }
+  activity_.flops_latched += t.flop_cells.size();
   // Pass 2 (event mode): expose changed Q values (with Q-pin faults) and
   // seed their fanout, replacing the per-eval scan over every flop.
   if (mode_ == PackedEvalMode::kEventDriven && !needs_full_) {
@@ -444,7 +561,7 @@ void PackedSimT<W>::clock() {
       const NetId out = t.nl->cell(id).out;
       if (lane_neq(v, values_[out])) {
         values_[out] = v;
-        schedule_readers(out);
+        propagate_change(out);
       }
     }
   }

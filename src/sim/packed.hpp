@@ -18,7 +18,12 @@
 // full_eval() levelized sweep is retained for power-on/reset, injection
 // changes, and as a cross-check oracle; both paths compute bit-identical
 // values (the event path is a pure work-skipping optimisation, never an
-// approximation).
+// approximation). Events flow through a flat preallocated arena (per-level
+// segments of one index array, epoch-stamped membership) rather than
+// per-level vectors, and clock() is incremental by default: only flops
+// whose D input changed since their last latch — the dirty-D set seeded
+// by the same event drain — are latched, with the full two-pass latch
+// retained as the oracle (PackedClockMode).
 #pragma once
 
 #include <cstdint>
@@ -69,8 +74,20 @@ struct PackedTopology {
   /// CSR fanout: combinational readers (order indexes) of each net.
   std::vector<std::uint32_t> fanout_start;  // size num_nets + 1
   std::vector<std::uint32_t> fanout;
+  /// Arena offsets for the flat event scheduler: pending cells of level L
+  /// live in [level_start[L], level_start[L+1]) of one preallocated index
+  /// array. A cell is pending at most once, so each level's capacity is
+  /// exactly its population.
+  std::vector<std::uint32_t> level_start;  // size num_levels + 1
+  /// CSR flop fanout: sequential readers of each net, as indexes into
+  /// flop_cells — the dirty-D seed map of incremental clocking (a net
+  /// change marks exactly the flops whose D/reset pins read it).
+  std::vector<std::uint32_t> flop_fanout_start;  // size num_nets + 1
+  std::vector<std::uint32_t> flop_fanout;
   /// Order index of each cell, or kInvalidId for non-combinational cells.
   std::vector<std::uint32_t> order_index;
+  /// flop_cells index of each cell, or kInvalidId for non-flops.
+  std::vector<std::uint32_t> flop_index;
   std::vector<CellId> flop_cells;
   std::vector<CellId> source_cells;  ///< kInput + ties (full-sweep order)
   std::vector<CellId> input_cells;   ///< kInput only (per-eval change scan)
@@ -111,6 +128,18 @@ enum class PackedEvalMode : std::uint8_t {
   kFullSweep,    ///< levelized sweep over every cell (the oracle/baseline)
 };
 
+/// clock() strategy; both produce bit-identical values.
+enum class PackedClockMode : std::uint8_t {
+  /// Latch only flops whose D/reset input changed since their last latch
+  /// (the dirty-D set seeded by the event drain) plus flops carrying
+  /// injections. Effective only in event mode with valid tracked state;
+  /// any untracked eval (full sweep, power-on) falls back to one full
+  /// latch and re-arms the tracking. The default.
+  kIncremental,
+  /// Latch every flop on every edge (the oracle/baseline).
+  kFullLatch,
+};
+
 /// Work counters for the activity benches and the obs metrics bridge
 /// (fsim publishes per-batch deltas as kernel.* counters): how much of
 /// the netlist the kernel actually touched. Plain counters, no locks —
@@ -119,11 +148,16 @@ struct PackedActivity {
   std::uint64_t evals = 0;            ///< eval() calls
   std::uint64_t full_sweeps = 0;      ///< evals resolved by a full sweep
   std::uint64_t cells_evaluated = 0;  ///< combinational cells computed
-  std::uint64_t events_drained = 0;   ///< cells drained from event buckets
-  std::uint64_t levels_touched = 0;   ///< non-empty level buckets drained
+  std::uint64_t events_drained = 0;   ///< cells drained from the event arena
+  std::uint64_t levels_touched = 0;   ///< non-empty level segments drained
   /// Drained cells whose output word was unchanged — their fanout was
   /// never scheduled (the event path's work-skipping payoff).
   std::uint64_t quiet_cells = 0;
+  std::uint64_t sched_pushes = 0;     ///< cells pushed into the event arena
+  std::uint64_t flops_latched = 0;    ///< flops latched across clock() edges
+  /// Flops skipped by incremental clocking (their D input provably
+  /// unchanged since their last latch) — the dirty-D payoff.
+  std::uint64_t flops_skipped = 0;
 };
 
 template <int W>
@@ -173,6 +207,8 @@ class PackedSimT {
 
   void set_eval_mode(PackedEvalMode mode) { mode_ = mode; }
   PackedEvalMode eval_mode() const { return mode_; }
+  void set_clock_mode(PackedClockMode mode) { clock_mode_ = mode; }
+  PackedClockMode clock_mode() const { return clock_mode_; }
 
   const PackedActivity& activity() const { return activity_; }
   void reset_activity() { activity_ = {}; }
@@ -191,11 +227,20 @@ class PackedSimT {
   void prepare_injections();
   void run_full_sweep();
   void run_event_sweep();
-  void schedule_readers(NetId net);
+  void push_event(std::uint32_t order_idx);
+  void mark_flop_dirty(std::uint32_t flop_idx);
+  /// A net's settled value changed: schedule its combinational readers
+  /// and mark its flop readers dirty for the next clock edge. The single
+  /// change-tracking entry point — every values_[] write outside a full
+  /// sweep routes through it, so the dirty-D set can never miss a flop.
+  void propagate_change(NetId net);
+  void bump_event_epoch();
+  void bump_flop_epoch();
   Word compute_cell(const PackedTopology::FlatCell& fc) const;
 
   std::shared_ptr<const PackedTopology> topo_;
   PackedEvalMode mode_ = PackedEvalMode::kEventDriven;
+  PackedClockMode clock_mode_ = PackedClockMode::kIncremental;
   std::vector<Word> values_;       // per net
   std::vector<Word> flop_state_;   // per cell (flop entries only)
   std::vector<Word> input_hold_;   // per cell: driven PI value
@@ -210,14 +255,31 @@ class PackedSimT {
   std::vector<std::uint32_t> inj_start_;  // per cell
   std::vector<std::uint8_t> has_inj_;     // per cell: injection count
   std::vector<std::uint32_t> active_comb_;  // order indexes of injected cells
+  std::vector<std::uint32_t> active_flops_; // flop indexes of injected flops
   bool inj_dirty_ = false;
 
-  // Event scheduler: per-level buckets of order indexes + an in-queue bit.
-  // needs_full_ marks states (power-on, injection change, construction)
-  // whose net values are stale beyond what events track.
-  std::vector<std::vector<std::uint32_t>> buckets_;
-  std::vector<std::uint8_t> in_queue_;
+  // Flat event scheduler: one preallocated index arena segmented by level
+  // (topology level_start offsets + per-level pending counts) with
+  // epoch-stamped membership words — a drain or full sweep retires every
+  // pending entry by bumping the epoch instead of clearing per-cell
+  // flags. needs_full_ marks states (power-on, injection change,
+  // construction) whose net values are stale beyond what events track.
+  std::vector<std::uint32_t> arena_;        // order.size() slots
+  std::vector<std::uint32_t> level_count_;  // per level: pending entries
+  std::vector<std::uint32_t> event_stamp_;  // per order index
+  std::uint32_t event_epoch_ = 1;
   bool needs_full_ = true;
+
+  // Dirty-D clocking: flop indexes whose D/reset input changed since
+  // their last latch, with the same epoch-stamp membership scheme.
+  // all_flops_dirty_ is the untracked-state fallback — any full sweep
+  // rewrites nets without change tracking, so the next edge must latch
+  // everything before incremental clocking can resume.
+  std::vector<std::uint32_t> dirty_flops_;
+  std::vector<std::uint32_t> dirty_scratch_;  // swap target during clock()
+  std::vector<std::uint32_t> flop_stamp_;     // per flop index
+  std::uint32_t flop_epoch_ = 1;
+  bool all_flops_dirty_ = true;
 
   PackedActivity activity_;
 };

@@ -1,12 +1,14 @@
 // Event-driven kernel equivalence suite.
 //
-// The event-driven eval() is a pure work-skipping optimisation: for any
-// netlist, stimulus, and injection set it must produce exactly the word
-// the levelized full sweep produces on every net. These tests drive
+// The event-driven eval() and incremental (dirty-D) clock() are pure
+// work-skipping optimisations: for any netlist, stimulus, and injection
+// set they must produce exactly the words the levelized full sweep and
+// the full-latch clock produce on every net. These tests drive
 // randomized netlists and stimuli through an event-mode simulator and a
-// forced-full-sweep oracle in lockstep and compare net-for-net, then
-// check campaign determinism across worker-pool sizes with the kernel
-// switched either way.
+// forced-full-sweep oracle in lockstep and compare net-for-net (at every
+// instantiated lane width for the clocking suite), then check campaign
+// determinism across worker-pool sizes with the kernel and the clocking
+// mode switched either way.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -14,6 +16,8 @@
 #include <numeric>
 #include <string>
 #include <vector>
+
+#include "util/lanes.hpp"
 
 #include "campaign/campaign.hpp"
 #include "fault/fault_list.hpp"
@@ -189,6 +193,114 @@ TEST(EventSim, InjectionsMatchFullSweepOracle) {
 }
 
 // ---------------------------------------------------------------------------
+// Incremental (dirty-D) clocking vs the full-latch and full-sweep
+// oracles. Three simulators run the same stimulus in lockstep — event
+// kernel with incremental clocking (the default), event kernel with
+// every-flop latching, and the levelized full sweep — with injections
+// added and cleared mid-run (the invalidation paths must re-arm the
+// dirty tracking without a power-on). Width-parametric: faults diverge
+// per lane through random injection masks, so the wide kernels exercise
+// the same dirty-D bookkeeping over vector words.
+
+/// Returns the incremental sim's flops_skipped count (0 on failure), so
+/// the caller can assert the optimisation actually skipped work
+/// somewhere across the seed sweep without betting on any single seed.
+template <int W>
+std::uint64_t clocking_lockstep(std::uint64_t seed) {
+  Rng rng(seed);
+  RandomDesign d = random_design(rng, 8, 18, 150);
+  const auto topo = PackedTopology::build(d.nl);
+  PackedSimT<W> incr(topo);
+  PackedSimT<W> full(topo);
+  PackedSimT<W> sweep(topo);
+  EXPECT_EQ(incr.clock_mode(), PackedClockMode::kIncremental);
+  full.set_clock_mode(PackedClockMode::kFullLatch);
+  sweep.set_eval_mode(PackedEvalMode::kFullSweep);
+  PackedSimT<W>* const sims[] = {&incr, &full, &sweep};
+
+  const auto compare_all = [&](int step) {
+    for (NetId n = 0; n < d.nl.num_nets(); ++n) {
+      ASSERT_FALSE(lane_neq(incr.value(n), full.value(n)))
+          << "W=" << W << " seed " << seed << ": net " << d.nl.net(n).name
+          << " diverged from the full-latch oracle at step " << step;
+      ASSERT_FALSE(lane_neq(incr.value(n), sweep.value(n)))
+          << "W=" << W << " seed " << seed << ": net " << d.nl.net(n).name
+          << " diverged from the sweep oracle at step " << step;
+    }
+    for (CellId oc : d.output_cells)
+      ASSERT_FALSE(lane_neq(incr.observed(oc), full.observed(oc)))
+          << "W=" << W << " seed " << seed << ": output "
+          << d.nl.cell(oc).name << " diverged at step " << step;
+  };
+
+  const auto random_injection = [&] {
+    const CellId cell = static_cast<CellId>(rng.next_below(d.nl.num_cells()));
+    const CellType t = d.nl.cell(cell).type;
+    int pin = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(num_inputs(t)) + 1));
+    if (t == CellType::kOutput) pin = 1;  // kOutput has no output pin
+    LaneWord<W> mask{};
+    for (int k = 0; k < W / 64; ++k) set_word_of(mask, k, rng.next_u64());
+    return PackedInjectionT<W>{cell, static_cast<std::uint8_t>(pin),
+                               rng.next_bool(), mask};
+  };
+
+  for (auto* s : sims) s->power_on();
+  for (int step = 0; step < 70; ++step) {
+    // Injection churn without power-on: add at 20/21, clear at 45 — the
+    // invalidation paths must fall back to a full latch and re-arm.
+    if (step == 20 || step == 21) {
+      const PackedInjectionT<W> inj = random_injection();
+      for (auto* s : sims) s->add_injection(inj);
+    }
+    if (step == 45)
+      for (auto* s : sims) s->clear_injections();
+    if (step == 55)  // mid-run power-on resets the tracked state everywhere
+      for (auto* s : sims) s->power_on();
+    for (NetId in : d.input_nets) {
+      if (rng.next_below(3) == 0) continue;  // leave some inputs unchanged
+      const bool bit = rng.next_bool();
+      for (auto* s : sims) s->set_input_all(in, bit);
+    }
+    if (rng.next_below(3) == 0) {
+      for (auto* s : sims) s->clock();
+    } else {
+      for (auto* s : sims) s->eval();
+    }
+    compare_all(step);
+    if (::testing::Test::HasFailure()) return 0;
+  }
+
+  // Edge accounting: each clock() latches or skips every flop exactly
+  // once, so the incremental split must sum to the oracle's total; the
+  // full-latch oracle never skips.
+  const PackedActivity& ai = incr.activity();
+  const PackedActivity& af = full.activity();
+  EXPECT_EQ(af.flops_skipped, 0u);
+  EXPECT_EQ(ai.flops_latched + ai.flops_skipped, af.flops_latched)
+      << "W=" << W << " seed " << seed;
+  return ai.flops_skipped;
+}
+
+TEST(EventSim, IncrementalClockingMatchesFullLatchAndSweepOracles) {
+  std::uint64_t skipped = 0;
+  for (std::uint64_t seed = 51; seed <= 54; ++seed)
+    skipped += clocking_lockstep<64>(seed);
+  EXPECT_GT(skipped, 0u) << "incremental clocking never skipped a latch";
+}
+
+#if OLFUI_HAS_WIDE_LANES
+TEST(EventSim, IncrementalClockingMatchesOraclesAtWideWidths) {
+  std::uint64_t skipped = 0;
+  for (std::uint64_t seed = 55; seed <= 56; ++seed) {
+    skipped += clocking_lockstep<128>(seed);
+    skipped += clocking_lockstep<256>(seed);
+  }
+  EXPECT_GT(skipped, 0u) << "incremental clocking never skipped a latch";
+}
+#endif
+
+// ---------------------------------------------------------------------------
 // Transition-delay batches vs a naive two-cycle oracle. The oracle runs
 // one fault at a time through two plain simulators: a good run recording
 // the site's value and every observed output per cycle, then a faulty run
@@ -318,6 +430,59 @@ TEST(TdfSim, BatchMatchesNaiveTwoCycleOracle) {
   }
 }
 
+TEST(EventSim, GradingInvariantAcrossClockingModes) {
+  // The fsim layer above the kernel: stuck-at batches (set_injection_lanes
+  // rearming included — early exit retires lanes mid-run) and TDF batches
+  // (per-cycle arming at launch edges) must grade identically whichever
+  // clocking mode the options pick, on both kernels.
+  for (std::uint64_t seed = 61; seed <= 63; ++seed) {
+    Rng rng(seed);
+    RandomDesign d = random_design(rng, 6, 10, 70);
+    const FaultUniverse u(d.nl);
+
+    const int cycles = 24;
+    std::vector<std::vector<bool>> words(static_cast<std::size_t>(cycles));
+    for (auto& w : words) {
+      w.resize(d.input_nets.size());
+      for (std::size_t i = 0; i < w.size(); ++i) w[i] = rng.next_bool();
+    }
+    ScriptedEnv env(d.input_nets, words);
+
+    const auto grade_all = [&](bool event_driven, bool incremental,
+                               bool tdf) {
+      SequentialFaultSimulator fsim(d.nl, u,
+                                    {.max_cycles = cycles,
+                                     .event_driven = event_driven,
+                                     .incremental_clocking = incremental});
+      fsim.set_observed(d.output_cells);
+      std::vector<bool> verdicts;
+      verdicts.reserve(u.size());
+      for (FaultId base = 0; base < u.size(); base += 63) {
+        const std::size_t n = std::min<std::size_t>(63, u.size() - base);
+        std::vector<FaultId> batch(n);
+        std::iota(batch.begin(), batch.end(), base);
+        const LaneMask det = tdf ? fsim.run_tdf_batch(batch, env)
+                                 : fsim.run_batch(batch, env);
+        for (std::size_t i = 0; i < n; ++i)
+          verdicts.push_back(det.bit(static_cast<int>(i)));
+      }
+      return verdicts;
+    };
+
+    for (const bool tdf : {false, true}) {
+      const std::vector<bool> baseline = grade_all(true, true, tdf);
+      EXPECT_EQ(grade_all(true, false, tdf), baseline)
+          << "seed " << seed << (tdf ? " tdf" : " sa") << " event/full-latch";
+      // The sweep kernel ignores the clocking knob — both settings must
+      // reduce to the same (already oracle-checked) behaviour.
+      EXPECT_EQ(grade_all(false, true, tdf), baseline)
+          << "seed " << seed << (tdf ? " tdf" : " sa") << " sweep/incremental";
+      EXPECT_EQ(grade_all(false, false, tdf), baseline)
+          << "seed " << seed << (tdf ? " tdf" : " sa") << " sweep/full-latch";
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Campaign determinism on the persistent worker pool, kernel switched
 // either way. Small counter rig (mirrors campaign_test's) graded at
@@ -364,10 +529,12 @@ class RigBatchRunner final : public FaultBatchRunner {
  public:
   RigBatchRunner(const CounterRig& rig, const FaultUniverse& u,
                  std::shared_ptr<const ReferenceTrace> trace, bool event_driven,
-                 FaultModel model)
+                 FaultModel model, bool incremental)
       : env_(rig.en),
         fsim_(rig.nl, u,
-              {.max_cycles = kCycles, .event_driven = event_driven}),
+              {.max_cycles = kCycles,
+               .event_driven = event_driven,
+               .incremental_clocking = incremental}),
         trace_(std::move(trace)),
         model_(model) {
     fsim_.set_observed(rig.outputs);
@@ -387,7 +554,8 @@ class RigBatchRunner final : public FaultBatchRunner {
 
 CampaignTest make_rig_test(const CounterRig& rig, const FaultUniverse& u,
                            bool event_driven,
-                           FaultModel model = FaultModel::kStuckAt) {
+                           FaultModel model = FaultModel::kStuckAt,
+                           bool incremental = true) {
   CounterEnv trace_env(rig.en);
   SequentialFaultSimulator tracer(
       rig.nl, u, {.max_cycles = kCycles, .event_driven = event_driven});
@@ -397,10 +565,10 @@ CampaignTest make_rig_test(const CounterRig& rig, const FaultUniverse& u,
   CampaignTest test;
   test.name = event_driven ? "event" : "sweep";
   test.good_cycles = kCycles;
-  test.make_runner = [&rig, &u, trace = std::move(trace), event_driven,
-                      model]() {
+  test.make_runner = [&rig, &u, trace = std::move(trace), event_driven, model,
+                      incremental]() {
     return std::make_unique<RigBatchRunner>(rig, u, trace, event_driven,
-                                            model);
+                                            model, incremental);
   };
   return test;
 }
@@ -480,6 +648,39 @@ TEST(TdfSim, CampaignDeterministicAcrossPoolSizesAndKernels) {
   const CampaignResult sa =
       CampaignEngine(u, {.threads = 2}).run(sa_fl, sa_tests);
   EXPECT_LE(reference.total_new_detections, sa.total_new_detections);
+}
+
+TEST(EventSim, CampaignDeterministicAcrossClockingModes) {
+  // The campaign acceptance bar extended to the clocking knob: full-latch
+  // runners at any pool size must reproduce the incremental reference
+  // bit for bit, for both fault models.
+  CounterRig rig;
+  const FaultUniverse u(rig.nl);
+
+  for (const FaultModel model :
+       {FaultModel::kStuckAt, FaultModel::kTransition}) {
+    std::vector<CampaignTest> incr_tests;
+    incr_tests.push_back(make_rig_test(rig, u, true, model, true));
+    FaultList ref_fl(u);
+    const CampaignResult reference =
+        CampaignEngine(u, {.threads = 1, .fault_model = model})
+            .run(ref_fl, incr_tests);
+    EXPECT_GT(reference.total_new_detections, 0u);
+
+    std::vector<CampaignTest> full_tests;
+    full_tests.push_back(make_rig_test(rig, u, true, model, false));
+    for (const int threads : {1, 4}) {
+      FaultList fl(u);
+      const CampaignResult r =
+          CampaignEngine(u, {.threads = threads, .fault_model = model})
+              .run(fl, full_tests);
+      EXPECT_EQ(r.detected, reference.detected)
+          << "model=" << (model == FaultModel::kTransition ? "tdf" : "sa")
+          << " threads=" << threads;
+      EXPECT_EQ(r.total_new_detections, reference.total_new_detections);
+      EXPECT_EQ(r.classes, reference.classes);
+    }
+  }
 }
 
 /// The same engine (and therefore the same parked pool) must survive many

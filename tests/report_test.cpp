@@ -175,6 +175,26 @@ TEST(SeqFsimOptionsJson, RoundTripsAndRejectsBadBudgets) {
   EXPECT_THROW(seq_fsim_options_from_json(Json::object()), JsonError);
 }
 
+TEST(SeqFsimOptionsJson, ClockingModeRoundTripsNonDefaultOnly) {
+  // Full-latch serializes explicitly; the incremental default stays off
+  // the wire, so documents from older coordinators parse unchanged.
+  SeqFsimOptions opts;
+  opts.max_cycles = 10;
+  opts.incremental_clocking = false;
+  const Json doc = seq_fsim_options_to_json(opts);
+  EXPECT_EQ(doc.at("clocking").as_string(), "full");
+  EXPECT_FALSE(seq_fsim_options_from_json(doc).incremental_clocking);
+
+  opts.incremental_clocking = true;
+  const Json plain = seq_fsim_options_to_json(opts);
+  EXPECT_FALSE(plain.contains("clocking"));
+  EXPECT_TRUE(seq_fsim_options_from_json(plain).incremental_clocking);
+
+  Json bad = seq_fsim_options_to_json(opts);
+  bad.set("clocking", "sometimes");
+  EXPECT_THROW(seq_fsim_options_from_json(bad), JsonError);
+}
+
 TEST(LaneMaskJson, RoundTripsArrayAndLegacyString) {
   LaneMask mask;
   mask.set_word(0, 0x0123456789ABCDEFull);

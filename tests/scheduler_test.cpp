@@ -10,6 +10,7 @@
 #include <memory>
 #include <numeric>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "campaign/campaign.hpp"
@@ -185,6 +186,8 @@ TEST(Scheduler, ConePlanIsADeterministicPermutationInBatchBounds) {
   RandomDesign d = random_design(rng, 6, 10, 80);
   const FaultUniverse u(d.nl);
   const ConeScheduler sched(u);
+  EXPECT_EQ(sched.name(), "cone");
+  EXPECT_EQ(sched.packing(), ConePacking::kGreedyUnion);
 
   std::vector<FaultId> targets(u.size());
   std::iota(targets.begin(), targets.end(), 0u);
@@ -193,19 +196,87 @@ TEST(Scheduler, ConePlanIsADeterministicPermutationInBatchBounds) {
   EXPECT_NO_THROW(plan.validate(targets.size(), 63));
   for (std::size_t b = 0; b < plan.batches(); ++b)
     EXPECT_LE(plan.batch_size(b), 63u);
+  // The greedy packer fills every batch to the cap, so the boundaries are
+  // exactly the fixed plan's — only the order is rewritten.
+  EXPECT_EQ(plan.batch_start, BatchPlan::fixed(targets.size(), 63).batch_start);
 
   // Pure function of the target list: same inputs, same plan.
   const BatchPlan again = sched.plan(targets, ctx);
   EXPECT_EQ(plan.order, again.order);
   EXPECT_EQ(plan.batch_start, again.batch_start);
 
-  // Grouping actually happened: within every batch, signatures are
-  // sorted, so equal-cone faults are adjacent.
-  std::vector<std::uint64_t> sigs;
-  sigs.reserve(targets.size());
-  for (FaultId f : targets) sigs.push_back(sched.signature(f));
-  for (std::size_t i = 1; i < plan.order.size(); ++i)
+  const std::vector<std::uint64_t> sigs = sched.signatures(targets);
+
+  // Grouping actually happened: equal-cone faults land adjacent. A
+  // signature group's run can only break where a batch filled to the cap
+  // (the remainder then seeds or joins a later batch), and the group
+  // drains sequentially, so its members keep target order globally.
+  std::vector<std::vector<std::uint32_t>> positions_by_sig;
+  std::unordered_map<std::uint64_t, std::size_t> sig_slot;
+  for (std::size_t i = 0; i < plan.order.size(); ++i) {
+    const auto [it, inserted] =
+        sig_slot.try_emplace(sigs[plan.order[i]], positions_by_sig.size());
+    if (inserted) positions_by_sig.emplace_back();
+    positions_by_sig[it->second].push_back(static_cast<std::uint32_t>(i));
+  }
+  const auto is_batch_boundary = [&](std::uint32_t i) {
+    return std::find(plan.batch_start.begin(), plan.batch_start.end(), i) !=
+           plan.batch_start.end();
+  };
+  for (const std::vector<std::uint32_t>& pos : positions_by_sig) {
+    for (std::size_t j = 1; j < pos.size(); ++j) {
+      if (pos[j] != pos[j - 1] + 1)
+        ASSERT_TRUE(is_batch_boundary(pos[j - 1] + 1))
+            << "signature group split mid-batch at plan position "
+            << pos[j - 1] + 1;
+      // Target order preserved inside the group.
+      ASSERT_LT(plan.order[pos[j - 1]], plan.order[pos[j]]);
+    }
+  }
+}
+
+TEST(Scheduler, RawSortPackingSortsBySignatureStably) {
+  Rng rng(7);
+  RandomDesign d = random_design(rng, 6, 10, 80);
+  const FaultUniverse u(d.nl);
+  const ConeScheduler sched(u, nullptr, ConePacking::kRawSort);
+  EXPECT_EQ(sched.name(), "cone-raw");
+  EXPECT_EQ(sched.packing(), ConePacking::kRawSort);
+
+  std::vector<FaultId> targets(u.size());
+  std::iota(targets.begin(), targets.end(), 0u);
+  const ScheduleContext ctx{63, "t"};
+  const BatchPlan plan = sched.plan(targets, ctx);
+  EXPECT_NO_THROW(plan.validate(targets.size(), 63));
+  EXPECT_EQ(plan.batch_start, BatchPlan::fixed(targets.size(), 63).batch_start);
+
+  // The baseline packing is a stable sort by raw signature value: plans
+  // are globally sorted, equal signatures keep target order.
+  const std::vector<std::uint64_t> sigs = sched.signatures(targets);
+  for (std::size_t i = 1; i < plan.order.size(); ++i) {
     EXPECT_LE(sigs[plan.order[i - 1]], sigs[plan.order[i]]) << i;
+    if (sigs[plan.order[i - 1]] == sigs[plan.order[i]])
+      EXPECT_LT(plan.order[i - 1], plan.order[i]) << i;
+  }
+
+  const BatchPlan again = sched.plan(targets, ctx);
+  EXPECT_EQ(plan.order, again.order);
+}
+
+TEST(Scheduler, BulkSignaturesMatchPerFaultLookup) {
+  // The CLI's --dump-schedule path reads signatures through the bulk
+  // accessor; it must agree with the per-fault lookup it replaced, so the
+  // dump's cone stats and the plan can never disagree.
+  Rng rng(11);
+  RandomDesign d = random_design(rng, 6, 10, 80);
+  const FaultUniverse u(d.nl);
+  const ConeScheduler sched(u);
+  std::vector<FaultId> targets(u.size());
+  std::iota(targets.begin(), targets.end(), 0u);
+  const std::vector<std::uint64_t> bulk = sched.signatures(targets);
+  ASSERT_EQ(bulk.size(), targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i)
+    ASSERT_EQ(bulk[i], sched.signature(targets[i])) << "fault " << targets[i];
 }
 
 TEST(Scheduler, AdaptiveSplitsHotShardsAndFallsBackOnStaleProfiles) {
@@ -339,9 +410,14 @@ TEST(Scheduler, AllPoliciesProduceIdenticalDetections) {
   EXPECT_EQ(reference.stats.schedule_policy, "fixed");
 
   const auto cone = std::make_shared<const ConeScheduler>(u);
+  const auto cone_raw =
+      std::make_shared<const ConeScheduler>(u, nullptr, ConePacking::kRawSort);
   const auto adaptive = std::make_shared<const AdaptiveScheduler>(reference);
   const std::pair<const char*, std::shared_ptr<const BatchScheduler>>
-      policies[] = {{"fixed", nullptr}, {"cone", cone}, {"adaptive", adaptive}};
+      policies[] = {{"fixed", nullptr},
+                    {"cone", cone},
+                    {"cone-raw", cone_raw},
+                    {"adaptive", adaptive}};
 
   for (const auto& [name, scheduler] : policies) {
     for (const bool event_driven : {true, false}) {
