@@ -28,6 +28,10 @@
 //  * tracing overhead — the same grade with observability off vs fully
 //    on (tracer + metrics), with the side-band cross-check (identical
 //    detections) and the overhead ratio recorded in the JSON.
+//  * result cache — the same campaign cold (miss + store), warm (full
+//    hit: zero shards executed, byte-identical deterministic payload),
+//    and as a partial-hit incremental re-grade, with the
+//    "incremental_detections_identical" splice-correctness flag.
 //  * full-universe scaling table — the original whole-suite campaign at
 //    1/2/4/8 threads; minutes of work, so it only runs with
 //    OLFUI_BENCH_FULL=1 (CI smoke skips it).
@@ -43,6 +47,7 @@
 #include <memory>
 #include <thread>
 
+#include "campaign/cache.hpp"
 #include "campaign/campaign.hpp"
 #include "campaign/executor.hpp"
 #include "campaign/json.hpp"
@@ -203,7 +208,7 @@ void run_packing_comparison(const Soc& soc, const FaultUniverse& universe,
   // Overlap stats straight off each packing's plan (the same numbers
   // --dump-schedule reports): per batch, popcount of the OR of its
   // members' cone signatures.
-  const std::vector<std::uint64_t> sigs = greedy->signatures(targets);
+  const std::vector<ConeSig> sigs = greedy->signatures(targets);
   const auto overlap_stats = [&](const ConeScheduler& s, const PolicyRun& run,
                                  const char* label) {
     const BatchPlan plan =
@@ -211,11 +216,11 @@ void run_packing_comparison(const Soc& soc, const FaultUniverse& universe,
     double mean = 0;
     int max = 0;
     for (std::size_t b = 0; b < plan.batches(); ++b) {
-      std::uint64_t u = 0;
+      ConeSig u;
       for (std::uint32_t i = plan.batch_start[b]; i < plan.batch_start[b + 1];
            ++i)
         u |= sigs[plan.order[i]];
-      const int bits = std::popcount(u);
+      const int bits = u.popcount();
       mean += bits;
       max = std::max(max, bits);
     }
@@ -493,6 +498,95 @@ void run_tracing_overhead(const Soc& soc, const FaultUniverse& universe,
   doc.set("tracing_detections_identical", identical);
 }
 
+/// Result-cache section: the same campaign graded cold (miss + store),
+/// warm (full hit — zero shards executed, payload byte-identical to the
+/// cold run's deterministic JSON), and as a partial-hit incremental
+/// re-grade seeded from the cold result. The incremental pass runs with
+/// env_feedback off — an open-loop measurement; the netlist is genuinely
+/// unchanged, so the spliced + re-graded detection set must be
+/// bit-identical to the cold one. That flag
+/// ("incremental_detections_identical") is the splice/mask correctness
+/// check CI greps for.
+void run_cache_comparison(const Soc& soc, const FaultUniverse& universe,
+                          Json& doc) {
+  auto suite = build_sbst_suite(soc.config);
+  suite.erase(suite.begin() + 1, suite.end());
+  const std::vector<CampaignTest> tests =
+      build_sbst_campaign_tests(soc, suite, universe);
+
+  CampaignOptions opts;
+  opts.threads = 2;
+  opts.target_limit = 1024;
+  opts.cache = std::make_shared<ResultCache>(8);
+
+  std::printf("== result cache: cold vs warm vs partial ===================\n");
+  FaultList fl_cold(universe);
+  const auto t0 = std::chrono::steady_clock::now();
+  const CampaignResult cold =
+      CampaignEngine(universe, opts).run(fl_cold, tests);
+  const double cold_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  FaultList fl_warm(universe);
+  const auto t1 = std::chrono::steady_clock::now();
+  const CampaignResult warm =
+      CampaignEngine(universe, opts).run(fl_warm, tests);
+  const double warm_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t1)
+          .count();
+  const bool warm_hit = warm.stats.cache == "hit" && warm.stats.batches == 0;
+  const bool byte_identical =
+      campaign_result_to_json_string(warm, 2, false) ==
+      campaign_result_to_json_string(cold, 2, false);
+
+  CampaignOptions plain = opts;
+  plain.cache = nullptr;
+  FaultList fl_part(universe);
+  const std::vector<NetId> poked{
+      static_cast<NetId>(universe.netlist().num_nets() / 2)};
+  const auto t2 = std::chrono::steady_clock::now();
+  const CampaignResult partial =
+      seed_from_previous(universe, plain, fl_part, tests, cold, poked,
+                         nullptr, /*env_feedback=*/false);
+  const double partial_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t2)
+          .count();
+  const bool incremental_identical = partial.detected == cold.detected;
+
+  std::printf("%12s %10.3f s (%s)\n", "cold", cold_seconds,
+              cold.stats.cache.c_str());
+  std::printf("%12s %10.3f s (%s, %zu batches executed)\n", "warm",
+              warm_seconds, warm.stats.cache.c_str(), warm.stats.batches);
+  std::printf("%12s %10.3f s (%zu spliced, %zu re-graded, %.1f%% of "
+              "eligible)\n",
+              "partial", partial_seconds, partial.stats.cache_spliced,
+              partial.stats.regraded_faults,
+              100.0 * partial.stats.regrade_fraction);
+  std::printf("warm speedup %.1fx; payload %s; incremental detections %s\n\n",
+              warm_seconds > 0 ? cold_seconds / warm_seconds : 0.0,
+              byte_identical ? "byte-identical" : "DIFFERS — cache bug!",
+              incremental_identical ? "bit-identical"
+                                    : "DIFFER — splice bug!");
+
+  const ResultCacheStats cs = opts.cache->stats();
+  Json c = Json::object();
+  c.set("cold_seconds", cold_seconds);
+  c.set("warm_seconds", warm_seconds);
+  c.set("partial_seconds", partial_seconds);
+  c.set("warm_speedup", warm_seconds > 0 ? cold_seconds / warm_seconds : 0.0);
+  c.set("warm_zero_shards", warm_hit);
+  c.set("hits", cs.hits);
+  c.set("misses", cs.misses);
+  c.set("stores", cs.stores);
+  c.set("spliced", partial.stats.cache_spliced);
+  c.set("regraded_faults", partial.stats.regraded_faults);
+  c.set("regrade_fraction", partial.stats.regrade_fraction);
+  doc.set("cache", std::move(c));
+  doc.set("cache_payload_identical", byte_identical);
+  doc.set("incremental_detections_identical", incremental_identical);
+}
+
 /// The original whole-suite, whole-universe campaign at every thread
 /// count — minutes of simulation, gated out of the CI smoke run.
 void print_full_scaling_table() {
@@ -567,6 +661,7 @@ int main(int argc, char** argv) {
   run_executor_comparison(doc);
   run_chaos_comparison(doc);
   run_tracing_overhead(*soc, universe, doc);
+  run_cache_comparison(*soc, universe, doc);
   std::ofstream("BENCH_campaign.json") << doc.dump(2) << "\n";
   std::printf("BENCH_campaign.json written.\n\n");
   if (const char* full = std::getenv("OLFUI_BENCH_FULL"); full && *full == '1')

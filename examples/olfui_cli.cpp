@@ -36,6 +36,22 @@
 //                            grade with the coordinator's mode
 //       --schedule P         default | cone | adaptive
 //       --model sa|tdf       fault model (default sa)
+//       --cache-dir DIR      persistent grade-result cache (campaign/
+//                            cache.hpp): a repeat run with identical
+//                            netlist, traces, plan, and options decodes
+//                            the stored deterministic payload and
+//                            executes ZERO shards; any input change
+//                            misses and re-grades. One JSON file per
+//                            entry under DIR, written atomically; a
+//                            corrupt file is detected and re-graded
+//                            around. Prints a "cache: ..." summary line
+//       --seed-from FILE     incremental re-grade: FILE is a previous
+//                            run's --json output; faults whose cones the
+//                            --diff-nets change cannot reach inherit
+//                            their cached detections, only the rest are
+//                            re-graded (bit-identical to a full re-grade)
+//       --diff-nets A,B,..   changed net names for --seed-from (empty =
+//                            nothing changed: everything splices)
 //       --json FILE          full CampaignResult (runtime stats included)
 //       --json-no-stats FILE deterministic payload only — byte-identical
 //                            across executors/threads/workers, the file
@@ -96,6 +112,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/cache.hpp"
 #include "campaign/executor.hpp"
 #include "campaign/json.hpp"
 #include "campaign/report.hpp"
@@ -127,6 +144,7 @@ using namespace olfui;
                "[--chaos SPEC] [--programs N] [--limit N] [--threads N] "
                "[--lanes 64|128|256] [--clocking full|incremental] "
                "[--schedule default|cone|adaptive] [--model sa|tdf] "
+               "[--cache-dir DIR] [--seed-from FILE] [--diff-nets A,B,..] "
                "[--json FILE] [--json-no-stats FILE] [--trace FILE] "
                "[--metrics FILE] [--progress]\n"
                "       %s --worker [--chaos SPEC]\n",
@@ -314,6 +332,7 @@ int run_sbst_mode(int argc, char** argv) {
   bool incremental_clocking = true;
   std::string schedule = "default", json_path, json_no_stats_path;
   std::string trace_path, metrics_path, chaos_spec;
+  std::string cache_dir, seed_from_path, diff_nets_spec;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -371,6 +390,12 @@ int run_sbst_mode(int argc, char** argv) {
       const std::string model = next();
       if (model != "sa" && model != "tdf") usage(argv[0]);
       transition = model == "tdf";
+    } else if (arg == "--cache-dir") {
+      cache_dir = next();
+    } else if (arg == "--seed-from") {
+      seed_from_path = next();
+    } else if (arg == "--diff-nets") {
+      diff_nets_spec = next();
     } else if (arg == "--json") {
       json_path = next();
     } else if (arg == "--json-no-stats") {
@@ -422,6 +447,8 @@ int run_sbst_mode(int argc, char** argv) {
     opts.executor =
         std::make_shared<SubprocessExecutor>(std::move(worker_cmd), fleet);
   }
+  if (!cache_dir.empty())
+    opts.cache = std::make_shared<ResultCache>(64, cache_dir);
 
   std::printf("sbst campaign: %zu programs, %zu faults%s, model %s,\n"
               "  %d lanes, %s clocking, schedule %s, executor %s",
@@ -432,11 +459,55 @@ int run_sbst_mode(int argc, char** argv) {
   if (subprocess) std::printf(" (%d workers)", workers);
   std::printf("\n");
 
-  const SbstCampaignResult result = run_sbst_campaign(
-      *soc, suite, fl,
+  const CampaignProgress heartbeat =
       progress ? make_progress_heartbeat(resolve_lane_width(lanes))
-               : CampaignProgress{},
-      opts);
+               : CampaignProgress{};
+  SbstCampaignResult result;
+  if (!seed_from_path.empty()) {
+    // Incremental re-grade: splice the previous run's detections for
+    // every fault the diff cannot reach, re-grade only the rest.
+    CampaignResult previous;
+    try {
+      previous = campaign_result_from_json_string(read_file(seed_from_path));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: cannot parse '%s': %s\n",
+                   seed_from_path.c_str(), e.what());
+      return 1;
+    }
+    std::vector<NetId> changed;
+    for (std::string_view name : split(diff_nets_spec, ",")) {
+      const NetId n = soc->netlist.find_net(std::string(trim(name)));
+      if (n == kInvalidId) {
+        std::fprintf(stderr, "error: --diff-nets: no net '%.*s'\n",
+                     static_cast<int>(name.size()), name.data());
+        return 1;
+      }
+      changed.push_back(n);
+    }
+    const std::vector<CampaignTest> tests = build_sbst_campaign_tests(
+        *soc, suite, universe, kSbstCampaignMargin, /*event_driven=*/true,
+        opts.fault_model, resolve_lane_width(opts.lane_width),
+        opts.incremental_clocking);
+    try {
+      // The SoC environment is closed-loop (the memory model reads the
+      // bus), so env_feedback stays on: a diff reaching the bus outputs
+      // soundly falls back to a full re-grade.
+      CampaignResult seeded =
+          seed_from_previous(universe, opts, fl, tests, previous, changed,
+                             nullptr, /*env_feedback=*/true, heartbeat);
+      for (const CampaignResult::PerTest& pt : seeded.tests) {
+        result.programs.push_back({pt.name, pt.good_cycles,
+                                   pt.new_detections});
+        result.total_detected += pt.new_detections;
+      }
+      result.campaign = std::move(seeded);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "error: --seed-from: %s\n", e.what());
+      return 1;
+    }
+  } else {
+    result = run_sbst_campaign(*soc, suite, fl, heartbeat, opts);
+  }
   for (const auto& pp : result.programs)
     std::printf("  %-12s %6d cycles %8zu new detections\n", pp.name.c_str(),
                 pp.cycles, pp.new_detections);
@@ -452,6 +523,16 @@ int run_sbst_mode(int argc, char** argv) {
                 "fallback\n",
                 stats.respawns, stats.shard_reissues, stats.timeouts,
                 stats.degraded_shards);
+  if (opts.cache) {
+    const ResultCacheStats cs = opts.cache->stats();
+    std::printf("cache: %s (hits %zu, misses %zu, stores %zu)\n",
+                stats.cache.c_str(), cs.hits, cs.misses, cs.stores);
+  }
+  if (stats.cache == "partial")
+    std::printf("incremental: %zu detection(s) spliced, %zu fault(s) "
+                "re-graded (%.1f%% of eligible)\n",
+                stats.cache_spliced, stats.regraded_faults,
+                100.0 * stats.regrade_fraction);
 
   if (!json_path.empty())
     write_file(json_path,
@@ -617,9 +698,15 @@ int main(int argc, char** argv) {
     // The dump reads signatures out of the scheduler's own ConeAnalysis
     // (built once at construction) — recomputing them here could silently
     // disagree with the plan it annotates.
-    std::vector<std::uint64_t> sigs;
+    std::vector<ConeSig> sigs;
     if (cone_scheduler) sigs = cone_scheduler->signatures(targets);
     Json doc = batch_plan_to_json(plan, policy.name(), sigs);
+    // Per-width Bloom saturation of this plan (64/128/256): how many
+    // batches drive their filter to all-ones at each width — the measure
+    // behind the --schedule cone width tradeoff.
+    doc.set("saturation",
+            cone_saturation_to_json(plan, targets, universe,
+                                    *PackedTopology::build(nl)));
     write_file(dump_schedule_path, doc.dump(2) + "\n");
   }
 

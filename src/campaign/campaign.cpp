@@ -7,6 +7,7 @@
 #include <numeric>
 #include <thread>
 
+#include "campaign/cache.hpp"
 #include "campaign/executor.hpp"
 #include "campaign/scheduler.hpp"
 #include "fault/tdf.hpp"
@@ -18,11 +19,13 @@ namespace olfui {
 namespace {
 
 /// Undetected (unless dropping is off), testable faults in id order,
-/// truncated to `limit` when nonzero (the smoke-slicing knob).
+/// filtered to `mask`'s set bits when given and truncated to `limit` when
+/// nonzero (the smoke-slicing knob).
 std::vector<FaultId> campaign_targets(const FaultList& fl, bool drop_detected,
-                                      std::size_t limit) {
+                                      std::size_t limit, const BitVec* mask) {
   std::vector<FaultId> targets;
   for (FaultId f = 0; f < fl.size(); ++f) {
+    if (mask && !mask->get(f)) continue;
     if (fl.untestable_kind(f) != UntestableKind::kNone) continue;
     if (drop_detected && fl.detect_state(f) == DetectState::kDetected) continue;
     targets.push_back(f);
@@ -176,13 +179,61 @@ CampaignResult CampaignEngine::run(FaultList& fl,
   result.fault_model = opts_.fault_model;
   result.stats.schedule_policy = std::string(scheduler().name());
   result.stats.executor = std::string(executor().name());
+  result.stats.options_hash = campaign_options_hash(opts_);
+
+  // --- cache lookup -------------------------------------------------------
+  // Ahead of any planning or execution: a full hit decodes the stored
+  // deterministic payload and returns with zero shards executed — no plan,
+  // no executor work, no worker spawn (SubprocessExecutor spawns lazily on
+  // its first execute(), which a hit never reaches). Masked or spec-less
+  // campaigns are not cacheable and bypass the lookup entirely.
+  CacheKey cache_key;
+  bool cacheable = false;
+  if (opts_.cache) {
+    result.stats.cache = "bypass";
+    const std::uint64_t tests_fp = campaign_tests_fingerprint(tests);
+    if (!opts_.target_mask && tests_fp != 0) {
+      cacheable = true;
+      cache_key.universe_fp =
+          fnv1a64_word(fault_list_fingerprint(fl), universe_fingerprint(*universe_));
+      cache_key.trace_fp = tests_fp;
+      cache_key.plan_hash = scheduler().fingerprint();
+      cache_key.options_hash = result.stats.options_hash;
+      cache_key.fault_model = std::string(to_string(opts_.fault_model));
+      cache_key.lane_width = opts_.lane_width;
+      auto lookup_span = obs::tracer().span("cache_lookup", "campaign");
+      std::optional<CampaignResult> hit = opts_.cache->lookup(cache_key);
+      lookup_span.arg("outcome", Json(std::string(hit ? "hit" : "miss")));
+      lookup_span.end();
+      if (hit) {
+        CampaignResult cached = std::move(*hit);
+        // The cached detection state replays onto the fault list exactly
+        // as the original run left it (the key covers fl's start state,
+        // so the delta is the cached run's own detections).
+        for (std::size_t f = cached.detected.find_first();
+             f < cached.detected.size(); f = cached.detected.find_next(f + 1))
+          if (fl.detect_state(static_cast<FaultId>(f)) ==
+              DetectState::kUndetected)
+            fl.set_detected(static_cast<FaultId>(f));
+        // The payload carries no stats; label this run's own context.
+        cached.stats.schedule_policy = result.stats.schedule_policy;
+        cached.stats.executor = result.stats.executor;
+        cached.stats.threads = resolved_threads();
+        cached.stats.options_hash = result.stats.options_hash;
+        cached.stats.cache = "hit";
+        return cached;
+      }
+      result.stats.cache = "miss";
+    }
+  }
+
   // Recovery counters are cumulative on the executor (it outlives runs);
   // the run reports its own delta.
   const ExecutorHealth health0 = executor().health();
 
   for (const CampaignTest& test : tests) {
-    const std::vector<FaultId> targets =
-        campaign_targets(fl, opts_.fault_dropping, opts_.target_limit);
+    const std::vector<FaultId> targets = campaign_targets(
+        fl, opts_.fault_dropping, opts_.target_limit, opts_.target_mask.get());
     CampaignResult::PerTest pt;
     pt.name = test.name;
     pt.good_cycles = test.good_cycles;
@@ -263,6 +314,7 @@ CampaignResult CampaignEngine::run(FaultList& fl,
           ? static_cast<double>(result.stats.faults_simulated) /
                 result.stats.wall_seconds
           : 0.0;
+  if (cacheable) opts_.cache->store(cache_key, result);
   return result;
 }
 

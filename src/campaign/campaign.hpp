@@ -51,6 +51,7 @@ namespace olfui {
 
 class BatchScheduler;  // campaign/scheduler.hpp
 class ShardExecutor;   // campaign/executor.hpp
+class ResultCache;     // campaign/cache.hpp
 
 /// One worker's private grading kernel: simulator + environment state.
 /// Instances are confined to a single worker thread; the factory that
@@ -124,6 +125,19 @@ struct CampaignOptions {
   /// shard times with a generous floor. Purely a liveness knob — the
   /// detection payload is identical whichever deadline fires.
   double shard_timeout = 0;
+  /// Grade-result cache (cache.hpp). Before planning anything, run()
+  /// looks the whole campaign up by CacheKey — a hit decodes the stored
+  /// deterministic payload and returns with ZERO shards executed; a miss
+  /// grades normally and stores. Null = off. Runs that are not cacheable
+  /// (a target_mask is set, or any test lacks a wire spec) bypass the
+  /// cache (stats.cache = "bypass").
+  std::shared_ptr<ResultCache> cache;
+  /// Restricts grading to the set bits of this fault mask (on top of the
+  /// usual testable/undetected filtering) — the incremental re-grade
+  /// seam: seed_from_previous splices unaffected detections and re-grades
+  /// only the masked set. Null = all faults. Masked runs bypass the cache
+  /// (their result does not describe the full campaign).
+  std::shared_ptr<const BitVec> target_mask;
 };
 
 /// Campaign-wide outcome. Everything except `stats` is a pure function of
@@ -183,6 +197,21 @@ struct CampaignResult {
     std::size_t shard_reissues = 0;  ///< shards re-queued off dead workers
     std::size_t timeouts = 0;        ///< deadline/progress-rule expiries
     std::size_t degraded_shards = 0; ///< shards graded by the fallback
+    /// Result-cache disposition of this run: "off" (no cache configured),
+    /// "bypass" (cache configured but the run is not cacheable: masked
+    /// targets or a spec-less test), "miss" (graded and stored), "hit"
+    /// (decoded from the cache, zero shards executed), or "partial"
+    /// (incremental re-grade via seed_from_previous).
+    std::string cache = "off";
+    /// campaign_options_hash() of the payload-affecting options (also the
+    /// cache key's options component).
+    std::uint64_t options_hash = 0;
+    /// Partial-hit bookkeeping (zero outside "partial" runs): detections
+    /// spliced from the previous result without simulating, faults
+    /// re-graded, and re-graded share of the eligible universe.
+    std::size_t cache_spliced = 0;
+    std::size_t regraded_faults = 0;
+    double regrade_fraction = 0;
   };
 
   std::size_t universe = 0;

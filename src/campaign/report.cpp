@@ -169,6 +169,17 @@ Json campaign_result_to_json(const CampaignResult& result,
     Json shard_seconds = Json::array();
     for (double s : result.stats.shard_seconds) shard_seconds.push_back(s);
     stats.set("shard_seconds", std::move(shard_seconds));
+    // Cache provenance: how this result was produced ("off" / "bypass" /
+    // "miss" / "hit" / "partial"), the canonical options hash it was keyed
+    // under, and — for partial (incremental) runs — the splice/regrade
+    // accounting.
+    Json cache = Json::object();
+    cache.set("state", result.stats.cache);
+    cache.set("options_hash", word_to_hex(result.stats.options_hash));
+    cache.set("spliced", result.stats.cache_spliced);
+    cache.set("regraded_faults", result.stats.regraded_faults);
+    cache.set("regrade_fraction", result.stats.regrade_fraction);
+    stats.set("cache", std::move(cache));
     doc.set("stats", std::move(stats));
   }
   return doc;
@@ -241,6 +252,15 @@ CampaignResult campaign_result_from_json(const Json& doc) {
       for (std::size_t i = 0; i < shard_seconds.size(); ++i)
         result.stats.shard_seconds.push_back(shard_seconds.at(i).as_number());
     }
+    if (stats.contains("cache")) {  // absent in pre-cache dumps
+      const Json& cache = stats.at("cache");
+      result.stats.cache = cache.at("state").as_string();
+      result.stats.options_hash =
+          word_from_hex(cache.at("options_hash").as_string());
+      result.stats.cache_spliced = cache.at("spliced").as_size();
+      result.stats.regraded_faults = cache.at("regraded_faults").as_size();
+      result.stats.regrade_fraction = cache.at("regrade_fraction").as_number();
+    }
   }
   return result;
 }
@@ -295,8 +315,27 @@ ReferenceTrace reference_trace_from_json(const Json& doc) {
   return trace;
 }
 
+namespace {
+
+/// Per-batch signature-union popcounts under `plan` — the shared core of
+/// the cone-overlap dump and the per-width saturation view.
+std::vector<std::size_t> batch_union_bits(const BatchPlan& plan,
+                                          std::span<const ConeSig> sigs) {
+  std::vector<std::size_t> unions;
+  unions.reserve(plan.batches());
+  for (std::size_t b = 0; b < plan.batches(); ++b) {
+    ConeSig u;
+    for (std::size_t i = plan.batch_start[b]; i < plan.batch_start[b + 1]; ++i)
+      u |= sigs[plan.order[i]];
+    unions.push_back(static_cast<std::size_t>(u.popcount()));
+  }
+  return unions;
+}
+
+}  // namespace
+
 Json batch_plan_to_json(const BatchPlan& plan, std::string_view policy,
-                        std::span<const std::uint64_t> cone_sigs) {
+                        std::span<const ConeSig> cone_sigs) {
   Json doc = Json::object();
   doc.set("policy", std::string(policy));
   doc.set("targets", plan.order.size());
@@ -311,18 +350,14 @@ Json batch_plan_to_json(const BatchPlan& plan, std::string_view policy,
   doc.set("batch_sizes", std::move(sizes));
   if (!cone_sigs.empty()) {
     // Cone-overlap view: the union popcount is (a Bloom estimate of) how
-    // many of the 64 cone buckets one simulator pass activates — lower is
-    // a tighter batch.
-    Json unions = Json::array();
+    // many of the filter's cone buckets one simulator pass activates —
+    // lower is a tighter batch.
+    const std::vector<std::size_t> unions = batch_union_bits(plan, cone_sigs);
+    Json per_batch = Json::array();
     double total_bits = 0;
     std::size_t max_bits = 0;
-    for (std::size_t b = 0; b < plan.batches(); ++b) {
-      std::uint64_t u = 0;
-      for (std::size_t i = plan.batch_start[b]; i < plan.batch_start[b + 1];
-           ++i)
-        u |= cone_sigs[plan.order[i]];
-      const std::size_t bits = static_cast<std::size_t>(std::popcount(u));
-      unions.push_back(bits);
+    for (std::size_t bits : unions) {
+      per_batch.push_back(bits);
       total_bits += static_cast<double>(bits);
       max_bits = std::max(max_bits, bits);
     }
@@ -331,8 +366,39 @@ Json batch_plan_to_json(const BatchPlan& plan, std::string_view policy,
              plan.batches() ? total_bits / static_cast<double>(plan.batches())
                             : 0.0);
     cone.set("max_union_bits", max_bits);
-    cone.set("per_batch_union_bits", std::move(unions));
+    cone.set("per_batch_union_bits", std::move(per_batch));
     doc.set("cone", std::move(cone));
+  }
+  return doc;
+}
+
+Json cone_saturation_to_json(const BatchPlan& plan,
+                             std::span<const FaultId> targets,
+                             const FaultUniverse& universe,
+                             const PackedTopology& topo) {
+  Json doc = Json::object();
+  for (const int width : {64, 128, 256}) {
+    const ConeAnalysis cones = ConeAnalysis::build(topo, width);
+    std::vector<ConeSig> sigs(targets.size());
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      const NetId net = universe.effect_net(targets[i]);
+      if (net != kInvalidId) sigs[i] = cones.net_sig[net];
+    }
+    const std::vector<std::size_t> unions = batch_union_bits(plan, sigs);
+    double total_bits = 0;
+    std::size_t max_bits = 0, saturated = 0;
+    for (std::size_t bits : unions) {
+      total_bits += static_cast<double>(bits);
+      max_bits = std::max(max_bits, bits);
+      saturated += bits == static_cast<std::size_t>(width);
+    }
+    Json row = Json::object();
+    row.set("mean_union_bits",
+            unions.empty() ? 0.0
+                           : total_bits / static_cast<double>(unions.size()));
+    row.set("max_union_bits", max_bits);
+    row.set("saturated_batches", saturated);
+    doc.set(std::to_string(width), std::move(row));
   }
   return doc;
 }

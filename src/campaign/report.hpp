@@ -69,11 +69,23 @@ ReferenceTrace reference_trace_from_json(const Json& doc);
 /// Batch-plan exchange: policy, the full target permutation ("order"),
 /// batch sizes, and — when per-target cone signatures are supplied —
 /// per-batch cone-overlap stats (popcount of the batch's signature union:
-/// the estimated share of the 64 cone buckets one simulator pass
+/// the estimated share of the filter's cone buckets one simulator pass
 /// activates). Doubles as the CLI's --dump-schedule document and as the
 /// subprocess worker protocol's plan payload.
 Json batch_plan_to_json(const BatchPlan& plan, std::string_view policy,
-                        std::span<const std::uint64_t> cone_sigs = {});
+                        std::span<const ConeSig> cone_sigs = {});
+
+/// Per-width Bloom-saturation view of a plan: for each supported filter
+/// width (64/128/256) the per-batch union popcounts are recomputed from a
+/// fresh ConeAnalysis at that width and summarized as mean/max union bits
+/// plus the count of saturated batches (union popcount == width, i.e. the
+/// filter stopped discriminating). Feeds --dump-schedule's "saturation"
+/// key; the fault→net mapping comes from `universe` (targets with no
+/// effect net contribute an empty signature).
+Json cone_saturation_to_json(const BatchPlan& plan,
+                             std::span<const FaultId> targets,
+                             const FaultUniverse& universe,
+                             const PackedTopology& topo);
 
 /// Inverse of batch_plan_to_json: rebuilds the plan from "order" +
 /// "batch_sizes" and validates it (full permutation, batches tiling the

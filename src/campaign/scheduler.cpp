@@ -2,14 +2,17 @@
 
 #include <algorithm>
 #include <bit>
+#include <map>
 #include <numeric>
 #include <stdexcept>
-#include <unordered_map>
 
+#include "campaign/cache.hpp"
 #include "campaign/campaign.hpp"
 #include "obs/metrics.hpp"
 
 namespace olfui {
+
+std::uint64_t BatchScheduler::fingerprint() const { return fnv1a64(name()); }
 
 BatchPlan BatchPlan::fixed(std::size_t targets, std::size_t batch_size) {
   BatchPlan plan;
@@ -48,23 +51,30 @@ BatchPlan FixedScheduler::plan(std::span<const FaultId> targets,
 
 ConeScheduler::ConeScheduler(const FaultUniverse& universe,
                              std::shared_ptr<const PackedTopology> topo,
-                             ConePacking packing)
+                             ConePacking packing, int sig_bits)
     : universe_(&universe), packing_(packing) {
   if (topo && topo->nl != &universe.netlist())
     throw std::invalid_argument(
         "ConeScheduler: topology is for a different netlist");
   cones_ = ConeAnalysis::build(
-      topo ? *topo : *PackedTopology::build(universe.netlist()));
+      topo ? *topo : *PackedTopology::build(universe.netlist()), sig_bits);
 }
 
-std::uint64_t ConeScheduler::signature(FaultId f) const {
+std::uint64_t ConeScheduler::fingerprint() const {
+  std::uint64_t h = fnv1a64(name());
+  h = fnv1a64_word(static_cast<std::uint64_t>(packing_), h);
+  h = fnv1a64_word(static_cast<std::uint64_t>(cones_.sig_bits), h);
+  return h;
+}
+
+ConeSig ConeScheduler::signature(FaultId f) const {
   const NetId net = universe_->effect_net(f);
-  return net == kInvalidId ? 0 : cones_.net_sig[net];
+  return net == kInvalidId ? ConeSig{} : cones_.net_sig[net];
 }
 
-std::vector<std::uint64_t> ConeScheduler::signatures(
+std::vector<ConeSig> ConeScheduler::signatures(
     std::span<const FaultId> targets) const {
-  std::vector<std::uint64_t> sigs(targets.size());
+  std::vector<ConeSig> sigs(targets.size());
   for (std::size_t i = 0; i < targets.size(); ++i)
     sigs[i] = signature(targets[i]);
   return sigs;
@@ -72,7 +82,7 @@ std::vector<std::uint64_t> ConeScheduler::signatures(
 
 BatchPlan ConeScheduler::plan(std::span<const FaultId> targets,
                               const ScheduleContext& ctx) const {
-  const std::vector<std::uint64_t> sigs = signatures(targets);
+  const std::vector<ConeSig> sigs = signatures(targets);
   // Every batch fills to the cap, so the fixed boundaries (ceil(n/cap)
   // batches) are kept and only the order is rewritten.
   BatchPlan plan = BatchPlan::fixed(targets.size(), ctx.batch_size);
@@ -96,12 +106,12 @@ BatchPlan ConeScheduler::plan(std::span<const FaultId> targets,
   // (remaining count, then group number), so the plan stays a pure
   // function of the target list.
   struct Group {
-    std::uint64_t sig = 0;
+    ConeSig sig;
     std::vector<std::uint32_t> members;  // target indices, in target order
     std::uint32_t taken = 0;             // members already placed
   };
   std::vector<Group> groups;
-  std::unordered_map<std::uint64_t, std::uint32_t> group_of;
+  std::map<ConeSig, std::uint32_t> group_of;
   for (std::size_t i = 0; i < sigs.size(); ++i) {
     const auto [it, inserted] =
         group_of.try_emplace(sigs[i], static_cast<std::uint32_t>(groups.size()));
@@ -123,7 +133,7 @@ BatchPlan ConeScheduler::plan(std::span<const FaultId> targets,
           (remaining(live[k]) == remaining(live[pick]) &&
            live[k] < live[pick]))
         pick = k;
-    std::uint64_t batch_union = 0;
+    ConeSig batch_union;
     std::size_t fill = 0;
     while (fill < ctx.batch_size) {
       Group& g = groups[live[pick]];
@@ -141,9 +151,9 @@ BatchPlan ConeScheduler::plan(std::span<const FaultId> targets,
       // Next: max signature overlap with the union; tie → most unclaimed
       // members, then lowest group number.
       pick = 0;
-      int best_overlap = std::popcount(groups[live[0]].sig & batch_union);
+      int best_overlap = (groups[live[0]].sig & batch_union).popcount();
       for (std::size_t k = 1; k < live.size(); ++k) {
-        const int overlap = std::popcount(groups[live[k]].sig & batch_union);
+        const int overlap = (groups[live[k]].sig & batch_union).popcount();
         if (overlap > best_overlap ||
             (overlap == best_overlap &&
              (remaining(live[k]) > remaining(live[pick]) ||
@@ -173,6 +183,18 @@ AdaptiveScheduler::AdaptiveScheduler(const CampaignResult& profile,
     pos += pt.batches;
     profiles_.emplace(pt.name, std::move(tp));  // first occurrence wins
   }
+}
+
+std::uint64_t AdaptiveScheduler::fingerprint() const {
+  std::uint64_t h = fnv1a64(name());
+  h = fnv1a64_word(std::bit_cast<std::uint64_t>(split_factor_), h);
+  for (const auto& [name, tp] : profiles_) {
+    h = fnv1a64(name, h);
+    h = fnv1a64_word(tp.faults_targeted, h);
+    for (const double s : tp.shard_seconds)
+      h = fnv1a64_word(std::bit_cast<std::uint64_t>(s), h);
+  }
+  return h;
 }
 
 BatchPlan AdaptiveScheduler::plan(std::span<const FaultId> targets,

@@ -84,6 +84,12 @@ class BatchScheduler {
   virtual std::string_view name() const = 0;
   virtual BatchPlan plan(std::span<const FaultId> targets,
                          const ScheduleContext& ctx) const = 0;
+  /// Stable hash of everything (besides the targets and context) that
+  /// plan() depends on — the result cache's plan_hash component, so two
+  /// campaigns collide in the cache only if they would form the same
+  /// batches. The default hashes name(); policies with construction-time
+  /// state (packing mode, signature width, adaptive profiles) fold it in.
+  virtual std::uint64_t fingerprint() const;
 };
 
 /// The default policy — the engine without a scheduler behaves exactly
@@ -120,23 +126,30 @@ class ConeScheduler final : public BatchScheduler {
   /// netlist (flows that already share one — SBST campaigns, scan
   /// runners — pass it to skip a rebuild); throws std::invalid_argument
   /// on a mismatch. Without one, a topology is built and discarded.
+  /// `sig_bits` picks the Bloom signature width (64, 128 or 256 —
+  /// ConeAnalysis::width_supported; anything else throws). The default 64
+  /// keeps plans bit-identical to the pre-width policy; wider filters
+  /// discriminate CPU-wide cones that saturate 64 buckets.
   explicit ConeScheduler(const FaultUniverse& universe,
                          std::shared_ptr<const PackedTopology> topo = nullptr,
-                         ConePacking packing = ConePacking::kGreedyUnion);
+                         ConePacking packing = ConePacking::kGreedyUnion,
+                         int sig_bits = 64);
   std::string_view name() const override {
     return packing_ == ConePacking::kRawSort ? "cone-raw" : "cone";
   }
   BatchPlan plan(std::span<const FaultId> targets,
                  const ScheduleContext& ctx) const override;
+  std::uint64_t fingerprint() const override;
 
   /// The grouping key of one fault (exposed for plan dumps and tests).
-  std::uint64_t signature(FaultId f) const;
+  ConeSig signature(FaultId f) const;
   /// Bulk signature lookup — the dump path reads the scheduler's own
   /// analysis through this instead of rebuilding one, so dump stats and
   /// the plan can never disagree on signatures.
-  std::vector<std::uint64_t> signatures(std::span<const FaultId> targets) const;
+  std::vector<ConeSig> signatures(std::span<const FaultId> targets) const;
   const ConeAnalysis& cones() const { return cones_; }
   ConePacking packing() const { return packing_; }
+  int sig_bits() const { return cones_.sig_bits; }
 
  private:
   const FaultUniverse* universe_;
@@ -160,6 +173,7 @@ class AdaptiveScheduler final : public BatchScheduler {
   std::string_view name() const override { return "adaptive"; }
   BatchPlan plan(std::span<const FaultId> targets,
                  const ScheduleContext& ctx) const override;
+  std::uint64_t fingerprint() const override;
 
  private:
   struct TestProfile {

@@ -1,0 +1,574 @@
+// Grade-result cache + incremental re-grade suite (campaign/cache.hpp):
+// the LRU/disk tiers and their corruption fallbacks, the canonical
+// options hash and cache-key sensitivity properties, the engine-level
+// guarantee that a warm full hit executes ZERO shards (asserted against
+// kernel counters and an executor whose worker binary does not exist),
+// and the incremental re-grade's bit-identity against a full re-grade of
+// a genuinely perturbed netlist.
+#include <gtest/gtest.h>
+#include <stdlib.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "campaign/cache.hpp"
+#include "campaign/campaign.hpp"
+#include "campaign/executor.hpp"
+#include "campaign/report.hpp"
+#include "campaign/scheduler.hpp"
+#include "fault/fault_list.hpp"
+#include "fault/universe.hpp"
+#include "fsim/fsim.hpp"
+#include "netlist/wordops.hpp"
+#include "obs/metrics.hpp"
+#include "sim/packed.hpp"
+
+namespace olfui {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh temp directory under the test's working directory; removed by
+/// the destructor so repeated runs stay clean.
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char tmpl[] = "cache_test_XXXXXX";
+    if (!mkdtemp(tmpl)) throw std::runtime_error("mkdtemp failed");
+    path = tmpl;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+/// Minimal decodable CampaignResult whose payload varies with `seed`.
+CampaignResult tiny_result(std::size_t universe, std::size_t seed) {
+  CampaignResult r;
+  r.universe = universe;
+  r.detected = BitVec(universe);
+  r.detected.set(seed % universe, true);
+  r.total_new_detections = 1;
+  r.raw_coverage = 0.25;
+  r.pruned_coverage = 0.5;
+  CampaignResult::PerTest pt;
+  pt.name = "t";
+  pt.good_cycles = 3;
+  pt.faults_targeted = universe;
+  pt.batches = 1;
+  pt.new_detections = 1;
+  r.tests.push_back(pt);
+  r.classes.push_back({"sa0", universe, 1});
+  return r;
+}
+
+CacheKey key_n(std::uint64_t n) {
+  CacheKey k;
+  k.universe_fp = n;
+  k.trace_fp = 0x1111;
+  k.plan_hash = 0x2222;
+  k.options_hash = 0x3333;
+  return k;
+}
+
+// ---------------------------------------------------------------------------
+// LRU tier
+
+TEST(ResultCache, LruEvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  EXPECT_EQ(cache.capacity(), 2u);
+  cache.store(key_n(1), tiny_result(8, 1));
+  cache.store(key_n(2), tiny_result(8, 2));
+  // Touch 1 so 2 becomes the LRU entry, then push it out.
+  EXPECT_TRUE(cache.lookup(key_n(1)).has_value());
+  cache.store(key_n(3), tiny_result(8, 3));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(cache.lookup(key_n(1)).has_value());
+  EXPECT_FALSE(cache.lookup(key_n(2)).has_value());
+  const std::optional<CampaignResult> got = cache.lookup(key_n(3));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->detected == tiny_result(8, 3).detected);
+  EXPECT_EQ(cache.stats().hits, 3u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().stores, 3u);
+}
+
+TEST(ResultCache, StoreOverwritesInPlace) {
+  ResultCache cache(2);
+  cache.store(key_n(1), tiny_result(8, 1));
+  cache.store(key_n(1), tiny_result(8, 5));
+  EXPECT_EQ(cache.size(), 1u);
+  const std::optional<CampaignResult> got = cache.lookup(key_n(1));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->detected == tiny_result(8, 5).detected);
+}
+
+// ---------------------------------------------------------------------------
+// Disk tier
+
+TEST(ResultCache, DiskTierSurvivesProcessBoundaries) {
+  TempDir dir;
+  {
+    ResultCache writer(4, dir.path);
+    writer.store(key_n(7), tiny_result(16, 7));
+  }
+  // A fresh instance (cold memory tier) finds the entry on disk.
+  ResultCache reader(4, dir.path);
+  const std::optional<CampaignResult> got = reader.lookup(key_n(7));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->detected == tiny_result(16, 7).detected);
+  EXPECT_EQ(reader.stats().disk_hits, 1u);
+  // Promoted into memory: the second lookup never touches disk again.
+  EXPECT_TRUE(reader.lookup(key_n(7)).has_value());
+  EXPECT_EQ(reader.stats().disk_hits, 1u);
+  EXPECT_EQ(reader.stats().hits, 2u);
+  // A different key stays a plain miss, not corruption.
+  EXPECT_FALSE(reader.lookup(key_n(8)).has_value());
+  EXPECT_EQ(reader.stats().corrupt, 0u);
+}
+
+TEST(ResultCache, CorruptDiskEntryCountsAndHeals) {
+  TempDir dir;
+  {
+    ResultCache writer(4, dir.path);
+    writer.store(key_n(9), tiny_result(8, 9));
+  }
+  // Smash the single on-disk entry.
+  std::size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(dir.path)) {
+    std::ofstream(entry.path()) << "garbage";
+    ++files;
+  }
+  ASSERT_EQ(files, 1u);
+
+  ResultCache reader(4, dir.path);
+  EXPECT_FALSE(reader.lookup(key_n(9)).has_value());
+  EXPECT_EQ(reader.stats().corrupt, 1u);
+  EXPECT_EQ(reader.stats().misses, 1u);
+  // The fallback re-grade's store overwrites the damaged file...
+  reader.store(key_n(9), tiny_result(8, 9));
+  // ...so the next cold instance reads it cleanly again.
+  ResultCache healed(4, dir.path);
+  EXPECT_TRUE(healed.lookup(key_n(9)).has_value());
+  EXPECT_EQ(healed.stats().corrupt, 0u);
+}
+
+TEST(ResultCache, DiskEntryWithMismatchedKeyIsRejected) {
+  TempDir dir;
+  ResultCache cache(4, dir.path);
+  cache.store(key_n(1), tiny_result(8, 1));
+  // Masquerade key 1's entry as key 2's: copy it to key 2's digest path.
+  // The stored canonical key cannot match, so a digest collision (here,
+  // a forced one) can never serve the wrong payload.
+  const std::string src =
+      dir.path + "/" + word_to_hex(key_n(1).digest()) + ".json";
+  const std::string dst =
+      dir.path + "/" + word_to_hex(key_n(2).digest()) + ".json";
+  fs::copy_file(src, dst);
+  ResultCache reader(4, dir.path);
+  EXPECT_FALSE(reader.lookup(key_n(2)).has_value());
+  EXPECT_EQ(reader.stats().corrupt, 1u);
+  EXPECT_TRUE(reader.lookup(key_n(1)).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Canonical options hash + cache key sensitivity
+
+TEST(CacheKey, CanonicalOptionsFormIsPinned) {
+  // The exact grammar is load-bearing: any accidental change (field
+  // rename, reorder, implicit default) would silently invalidate every
+  // existing cache — or worse, alias two different configurations.
+  EXPECT_EQ(campaign_options_canonical(CampaignOptions{}),
+            "campaign_options/v1|batch_size=0|fault_dropping=1|"
+            "fault_model=stuck_at|lane_width=64|target_limit=0");
+}
+
+TEST(CacheKey, OptionsHashTracksPayloadAffectingFieldsOnly) {
+  const CampaignOptions base;
+  const std::uint64_t h = campaign_options_hash(base);
+
+  // Every payload-affecting field moves the hash...
+  CampaignOptions o = base;
+  o.batch_size = 17;
+  EXPECT_NE(campaign_options_hash(o), h);
+  o = base;
+  o.fault_dropping = false;
+  EXPECT_NE(campaign_options_hash(o), h);
+  o = base;
+  o.fault_model = FaultModel::kTransition;
+  EXPECT_NE(campaign_options_hash(o), h);
+  o = base;
+  o.lane_width = 128;
+  EXPECT_NE(campaign_options_hash(o), h);
+  o = base;
+  o.target_limit = 5;
+  EXPECT_NE(campaign_options_hash(o), h);
+
+  // ...and every payload-neutral knob does not (they must not fragment
+  // the cache across executors, thread counts, or clocking modes).
+  o = base;
+  o.threads = 7;
+  EXPECT_EQ(campaign_options_hash(o), h);
+  o = base;
+  o.shard_timeout = 9.5;
+  EXPECT_EQ(campaign_options_hash(o), h);
+  o = base;
+  o.incremental_clocking = false;
+  EXPECT_EQ(campaign_options_hash(o), h);
+  o = base;
+  o.executor = std::make_shared<InProcessExecutor>(1);
+  EXPECT_EQ(campaign_options_hash(o), h);
+  o = base;
+  o.cache = std::make_shared<ResultCache>(1);
+  EXPECT_EQ(campaign_options_hash(o), h);
+}
+
+TEST(CacheKey, EveryComponentMovesTheDigest) {
+  const CacheKey base = key_n(1);
+  EXPECT_EQ(base.digest(), key_n(1).digest());
+  CacheKey k = base;
+  k.universe_fp ^= 1;
+  EXPECT_NE(k.digest(), base.digest());
+  k = base;
+  k.trace_fp ^= 1;
+  EXPECT_NE(k.digest(), base.digest());
+  k = base;
+  k.plan_hash ^= 1;
+  EXPECT_NE(k.digest(), base.digest());
+  k = base;
+  k.options_hash ^= 1;
+  EXPECT_NE(k.digest(), base.digest());
+  k = base;
+  k.fault_model = "transition";
+  EXPECT_NE(k.digest(), base.digest());
+  k = base;
+  k.lane_width = 128;
+  EXPECT_NE(k.digest(), base.digest());
+}
+
+// ---------------------------------------------------------------------------
+// Key-component fingerprints on a real netlist
+
+/// Two-cone test circuit; `variant` flips one gate type (AND <-> OR) in
+/// the first cone, leaving the second cone untouched — the minimal
+/// "netlist perturbation" the incremental re-grade must handle.
+struct TwoConeDesign {
+  Netlist nl{"twocone"};
+  std::vector<NetId> inputs;
+  std::vector<CellId> outputs;
+  NetId changed_net = kInvalidId;  ///< output net of the variant gate
+
+  explicit TwoConeDesign(bool variant) {
+    WordOps w(nl, "m");
+    const NetId a = nl.add_input("a");
+    const NetId b = nl.add_input("b");
+    const NetId c = nl.add_input("c");
+    const NetId d = nl.add_input("d");
+    inputs = {a, b, c, d};
+    // Cone 1: g feeds o1 (g is the perturbation site).
+    changed_net = variant ? w.or2(a, b, "g") : w.and2(a, b, "g");
+    const NetId h = w.xor2(changed_net, c, "h");
+    // Cone 2: independent of g entirely.
+    const NetId k = w.not_(d, "k");
+    const NetId m = w.and2(k, c, "m");
+    const NetId p = w.or2(m, d, "p");
+    outputs.push_back(nl.add_output("o1", h));
+    outputs.push_back(nl.add_output("o2", p));
+    EXPECT_TRUE(nl.validate().empty());
+  }
+};
+
+/// Open-loop environment: inputs follow a fixed per-cycle bit pattern,
+/// never a function of outputs (the env_feedback=false precondition).
+class PatternEnv final : public FsimEnvironment {
+ public:
+  explicit PatternEnv(std::vector<NetId> inputs)
+      : inputs_(std::move(inputs)) {}
+  void reset(PackedSim& sim) override {
+    for (const NetId n : inputs_) sim.set_input_all(n, false);
+    sim.eval();
+  }
+  bool step(PackedSim& sim, int cycle) override {
+    for (std::size_t i = 0; i < inputs_.size(); ++i)
+      sim.set_input_all(inputs_[i],
+                        ((static_cast<unsigned>(cycle) >> i) ^
+                         static_cast<unsigned>(cycle)) & 1u);
+    sim.eval();
+    return true;
+  }
+
+ private:
+  std::vector<NetId> inputs_;
+};
+
+constexpr int kPatternCycles = 24;
+
+class PatternRunner final : public FaultBatchRunner {
+ public:
+  PatternRunner(const TwoConeDesign& d, const FaultUniverse& u)
+      : env_(d.inputs), fsim_(d.nl, u, {.max_cycles = kPatternCycles}) {
+    fsim_.set_observed(d.outputs);
+  }
+  LaneMask run_batch(std::span<const FaultId> faults) override {
+    return fsim_.run_batch(faults, env_, nullptr);
+  }
+
+ private:
+  PatternEnv env_;
+  SequentialFaultSimulator fsim_;
+};
+
+/// `d` and `u` must outlive every run over the returned test. The spec is
+/// set (cache keys require one); its state_fp folds the design variant so
+/// the two variants can never alias in the cache.
+CampaignTest make_pattern_test(const TwoConeDesign& d,
+                               const FaultUniverse& u) {
+  CampaignTest test;
+  test.name = "pattern";
+  test.good_cycles = kPatternCycles;
+  test.make_runner = [&d, &u]() {
+    return std::make_unique<PatternRunner>(d, u);
+  };
+  test.spec = Json::object();
+  test.spec.set("workload", std::string("cache_test"));
+  test.spec.set("state_fp", word_to_hex(universe_fingerprint(u)));
+  return test;
+}
+
+TEST(CacheKey, FingerprintsTrackTheirInputs) {
+  const TwoConeDesign base(false), variant(true);
+  const FaultUniverse u0(base.nl), u1(variant.nl);
+  EXPECT_NE(universe_fingerprint(u0), universe_fingerprint(u1));
+
+  FaultList fl(u0);
+  const std::uint64_t fl_fp = fault_list_fingerprint(fl);
+  fl.set_detected(0);
+  EXPECT_NE(fault_list_fingerprint(fl), fl_fp);
+
+  std::vector<CampaignTest> tests;
+  tests.push_back(make_pattern_test(base, u0));
+  const std::uint64_t tests_fp = campaign_tests_fingerprint(tests);
+  EXPECT_NE(tests_fp, 0u);
+  tests[0].good_cycles = kPatternCycles + 1;
+  EXPECT_NE(campaign_tests_fingerprint(tests), tests_fp);
+  tests[0].good_cycles = kPatternCycles;
+  tests[0].spec.set("state_fp", std::string("0000000000000000"));
+  EXPECT_NE(campaign_tests_fingerprint(tests), tests_fp);
+  // A spec-less test cannot be keyed: the whole list reports 0.
+  tests[0].spec = Json();
+  EXPECT_EQ(campaign_tests_fingerprint(tests), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level: warm full hit executes zero shards
+
+TEST(ResultCache, WarmHitExecutesZeroShardsAndIsByteIdentical) {
+  const TwoConeDesign d(false);
+  const FaultUniverse u(d.nl);
+  std::vector<CampaignTest> tests;
+  tests.push_back(make_pattern_test(d, u));
+
+  CampaignOptions opts;
+  opts.threads = 1;
+  opts.cache = std::make_shared<ResultCache>(4);
+
+  FaultList fl_cold(u);
+  const CampaignResult cold = CampaignEngine(u, opts).run(fl_cold, tests);
+  EXPECT_EQ(cold.stats.cache, "miss");
+  EXPECT_GT(cold.stats.batches, 0u);
+  EXPECT_GT(cold.total_new_detections, 0u);
+  EXPECT_EQ(opts.cache->stats().stores, 1u);
+  EXPECT_NE(cold.stats.options_hash, 0u);
+
+  // The warm run rides an executor whose worker binary does not exist:
+  // if the hit path ever reached execute(), the lazy spawn would throw.
+  // Kernel counters prove no simulation ran either.
+  CampaignOptions warm_opts = opts;
+  warm_opts.executor = std::make_shared<SubprocessExecutor>(
+      std::vector<std::string>{"./no-such-worker-binary"}, 1);
+  obs::metrics().set_enabled(true);
+  obs::metrics().reset_values();
+  FaultList fl_warm(u);
+  const CampaignResult warm =
+      CampaignEngine(u, warm_opts).run(fl_warm, tests);
+  const std::uint64_t kernel_evals =
+      obs::metrics().counter("kernel.evals").value();
+  const std::uint64_t cache_hits =
+      obs::metrics().counter("cache.hits").value();
+  obs::metrics().set_enabled(false);
+  obs::metrics().reset_values();
+
+  EXPECT_EQ(warm.stats.cache, "hit");
+  EXPECT_EQ(kernel_evals, 0u);
+  EXPECT_EQ(cache_hits, 1u);
+  EXPECT_EQ(warm.stats.batches, 0u);
+  EXPECT_EQ(warm.stats.shard_seconds.size(), 0u);
+  // The decoded payload re-serializes byte-identical to the cold run's
+  // deterministic JSON — the cache can never drift a result.
+  EXPECT_EQ(campaign_result_to_json_string(warm, 2, false),
+            campaign_result_to_json_string(cold, 2, false));
+  // And the fault list replays to the same detection state.
+  EXPECT_EQ(fl_warm.count_detected(), fl_cold.count_detected());
+
+  // The same campaign under changed options misses: no stale payloads.
+  CampaignOptions sliced = opts;
+  sliced.target_limit = 3;
+  FaultList fl_sliced(u);
+  const CampaignResult miss = CampaignEngine(u, sliced).run(fl_sliced, tests);
+  EXPECT_EQ(miss.stats.cache, "miss");
+}
+
+TEST(ResultCache, MaskedAndSpecLessRunsBypassTheCache) {
+  const TwoConeDesign d(false);
+  const FaultUniverse u(d.nl);
+
+  CampaignOptions opts;
+  opts.threads = 1;
+  opts.cache = std::make_shared<ResultCache>(4);
+
+  // Null spec: not fingerprintable, the run bypasses (and stores nothing).
+  std::vector<CampaignTest> unspecced;
+  unspecced.push_back(make_pattern_test(d, u));
+  unspecced[0].spec = Json();
+  FaultList fl1(u);
+  const CampaignResult r1 = CampaignEngine(u, opts).run(fl1, unspecced);
+  EXPECT_EQ(r1.stats.cache, "bypass");
+  EXPECT_EQ(opts.cache->stats().stores, 0u);
+
+  // Target mask set (the incremental path's internal runs): bypass too.
+  std::vector<CampaignTest> tests;
+  tests.push_back(make_pattern_test(d, u));
+  BitVec mask(u.size());
+  for (FaultId f = 0; f < u.size(); f += 2) mask.set(f, true);
+  CampaignOptions masked = opts;
+  masked.target_mask = std::make_shared<const BitVec>(std::move(mask));
+  FaultList fl2(u);
+  const CampaignResult r2 = CampaignEngine(u, masked).run(fl2, tests);
+  EXPECT_EQ(r2.stats.cache, "bypass");
+  EXPECT_EQ(opts.cache->stats().stores, 0u);
+  // Cache off entirely: the stats label says so.
+  CampaignOptions off;
+  off.threads = 1;
+  FaultList fl3(u);
+  EXPECT_EQ(CampaignEngine(u, off).run(fl3, tests).stats.cache, "off");
+}
+
+// ---------------------------------------------------------------------------
+// Incremental re-grade
+
+TEST(IncrementalRegrade, EmptyDiffSplicesEverything) {
+  const TwoConeDesign d(false);
+  const FaultUniverse u(d.nl);
+  const auto topo = PackedTopology::build(d.nl);
+  const ConeAnalysis cones = ConeAnalysis::build(*topo, 256);
+  const IncrementalPlan plan = plan_incremental_regrade(u, cones, {}, true);
+  EXPECT_FALSE(plan.full);
+  EXPECT_EQ(plan.regrade.count(), 0u);
+  EXPECT_FALSE(plan.diff_sig.any());
+}
+
+TEST(IncrementalRegrade, ClosedLoopDiffReachingOutputsForcesFullRegrade) {
+  const TwoConeDesign d(false);
+  const FaultUniverse u(d.nl);
+  const auto topo = PackedTopology::build(d.nl);
+  const ConeAnalysis cones = ConeAnalysis::build(*topo, 256);
+  // Every net here reaches an output port, so under a closed-loop
+  // environment ANY diff must fall back to a full re-grade...
+  const std::vector<NetId> changed{d.changed_net};
+  const IncrementalPlan closed =
+      plan_incremental_regrade(u, cones, changed, true);
+  EXPECT_TRUE(closed.full);
+  EXPECT_EQ(closed.regrade.count(), u.size());
+  // ...while the open-loop plan keeps cone 2 spliceable.
+  const IncrementalPlan open =
+      plan_incremental_regrade(u, cones, changed, false);
+  EXPECT_FALSE(open.full);
+  EXPECT_GT(open.regrade.count(), 0u);
+  EXPECT_LT(open.regrade.count(), u.size());
+}
+
+TEST(IncrementalRegrade, SeededRegradeIsBitIdenticalToFullRegrade) {
+  // Grade the baseline design, perturb one gate (AND -> OR), then
+  // re-grade incrementally from the baseline result. The splice +
+  // re-grade must land on exactly the detection state a from-scratch
+  // grade of the perturbed design produces.
+  const TwoConeDesign base(false), pert(true);
+  const FaultUniverse u_base(base.nl), u_pert(pert.nl);
+  ASSERT_EQ(u_base.size(), u_pert.size());
+
+  CampaignOptions opts;
+  opts.threads = 1;
+
+  std::vector<CampaignTest> base_tests, pert_tests;
+  base_tests.push_back(make_pattern_test(base, u_base));
+  pert_tests.push_back(make_pattern_test(pert, u_pert));
+
+  FaultList fl_prev(u_base);
+  const CampaignResult previous =
+      CampaignEngine(u_base, opts).run(fl_prev, base_tests);
+  ASSERT_GT(previous.total_new_detections, 0u);
+
+  FaultList fl_full(u_pert);
+  const CampaignResult full =
+      CampaignEngine(u_pert, opts).run(fl_full, pert_tests);
+
+  // The pattern environment is open-loop, so env_feedback=false is sound
+  // and the unchanged cone actually splices.
+  FaultList fl_seeded(u_pert);
+  const std::vector<NetId> changed{pert.changed_net};
+  const CampaignResult seeded =
+      seed_from_previous(u_pert, opts, fl_seeded, pert_tests, previous,
+                         changed, nullptr, /*env_feedback=*/false);
+
+  EXPECT_TRUE(seeded.detected == full.detected)
+      << "incremental re-grade diverged from the full re-grade";
+  EXPECT_EQ(seeded.total_new_detections, full.total_new_detections);
+  EXPECT_TRUE(seeded.classes == full.classes);
+  EXPECT_DOUBLE_EQ(seeded.raw_coverage, full.raw_coverage);
+  EXPECT_DOUBLE_EQ(seeded.pruned_coverage, full.pruned_coverage);
+  EXPECT_EQ(fl_seeded.count_detected(), fl_full.count_detected());
+
+  EXPECT_EQ(seeded.stats.cache, "partial");
+  EXPECT_GT(seeded.stats.regraded_faults, 0u);
+  EXPECT_LT(seeded.stats.regrade_fraction, 1.0);
+  EXPECT_GT(seeded.stats.regrade_fraction, 0.0);
+
+  // Provenance survives the JSON round trip (tolerantly absent in old
+  // dumps, exact in new ones).
+  const CampaignResult back = campaign_result_from_json_string(
+      campaign_result_to_json_string(seeded));
+  EXPECT_EQ(back.stats.cache, "partial");
+  EXPECT_EQ(back.stats.cache_spliced, seeded.stats.cache_spliced);
+  EXPECT_EQ(back.stats.regraded_faults, seeded.stats.regraded_faults);
+  EXPECT_DOUBLE_EQ(back.stats.regrade_fraction,
+                   seeded.stats.regrade_fraction);
+}
+
+TEST(IncrementalRegrade, MismatchedInputsThrow) {
+  const TwoConeDesign d(false);
+  const FaultUniverse u(d.nl);
+  std::vector<CampaignTest> tests;
+  tests.push_back(make_pattern_test(d, u));
+  CampaignOptions opts;
+  opts.threads = 1;
+
+  CampaignResult wrong_universe = tiny_result(3, 1);
+  FaultList fl(u);
+  EXPECT_THROW(seed_from_previous(u, opts, fl, tests, wrong_universe, {}),
+               std::invalid_argument);
+
+  CampaignResult wrong_model = tiny_result(u.size(), 1);
+  wrong_model.universe = u.size();
+  wrong_model.fault_model = FaultModel::kTransition;
+  EXPECT_THROW(seed_from_previous(u, opts, fl, tests, wrong_model, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace olfui

@@ -163,5 +163,98 @@ TEST(CombDetect, MatchesTruthTableForAndGate) {
   EXPECT_FALSE(comb_detects(nl, u, u.id_of({g, 1}, true), pat11, observed));
 }
 
+// ---------------------------------------------------------------------------
+// ReferenceTrace::fingerprint — the trace component of the grade-result
+// cache key (campaign/cache.hpp) and the worker-drift check in the
+// subprocess executor. It must move on ANY single-bit divergence of the
+// recorded good machine, and must NOT move with how the trace was
+// recorded (lane width, clocking mode): those are payload-neutral.
+
+/// CounterEnv at any lane width (the scalar CounterEnv above is 64-only).
+template <int W>
+class CounterEnvT : public FsimEnvironmentT<W> {
+ public:
+  explicit CounterEnvT(NetId en) : en_(en) {}
+  void reset(PackedSimT<W>& sim) override {
+    sim.set_input_all(en_, false);
+    sim.eval();
+  }
+  bool step(PackedSimT<W>& sim, int) override {
+    sim.set_input_all(en_, true);
+    sim.eval();
+    return true;
+  }
+
+ private:
+  NetId en_;
+};
+
+template <int W>
+ReferenceTrace record_counter_trace(const CounterRig& rig,
+                                    const FaultUniverse& u,
+                                    bool event_driven) {
+  SequentialFaultSimulatorT<W> fsim(
+      rig.nl, u, {.max_cycles = 20, .event_driven = event_driven});
+  fsim.set_observed(rig.outputs);
+  CounterEnvT<W> env(rig.en);
+  return fsim.record_reference_trace(env);
+}
+
+TEST(ReferenceTraceFingerprint, AnySingleBitPerturbationChangesIt) {
+  CounterRig rig;
+  const FaultUniverse u(rig.nl);
+  const ReferenceTrace trace = record_counter_trace<64>(rig, u, true);
+  const std::uint64_t fp = trace.fingerprint();
+  ASSERT_NE(fp, 0u);
+  EXPECT_EQ(trace.fingerprint(), fp);  // pure function of the contents
+
+  // Flip every bit of every run value, one at a time: each divergent
+  // good-machine state must produce a distinct checkpoint identity.
+  for (std::size_t c = 0; c < trace.columns.size(); ++c) {
+    for (std::size_t r = 0; r < trace.columns[c].value.size(); ++r) {
+      for (int bit = 0; bit < 64; ++bit) {
+        ReferenceTrace poked = trace;
+        poked.columns[c].value[r] ^= 1ULL << bit;
+        EXPECT_NE(poked.fingerprint(), fp)
+            << "column " << c << " run " << r << " bit " << bit;
+      }
+    }
+  }
+
+  // Shape and run-boundary perturbations count as divergence too: the
+  // same values starting one cycle later are a different good machine.
+  ReferenceTrace poked = trace;
+  poked.cycles += 1;
+  EXPECT_NE(poked.fingerprint(), fp);
+  poked = trace;
+  poked.num_nets += 1;
+  EXPECT_NE(poked.fingerprint(), fp);
+  poked = trace;
+  for (auto& col : poked.columns) {
+    for (std::uint32_t& start : col.cycle) {
+      if (start == 0) continue;
+      start += 1;
+      EXPECT_NE(poked.fingerprint(), fp);
+      start -= 1;
+    }
+  }
+}
+
+TEST(ReferenceTraceFingerprint, StableAcrossLaneWidthsAndClockingModes) {
+  CounterRig rig;
+  const FaultUniverse u(rig.nl);
+  const std::uint64_t fp = record_counter_trace<64>(rig, u, true).fingerprint();
+  // Clocking mode is a speed knob, not a semantic one: the event-driven
+  // and full-sweep kernels must record bit-identical good machines.
+  EXPECT_EQ(record_counter_trace<64>(rig, u, false).fingerprint(), fp);
+#if OLFUI_HAS_WIDE_LANES
+  // Lane 0 is the good machine at every width, so the recorded trace —
+  // and therefore the cache key built from it — is width-invariant.
+  EXPECT_EQ(record_counter_trace<128>(rig, u, true).fingerprint(), fp);
+  EXPECT_EQ(record_counter_trace<256>(rig, u, true).fingerprint(), fp);
+  EXPECT_EQ(record_counter_trace<256>(rig, u, false).fingerprint(), fp);
+#endif
+}
+
 }  // namespace
 }  // namespace olfui

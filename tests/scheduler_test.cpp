@@ -7,10 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <memory>
 #include <numeric>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "campaign/campaign.hpp"
@@ -116,20 +116,25 @@ std::vector<CellId> bfs_reachable(const Netlist& nl, NetId net) {
 
 TEST(ConeAnalysis, SignaturesCoverBruteForceReachability) {
   // The Bloom contract: a reachable cell's bit is ALWAYS in the net's
-  // signature (false positives allowed, false negatives never).
+  // signature (false positives allowed, false negatives never) — at every
+  // supported filter width.
   for (std::uint64_t seed = 31; seed <= 35; ++seed) {
     Rng rng(seed);
     RandomDesign d = random_design(rng, 8, 14, 120);
     const auto topo = PackedTopology::build(d.nl);
-    const ConeAnalysis ca = ConeAnalysis::build(*topo);
-    ASSERT_EQ(ca.net_sig.size(), d.nl.num_nets());
-    EXPECT_GT(ca.rounds, 0);
-    for (NetId n = 0; n < d.nl.num_nets(); ++n) {
-      for (CellId c : bfs_reachable(d.nl, n))
-        ASSERT_NE(ca.net_sig[n] & ConeAnalysis::cone_bit(c), 0u)
-            << "seed " << seed << ": cell " << d.nl.cell(c).name
-            << " reachable from net " << d.nl.net(n).name
-            << " but missing from its cone signature";
+    for (const int width : {64, 128, 256}) {
+      const ConeAnalysis ca = ConeAnalysis::build(*topo, width);
+      ASSERT_EQ(ca.net_sig.size(), d.nl.num_nets());
+      ASSERT_EQ(ca.sig_bits, width);
+      EXPECT_GT(ca.rounds, 0);
+      for (NetId n = 0; n < d.nl.num_nets(); ++n) {
+        for (CellId c : bfs_reachable(d.nl, n))
+          ASSERT_TRUE(
+              ca.net_sig[n].intersects(ConeAnalysis::cone_bit(c, width)))
+              << "seed " << seed << " width " << width << ": cell "
+              << d.nl.cell(c).name << " reachable from net "
+              << d.nl.net(n).name << " but missing from its cone signature";
+      }
     }
   }
 }
@@ -144,11 +149,61 @@ TEST(ConeAnalysis, UnreadNetHasEmptySignature) {
   const NetId dangling = nl.add_input("unused");
   const auto topo = PackedTopology::build(nl);
   const ConeAnalysis ca = ConeAnalysis::build(*topo);
-  EXPECT_EQ(ca.net_sig[dangling], 0u);
-  EXPECT_NE(ca.net_sig[a], 0u);
+  EXPECT_FALSE(ca.net_sig[dangling].any());
+  EXPECT_TRUE(ca.net_sig[a].any());
   // The AND's inputs see the gate and the output port downstream.
   const CellId gate = nl.net(y).driver;
-  EXPECT_NE(ca.net_sig[a] & ConeAnalysis::cone_bit(gate), 0u);
+  EXPECT_TRUE(ca.net_sig[a].intersects(ConeAnalysis::cone_bit(gate)));
+}
+
+TEST(ConeAnalysis, Width64MatchesHistoricalScalarFilter) {
+  // The default width must reproduce the original single-word filter
+  // exactly (same hash, same top-6-bit bucket), so width-64 plans —
+  // and therefore cached plan fingerprints — never shift.
+  for (CellId c : {CellId{0}, CellId{1}, CellId{17}, CellId{12345}}) {
+    const std::uint64_t h = static_cast<std::uint64_t>(c) *
+                            0x9E3779B97F4A7C15ULL;
+    const ConeSig sig = ConeAnalysis::cone_bit(c, 64);
+    EXPECT_EQ(sig.w[0], 1ULL << (h >> 58)) << "cell " << c;
+    EXPECT_EQ(sig.w[1], 0u);
+    EXPECT_EQ(sig.w[2], 0u);
+    EXPECT_EQ(sig.w[3], 0u);
+    EXPECT_EQ(sig.popcount(), 1);
+  }
+}
+
+TEST(ConeAnalysis, WiderFiltersSaturateLess) {
+  // The point of the width knob: on a design big enough to saturate the
+  // 64-bucket filter, doubling the width strictly lowers the mean
+  // occupied fraction (fewer collisions), while width_supported gates
+  // the valid set and build() rejects the rest.
+  EXPECT_TRUE(ConeAnalysis::width_supported(64));
+  EXPECT_TRUE(ConeAnalysis::width_supported(128));
+  EXPECT_TRUE(ConeAnalysis::width_supported(256));
+  EXPECT_FALSE(ConeAnalysis::width_supported(32));
+  EXPECT_FALSE(ConeAnalysis::width_supported(96));
+  EXPECT_FALSE(ConeAnalysis::width_supported(512));
+
+  Rng rng(41);
+  RandomDesign d = random_design(rng, 8, 20, 400);
+  const auto topo = PackedTopology::build(d.nl);
+  EXPECT_THROW(ConeAnalysis::build(*topo, 96), std::invalid_argument);
+
+  double prev_fraction = 2.0;
+  for (const int width : {64, 128, 256}) {
+    const ConeAnalysis ca = ConeAnalysis::build(*topo, width);
+    double occupied = 0;
+    std::size_t nonempty = 0;
+    for (const ConeSig& sig : ca.net_sig) {
+      if (!sig.any()) continue;
+      ++nonempty;
+      occupied += static_cast<double>(sig.popcount()) / width;
+    }
+    ASSERT_GT(nonempty, 0u);
+    const double fraction = occupied / static_cast<double>(nonempty);
+    EXPECT_LT(fraction, prev_fraction) << "width " << width;
+    prev_fraction = fraction;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -205,14 +260,14 @@ TEST(Scheduler, ConePlanIsADeterministicPermutationInBatchBounds) {
   EXPECT_EQ(plan.order, again.order);
   EXPECT_EQ(plan.batch_start, again.batch_start);
 
-  const std::vector<std::uint64_t> sigs = sched.signatures(targets);
+  const std::vector<ConeSig> sigs = sched.signatures(targets);
 
   // Grouping actually happened: equal-cone faults land adjacent. A
   // signature group's run can only break where a batch filled to the cap
   // (the remainder then seeds or joins a later batch), and the group
   // drains sequentially, so its members keep target order globally.
   std::vector<std::vector<std::uint32_t>> positions_by_sig;
-  std::unordered_map<std::uint64_t, std::size_t> sig_slot;
+  std::map<ConeSig, std::size_t> sig_slot;
   for (std::size_t i = 0; i < plan.order.size(); ++i) {
     const auto [it, inserted] =
         sig_slot.try_emplace(sigs[plan.order[i]], positions_by_sig.size());
@@ -252,9 +307,9 @@ TEST(Scheduler, RawSortPackingSortsBySignatureStably) {
 
   // The baseline packing is a stable sort by raw signature value: plans
   // are globally sorted, equal signatures keep target order.
-  const std::vector<std::uint64_t> sigs = sched.signatures(targets);
+  const std::vector<ConeSig> sigs = sched.signatures(targets);
   for (std::size_t i = 1; i < plan.order.size(); ++i) {
-    EXPECT_LE(sigs[plan.order[i - 1]], sigs[plan.order[i]]) << i;
+    EXPECT_FALSE(sigs[plan.order[i]] < sigs[plan.order[i - 1]]) << i;
     if (sigs[plan.order[i - 1]] == sigs[plan.order[i]])
       EXPECT_LT(plan.order[i - 1], plan.order[i]) << i;
   }
@@ -273,10 +328,11 @@ TEST(Scheduler, BulkSignaturesMatchPerFaultLookup) {
   const ConeScheduler sched(u);
   std::vector<FaultId> targets(u.size());
   std::iota(targets.begin(), targets.end(), 0u);
-  const std::vector<std::uint64_t> bulk = sched.signatures(targets);
+  const std::vector<ConeSig> bulk = sched.signatures(targets);
   ASSERT_EQ(bulk.size(), targets.size());
   for (std::size_t i = 0; i < targets.size(); ++i)
-    ASSERT_EQ(bulk[i], sched.signature(targets[i])) << "fault " << targets[i];
+    ASSERT_TRUE(bulk[i] == sched.signature(targets[i]))
+        << "fault " << targets[i];
 }
 
 TEST(Scheduler, AdaptiveSplitsHotShardsAndFallsBackOnStaleProfiles) {
@@ -472,7 +528,7 @@ TEST(Scheduler, BatchPlanJsonReportsSizesAndConeStats) {
   std::vector<FaultId> targets(u.size());
   std::iota(targets.begin(), targets.end(), 0u);
   const BatchPlan plan = sched.plan(targets, {63, "dump"});
-  std::vector<std::uint64_t> sigs;
+  std::vector<ConeSig> sigs;
   for (FaultId f : targets) sigs.push_back(sched.signature(f));
 
   const Json doc = batch_plan_to_json(plan, sched.name(), sigs);
@@ -487,6 +543,24 @@ TEST(Scheduler, BatchPlanJsonReportsSizesAndConeStats) {
   ASSERT_TRUE(doc.contains("cone"));
   EXPECT_EQ(doc.at("cone").at("per_batch_union_bits").size(), plan.batches());
   EXPECT_LE(doc.at("cone").at("max_union_bits").as_size(), 64u);
+
+  // The per-width saturation view covers all three filter widths, each
+  // bounded by its own width, and a wider filter never saturates MORE.
+  const auto topo = PackedTopology::build(d.nl);
+  const Json sat = cone_saturation_to_json(plan, targets, u, *topo);
+  for (const auto& [width, name] :
+       {std::pair<std::size_t, const char*>{64, "64"},
+        {128, "128"},
+        {256, "256"}}) {
+    ASSERT_TRUE(sat.contains(name));
+    const Json& row = sat.at(name);
+    EXPECT_LE(row.at("max_union_bits").as_size(), width);
+    EXPECT_LE(row.at("mean_union_bits").as_number(),
+              static_cast<double>(width));
+    EXPECT_LE(row.at("saturated_batches").as_size(), plan.batches());
+  }
+  EXPECT_LE(sat.at("256").at("saturated_batches").as_size(),
+            sat.at("64").at("saturated_batches").as_size());
 }
 
 }  // namespace
